@@ -1,0 +1,249 @@
+//! Level-synchronous tag computation over a BFS forest — the tagging
+//! scheme of the BFS-skeleton baselines (GBBS-style, SM'14-style).
+//!
+//! Produces the same [`Tags`] as FAST-BCC's ETT/RMQ pipeline, but with
+//! *preorder numbers* instead of Euler-tour positions and with bottom-up /
+//! top-down sweeps over BFS levels instead of list ranking and RMQ:
+//!
+//! * subtree sizes — one bottom-up sweep (children sum);
+//! * preorder `first` and `last = first + size - 1` — one top-down sweep;
+//! * `low`/`high` — seed `w1`/`w2` from non-tree edges, then a bottom-up
+//!   min/max sweep.
+//!
+//! Every sweep synchronizes once per BFS level, so the span is
+//! `O(diam(G) · log n)` — exactly the bottleneck the paper attributes to
+//! GBBS in Fig. 5 ("GBBS computes them by a bottom-up traversal on the
+//! BFS tree").
+//!
+//! The interval predicates (`Fence`, `Back`, `InSkeleton`) only need the
+//! laminar-interval property, which preorder intervals share with Euler
+//! intervals, so [`Tags`] works unchanged.
+
+use fastbcc_connectivity::bfs::BfsForest;
+use fastbcc_core::tags::Tags;
+use fastbcc_graph::{Graph, V};
+use fastbcc_primitives::atomics::{as_atomic_u32, write_max_u32, write_min_u32};
+use fastbcc_primitives::par::par_for;
+use fastbcc_primitives::scan::prefix_sums;
+use fastbcc_primitives::semisort::semisort_by_small_key;
+use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+
+/// Compute BCC tags from a BFS forest by level-synchronous sweeps.
+pub fn bfs_tags(g: &Graph, f: &BfsForest) -> Tags {
+    let n = g.n();
+    if n == 0 {
+        return Tags {
+            parent: Vec::new(),
+            first: Vec::new(),
+            last: Vec::new(),
+            low: Vec::new(),
+            high: Vec::new(),
+        };
+    }
+    let max_level = f.level.iter().copied().max().unwrap_or(0) as usize;
+
+    // Vertices grouped by level, and children grouped by parent.
+    let ids: Vec<V> = (0..n as V).collect();
+    let (by_level, level_off) =
+        semisort_by_small_key(&ids, max_level + 1, |&v| f.level[v as usize] as usize);
+    let non_roots: Vec<V> =
+        fastbcc_primitives::pack::pack_index(n, |v| f.parent[v] != fastbcc_graph::NONE);
+    let (children, child_off) =
+        semisort_by_small_key(&non_roots, n, |&v| f.parent[v as usize] as usize);
+
+    // --- subtree sizes: bottom-up ----------------------------------------
+    let mut size = vec![1u32; n];
+    for d in (0..=max_level).rev() {
+        let level = &by_level[level_off[d]..level_off[d + 1]];
+        let sview = UnsafeSlice::new(&mut size);
+        par_for(level.len(), |i| {
+            let v = level[i] as usize;
+            let mut s = 1u32;
+            for &c in &children[child_off[v]..child_off[v + 1]] {
+                // SAFETY: children are at level d+1, already final; v is
+                // written only by this iteration.
+                s += unsafe { sview.read(c as usize) };
+            }
+            unsafe { sview.write(v, s) };
+        });
+    }
+
+    // --- preorder numbers: top-down, trees laid out back-to-back ---------
+    let mut tree_off: Vec<usize> = f.roots.iter().map(|&r| size[r as usize] as usize).collect();
+    let total = prefix_sums(&mut tree_off);
+    debug_assert_eq!(total, n);
+    let mut first: Vec<u32> = unsafe { uninit_vec(n) };
+    {
+        let fview = UnsafeSlice::new(&mut first);
+        let roots_ref = &f.roots;
+        let off_ref = &tree_off;
+        par_for(roots_ref.len(), |t| unsafe {
+            fview.write(roots_ref[t] as usize, off_ref[t] as u32);
+        });
+        for d in 0..=max_level {
+            let level = &by_level[level_off[d]..level_off[d + 1]];
+            let size_ref = &size;
+            let children_ref = &children;
+            let child_off_ref = &child_off;
+            par_for(level.len(), |i| {
+                let v = level[i] as usize;
+                // SAFETY: first[v] was finalized when level d was reached
+                // (roots above, parents in the previous iteration).
+                let mut cursor = unsafe { fview.read(v) } + 1;
+                for &c in &children_ref[child_off_ref[v]..child_off_ref[v + 1]] {
+                    unsafe { fview.write(c as usize, cursor) };
+                    cursor += size_ref[c as usize];
+                }
+            });
+        }
+    }
+    let mut last: Vec<u32> = unsafe { uninit_vec(n) };
+    {
+        let view = UnsafeSlice::new(&mut last);
+        let first_ref = &first;
+        let size_ref = &size;
+        par_for(n, |v| unsafe { view.write(v, first_ref[v] + size_ref[v] - 1) });
+    }
+
+    // --- w1/w2 from non-tree edges ----------------------------------------
+    let parent = f.parent.clone();
+    let mut low = first.clone();
+    let mut high = first.clone();
+    {
+        let a1 = as_atomic_u32(&mut low);
+        let a2 = as_atomic_u32(&mut high);
+        let parent_ref = &parent;
+        let first_ref = &first;
+        par_for(n, |ui| {
+            let u = ui as V;
+            for &v in g.neighbors(u) {
+                if parent_ref[ui] != v && parent_ref[v as usize] != u {
+                    write_min_u32(&a1[ui], first_ref[v as usize]);
+                    write_max_u32(&a2[ui], first_ref[v as usize]);
+                }
+            }
+        });
+    }
+
+    // --- low/high: bottom-up min/max over children -----------------------
+    for d in (0..=max_level).rev() {
+        let level = &by_level[level_off[d]..level_off[d + 1]];
+        let lview = UnsafeSlice::new(&mut low);
+        let hview = UnsafeSlice::new(&mut high);
+        let children_ref = &children;
+        let child_off_ref = &child_off;
+        par_for(level.len(), |i| {
+            let v = level[i] as usize;
+            // SAFETY: children finalized in the previous (deeper) round;
+            // v written only here.
+            let mut lo = unsafe { lview.read(v) };
+            let mut hi = unsafe { hview.read(v) };
+            for &c in &children_ref[child_off_ref[v]..child_off_ref[v + 1]] {
+                lo = lo.min(unsafe { lview.read(c as usize) });
+                hi = hi.max(unsafe { hview.read(c as usize) });
+            }
+            unsafe {
+                lview.write(v, lo);
+                hview.write(v, hi);
+            }
+        });
+    }
+
+    Tags { parent, first, last, low, high }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_connectivity::bfs::bfs_forest;
+    use fastbcc_graph::generators::classic::*;
+
+    fn tags_of(g: &Graph) -> Tags {
+        bfs_tags(g, &bfs_forest(g))
+    }
+
+    #[test]
+    fn preorder_intervals_are_laminar() {
+        for g in [cycle(12), windmill(5), barbell(4, 2), complete(6), binary_tree(31)] {
+            let tags = tags_of(&g);
+            let n = g.n();
+            // Parent interval contains child interval strictly.
+            for v in 0..n {
+                let p = tags.parent[v];
+                if p != fastbcc_graph::NONE {
+                    assert!(tags.first[p as usize] < tags.first[v]);
+                    assert!(tags.last[p as usize] >= tags.last[v]);
+                }
+            }
+            // first values are a permutation of 0..n.
+            let mut fs: Vec<u32> = tags.first.clone();
+            fs.sort_unstable();
+            assert_eq!(fs, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn low_high_match_brute_force() {
+        for g in [cycle(9), windmill(4), petersen(), theta(1, 2, 3), complete(6)] {
+            let tags = tags_of(&g);
+            let n = g.n();
+            let in_subtree = |anc: usize, v: usize| {
+                tags.first[anc] <= tags.first[v] && tags.last[anc] >= tags.last[v]
+            };
+            for v in 0..n {
+                let mut lo = u32::MAX;
+                let mut hi = 0u32;
+                for u in 0..n {
+                    if in_subtree(v, u) {
+                        lo = lo.min(tags.first[u]);
+                        hi = hi.max(tags.first[u]);
+                        for &x in g.neighbors(u as V) {
+                            if !tags.is_tree_edge(u as V, x) {
+                                lo = lo.min(tags.first[x as usize]);
+                                hi = hi.max(tags.first[x as usize]);
+                            }
+                        }
+                    }
+                }
+                assert_eq!(tags.low[v], lo, "low[{v}]");
+                assert_eq!(tags.high[v], hi, "high[{v}]");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_component_layout_disjoint() {
+        let g = disjoint_union(&[&cycle(5), &path(4), &star(6)]);
+        let tags = tags_of(&g);
+        // Tree intervals of different components must not overlap.
+        let f = bfs_forest(&g);
+        for (i, &r1) in f.roots.iter().enumerate() {
+            for &r2 in f.roots.iter().skip(i + 1) {
+                let a = (tags.first[r1 as usize], tags.last[r1 as usize]);
+                let b = (tags.first[r2 as usize], tags.last[r2 as usize]);
+                assert!(a.1 < b.0 || b.1 < a.0, "tree intervals overlap: {a:?} {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_tree_has_no_back_edges() {
+        // Structural property the baselines rely on: with a BFS tree every
+        // non-tree edge is a cross edge.
+        for g in [cycle(10), complete(7), windmill(5), grid_like()] {
+            let tags = tags_of(&g);
+            for (u, v) in g.iter_edges() {
+                if !tags.is_tree_edge(u, v) {
+                    assert!(
+                        !tags.back(u, v) && !tags.back(v, u),
+                        "back edge {u}-{v} under a BFS tree"
+                    );
+                }
+            }
+        }
+    }
+
+    fn grid_like() -> Graph {
+        fastbcc_graph::generators::grid2d(7, 9, true)
+    }
+}

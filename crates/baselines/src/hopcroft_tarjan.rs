@@ -1,0 +1,219 @@
+//! The sequential Hopcroft–Tarjan BCC algorithm (CACM 1973) — **SEQ**.
+//!
+//! Classic DFS with `disc`/`low` values and an edge stack: when a child `w`
+//! of `u` finishes with `low[w] ≥ disc[u]`, the edges above (and including)
+//! `u–w` on the stack form one biconnected component.
+//!
+//! Implemented **iteratively** with explicit stacks: the paper benchmarks
+//! chains of 10⁷–10⁸ vertices, where recursion would overflow any thread
+//! stack. `O(n + m)` work, `O(n + m)` space for the DFS/edge stacks.
+
+use fastbcc_graph::{Graph, V, NONE};
+
+/// Result of a Hopcroft–Tarjan run.
+pub struct HtResult {
+    /// Number of biconnected components.
+    pub num_bcc: usize,
+    /// Canonical BCC vertex sets (sorted sets, sorted list) when requested.
+    pub bccs: Option<Vec<Vec<V>>>,
+    /// Articulation points, ascending.
+    pub articulation_points: Vec<V>,
+    /// Bridge edges `(min, max)`, ascending.
+    pub bridges: Vec<(V, V)>,
+}
+
+/// Run Hopcroft–Tarjan. With `collect = false` only counts and the
+/// articulation/bridge lists are produced (the benchmark configuration);
+/// `collect = true` additionally materializes every BCC's vertex set.
+pub fn hopcroft_tarjan(g: &Graph, collect: bool) -> HtResult {
+    let n = g.n();
+    let mut disc = vec![NONE; n]; // discovery (preorder) number
+    let mut low = vec![0u32; n];
+    let mut parent = vec![NONE; n];
+    let mut is_art = vec![false; n];
+    let mut bridges = Vec::new();
+    let mut bccs: Vec<Vec<V>> = Vec::new();
+    let mut num_bcc = 0usize;
+
+    // Iterative DFS state.
+    let mut timer = 0u32;
+    let mut stack: Vec<V> = Vec::new(); // DFS vertex stack
+    let mut edge_it: Vec<usize> = vec![0; n]; // per-vertex adjacency cursor
+    let mut edge_stack: Vec<(V, V)> = Vec::new();
+    // Scratch for collecting a BCC's vertices without a hash set.
+    let mut mark = vec![u32::MAX; n];
+    let mut bcc_epoch = 0u32;
+
+    for s in 0..n as V {
+        if disc[s as usize] != NONE {
+            continue;
+        }
+        disc[s as usize] = timer;
+        low[s as usize] = timer;
+        timer += 1;
+        stack.push(s);
+        let mut root_children = 0usize;
+
+        while let Some(&u) = stack.last() {
+            let ui = u as usize;
+            let range = g.arc_range(u);
+            let cursor = range.start + edge_it[ui];
+            if cursor < range.end {
+                edge_it[ui] += 1;
+                let w = g.arcs()[cursor];
+                let wi = w as usize;
+                if disc[wi] == NONE {
+                    // Tree edge.
+                    parent[wi] = u;
+                    disc[wi] = timer;
+                    low[wi] = timer;
+                    timer += 1;
+                    edge_stack.push((u, w));
+                    stack.push(w);
+                    if u == s {
+                        root_children += 1;
+                    }
+                } else if w != parent[ui] && disc[wi] < disc[ui] {
+                    // Back edge (pushed once, in the deeper-to-shallower
+                    // direction).
+                    edge_stack.push((u, w));
+                    low[ui] = low[ui].min(disc[wi]);
+                }
+            } else {
+                // u exhausted: retreat.
+                stack.pop();
+                if let Some(&p) = stack.last() {
+                    let pi = p as usize;
+                    low[pi] = low[pi].min(low[ui]);
+                    if low[ui] >= disc[pi] {
+                        // p closes a BCC through child u. Non-root p is an
+                        // articulation point; the root's rule (≥ 2 DFS
+                        // children) is applied after the component loop.
+                        if p != s {
+                            is_art[pi] = true;
+                        }
+                        if low[ui] > disc[pi] {
+                            bridges.push((p.min(u), p.max(u)));
+                        }
+                        num_bcc += 1;
+                        if collect {
+                            bcc_epoch += 1;
+                            let mut members = Vec::new();
+                            loop {
+                                let (a, b) = edge_stack.pop().expect("edge stack underflow");
+                                for x in [a, b] {
+                                    if mark[x as usize] != bcc_epoch {
+                                        mark[x as usize] = bcc_epoch;
+                                        members.push(x);
+                                    }
+                                }
+                                if (a, b) == (p, u) {
+                                    break;
+                                }
+                            }
+                            members.sort_unstable();
+                            bccs.push(members);
+                        } else {
+                            while let Some(&top) = edge_stack.last() {
+                                edge_stack.pop();
+                                if top == (p, u) {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Root articulation rule: ≥ 2 DFS children.
+        if root_children >= 2 {
+            is_art[s as usize] = true;
+        }
+    }
+
+    let articulation_points: Vec<V> =
+        (0..n as V).filter(|&v| is_art[v as usize]).collect();
+    bridges.sort_unstable();
+    let bccs = collect.then(|| {
+        let mut b = bccs;
+        b.sort_unstable();
+        b
+    });
+    HtResult { num_bcc, bccs, articulation_points, bridges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_graph::generators::classic::*;
+
+    #[test]
+    fn known_counts() {
+        assert_eq!(hopcroft_tarjan(&path(10), false).num_bcc, 9);
+        assert_eq!(hopcroft_tarjan(&cycle(10), false).num_bcc, 1);
+        assert_eq!(hopcroft_tarjan(&star(8), false).num_bcc, 7);
+        assert_eq!(hopcroft_tarjan(&complete(8), false).num_bcc, 1);
+        assert_eq!(hopcroft_tarjan(&windmill(6), false).num_bcc, 6);
+        assert_eq!(hopcroft_tarjan(&petersen(), false).num_bcc, 1);
+        assert_eq!(hopcroft_tarjan(&theta(2, 3, 4), false).num_bcc, 1);
+        assert_eq!(hopcroft_tarjan(&clique_chain(5, 4), false).num_bcc, 5);
+        assert_eq!(hopcroft_tarjan(&barbell(5, 4), false).num_bcc, 6);
+    }
+
+    #[test]
+    fn collects_vertex_sets() {
+        let r = hopcroft_tarjan(&windmill(3), true);
+        assert_eq!(
+            r.bccs.unwrap(),
+            vec![vec![0, 1, 2], vec![0, 3, 4], vec![0, 5, 6]]
+        );
+    }
+
+    #[test]
+    fn articulation_and_bridges() {
+        let r = hopcroft_tarjan(&path(5), false);
+        assert_eq!(r.articulation_points, vec![1, 2, 3]);
+        assert_eq!(r.bridges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+
+        let r = hopcroft_tarjan(&cycle(7), false);
+        assert!(r.articulation_points.is_empty());
+        assert!(r.bridges.is_empty());
+
+        let r = hopcroft_tarjan(&windmill(4), false);
+        assert_eq!(r.articulation_points, vec![0]);
+        assert!(r.bridges.is_empty());
+
+        let r = hopcroft_tarjan(&barbell(4, 1), false);
+        assert_eq!(r.bridges, vec![(3, 4)]);
+    }
+
+    #[test]
+    fn disconnected_inputs() {
+        let g = disjoint_union(&[&cycle(4), &path(3), &fastbcc_graph::Graph::empty(2)]);
+        let r = hopcroft_tarjan(&g, true);
+        assert_eq!(r.num_bcc, 1 + 2);
+        assert_eq!(r.bccs.unwrap().len(), 3);
+        assert_eq!(hopcroft_tarjan(&fastbcc_graph::Graph::empty(0), false).num_bcc, 0);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 2M-vertex chain: recursion would blow the stack; iteration must not.
+        let g = path(2_000_000);
+        let r = hopcroft_tarjan(&g, false);
+        assert_eq!(r.num_bcc, 1_999_999);
+        assert_eq!(r.articulation_points.len(), 1_999_998);
+    }
+
+    #[test]
+    fn root_articulation_rule() {
+        // Two triangles sharing vertex 0; DFS rooted at 0 has 0 as an
+        // articulation point via the two-children rule.
+        let g = windmill(2);
+        let r = hopcroft_tarjan(&g, false);
+        assert_eq!(r.articulation_points, vec![0]);
+        // A cycle rooted anywhere: root has 1 child, not articulation.
+        let r = hopcroft_tarjan(&cycle(4), false);
+        assert!(r.articulation_points.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! End-to-end BCC benchmarks — the criterion-facing micro version of
+//! Tab. 2 / Fig. 1: FAST-BCC vs GBBS-style vs SM'14-style vs
+//! Tarjan–Vishkin vs sequential Hopcroft–Tarjan on one representative of
+//! each graph category (smaller than the `table2` binary's suite so a
+//! `cargo bench` sweep stays in CI budget).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastbcc_baselines::{bfs_bcc, hopcroft_tarjan, sm14, tarjan_vishkin};
+use fastbcc_bench::suite::small_suite;
+use fastbcc_core::{fast_bcc, BccOpts};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_bcc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bcc");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for spec in small_suite() {
+        let g = spec.build(0.05);
+        let tag = spec.name.trim_end_matches('*');
+        group.bench_function(format!("fast_bcc/{tag}"), |b| {
+            b.iter(|| black_box(fast_bcc(&g, BccOpts::default())))
+        });
+        group.bench_function(format!("bfs_bcc/{tag}"), |b| {
+            b.iter(|| black_box(bfs_bcc(&g, 7)))
+        });
+        group.bench_function(format!("hopcroft_tarjan/{tag}"), |b| {
+            b.iter(|| black_box(hopcroft_tarjan(&g, false)))
+        });
+        group.bench_function(format!("tarjan_vishkin/{tag}"), |b| {
+            b.iter(|| black_box(tarjan_vishkin(&g, 5)))
+        });
+        if sm14(&g).is_ok() {
+            group.bench_function(format!("sm14/{tag}"), |b| {
+                b.iter(|| black_box(sm14(&g).unwrap()))
+            });
+        }
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_bcc);
+criterion_main!(benches);

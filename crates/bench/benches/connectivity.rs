@@ -1,0 +1,52 @@
+//! Connectivity microbenchmarks (experiment E9 / Thm. 5.1): LDD-UF-JTB vs
+//! UF-Async vs BFS-CC on a low-diameter (R-MAT) and a large-diameter
+//! (grid) input — the regime split that motivates the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastbcc_connectivity::cc::{bfs_cc, cc_seq, ldd_uf_jtb, uf_async, CcOpts};
+use fastbcc_connectivity::ldd::LddOpts;
+use fastbcc_graph::generators::{grid2d, rmat};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_cc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connectivity");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    let social = rmat(17, 1_000_000, 42);
+    let grid = grid2d(500, 500, true);
+
+    for (tag, g) in [("rmat17", &social), ("grid500", &grid)] {
+        group.bench_function(format!("ldd_uf_jtb/{tag}"), |b| {
+            b.iter(|| black_box(ldd_uf_jtb(g, CcOpts { want_forest: true, ..Default::default() })))
+        });
+        group.bench_function(format!("ldd_uf_jtb_nolocal/{tag}"), |b| {
+            b.iter(|| {
+                black_box(ldd_uf_jtb(
+                    g,
+                    CcOpts {
+                        ldd: LddOpts { local_search: false, ..Default::default() },
+                        want_forest: true,
+                    },
+                ))
+            })
+        });
+        group.bench_function(format!("uf_async/{tag}"), |b| {
+            b.iter(|| black_box(uf_async(g, true)))
+        });
+        group.bench_function(format!("bfs_cc/{tag}"), |b| {
+            b.iter(|| black_box(bfs_cc(g, true)))
+        });
+        group.bench_function(format!("cc_seq/{tag}"), |b| {
+            b.iter(|| black_box(cc_seq(g, true)))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cc);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Euler-tour / list-ranking microbenchmarks (substrates S15–S16): the
+//! *Rooting* phase in isolation, on the two extreme tree shapes (path =
+//! worst case for naive traversal, star = worst case for rotation links)
+//! plus a random R-MAT spanning tree.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastbcc_connectivity::cc::{cc_seq, ldd_uf_jtb, CcOpts};
+use fastbcc_connectivity::spanning_forest::forest_adjacency;
+use fastbcc_ett::{rank_circular_lists, root_forest};
+use fastbcc_graph::generators::classic::{path, star};
+use fastbcc_graph::generators::rmat;
+use fastbcc_graph::Graph;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn tree_and_labels(g: &Graph) -> (Graph, Vec<u32>) {
+    let cc = cc_seq(g, true);
+    (forest_adjacency(g.n(), cc.forest.as_ref().unwrap()), cc.labels)
+}
+
+fn bench_ett(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ett");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500));
+
+    let n = 1 << 20;
+    let chain = path(n);
+    let starg = star(n);
+    let social = rmat(18, 2 * n, 3);
+    let social_tree = {
+        let cc = ldd_uf_jtb(&social, CcOpts { want_forest: true, ..Default::default() });
+        (forest_adjacency(social.n(), cc.forest.as_ref().unwrap()), cc.labels)
+    };
+
+    for (tag, g) in [("path1M", &chain), ("star1M", &starg)] {
+        let (tree, labels) = tree_and_labels(g);
+        group.bench_function(format!("root_forest/{tag}"), |b| {
+            b.iter(|| black_box(root_forest(&tree, &labels, 7)))
+        });
+    }
+    group.bench_function("root_forest/rmat18", |b| {
+        b.iter(|| black_box(root_forest(&social_tree.0, &social_tree.1, 7)))
+    });
+
+    // Pure list ranking on one big circle.
+    let order: Vec<u32> = (0..n as u32).collect();
+    let mut succ = vec![0u32; n];
+    for i in 0..n {
+        succ[order[i] as usize] = order[(i + 1) % n];
+    }
+    group.bench_function("list_rank_circle_1M", |b| {
+        b.iter(|| black_box(rank_circular_lists(&succ, &[0], 11)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ett);
+criterion_main!(benches);

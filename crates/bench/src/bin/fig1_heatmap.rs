@@ -1,0 +1,73 @@
+//! **Figure 1**: the heatmap of relative speedups over sequential
+//! Hopcroft–Tarjan, with per-category geometric means.
+//!
+//! ```text
+//! cargo run --release -p fastbcc-bench --bin fig1_heatmap -- [--scale 0.1] ...
+//! ```
+//!
+//! Cells > 1 mean the parallel algorithm beats SEQ; the paper renders
+//! these green. `n` = no support (SM'14 on disconnected inputs).
+
+use fastbcc_bench::measure::{geomean, Args};
+use fastbcc_bench::runner::{run_suite, RunOpts};
+use fastbcc_bench::suite::Category;
+
+fn main() {
+    let args = Args::parse();
+    let opts = RunOpts::from_args(&args);
+    let rows = run_suite(&opts);
+
+    println!("{:<10} {:>8} {:>8} {:>8} {:>6}", "graph", "Ours", "GBBS*", "SM14*", "SEQ");
+    let categories = [
+        Category::Social,
+        Category::Web,
+        Category::Road,
+        Category::Knn,
+        Category::Synthetic,
+    ];
+    let mut all_ours = Vec::new();
+    let mut all_gbbs = Vec::new();
+    for cat in categories {
+        let in_cat: Vec<_> = rows.iter().filter(|r| r.category == cat).collect();
+        if in_cat.is_empty() {
+            continue;
+        }
+        println!("--- {} ---", cat.label());
+        let mut ours_v = Vec::new();
+        let mut gbbs_v = Vec::new();
+        for r in &in_cat {
+            let ours = r.speedup_over_seq(r.ours_par);
+            let gbbs = r.speedup_over_seq(r.gbbs_par);
+            let sm = r.sm14_par.map(|t| r.speedup_over_seq(t));
+            println!(
+                "{:<10} {:>8.2} {:>8.2} {:>8} {:>6.2}",
+                r.name,
+                ours,
+                gbbs,
+                sm.map(|x| format!("{x:.2}")).unwrap_or_else(|| "n".into()),
+                1.0
+            );
+            ours_v.push(ours);
+            gbbs_v.push(gbbs);
+        }
+        println!(
+            "{:<10} {:>8.2} {:>8.2} {:>8} {:>6.2}   <- geomean",
+            "MEAN",
+            geomean(&ours_v),
+            geomean(&gbbs_v),
+            "-",
+            1.0
+        );
+        all_ours.extend(ours_v);
+        all_gbbs.extend(gbbs_v);
+    }
+    println!(
+        "{:<10} {:>8.2} {:>8.2} {:>8} {:>6.2}   <- total geomean",
+        "TOTAL",
+        geomean(&all_ours),
+        geomean(&all_gbbs),
+        "-",
+        1.0
+    );
+    println!("\n(>1 = faster than sequential Hopcroft–Tarjan; the paper shades these green)");
+}

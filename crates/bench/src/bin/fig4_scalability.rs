@@ -1,0 +1,66 @@
+//! **Figure 4**: scalability curves — speedup over SEQ at increasing
+//! thread counts, on the paper's five representative graphs
+//! (TW→social, SD→web, USA→road, GL5→k-NN, REC→grid).
+//!
+//! ```text
+//! cargo run --release -p fastbcc-bench --bin fig4_scalability -- \
+//!     [--scale 0.1] [--reps 3] [--threads 1,2,4]
+//! ```
+//!
+//! On the paper's 96-core machine the x-axis runs to 192 hyperthreads;
+//! pass a longer `--threads` list on bigger hardware.
+
+use fastbcc_bench::measure::{time_median, Args};
+use fastbcc_bench::suite::filter_suite;
+use fastbcc_baselines::{bfs_bcc, hopcroft_tarjan, sm14, tarjan_vishkin};
+use fastbcc_core::{fast_bcc, BccOpts};
+use fastbcc_primitives::with_threads;
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("--scale", 0.1);
+    let reps = args.get_usize("--reps", 3);
+    let threads: Vec<usize> = args
+        .get("--threads")
+        .unwrap_or("1,2,4")
+        .split(',')
+        .filter_map(|x| x.trim().parse().ok())
+        .collect();
+    // Paper's Fig. 4 graph selection mapped to our suite names.
+    let names = args.get("--graphs").unwrap_or("LJ,SD,GE,GL5,REC").to_string();
+
+    println!("fig4: speedup over SEQ (higher is better); threads = {threads:?}");
+    for spec in filter_suite(Some(&names)) {
+        let g = spec.build(scale);
+        let (_, seq) = time_median(reps, || hopcroft_tarjan(&g, false));
+        let seq_s = seq.as_secs_f64();
+        println!(
+            "\n=== {} (n={}, m={}) — SEQ {:.3}s ===",
+            spec.name,
+            g.n(),
+            g.m_undirected(),
+            seq_s
+        );
+        println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "threads", "Ours", "GBBS*", "SM14*", "TV");
+        for &p in &threads {
+            let (_, ours) =
+                with_threads(p, || time_median(reps, || fast_bcc(&g, BccOpts::default())));
+            let (_, gbbs) = with_threads(p, || time_median(reps, || bfs_bcc(&g, 7)));
+            let sm = if with_threads(p, || sm14(&g)).is_ok() {
+                let (_, t) = with_threads(p, || time_median(reps, || sm14(&g).unwrap()));
+                format!("{:.2}", seq_s / t.as_secs_f64().max(1e-9))
+            } else {
+                "n".into()
+            };
+            let (_, tv) = with_threads(p, || time_median(reps, || tarjan_vishkin(&g, 5)));
+            println!(
+                "{:>8} {:>8.2} {:>8.2} {:>8} {:>8.2}",
+                p,
+                seq_s / ours.as_secs_f64().max(1e-9),
+                seq_s / gbbs.as_secs_f64().max(1e-9),
+                sm,
+                seq_s / tv.as_secs_f64().max(1e-9),
+            );
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! **Figure 5**: per-phase running-time breakdown (First-CC, Rooting,
+//! Tagging, Last-CC), FAST-BCC vs the GBBS-style BFS-skeleton baseline.
+//!
+//! ```text
+//! cargo run --release -p fastbcc-bench --bin fig5_breakdown -- \
+//!     [--scale 0.1] [--reps 3] [--graphs ...]
+//! ```
+//!
+//! The paper's headline observation should reproduce: on large-diameter
+//! graphs the baseline's *Rooting* (BFS) and *Tagging* (level-synchronous
+//! sweeps) bars dwarf FAST-BCC's ETT/RMQ equivalents.
+
+use fastbcc_baselines::bfs_bcc;
+use fastbcc_bench::measure::{time_median, Args};
+use fastbcc_bench::suite::filter_suite;
+use fastbcc_core::{fast_bcc, BccOpts, Breakdown};
+use fastbcc_primitives::with_threads;
+
+fn row(label: &str, b: &Breakdown) {
+    println!(
+        "  {:<8} {:>9.4} {:>9.4} {:>9.4} {:>9.4} {:>9.4}",
+        label,
+        b.first_cc.as_secs_f64(),
+        b.rooting.as_secs_f64(),
+        b.tagging.as_secs_f64(),
+        b.last_cc.as_secs_f64(),
+        b.total().as_secs_f64()
+    );
+}
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("--scale", 0.1);
+    let reps = args.get_usize("--reps", 3);
+    let p = args.get_usize("--threads", 0);
+    let p = if p == 0 {
+        std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1)
+    } else {
+        p
+    };
+
+    println!("fig5: phase breakdown in seconds ({p} threads)");
+    for spec in filter_suite(args.get("--graphs")) {
+        let g = spec.build(scale);
+        println!("=== {} (n={}, m={}) ===", spec.name, g.n(), g.m_undirected());
+        println!(
+            "  {:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "", "First-CC", "Rooting", "Tagging", "Last-CC", "total"
+        );
+        let (r, _) = with_threads(p, || time_median(reps, || fast_bcc(&g, BccOpts::default())));
+        row("Ours", &r.breakdown);
+        let (r, _) = with_threads(p, || time_median(reps, || bfs_bcc(&g, 7)));
+        row("GBBS*", &r.breakdown);
+    }
+}

@@ -1,0 +1,48 @@
+//! **Figure 7**: auxiliary-space comparison — FAST-BCC vs the GBBS-style
+//! baseline vs Tarjan–Vishkin, normalized per graph (lower is better).
+//!
+//! ```text
+//! cargo run --release -p fastbcc-bench --bin fig7_space -- \
+//!     [--scale 0.1] [--graphs ...]
+//! ```
+//!
+//! Expected shape: TV's explicit `O(m)` skeleton blows up with the
+//! edge-to-vertex ratio (up to ~11× in the paper, OOM on the largest
+//! graphs); FAST-BCC and the BFS baseline stay `O(n)`, with the baseline
+//! slightly leaner ("GBBS … about 20% more space-efficient … they compute
+//! fewer tags").
+
+use fastbcc_baselines::{bfs_bcc, tarjan_vishkin};
+use fastbcc_bench::measure::Args;
+use fastbcc_bench::suite::filter_suite;
+use fastbcc_core::{fast_bcc, BccOpts};
+
+fn main() {
+    let args = Args::parse();
+    let scale = args.get_f64("--scale", 0.1);
+
+    println!(
+        "{:<8} {:>10} {:>6} | {:>12} {:>12} {:>12} | {:>7} {:>7} {:>7}",
+        "graph", "n", "m/n", "ours(B)", "gbbs*(B)", "TV(B)", "ours", "gbbs*", "TV"
+    );
+    println!("{:>66} (normalized to smallest)", "");
+    for spec in filter_suite(args.get("--graphs")) {
+        let g = spec.build(scale);
+        let ours = fast_bcc(&g, BccOpts::default()).aux_peak_bytes;
+        let gbbs = bfs_bcc(&g, 7).aux_peak_bytes;
+        let tv = tarjan_vishkin(&g, 5).aux_peak_bytes;
+        let min = ours.min(gbbs).min(tv).max(1);
+        println!(
+            "{:<8} {:>10} {:>6.1} | {:>12} {:>12} {:>12} | {:>7.2} {:>7.2} {:>7.2}",
+            spec.name,
+            g.n(),
+            g.m() as f64 / g.n().max(1) as f64,
+            ours,
+            gbbs,
+            tv,
+            ours as f64 / min as f64,
+            gbbs as f64 / min as f64,
+            tv as f64 / min as f64,
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Measurement utilities: repeated timing with medians (the paper runs
+//! each test 10× and reports the median), geometric means (the paper's
+//! cross-graph aggregate), and simple CLI-argument parsing shared by the
+//! experiment binaries.
+
+use std::time::{Duration, Instant};
+
+/// Time one invocation.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed())
+}
+
+/// Run `f` `reps` times, returning the last result and the **median**
+/// duration (the paper's protocol at reps = 10; the harness defaults
+/// lower to fit the CI budget — tune with `--reps`).
+pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, Duration) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (r, d) = time(&mut f);
+        times.push(d);
+        last = Some(r);
+    }
+    times.sort_unstable();
+    (last.unwrap(), times[times.len() / 2])
+}
+
+/// Geometric mean of positive values (`NaN`-free: empty → 1.0).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let s: f64 = xs.iter().map(|&x| x.max(1e-12).ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+/// Seconds as a compact human string.
+pub fn fmt_secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else {
+        format!("{:.3}", s)
+    }
+}
+
+/// Minimal CLI parsing: `--key value` pairs and flags.
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        Self { raw: std::env::args().skip(1).collect() }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        self.raw.iter().any(|a| a == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn median_of_reps() {
+        let mut calls = 0;
+        let (r, d) = time_median(5, || {
+            calls += 1;
+            std::thread::sleep(Duration::from_micros(100));
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(r, 5);
+        assert!(d >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(Duration::from_millis(1)), "0.001");
+        assert_eq!(fmt_secs(Duration::from_secs_f64(2.346)), "2.35");
+        assert_eq!(fmt_secs(Duration::from_secs(120)), "120");
+    }
+}

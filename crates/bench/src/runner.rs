@@ -1,0 +1,155 @@
+//! Shared measurement loop for the Tab. 2 / Fig. 1 experiments: build each
+//! suite graph, run SEQ / FAST-BCC / GBBS-style / SM'14-style in both
+//! parallel and single-thread configurations, cross-check the BCC counts,
+//! and collect a row of results.
+
+use crate::measure::{time_median, Args};
+use crate::suite::{filter_suite, Category, GraphSpec};
+use fastbcc_baselines::{bfs_bcc, hopcroft_tarjan, sm14};
+use fastbcc_core::{fast_bcc, largest_bcc_size, BccOpts};
+use fastbcc_graph::stats::approx_diameter;
+use fastbcc_graph::Graph;
+use fastbcc_primitives::with_threads;
+use std::time::Duration;
+
+/// Measurements for one graph.
+pub struct RowResult {
+    pub name: &'static str,
+    pub category: Category,
+    pub n: usize,
+    pub m: usize,
+    pub diameter: u32,
+    pub num_bcc: usize,
+    pub largest_pct: f64,
+    /// Sequential Hopcroft–Tarjan.
+    pub seq: Duration,
+    pub ours_par: Duration,
+    pub ours_seq: Duration,
+    pub gbbs_par: Duration,
+    pub gbbs_seq: Duration,
+    /// `None` = unsupported (disconnected input), as in Tab. 2.
+    pub sm14_par: Option<Duration>,
+}
+
+impl RowResult {
+    /// Speedup of a configuration over SEQ (the Fig. 1 cell value).
+    pub fn speedup_over_seq(&self, d: Duration) -> f64 {
+        self.seq.as_secs_f64() / d.as_secs_f64().max(1e-9)
+    }
+
+    /// Best baseline parallel time (for the `T_best/ours` column).
+    pub fn best_baseline(&self) -> Duration {
+        let mut best = self.seq.min(self.gbbs_par);
+        if let Some(s) = self.sm14_par {
+            best = best.min(s);
+        }
+        best
+    }
+}
+
+/// Harness options (shared CLI surface of `table2` and `fig1_heatmap`).
+pub struct RunOpts {
+    pub scale: f64,
+    pub reps: usize,
+    pub threads: usize,
+    pub names: Option<String>,
+}
+
+impl RunOpts {
+    pub fn from_args(args: &Args) -> Self {
+        Self {
+            scale: args.get_f64("--scale", 0.1),
+            reps: args.get_usize("--reps", 3),
+            threads: args.get_usize("--threads", 0),
+            names: args.get("--graphs").map(String::from),
+        }
+    }
+
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Measure one graph with every algorithm.
+pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
+    let p = opts.effective_threads();
+    let reps = opts.reps;
+
+    // Ground truth + table stats.
+    let (ht, seq) = time_median(reps, || hopcroft_tarjan(g, false));
+    let diameter = approx_diameter(g, 2);
+
+    // Pool construction stays OUTSIDE the timed regions (the paper measures
+    // algorithm time on a warm pool, not thread spawn latency).
+    let (ours, ours_par) =
+        with_threads(p, || time_median(reps, || fast_bcc(g, BccOpts::default())));
+    let (_, ours_seq) =
+        with_threads(1, || time_median(reps, || fast_bcc(g, BccOpts::default())));
+
+    let (gbbs, gbbs_par) = with_threads(p, || time_median(reps, || bfs_bcc(g, 7)));
+    let (_, gbbs_seq) = with_threads(1, || time_median(reps, || bfs_bcc(g, 7)));
+
+    let sm14_par = match with_threads(p, || sm14(g)) {
+        Ok(_) => {
+            let (r, t) = with_threads(p, || time_median(reps, || sm14(g).unwrap()));
+            assert_eq!(r.num_bcc, ht.num_bcc, "{}: SM14 BCC count mismatch", spec.name);
+            Some(t)
+        }
+        Err(_) => None,
+    };
+
+    // Cross-check every algorithm against SEQ.
+    assert_eq!(ours.num_bcc, ht.num_bcc, "{}: FAST-BCC count mismatch", spec.name);
+    assert_eq!(gbbs.num_bcc, ht.num_bcc, "{}: BFS-BCC count mismatch", spec.name);
+
+    let largest = largest_bcc_size(&ours);
+    RowResult {
+        name: spec.name,
+        category: spec.category,
+        n: g.n(),
+        m: g.m_undirected(),
+        diameter,
+        num_bcc: ht.num_bcc,
+        largest_pct: 100.0 * largest as f64 / g.n().max(1) as f64,
+        seq,
+        ours_par,
+        ours_seq,
+        gbbs_par,
+        gbbs_seq,
+        sm14_par,
+    }
+}
+
+/// Run the whole (filtered) suite.
+pub fn run_suite(opts: &RunOpts) -> Vec<RowResult> {
+    let specs = filter_suite(opts.names.as_deref());
+    let mut rows = Vec::new();
+    for spec in &specs {
+        eprintln!("[build] {} (scale {})", spec.name, opts.scale);
+        let g = spec.build(opts.scale);
+        eprintln!("[run  ] {}: n={} m={}", spec.name, g.n(), g.m_undirected());
+        rows.push(run_one(spec, &g, opts));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::small_suite;
+
+    #[test]
+    fn runner_smoke_on_tiny_scale() {
+        let opts = RunOpts { scale: 0.005, reps: 1, threads: 2, names: None };
+        for spec in small_suite().iter().take(2) {
+            let g = spec.build(opts.scale);
+            let row = run_one(spec, &g, &opts);
+            assert!(row.seq > Duration::ZERO);
+            assert!(row.num_bcc > 0);
+        }
+    }
+}

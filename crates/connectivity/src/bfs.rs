@@ -1,0 +1,133 @@
+//! Frontier-synchronous parallel BFS.
+//!
+//! Not used by FAST-BCC itself (that is the whole point of the paper), but
+//! required by the BFS-skeleton baselines (GBBS-style, SM'14-style) whose
+//! span is `O(diam(G) · log n)`. Exposed here because it shares the
+//! claim-by-CAS frontier machinery with the LDD.
+
+use fastbcc_graph::{Graph, V, NONE};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A rooted BFS forest over all components.
+pub struct BfsForest {
+    /// Parent of each vertex in its BFS tree; `NONE` for roots.
+    pub parent: Vec<V>,
+    /// BFS level (distance from the root of its tree).
+    pub level: Vec<u32>,
+    /// The root of each vertex's tree (doubles as a CC label).
+    pub root: Vec<V>,
+    /// One root per component, in discovery order.
+    pub roots: Vec<V>,
+    /// Total synchronous rounds across all components (the span driver).
+    pub rounds: usize,
+}
+
+/// Build a BFS forest covering every vertex. Each component's BFS is
+/// frontier-parallel; components are processed one after another (as in the
+/// BFS-based BCC implementations the paper compares against).
+pub fn bfs_forest(g: &Graph) -> BfsForest {
+    let n = g.n();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let root: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let mut roots = Vec::new();
+    let mut rounds = 0usize;
+
+    for s in 0..n as V {
+        if root[s as usize].load(Ordering::Relaxed) != NONE {
+            continue;
+        }
+        roots.push(s);
+        root[s as usize].store(s, Ordering::Relaxed);
+        level[s as usize].store(0, Ordering::Relaxed);
+        let mut frontier = vec![s];
+        let mut depth = 0u32;
+        while !frontier.is_empty() {
+            rounds += 1;
+            depth += 1;
+            frontier = frontier
+                .par_iter()
+                .fold(Vec::new, |mut acc: Vec<V>, &u| {
+                    for &w in g.neighbors(u) {
+                        if root[w as usize].load(Ordering::Relaxed) == NONE
+                            && root[w as usize]
+                                .compare_exchange(NONE, s, Ordering::Relaxed, Ordering::Relaxed)
+                                .is_ok()
+                        {
+                            parent[w as usize].store(u, Ordering::Relaxed);
+                            level[w as usize].store(depth, Ordering::Relaxed);
+                            acc.push(w);
+                        }
+                    }
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+        }
+    }
+
+    BfsForest {
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        level: level.into_iter().map(AtomicU32::into_inner).collect(),
+        root: root.into_iter().map(AtomicU32::into_inner).collect(),
+        roots,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_graph::generators::classic::*;
+    use fastbcc_graph::stats::bfs_distances;
+
+    #[test]
+    fn levels_match_sequential_bfs() {
+        let g = windmill(10);
+        let f = bfs_forest(&g);
+        let d = bfs_distances(&g, f.roots[0]);
+        for v in 0..g.n() {
+            assert_eq!(f.level[v], d[v], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn forest_structure_is_valid() {
+        let g = disjoint_union(&[&cycle(10), &path(7), &complete(5)]);
+        let f = bfs_forest(&g);
+        assert_eq!(f.roots.len(), 3);
+        for v in 0..g.n() as V {
+            let p = f.parent[v as usize];
+            if p == NONE {
+                assert!(f.roots.contains(&v));
+                assert_eq!(f.level[v as usize], 0);
+            } else {
+                assert!(g.has_edge(p, v));
+                assert_eq!(f.level[v as usize], f.level[p as usize] + 1);
+                assert_eq!(f.root[v as usize], f.root[p as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_proportional_to_diameter() {
+        let chain = path(5000);
+        let f = bfs_forest(&chain);
+        assert!(f.rounds >= 4999, "rounds {} below diameter", f.rounds);
+        let k = complete(500);
+        let f = bfs_forest(&k);
+        assert!(f.rounds <= 2, "complete graph should finish in ≤2 rounds");
+    }
+
+    #[test]
+    fn root_labels_are_cc_labels() {
+        let g = disjoint_union(&[&path(4), &path(4)]);
+        let f = bfs_forest(&g);
+        assert_eq!(f.root[0], f.root[3]);
+        assert_eq!(f.root[4], f.root[7]);
+        assert_ne!(f.root[0], f.root[4]);
+    }
+}

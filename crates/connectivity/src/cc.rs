@@ -1,0 +1,337 @@
+//! Connected-components algorithms.
+//!
+//! [`ldd_uf_jtb`] is the algorithm FAST-BCC uses (paper §5, Thm. 5.1):
+//! `O(n + m)` expected work, `O(log³ n)` span w.h.p. It returns, besides
+//! labels, the **spanning forest** by-product (LDD cluster-tree arcs plus
+//! the inter-cluster edges whose union succeeded) that *First-CC* needs.
+//!
+//! [`uf_async`] is the simpler all-edges-into-union-find algorithm (the
+//! default of recent GBBS); work-efficient in practice but without the LDD
+//! span guarantee. [`bfs_cc`] is diameter-bound. [`cc_seq`] is the
+//! sequential oracle.
+
+use crate::bfs::bfs_forest;
+use crate::ldd::LddOpts;
+use crate::unionfind::{ConcurrentUnionFind, SeqUnionFind};
+use fastbcc_graph::{Graph, V};
+use fastbcc_primitives::pack::pack_map;
+use rayon::prelude::*;
+
+/// Options for [`ldd_uf_jtb`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CcOpts {
+    /// LDD options (β, local search, seed).
+    pub ldd: LddOpts,
+    /// Collect the spanning forest (FAST-BCC needs it; pure CC callers can
+    /// skip the extra allocation).
+    pub want_forest: bool,
+}
+
+/// Result of a parallel CC run.
+pub struct CcOutput {
+    /// Component label per vertex (a representative vertex id — every
+    /// vertex with the same label is connected and vice versa).
+    pub labels: Vec<u32>,
+    /// Spanning-forest edges of `G` (present iff requested): `n - #CC`
+    /// edges forming a forest that spans every component.
+    pub forest: Option<Vec<(V, V)>>,
+    /// Number of components.
+    pub num_components: usize,
+}
+
+/// The LDD-UF-JTB connectivity algorithm (ConnectIt; paper Thm. 5.1).
+pub fn ldd_uf_jtb(g: &Graph, opts: CcOpts) -> CcOutput {
+    ldd_uf_jtb_filtered(g, opts, &|_, _| true)
+}
+
+/// LDD-UF-JTB on the implicit subgraph of `g` whose edges satisfy `filter`
+/// (a symmetric predicate). FAST-BCC's *Last-CC* calls this with the
+/// `InSkeleton` predicate of Alg. 1, never materializing the skeleton.
+pub fn ldd_uf_jtb_filtered<F>(g: &Graph, opts: CcOpts, filter: &F) -> CcOutput
+where
+    F: Fn(V, V) -> bool + Sync,
+{
+    let n = g.n();
+    let dec = crate::ldd::ldd_filtered(g, opts.ldd, filter);
+    let uf = ConcurrentUnionFind::new(n);
+
+    // Union the clusters over inter-cluster edges, remembering which edges
+    // performed a union — those join the spanning forest.
+    let union_edges: Vec<(V, V)> = if opts.want_forest {
+        (0..n as V)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc: Vec<(V, V)>, u| {
+                let cu = dec.cluster[u as usize];
+                for &w in g.neighbors(u) {
+                    if u < w && filter(u, w) {
+                        let cw = dec.cluster[w as usize];
+                        if cu != cw && uf.unite(cu, cw) {
+                            acc.push((u, w));
+                        }
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    } else {
+        (0..n as V).into_par_iter().for_each(|u| {
+            let cu = dec.cluster[u as usize];
+            for &w in g.neighbors(u) {
+                if u < w && filter(u, w) {
+                    let cw = dec.cluster[w as usize];
+                    if cu != cw {
+                        uf.unite(cu, cw);
+                    }
+                }
+            }
+        });
+        Vec::new()
+    };
+
+    // Final label: the UF representative of the vertex's cluster.
+    let labels: Vec<u32> = (0..n)
+        .into_par_iter()
+        .map(|v| uf.find(dec.cluster[v]))
+        .collect();
+    let num_components = count_components(&labels);
+
+    let forest = if opts.want_forest {
+        let mut f = dec.tree_edges;
+        f.extend_from_slice(&union_edges);
+        debug_assert_eq!(f.len(), n - num_components);
+        Some(f)
+    } else {
+        None
+    };
+    CcOutput { labels, forest, num_components }
+}
+
+/// Asynchronous union–find CC: throw every edge at the concurrent UF.
+pub fn uf_async(g: &Graph, want_forest: bool) -> CcOutput {
+    uf_async_filtered(g, want_forest, &|_, _| true)
+}
+
+/// [`uf_async`] on the implicit subgraph whose edges satisfy `filter`.
+pub fn uf_async_filtered<F>(g: &Graph, want_forest: bool, filter: &F) -> CcOutput
+where
+    F: Fn(V, V) -> bool + Sync,
+{
+    let n = g.n();
+    let uf = ConcurrentUnionFind::new(n);
+    let forest_edges: Vec<(V, V)> = if want_forest {
+        (0..n as V)
+            .into_par_iter()
+            .fold(Vec::new, |mut acc: Vec<(V, V)>, u| {
+                for &w in g.neighbors(u) {
+                    if u < w && filter(u, w) && uf.unite(u, w) {
+                        acc.push((u, w));
+                    }
+                }
+                acc
+            })
+            .reduce(Vec::new, |mut a, mut b| {
+                a.append(&mut b);
+                a
+            })
+    } else {
+        (0..n as V).into_par_iter().for_each(|u| {
+            for &w in g.neighbors(u) {
+                if u < w && filter(u, w) {
+                    uf.unite(u, w);
+                }
+            }
+        });
+        Vec::new()
+    };
+    let labels = uf.labels();
+    let num_components = count_components(&labels);
+    CcOutput {
+        labels,
+        forest: want_forest.then_some(forest_edges),
+        num_components,
+    }
+}
+
+/// BFS-based CC (diameter-bound span); forest = BFS tree arcs.
+pub fn bfs_cc(g: &Graph, want_forest: bool) -> CcOutput {
+    let f = bfs_forest(g);
+    let n = g.n();
+    let num_components = f.roots.len();
+    let forest = want_forest.then(|| {
+        pack_map(
+            n,
+            |v| f.parent[v] != fastbcc_graph::NONE,
+            |v| (f.parent[v], v as V),
+        )
+    });
+    CcOutput { labels: f.root, forest, num_components }
+}
+
+/// Sequential union–find CC (test oracle / baseline building block).
+pub fn cc_seq(g: &Graph, want_forest: bool) -> CcOutput {
+    let n = g.n();
+    let mut uf = SeqUnionFind::new(n);
+    let mut forest_edges = Vec::new();
+    for u in 0..n as V {
+        for &w in g.neighbors(u) {
+            if u < w && uf.unite(u, w) {
+                if want_forest {
+                    forest_edges.push((u, w));
+                }
+            }
+        }
+    }
+    let labels: Vec<u32> = (0..n as u32).map(|v| uf.find(v)).collect();
+    let num_components = uf.set_count();
+    CcOutput {
+        labels,
+        forest: want_forest.then_some(forest_edges),
+        num_components,
+    }
+}
+
+/// Count distinct labels (labels are representative ids: a label `l` is a
+/// component root iff `labels[l] == l`).
+fn count_components(labels: &[u32]) -> usize {
+    fastbcc_primitives::reduce::count(labels.len(), |v| labels[v] == v as u32)
+}
+
+/// A permutation renaming vertices so every component is contiguous —
+/// the CSR reordering of the paper's *Spanning Forest* step (§5).
+pub fn cc_contiguous_perm(labels: &[u32]) -> Vec<V> {
+    let n = labels.len();
+    let ids: Vec<V> = (0..n as V).collect();
+    // Semisort vertices by label; position in the sorted order is the new id.
+    let (sorted, _) = fastbcc_primitives::semisort::semisort_by_small_key(
+        &ids,
+        n.max(1),
+        |&v| labels[v as usize] as usize,
+    );
+    let mut perm: Vec<V> = unsafe { fastbcc_primitives::slice::uninit_vec(n) };
+    {
+        let view = fastbcc_primitives::slice::UnsafeSlice::new(&mut perm);
+        fastbcc_primitives::par::par_for(n, |new| unsafe {
+            view.write(sorted[new] as usize, new as V);
+        });
+    }
+    perm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spanning_forest::verify_spanning_forest;
+    use fastbcc_graph::generators::classic::*;
+    use fastbcc_graph::generators::{grid2d, knn, random_geometric, rmat};
+    use fastbcc_graph::stats::cc_labels_seq;
+
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        // map a-label -> b-label must be a bijection consistent everywhere.
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for i in 0..a.len() {
+            if *fwd.entry(a[i]).or_insert(b[i]) != b[i] {
+                return false;
+            }
+            if *bwd.entry(b[i]).or_insert(a[i]) != a[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn check_all_algorithms(g: &Graph) {
+        let oracle = cc_labels_seq(g);
+        for (name, out) in [
+            ("ldd_uf_jtb", ldd_uf_jtb(g, CcOpts { want_forest: true, ..Default::default() })),
+            ("uf_async", uf_async(g, true)),
+            ("bfs_cc", bfs_cc(g, true)),
+            ("cc_seq", cc_seq(g, true)),
+        ] {
+            assert!(
+                same_partition(&out.labels, &oracle),
+                "{name}: partition mismatch on n={} m={}",
+                g.n(),
+                g.m()
+            );
+            let forest = out.forest.as_ref().unwrap();
+            verify_spanning_forest(g, forest, out.num_components);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_zoo() {
+        for g in [
+            path(100),
+            cycle(64),
+            star(50),
+            complete(12),
+            windmill(9),
+            barbell(5, 4),
+            petersen(),
+            binary_tree(127),
+            disjoint_union(&[&cycle(5), &path(9), &complete(4)]),
+            Graph::empty(10),
+            Graph::empty(0),
+        ] {
+            check_all_algorithms(&g);
+        }
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_generated() {
+        check_all_algorithms(&grid2d(30, 40, true));
+        check_all_algorithms(&rmat(11, 6000, 7));
+        check_all_algorithms(&knn(2000, 3, 11));
+        check_all_algorithms(&random_geometric(2000, 0.03, 13));
+    }
+
+    #[test]
+    fn component_counts() {
+        let g = disjoint_union(&[&cycle(3), &cycle(4), &path(5), &Graph::empty(2)]);
+        let out = ldd_uf_jtb(&g, CcOpts::default());
+        assert_eq!(out.num_components, 3 + 2);
+        assert!(out.forest.is_none());
+    }
+
+    #[test]
+    fn forest_edge_count_excludes_cycles() {
+        let g = complete(30);
+        let out = ldd_uf_jtb(&g, CcOpts { want_forest: true, ..Default::default() });
+        assert_eq!(out.forest.unwrap().len(), 29);
+        assert_eq!(out.num_components, 1);
+    }
+
+    #[test]
+    fn contiguous_perm_groups_components() {
+        let g = disjoint_union(&[&cycle(4), &path(3), &cycle(5)]);
+        let out = cc_seq(&g, false);
+        let perm = cc_contiguous_perm(&out.labels);
+        assert!(fastbcc_graph::permute::is_permutation(&perm));
+        // After renaming, labels sorted by new id must be grouped.
+        let n = g.n();
+        let mut relabeled = vec![0u32; n];
+        for old in 0..n {
+            relabeled[perm[old] as usize] = out.labels[old];
+        }
+        assert!(fastbcc_primitives::semisort::is_grouped(&relabeled, |&l| l));
+    }
+
+    #[test]
+    fn ldd_uf_without_local_search_matches() {
+        let g = grid2d(50, 20, false);
+        let opts = CcOpts {
+            ldd: LddOpts { local_search: false, ..Default::default() },
+            want_forest: true,
+        };
+        let out = ldd_uf_jtb(&g, opts);
+        assert_eq!(out.num_components, 1);
+        verify_spanning_forest(&g, out.forest.as_ref().unwrap(), 1);
+    }
+}

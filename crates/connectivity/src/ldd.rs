@@ -1,0 +1,337 @@
+//! Low-diameter decomposition (Miller–Peng–Xu, SPAA'13).
+//!
+//! A `(β, O(log n / β))` decomposition partitions the vertices into
+//! clusters of diameter `O(log n / β)` such that at most `βm` edges cross
+//! clusters in expectation. The practical shifted-start implementation
+//! (also used by GBBS/ConnectIt) draws a per-vertex shift `δ_v ~ Exp(β)`;
+//! an uncovered vertex becomes a new cluster **center** in round `⌊δ_v⌋`,
+//! and all clusters grow synchronously one BFS hop per round. Ownership of
+//! a contested vertex goes to whichever cluster claims it first (CAS).
+//!
+//! `O(n + m)` work; `O(log n / β)` rounds w.h.p., each `O(log n)` span.
+//!
+//! The **hash-bag + local-search** variant (paper §5 & Fig. 6, after Wang
+//! et al.) is a granularity control: when the frontier is small relative to
+//! the machine, each frontier vertex explores *multiple* hops before the
+//! next synchronization, collapsing the many near-empty rounds that
+//! dominate large-diameter graphs.
+
+use fastbcc_graph::{Graph, V, NONE};
+use fastbcc_primitives::hashbag::HashBag;
+use fastbcc_primitives::pack::pack_map;
+use fastbcc_primitives::rng::{exponential, hash64_pair};
+use fastbcc_primitives::semisort::semisort_by_small_key;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Options controlling the decomposition.
+#[derive(Clone, Copy, Debug)]
+pub struct LddOpts {
+    /// β parameter; `None` uses the paper's `1 / log₂ n`.
+    pub beta: Option<f64>,
+    /// Enable the hash-bag frontier + multi-hop local search optimization.
+    pub local_search: bool,
+    /// Randomness seed for the exponential shifts.
+    pub seed: u64,
+}
+
+impl Default for LddOpts {
+    fn default() -> Self {
+        Self { beta: None, local_search: true, seed: 0x5EED_1DD }
+    }
+}
+
+/// Decomposition result.
+pub struct LddResult {
+    /// Cluster id of every vertex — the id of its center vertex.
+    pub cluster: Vec<u32>,
+    /// BFS-tree arcs `(parent, child)` of the cluster forest; one entry per
+    /// non-center vertex. These are edges of `G`.
+    pub tree_edges: Vec<(V, V)>,
+    /// Number of synchronous rounds executed.
+    pub rounds: usize,
+}
+
+/// Frontier size below which local search kicks in. The optimization is a
+/// granularity control ("saturate all threads with sufficient work", §5),
+/// so the threshold scales with the worker count: large frontiers already
+/// saturate the machine and go through the low-overhead fold path.
+fn local_search_threshold() -> usize {
+    (256 * fastbcc_primitives::par::num_threads()).max(512)
+}
+/// Max vertices a single frontier vertex may claim in one local search.
+const LOCAL_SEARCH_BUDGET: usize = 64;
+
+/// Compute the decomposition of `g`.
+pub fn ldd(g: &Graph, opts: LddOpts) -> LddResult {
+    ldd_filtered(g, opts, &|_, _| true)
+}
+
+/// Compute the decomposition of the subgraph of `g` whose edges satisfy
+/// `filter` (a symmetric predicate). This is how FAST-BCC's *Last-CC* runs
+/// connectivity on the **implicit** skeleton without materializing it —
+/// the `O(n)`-auxiliary-space property of the paper.
+pub fn ldd_filtered<F>(g: &Graph, opts: LddOpts, filter: &F) -> LddResult
+where
+    F: Fn(V, V) -> bool + Sync,
+{
+    let n = g.n();
+    if n == 0 {
+        return LddResult { cluster: Vec::new(), tree_edges: Vec::new(), rounds: 0 };
+    }
+    let beta = opts.beta.unwrap_or_else(|| 1.0 / ((n.max(4) as f64).log2()));
+
+    // Shifted start rounds, capped so the bucket array stays O(n): the
+    // probability of an Exp(β) sample exceeding 4 ln(n)/β is n^{-4}.
+    let cap = ((4.0 * (n.max(2) as f64).ln() / beta).ceil() as usize).max(1);
+    let start_round: Vec<u32> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let e = exponential(hash64_pair(opts.seed, v as u64), beta);
+            (e as usize).min(cap) as u32
+        })
+        .collect();
+    // Group vertices by start round for O(1) center injection per round.
+    let ids: Vec<V> = (0..n as V).collect();
+    let (by_round, round_offsets) =
+        semisort_by_small_key(&ids, cap + 1, |&v| start_round[v as usize] as usize);
+
+    let cluster: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    // Coverage is tallied once per round at the (sequential) round barrier,
+    // not with a shared per-claim atomic — one fetch_add per claimed vertex
+    // would serialize the frontier expansion on the counter's cache line.
+    let mut covered = 0usize;
+
+    let mut frontier: Vec<V> = Vec::new();
+    // The bag is allocated lazily on first use and sized for the boundary
+    // of a small frontier only — when local search never engages (low
+    // diameter graphs), its cost is zero.
+    let mut bag: Option<HashBag> = None;
+    let bag_capacity = (local_search_threshold() * LOCAL_SEARCH_BUDGET).min(n.max(16));
+    let mut rounds = 0usize;
+    let mut r = 0usize;
+
+    while covered < n || !frontier.is_empty() {
+        // Inject this round's centers (those not already swallowed). No
+        // expansion runs concurrently with injection, so plain loads/stores
+        // suffice here.
+        if r <= cap {
+            let group = &by_round[round_offsets[r]..round_offsets[r + 1]];
+            let centers = pack_map(
+                group.len(),
+                |i| cluster[group[i] as usize].load(Ordering::Relaxed) == NONE,
+                |i| group[i],
+            );
+            fastbcc_primitives::par::par_for(centers.len(), |i| {
+                let v = centers[i];
+                cluster[v as usize].store(v, Ordering::Relaxed);
+            });
+            covered += centers.len();
+            frontier.extend_from_slice(&centers);
+        }
+        r += 1;
+
+        if frontier.is_empty() {
+            // Nothing to grow; skip to the next round with pending centers.
+            continue;
+        }
+        rounds += 1;
+
+        // Expand. Large frontiers go through the low-overhead fold path
+        // (one hop); small frontiers — where per-round scheduling overhead
+        // dominates — use multi-hop local search with the hash bag
+        // collecting the new boundary. The `rounds > 32` gate restricts the
+        // optimization to the large-diameter regime it exists for:
+        // low-diameter graphs finish in a handful of rounds and would only
+        // pay the bag overhead.
+        let use_local = frontier.len() < local_search_threshold() && rounds > 32;
+        if opts.local_search && use_local {
+            let bag = bag.get_or_insert_with(|| HashBag::with_capacity(bag_capacity));
+            let bag_ref = &*bag;
+            let claims: usize = frontier
+                .par_iter()
+                .map(|&u| expand_local(g, u, &cluster, &parent, bag_ref, filter))
+                .sum();
+            covered += claims;
+            frontier = bag.extract_all();
+        } else {
+            frontier = frontier
+                .par_iter()
+                .fold(Vec::new, |mut acc: Vec<V>, &u| {
+                    let cu = cluster[u as usize].load(Ordering::Relaxed);
+                    for &w in g.neighbors(u) {
+                        if filter(u, w)
+                            && cluster[w as usize].load(Ordering::Relaxed) == NONE
+                            && cluster[w as usize]
+                                .compare_exchange(NONE, cu, Ordering::Relaxed, Ordering::Relaxed)
+                                .is_ok()
+                        {
+                            parent[w as usize].store(u, Ordering::Relaxed);
+                            acc.push(w);
+                        }
+                    }
+                    acc
+                })
+                .reduce(Vec::new, |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                });
+            covered += frontier.len();
+        }
+    }
+
+    // Unwrap atomics (quiescent now).
+    let cluster: Vec<u32> = cluster.into_iter().map(AtomicU32::into_inner).collect();
+    let parent: Vec<u32> = parent.into_iter().map(AtomicU32::into_inner).collect();
+    let tree_edges = pack_map(
+        n,
+        |v| parent[v] != NONE,
+        |v| (parent[v], v as V),
+    );
+    LddResult { cluster, tree_edges, rounds }
+}
+
+/// Bounded multi-hop local search from `u`: claims up to
+/// [`LOCAL_SEARCH_BUDGET`] vertices for `u`'s cluster, pushing the
+/// unexplored boundary into `bag`.
+fn expand_local<F: Fn(V, V) -> bool + Sync>(
+    g: &Graph,
+    u: V,
+    cluster: &[AtomicU32],
+    parent: &[AtomicU32],
+    bag: &HashBag,
+    filter: &F,
+) -> usize {
+    let cu = cluster[u as usize].load(Ordering::Relaxed);
+    let mut stack: Vec<V> = vec![u];
+    let mut budget = LOCAL_SEARCH_BUDGET;
+    let mut claims = 0;
+    while let Some(x) = stack.pop() {
+        for &w in g.neighbors(x) {
+            if filter(x, w)
+                && cluster[w as usize].load(Ordering::Relaxed) == NONE
+                && cluster[w as usize]
+                    .compare_exchange(NONE, cu, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                parent[w as usize].store(x, Ordering::Relaxed);
+                claims += 1;
+                if budget > 0 {
+                    budget -= 1;
+                    stack.push(w);
+                } else {
+                    bag.insert(w);
+                }
+            }
+        }
+    }
+    claims
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_graph::generators::classic::*;
+    use fastbcc_graph::generators::{grid2d, rmat};
+    use fastbcc_graph::stats::cc_labels_seq;
+
+    fn check_valid_decomposition(g: &Graph, res: &LddResult) {
+        let n = g.n();
+        // Every vertex covered.
+        assert!(res.cluster.iter().all(|&c| c != NONE));
+        // Cluster id is a center that belongs to itself.
+        for v in 0..n {
+            let c = res.cluster[v];
+            assert_eq!(res.cluster[c as usize], c, "center of {v} not self-owned");
+        }
+        // Tree arcs are real edges, child's cluster equals parent's cluster.
+        for &(p, c) in &res.tree_edges {
+            assert!(g.has_edge(p, c), "tree edge {p}-{c} not in graph");
+            assert_eq!(res.cluster[p as usize], res.cluster[c as usize]);
+        }
+        // Exactly one tree arc per non-center vertex.
+        let centers = (0..n).filter(|&v| res.cluster[v] == v as u32).count();
+        assert_eq!(res.tree_edges.len(), n - centers);
+        // Clusters never span different CCs.
+        let cc = cc_labels_seq(g);
+        for v in 0..n {
+            assert_eq!(cc[v], cc[res.cluster[v] as usize]);
+        }
+    }
+
+    #[test]
+    fn covers_simple_graphs() {
+        for g in [path(50), cycle(64), star(40), complete(20), windmill(7)] {
+            for local in [false, true] {
+                let res = ldd(&g, LddOpts { local_search: local, ..Default::default() });
+                check_valid_decomposition(&g, &res);
+            }
+        }
+    }
+
+    #[test]
+    fn covers_grid_and_rmat() {
+        let g = grid2d(40, 40, true);
+        let res = ldd(&g, LddOpts::default());
+        check_valid_decomposition(&g, &res);
+
+        let g = rmat(11, 10_000, 3);
+        let res = ldd(&g, LddOpts::default());
+        check_valid_decomposition(&g, &res);
+    }
+
+    #[test]
+    fn isolated_vertices_become_centers() {
+        let g = Graph::empty(100);
+        let res = ldd(&g, LddOpts::default());
+        assert!(res.tree_edges.is_empty());
+        for v in 0..100 {
+            assert_eq!(res.cluster[v], v as u32);
+        }
+    }
+
+    #[test]
+    fn beta_controls_cluster_count() {
+        // Higher beta => more centers => more, smaller clusters.
+        let g = grid2d(60, 60, false);
+        let low = ldd(&g, LddOpts { beta: Some(0.02), seed: 1, local_search: false });
+        let high = ldd(&g, LddOpts { beta: Some(0.9), seed: 1, local_search: false });
+        let count = |r: &LddResult| {
+            (0..g.n()).filter(|&v| r.cluster[v] == v as u32).count()
+        };
+        assert!(
+            count(&high) > 2 * count(&low),
+            "beta=0.9 gave {} clusters vs beta=0.02 {}",
+            count(&high),
+            count(&low)
+        );
+    }
+
+    #[test]
+    fn local_search_reduces_rounds_on_chain() {
+        // β small enough that cluster radii exceed the 32-round engagement
+        // gate (the gate exists so low-diameter graphs never pay for the
+        // optimization).
+        let g = path(100_000);
+        let plain = ldd(&g, LddOpts { beta: Some(0.01), local_search: false, seed: 2 });
+        let opt = ldd(&g, LddOpts { beta: Some(0.01), local_search: true, seed: 2 });
+        check_valid_decomposition(&g, &plain);
+        check_valid_decomposition(&g, &opt);
+        assert!(plain.rounds > 32, "test premise: plain rounds {} > gate", plain.rounds);
+        assert!(
+            opt.rounds < plain.rounds,
+            "local search did not reduce rounds: {} vs {}",
+            opt.rounds,
+            plain.rounds
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        let res = ldd(&g, LddOpts::default());
+        assert_eq!(res.cluster.len(), 0);
+        assert_eq!(res.rounds, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fastbcc-connectivity
+//!
+//! Parallel graph connectivity — the substrate FAST-BCC invokes twice
+//! (paper Alg. 1: *First-CC* on the input graph, *Last-CC* on the implicit
+//! skeleton).
+//!
+//! The paper's implementation (§5, Thm. 5.1) uses the **LDD-UF-JTB**
+//! algorithm from the ConnectIt framework: a low-diameter decomposition
+//! (Miller–Peng–Xu) to contract most of the graph in `O(log n)` BFS-style
+//! rounds, followed by the lock-free union–find of Jayanti–Tarjan–Boix for
+//! the `≤ βm` expected inter-cluster edges. With `β = 1/log n` this gives
+//! `O(n + m)` expected work and `O(log³ n)` span w.h.p.
+//!
+//! Modules:
+//!
+//! * [`unionfind`] — sequential oracle UF + the concurrent JTB structure;
+//! * [`ldd`] — low-diameter decomposition with exponential shifts, with the
+//!   hash-bag + local-search optimization of Fig. 6 as an option;
+//! * [`cc`] — the composed CC algorithms (`ldd_uf_jtb`, `uf_async`,
+//!   `bfs_cc`, `cc_seq`) all returning labels and an optional spanning
+//!   forest (the forest is the by-product FAST-BCC's *First-CC* needs);
+//! * [`spanning_forest`] — forest verification helpers and the
+//!   CC-contiguous relabeling permutation.
+
+pub mod bfs;
+pub mod cc;
+pub mod ldd;
+pub mod spanning_forest;
+pub mod unionfind;
+
+pub use cc::{bfs_cc, cc_seq, ldd_uf_jtb, uf_async, CcOpts, CcOutput};
+pub use unionfind::{ConcurrentUnionFind, SeqUnionFind};

@@ -1,0 +1,143 @@
+//! Spanning-forest verification and adjacency construction.
+//!
+//! FAST-BCC's later phases consume the spanning forest produced by
+//! *First-CC*. This module provides (a) the test-oracle verifier used
+//! across the workspace and (b) a compact forest adjacency structure
+//! (CSR over tree edges) for the Euler tour.
+
+use crate::unionfind::SeqUnionFind;
+use fastbcc_graph::{Graph, V};
+
+/// Assert that `forest` is a spanning forest of `g` with
+/// `g.n() - num_components` edges: every edge a graph edge, acyclic,
+/// and connecting exactly the components of `g`. Panics on violation
+/// (test helper).
+pub fn verify_spanning_forest(g: &Graph, forest: &[(V, V)], num_components: usize) {
+    assert_eq!(
+        forest.len(),
+        g.n() - num_components,
+        "forest must have n - #CC edges"
+    );
+    let mut uf = SeqUnionFind::new(g.n());
+    for &(u, v) in forest {
+        assert!(g.has_edge(u, v), "forest edge {u}-{v} not in graph");
+        assert!(uf.unite(u, v), "forest has a cycle through {u}-{v}");
+    }
+    // Same partition as the graph: every graph edge stays within one tree.
+    for (u, v) in g.iter_edges() {
+        assert!(uf.same(u, v), "graph edge {u}-{v} spans two trees");
+    }
+}
+
+/// Build the forest's own CSR adjacency (undirected, both directions).
+/// The Euler tour works on this structure.
+///
+/// Forest edges are already unique and loop-free, so instead of the
+/// general sort-based CSR builder we count degrees, scan, scatter with
+/// per-vertex atomic cursors, and sort each (tiny) neighbor list locally —
+/// `O(n)` work with small constants, since this sits on FAST-BCC's
+/// *Rooting* critical path.
+pub fn forest_adjacency(n: usize, forest: &[(V, V)]) -> Graph {
+    use fastbcc_primitives::par::par_for;
+    use fastbcc_primitives::scan::prefix_sums;
+    use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let m = forest.len();
+    // Degree histogram.
+    let mut degree = vec![0usize; n + 1];
+    {
+        let deg: &[AtomicUsize] =
+            unsafe { &*(degree.as_mut_slice() as *mut [usize] as *const [AtomicUsize]) };
+        par_for(m, |i| {
+            let (u, v) = forest[i];
+            debug_assert_ne!(u, v, "forest edge is a self-loop");
+            deg[u as usize].fetch_add(1, Ordering::Relaxed);
+            deg[v as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let total = prefix_sums(&mut degree);
+    debug_assert_eq!(total, 2 * m);
+    let offsets = degree; // now exclusive offsets, length n+1 with [n] = 2m
+
+    // Scatter both arc directions using atomic cursors.
+    let cursors: Vec<AtomicUsize> =
+        offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+    let mut arcs: Vec<V> = unsafe { uninit_vec(2 * m) };
+    {
+        let view = UnsafeSlice::new(&mut arcs);
+        let cur = &cursors;
+        par_for(m, |i| {
+            let (u, v) = forest[i];
+            let pu = cur[u as usize].fetch_add(1, Ordering::Relaxed);
+            let pv = cur[v as usize].fetch_add(1, Ordering::Relaxed);
+            // SAFETY: fetch_add hands out distinct slots within each
+            // vertex's disjoint range.
+            unsafe {
+                view.write(pu, v);
+                view.write(pv, u);
+            }
+        });
+    }
+    drop(cursors);
+
+    // Sort each neighbor list (binary-searchable, and the builder
+    // invariant other code relies on). Lists are short for forests.
+    {
+        let view = UnsafeSlice::new(&mut arcs);
+        let offsets_ref = &offsets;
+        par_for(n, |v| {
+            let (lo, hi) = (offsets_ref[v], offsets_ref[v + 1]);
+            if hi > lo {
+                // SAFETY: each vertex owns its arc range exclusively.
+                let list = unsafe {
+                    std::slice::from_raw_parts_mut(view.get_mut(lo) as *mut V, hi - lo)
+                };
+                list.sort_unstable();
+            }
+        });
+    }
+    Graph::from_raw_parts(offsets, arcs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_graph::generators::classic::*;
+
+    #[test]
+    fn verifier_accepts_valid_forest() {
+        let g = cycle(5);
+        verify_spanning_forest(&g, &[(0, 1), (1, 2), (2, 3), (3, 4)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn verifier_rejects_cycle() {
+        let g = cycle(3);
+        verify_spanning_forest(&g, &[(0, 1), (1, 2), (2, 0)], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn verifier_rejects_non_edge() {
+        let g = path(4);
+        verify_spanning_forest(&g, &[(0, 1), (1, 2), (0, 3)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n - #CC")]
+    fn verifier_rejects_wrong_count() {
+        let g = path(4);
+        verify_spanning_forest(&g, &[(0, 1)], 1);
+    }
+
+    #[test]
+    fn forest_adjacency_roundtrip() {
+        let forest = [(0u32, 1u32), (1, 2), (1, 3)];
+        let t = forest_adjacency(4, &forest);
+        assert_eq!(t.m_undirected(), 3);
+        assert_eq!(t.neighbors(1), &[0, 2, 3]);
+        assert!(t.is_symmetric());
+    }
+}

@@ -1,0 +1,299 @@
+//! Union–find structures.
+//!
+//! [`SeqUnionFind`] is the textbook sequential structure (union by rank,
+//! path halving) used as test oracle and inside the sequential baselines.
+//!
+//! [`ConcurrentUnionFind`] is the lock-free structure of Jayanti, Tarjan
+//! and Boix-Adserà (PODC'19) that LDD-UF-JTB requires (paper §5): parents
+//! stored in a single atomic array, `find` performs CAS **path splitting**
+//! (the "try-split" of their Find-Two-Try-Split strategy), and `unite`
+//! links by a random priority order so adversarial inputs cannot build long
+//! chains. Each operation is `O(log n)` expected amortized; in the
+//! binary fork–join translation the paper uses, processing `l` edges costs
+//! `O(l log n)` work and `O(log² n)` span — dominated by the LDD bounds.
+
+use fastbcc_primitives::rng::hash64;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sequential union–find with union by rank and path halving.
+#[derive(Clone, Debug)]
+pub struct SeqUnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl SeqUnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), rank: vec![0; n], sets: n }
+    }
+
+    /// Representative of `u`'s set.
+    pub fn find(&mut self, mut u: u32) -> u32 {
+        while self.parent[u as usize] != u {
+            let p = self.parent[u as usize];
+            let gp = self.parent[p as usize];
+            self.parent[u as usize] = gp; // path halving
+            u = gp;
+        }
+        u
+    }
+
+    /// Merge the sets of `u` and `v`; true if they were distinct.
+    pub fn unite(&mut self, u: u32, v: u32) -> bool {
+        let (mut ru, mut rv) = (self.find(u), self.find(v));
+        if ru == rv {
+            return false;
+        }
+        if self.rank[ru as usize] < self.rank[rv as usize] {
+            std::mem::swap(&mut ru, &mut rv);
+        }
+        self.parent[rv as usize] = ru;
+        if self.rank[ru as usize] == self.rank[rv as usize] {
+            self.rank[ru as usize] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Current number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// True if `u` and `v` share a set.
+    pub fn same(&mut self, u: u32, v: u32) -> bool {
+        self.find(u) == self.find(v)
+    }
+}
+
+/// Lock-free concurrent union–find (Jayanti–Tarjan–Boix-Adserà).
+///
+/// Safe for fully concurrent `find` / `unite` / `same` from any number of
+/// threads. Linking order is randomized by hashing ids, which (per JTB's
+/// analysis) bounds tree heights at `O(log n)` w.h.p. even against
+/// adversarial union orders.
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).map(AtomicU32::new).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Priority used for linking: random total order over ids.
+    #[inline]
+    fn prio(u: u32) -> u64 {
+        // Mix then append the id to break hash ties deterministically.
+        (hash64(u as u64) << 32) | u as u64
+    }
+
+    /// Representative of `u`'s set, with CAS path splitting.
+    #[inline]
+    pub fn find(&self, mut u: u32) -> u32 {
+        loop {
+            let p = self.parent[u as usize].load(Ordering::Relaxed);
+            if p == u {
+                return u;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Relaxed);
+            if gp == p {
+                return p;
+            }
+            // try-split: shortcut u -> gp (harmless if it races).
+            let _ = self.parent[u as usize].compare_exchange_weak(
+                p,
+                gp,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            u = gp;
+        }
+    }
+
+    /// Merge the sets of `u` and `v`; true if this call performed the link.
+    pub fn unite(&self, u: u32, v: u32) -> bool {
+        let mut ru = self.find(u);
+        let mut rv = self.find(v);
+        loop {
+            if ru == rv {
+                return false;
+            }
+            // Link lower priority under higher (randomized linking).
+            let (lo, hi) = if Self::prio(ru) < Self::prio(rv) { (ru, rv) } else { (rv, ru) };
+            if self.parent[lo as usize]
+                .compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return true;
+            }
+            // Someone moved under us; refresh roots and retry.
+            ru = self.find(lo);
+            rv = self.find(hi);
+        }
+    }
+
+    /// True if `u` and `v` currently share a set (exact under quiescence;
+    /// during concurrent unites it may miss in-flight merges, which every
+    /// caller in this repo retries via `unite`).
+    pub fn same(&self, u: u32, v: u32) -> bool {
+        loop {
+            let ru = self.find(u);
+            let rv = self.find(v);
+            if ru == rv {
+                return true;
+            }
+            // ru is a root snapshot; if it is still a root, the answer was
+            // consistent at that instant.
+            if self.parent[ru as usize].load(Ordering::Relaxed) == ru {
+                return false;
+            }
+        }
+    }
+
+    /// Flatten to final labels: `label[v] = find(v)` for all `v`, in parallel.
+    /// Call after all unites are done (quiescent).
+    pub fn labels(&self) -> Vec<u32> {
+        let n = self.parent.len();
+        let mut out: Vec<u32> = unsafe { fastbcc_primitives::slice::uninit_vec(n) };
+        {
+            let view = fastbcc_primitives::slice::UnsafeSlice::new(&mut out);
+            fastbcc_primitives::par::par_for(n, |v| {
+                // SAFETY: disjoint writes.
+                unsafe { view.write(v, self.find(v as u32)) };
+            });
+        }
+        out
+    }
+
+    /// Number of distinct roots (quiescent).
+    pub fn set_count(&self) -> usize {
+        fastbcc_primitives::reduce::count(self.parent.len(), |v| {
+            self.parent[v].load(Ordering::Relaxed) == v as u32
+        })
+    }
+
+    /// Bytes of auxiliary memory.
+    pub fn bytes(&self) -> usize {
+        self.parent.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_primitives::par::par_for;
+    use fastbcc_primitives::rng::Rng;
+
+    #[test]
+    fn seq_uf_basic() {
+        let mut uf = SeqUnionFind::new(5);
+        assert_eq!(uf.set_count(), 5);
+        assert!(uf.unite(0, 1));
+        assert!(!uf.unite(1, 0));
+        assert!(uf.unite(2, 3));
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.unite(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.set_count(), 2); // {0,1,2,3}, {4}
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_on_random_unions() {
+        let n = 20_000usize;
+        let mut r = Rng::new(42);
+        let pairs: Vec<(u32, u32)> = (0..3 * n)
+            .map(|_| (r.index(n) as u32, r.index(n) as u32))
+            .collect();
+        let cuf = ConcurrentUnionFind::new(n);
+        par_for(pairs.len(), |i| {
+            cuf.unite(pairs[i].0, pairs[i].1);
+        });
+        let mut suf = SeqUnionFind::new(n);
+        for &(u, v) in &pairs {
+            suf.unite(u, v);
+        }
+        assert_eq!(cuf.set_count(), suf.set_count());
+        // Partitions must agree exactly.
+        let labels = cuf.labels();
+        for &(u, v) in &pairs {
+            assert_eq!(labels[u as usize] == labels[v as usize], suf.same(u, v));
+        }
+        // Random non-pair probes too.
+        for _ in 0..5000 {
+            let (u, v) = (r.index(n) as u32, r.index(n) as u32);
+            assert_eq!(labels[u as usize] == labels[v as usize], suf.same(u, v));
+        }
+    }
+
+    #[test]
+    fn concurrent_unite_returns_true_exactly_n_minus_components_times() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let n = 10_000usize;
+        // A cycle: exactly n-1 successful unions despite n edges.
+        let wins = AtomicUsize::new(0);
+        let cuf = ConcurrentUnionFind::new(n);
+        par_for(n, |i| {
+            if cuf.unite(i as u32, ((i + 1) % n) as u32) {
+                wins.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), n - 1);
+        assert_eq!(cuf.set_count(), 1);
+    }
+
+    #[test]
+    fn labels_are_representatives() {
+        let cuf = ConcurrentUnionFind::new(6);
+        cuf.unite(0, 1);
+        cuf.unite(2, 3);
+        cuf.unite(3, 4);
+        let l = cuf.labels();
+        assert_eq!(l[0], l[1]);
+        assert_eq!(l[2], l[3]);
+        assert_eq!(l[3], l[4]);
+        assert_ne!(l[0], l[2]);
+        assert_eq!(l[5], 5);
+        // Labels are fixed points.
+        for &x in &l {
+            assert_eq!(cuf.find(x), x);
+        }
+    }
+
+    #[test]
+    fn stress_many_threads_one_component() {
+        // All elements merged into one set from many random orders.
+        let n = 50_000usize;
+        let cuf = ConcurrentUnionFind::new(n);
+        par_for(n - 1, |i| {
+            // Star-ish + chain mix to stress linking.
+            cuf.unite(i as u32, (i + 1) as u32);
+            cuf.unite(0, (hash64(i as u64) % n as u64) as u32);
+        });
+        assert_eq!(cuf.set_count(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let cuf = ConcurrentUnionFind::new(0);
+        assert!(cuf.is_empty());
+        assert_eq!(cuf.set_count(), 0);
+        let cuf = ConcurrentUnionFind::new(1);
+        assert_eq!(cuf.find(0), 0);
+        assert_eq!(cuf.set_count(), 1);
+    }
+}

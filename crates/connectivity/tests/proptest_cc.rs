@@ -1,0 +1,96 @@
+//! Property-based tests for the connectivity substrate, including the
+//! filtered variants FAST-BCC's Last-CC depends on: running CC on an
+//! *implicit* subgraph (edge predicate) must agree with running it on the
+//! explicitly materialized subgraph.
+
+use fastbcc_connectivity::cc::{
+    bfs_cc, cc_seq, ldd_uf_jtb, ldd_uf_jtb_filtered, uf_async, uf_async_filtered, CcOpts,
+};
+use fastbcc_connectivity::ldd::{ldd, LddOpts};
+use fastbcc_connectivity::spanning_forest::verify_spanning_forest;
+use fastbcc_graph::builder::from_edges;
+use fastbcc_graph::stats::cc_labels_seq;
+use fastbcc_graph::{Graph, V};
+use fastbcc_primitives::rng::hash64_pair;
+use proptest::prelude::*;
+
+fn arb_graph(nmax: usize, mmax: usize) -> impl Strategy<Value = Graph> {
+    (1..nmax).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as V, 0..n as V), 0..mmax)
+            .prop_map(move |edges| from_edges(n, &edges))
+    })
+}
+
+fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    let mut fwd = std::collections::HashMap::new();
+    let mut bwd = std::collections::HashMap::new();
+    for i in 0..a.len() {
+        if *fwd.entry(a[i]).or_insert(b[i]) != b[i] || *bwd.entry(b[i]).or_insert(a[i]) != a[i] {
+            return false;
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_cc_algorithms_agree(g in arb_graph(64, 200)) {
+        let oracle = cc_labels_seq(&g);
+        for (name, out) in [
+            ("ldd", ldd_uf_jtb(&g, CcOpts { want_forest: true, ..Default::default() })),
+            ("uf", uf_async(&g, true)),
+            ("bfs", bfs_cc(&g, true)),
+            ("seq", cc_seq(&g, true)),
+        ] {
+            prop_assert!(same_partition(&out.labels, &oracle), "{} partition", name);
+            verify_spanning_forest(&g, out.forest.as_ref().unwrap(), out.num_components);
+        }
+    }
+
+    #[test]
+    fn filtered_cc_equals_materialized_subgraph(g in arb_graph(48, 150), seed in any::<u64>()) {
+        // Pseudo-random symmetric edge predicate.
+        let keep = |u: V, v: V| hash64_pair(seed, ((u.min(v) as u64) << 32) | u.max(v) as u64) % 3 != 0;
+        // Materialize the subgraph.
+        let kept: Vec<(V, V)> = g.iter_edges().filter(|&(u, v)| keep(u, v)).collect();
+        let sub = from_edges(g.n(), &kept);
+        let oracle = cc_labels_seq(&sub);
+
+        let a = ldd_uf_jtb_filtered(&g, CcOpts::default(), &keep);
+        prop_assert!(same_partition(&a.labels, &oracle), "ldd filtered");
+        prop_assert_eq!(a.num_components, fastbcc_graph::stats::cc_count_seq(&sub));
+
+        let b = uf_async_filtered(&g, false, &keep);
+        prop_assert!(same_partition(&b.labels, &oracle), "uf filtered");
+    }
+
+    #[test]
+    fn ldd_is_valid_decomposition(g in arb_graph(48, 150), seed in any::<u64>(), local in any::<bool>()) {
+        let res = ldd(&g, LddOpts { beta: None, local_search: local, seed });
+        let n = g.n();
+        let cc = cc_labels_seq(&g);
+        for v in 0..n {
+            let c = res.cluster[v];
+            prop_assert!(c != fastbcc_graph::NONE);
+            prop_assert_eq!(res.cluster[c as usize], c);
+            prop_assert_eq!(cc[v], cc[c as usize], "cluster crosses CC");
+        }
+        for &(p, c) in &res.tree_edges {
+            prop_assert!(g.has_edge(p, c));
+            prop_assert_eq!(res.cluster[p as usize], res.cluster[c as usize]);
+        }
+        let centers = (0..n).filter(|&v| res.cluster[v] == v as u32).count();
+        prop_assert_eq!(res.tree_edges.len(), n - centers);
+    }
+
+    #[test]
+    fn forest_counts_are_exact(g in arb_graph(64, 150)) {
+        let out = ldd_uf_jtb(&g, CcOpts { want_forest: true, ..Default::default() });
+        prop_assert_eq!(
+            out.forest.as_ref().unwrap().len(),
+            g.n() - out.num_components
+        );
+    }
+}

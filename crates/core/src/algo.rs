@@ -1,0 +1,378 @@
+//! The FAST-BCC algorithm (paper Alg. 1).
+//!
+//! ```text
+//! 1 Compute the spanning forest F of G                      ⊳ First-CC
+//! 2 Root all trees in F using the Euler tour technique      ⊳ Rooting
+//! 3 Compute tags (low, high, …) of each vertex              ⊳ Tagging
+//! 4 Compute the vertex label l[·] using connectivity on G
+//!   with edges satisfying InSkeleton(u,v) = true            ⊳ Last-CC
+//! 5 ParallelForEach u ∈ V with l[u] ≠ l[p(u)]
+//! 6     Set the component head of l[u] as p(u)
+//! ```
+//!
+//! Cost (Thm. 4.13): `O(n + m)` expected work, `O(log³ n)` span w.h.p.,
+//! `O(n)` auxiliary space. Every phase is timed individually — the Fig. 5
+//! breakdown experiment reads the [`Breakdown`] directly.
+
+use crate::space::SpaceTracker;
+use crate::tags::{compute_tags, Tags};
+use fastbcc_connectivity::cc::{ldd_uf_jtb_filtered, uf_async, uf_async_filtered, CcOpts};
+use fastbcc_connectivity::ldd::LddOpts;
+use fastbcc_connectivity::spanning_forest::forest_adjacency;
+use fastbcc_ett::root_forest;
+use fastbcc_graph::{Graph, V, NONE};
+use fastbcc_primitives::par::par_for;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+/// Which connectivity algorithm powers First-CC and Last-CC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CcScheme {
+    /// LDD-UF-JTB — the paper's theoretically efficient choice (Thm. 5.1).
+    #[default]
+    LddUfJtb,
+    /// Plain concurrent union–find over all edges (ablation; the scheme
+    /// used by recent GBBS for its connectivity phase).
+    UfAsync,
+}
+
+/// Options for [`fast_bcc`].
+#[derive(Clone, Copy, Debug)]
+pub struct BccOpts {
+    /// Connectivity scheme for both CC phases.
+    pub scheme: CcScheme,
+    /// Hash-bag + local-search granularity control inside the LDD (the
+    /// Fig. 6 "Opt."/"Orig." toggle). Ignored by [`CcScheme::UfAsync`].
+    pub local_search: bool,
+    /// Seed for all randomized substeps (LDD shifts, list-ranking samples).
+    pub seed: u64,
+}
+
+impl Default for BccOpts {
+    fn default() -> Self {
+        Self { scheme: CcScheme::LddUfJtb, local_search: true, seed: 0xFA57_BCC }
+    }
+}
+
+/// Wall-clock time per phase (the Fig. 5 series).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Breakdown {
+    pub first_cc: Duration,
+    pub rooting: Duration,
+    pub tagging: Duration,
+    pub last_cc: Duration,
+}
+
+impl Breakdown {
+    /// End-to-end time.
+    pub fn total(&self) -> Duration {
+        self.first_cc + self.rooting + self.tagging + self.last_cc
+    }
+}
+
+/// FAST-BCC output: the paper's `O(n)` BCC representation plus metadata.
+pub struct BccResult {
+    /// Skeleton-connectivity label per vertex. Vertices sharing a label are
+    /// biconnected (Thm. 4.11).
+    pub labels: Vec<u32>,
+    /// Component head per label (indexed by label value, which is a vertex
+    /// id); `NONE` when the label has no head (the root's own component).
+    pub head: Vec<V>,
+    /// Number of members per label (histogram over `labels`).
+    pub label_count: Vec<u32>,
+    /// The tags — kept because postprocessing (edge→BCC mapping,
+    /// articulation points, bridges) reads `parent`/`first`.
+    pub tags: Tags,
+    /// Number of biconnected components.
+    pub num_bcc: usize,
+    /// Number of connected components.
+    pub num_cc: usize,
+    /// Per-phase wall-clock times.
+    pub breakdown: Breakdown,
+    /// Peak auxiliary memory (analytic accounting of the major arrays).
+    pub aux_peak_bytes: usize,
+}
+
+impl BccResult {
+    /// The BCC id of an edge: the label of the endpoint farther from the
+    /// root (for a tree edge this is the child; for a non-tree edge the
+    /// descendant-most endpoint, which Thm. 4.2 places in the right BCC).
+    #[inline]
+    pub fn bcc_of_edge(&self, u: V, v: V) -> u32 {
+        if self.tags.first[u as usize] >= self.tags.first[v as usize] {
+            self.labels[u as usize]
+        } else {
+            self.labels[v as usize]
+        }
+    }
+
+    /// True iff label `l` denotes a real BCC (≥ 1 edge).
+    #[inline]
+    pub fn is_bcc_label(&self, l: u32) -> bool {
+        self.label_count[l as usize] >= 2 || self.head[l as usize] != NONE
+    }
+
+    /// `O(1)` biconnectivity query: do distinct vertices `u` and `v` share
+    /// a BCC?
+    ///
+    /// The BCCs containing a vertex `x` are exactly its own label class
+    /// (when that class is a real BCC) plus every label it heads. A label
+    /// has exactly one head, so for any two co-members at least one carries
+    /// the label itself — three comparisons decide the query.
+    ///
+    /// Requires `u != v`; for single-vertex membership use
+    /// [`crate::postprocess::bcc_membership_counts`].
+    #[inline]
+    pub fn same_bcc(&self, u: V, v: V) -> bool {
+        debug_assert_ne!(u, v, "same_bcc is defined for distinct vertices");
+        let lu = self.labels[u as usize];
+        let lv = self.labels[v as usize];
+        (lu == lv && self.is_bcc_label(lu))
+            || self.head[lu as usize] == v
+            || self.head[lv as usize] == u
+    }
+}
+
+/// Alg. 1 lines 5–6 plus the BCC census: assign the component head of each
+/// label (the parent across the label's fence edges) and count BCCs.
+///
+/// Shared by FAST-BCC and the BFS-skeleton baselines, which produce labels
+/// by a different connectivity scheme but use the same representation.
+/// Writers racing on one label all store the same head (Lemma 4.9: the BCC
+/// head is unique per label), but atomics keep the race well-defined.
+///
+/// Returns `(head, label_count, num_bcc)`.
+pub fn assign_heads(labels: &[u32], tags: &Tags) -> (Vec<V>, Vec<u32>, usize) {
+    let n = labels.len();
+    let head_atomic: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    {
+        let parent_ref = &tags.parent;
+        let head_ref = &head_atomic;
+        par_for(n, |u| {
+            let p = parent_ref[u];
+            if p != NONE && labels[u] != labels[p as usize] {
+                head_ref[labels[u] as usize].store(p, Ordering::Relaxed);
+            }
+        });
+    }
+    let head: Vec<V> = head_atomic.into_iter().map(AtomicU32::into_inner).collect();
+
+    // Label histogram → BCC count: a label is a BCC iff it has ≥ 2 members
+    // or a head (i.e. it contains at least one edge).
+    let mut label_count = vec![0u32; n];
+    {
+        let counts = fastbcc_primitives::atomics::as_atomic_u32(&mut label_count);
+        par_for(n, |v| {
+            counts[labels[v] as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    let head_ref = &head;
+    let count_ref = &label_count;
+    let num_bcc = fastbcc_primitives::reduce::count(n, |l| {
+        count_ref[l] >= 2 || head_ref[l] != NONE
+    });
+    (head, label_count, num_bcc)
+}
+
+/// Run FAST-BCC on `g`.
+pub fn fast_bcc(g: &Graph, opts: BccOpts) -> BccResult {
+    let n = g.n();
+    let mut space = SpaceTracker::new();
+    if n == 0 {
+        return BccResult {
+            labels: Vec::new(),
+            head: Vec::new(),
+            label_count: Vec::new(),
+            tags: Tags {
+                parent: Vec::new(),
+                first: Vec::new(),
+                last: Vec::new(),
+                low: Vec::new(),
+                high: Vec::new(),
+            },
+            num_bcc: 0,
+            num_cc: 0,
+            breakdown: Breakdown::default(),
+            aux_peak_bytes: 0,
+        };
+    }
+
+    let ldd_opts = LddOpts { beta: None, local_search: opts.local_search, seed: opts.seed };
+
+    // ---- Step 1: First-CC (spanning forest) -----------------------------
+    let t0 = Instant::now();
+    let cc = match opts.scheme {
+        CcScheme::LddUfJtb => fastbcc_connectivity::cc::ldd_uf_jtb(
+            g,
+            CcOpts { ldd: ldd_opts, want_forest: true },
+        ),
+        CcScheme::UfAsync => uf_async(g, true),
+    };
+    let first_cc = t0.elapsed();
+    let forest = cc.forest.as_ref().expect("forest requested");
+    // LDD cluster/parent arrays + UF + labels + forest edges.
+    space.alloc(4 * n * 3 + 4 * n + 8 * forest.len());
+
+    // ---- Step 2: Rooting (ETT) ------------------------------------------
+    let t1 = Instant::now();
+    let tree = forest_adjacency(n, forest);
+    let rf = root_forest(&tree, &cc.labels, opts.seed ^ 0xE77);
+    let rooting = t1.elapsed();
+    space.alloc(tree.bytes() + rf.bytes());
+
+    // ---- Step 3: Tagging --------------------------------------------------
+    let t2 = Instant::now();
+    let (tags, table_bytes) = compute_tags(g, &rf);
+    let tagging = t2.elapsed();
+    space.alloc(tags.bytes() + table_bytes);
+    space.free(table_bytes); // sparse tables freed inside compute_tags
+    drop(rf);
+    drop(tree);
+
+    // ---- Step 4: Last-CC on the implicit skeleton ------------------------
+    let t3 = Instant::now();
+    let skeleton_filter = |u: V, v: V| tags.in_skeleton(u, v);
+    let sk = match opts.scheme {
+        CcScheme::LddUfJtb => ldd_uf_jtb_filtered(
+            g,
+            CcOpts { ldd: LddOpts { seed: opts.seed ^ 0x1A57, ..ldd_opts }, want_forest: false },
+            &skeleton_filter,
+        ),
+        CcScheme::UfAsync => uf_async_filtered(g, false, &skeleton_filter),
+    };
+    let labels = sk.labels;
+    space.alloc(4 * n * 3);
+
+    let (head, label_count, num_bcc) = assign_heads(&labels, &tags);
+    let last_cc = t3.elapsed();
+    space.alloc(8 * n);
+
+    BccResult {
+        labels,
+        head,
+        label_count,
+        tags,
+        num_bcc,
+        num_cc: cc.num_components,
+        breakdown: Breakdown { first_cc, rooting, tagging, last_cc },
+        aux_peak_bytes: space.peak(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_graph::generators::classic::*;
+
+    fn nbcc(g: &Graph) -> usize {
+        fast_bcc(g, BccOpts::default()).num_bcc
+    }
+
+    #[test]
+    fn known_bcc_counts() {
+        assert_eq!(nbcc(&path(10)), 9);
+        assert_eq!(nbcc(&cycle(10)), 1);
+        assert_eq!(nbcc(&star(8)), 7);
+        assert_eq!(nbcc(&complete(8)), 1);
+        assert_eq!(nbcc(&windmill(6)), 6);
+        assert_eq!(nbcc(&theta(2, 3, 4)), 1);
+        assert_eq!(nbcc(&petersen()), 1);
+        assert_eq!(nbcc(&binary_tree(31)), 30);
+        assert_eq!(nbcc(&clique_chain(5, 4)), 5);
+        assert_eq!(nbcc(&ladder(6)), 1);
+        assert_eq!(nbcc(&wheel(9)), 1);
+        assert_eq!(nbcc(&complete_bipartite(3, 4)), 1);
+    }
+
+    #[test]
+    fn barbell_counts() {
+        // Two cliques + a bridge path of length L: 2 + L BCCs.
+        assert_eq!(nbcc(&barbell(5, 1)), 3);
+        assert_eq!(nbcc(&barbell(5, 4)), 6);
+    }
+
+    #[test]
+    fn disconnected_and_degenerate() {
+        assert_eq!(nbcc(&Graph::empty(0)), 0);
+        assert_eq!(nbcc(&Graph::empty(7)), 0);
+        assert_eq!(nbcc(&disjoint_union(&[&cycle(4), &path(3), &complete(5)])), 1 + 2 + 1);
+        // Single edge.
+        let g = path(2);
+        assert_eq!(nbcc(&g), 1);
+    }
+
+    #[test]
+    fn num_cc_reported() {
+        let g = disjoint_union(&[&cycle(3), &cycle(3), &Graph::empty(2)]);
+        let r = fast_bcc(&g, BccOpts::default());
+        assert_eq!(r.num_cc, 4);
+        assert_eq!(r.num_bcc, 2);
+    }
+
+    #[test]
+    fn heads_are_articulation_or_root() {
+        // Windmill: every component head is either the center (the unique
+        // articulation point) or the spanning-tree root — the root is the
+        // BCC head of whichever BCC contains it (its tree edges are always
+        // fences).
+        let g = windmill(4);
+        let r = fast_bcc(&g, BccOpts::default());
+        let root = (0..g.n() as V).find(|&v| r.tags.parent[v as usize] == NONE).unwrap();
+        let mut heads: Vec<V> = (0..g.n())
+            .filter_map(|l| (r.head[l] != NONE).then_some(r.head[l]))
+            .collect();
+        heads.sort_unstable();
+        heads.dedup();
+        assert!(
+            heads.iter().all(|&h| h == 0 || h == root),
+            "heads = {heads:?}, root = {root}"
+        );
+        assert!(heads.contains(&0), "center must head the non-root triangles");
+    }
+
+    #[test]
+    fn both_schemes_agree() {
+        for g in [windmill(5), barbell(4, 2), cycle(30), clique_chain(4, 5)] {
+            let a = fast_bcc(&g, BccOpts { scheme: CcScheme::LddUfJtb, ..Default::default() });
+            let b = fast_bcc(&g, BccOpts { scheme: CcScheme::UfAsync, ..Default::default() });
+            assert_eq!(a.num_bcc, b.num_bcc);
+            assert_eq!(a.num_cc, b.num_cc);
+        }
+    }
+
+    #[test]
+    fn local_search_toggle_agrees() {
+        let g = clique_chain(10, 5);
+        let a = fast_bcc(&g, BccOpts { local_search: true, ..Default::default() });
+        let b = fast_bcc(&g, BccOpts { local_search: false, ..Default::default() });
+        assert_eq!(a.num_bcc, b.num_bcc);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_and_space_positive() {
+        let g = cycle(1000);
+        let r = fast_bcc(&g, BccOpts::default());
+        assert!(r.breakdown.total() > Duration::ZERO);
+        assert!(r.aux_peak_bytes >= 4 * 1000);
+    }
+
+    #[test]
+    fn edge_bcc_mapping_consistent() {
+        let g = windmill(3);
+        let r = fast_bcc(&g, BccOpts::default());
+        // Edges of one triangle map to one BCC id; different triangles to
+        // different ids.
+        let mut ids = std::collections::HashSet::new();
+        for t in 0..3u32 {
+            let (a, b) = (1 + 2 * t, 2 + 2 * t);
+            let id1 = r.bcc_of_edge(0, a);
+            let id2 = r.bcc_of_edge(0, b);
+            let id3 = r.bcc_of_edge(a, b);
+            assert_eq!(id1, id2);
+            assert_eq!(id2, id3);
+            assert!(r.is_bcc_label(id1));
+            ids.insert(id1);
+        }
+        assert_eq!(ids.len(), 3);
+    }
+}

@@ -1,0 +1,177 @@
+//! Block–cut tree construction from the `O(n)` BCC representation.
+//!
+//! The block–cut tree (Harary–Prins) is the canonical downstream structure
+//! of biconnectivity: one node per BCC ("block"), one node per articulation
+//! point, and an edge whenever the articulation point belongs to the block.
+//! It is a forest (one tree per connected component that contains at least
+//! one edge) and drives the applications the paper's introduction cites —
+//! planarity testing, centrality computation, network reliability.
+//!
+//! Construction is a pure postprocessing pass over [`BccResult`]:
+//! `O(n)` work, `O(log n)` span.
+
+use crate::algo::BccResult;
+use crate::postprocess::bcc_membership_counts;
+use fastbcc_graph::{V, NONE};
+use fastbcc_primitives::pack::pack_index;
+
+/// A node of the block–cut tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BcNode {
+    /// A biconnected component, identified by its label (a vertex id).
+    Block(u32),
+    /// An articulation point (vertex id).
+    Cut(V),
+}
+
+/// The block–cut forest of a graph.
+pub struct BlockCutTree {
+    /// All block nodes (labels of real BCCs), ascending.
+    pub blocks: Vec<u32>,
+    /// All cut nodes (articulation points), ascending.
+    pub cuts: Vec<V>,
+    /// Edges `(block label, articulation vertex)`; sorted.
+    pub edges: Vec<(u32, V)>,
+}
+
+impl BlockCutTree {
+    /// Degree of a cut vertex in the tree = number of blocks it belongs to.
+    pub fn cut_degree(&self, v: V) -> usize {
+        self.edges.iter().filter(|&&(_, c)| c == v).count()
+    }
+
+    /// Number of tree nodes.
+    pub fn node_count(&self) -> usize {
+        self.blocks.len() + self.cuts.len()
+    }
+
+    /// Verify the defining forest property: #edges = #nodes − #trees, and
+    /// acyclicity via union–find. Panics on violation (test helper).
+    pub fn verify_forest(&self) {
+        use std::collections::HashMap;
+        let mut id: HashMap<BcNode, u32> = HashMap::new();
+        for &b in &self.blocks {
+            let next = id.len() as u32;
+            id.insert(BcNode::Block(b), next);
+        }
+        for &c in &self.cuts {
+            let next = id.len() as u32;
+            id.insert(BcNode::Cut(c), next);
+        }
+        let mut uf = fastbcc_connectivity::SeqUnionFind::new(id.len());
+        for &(b, c) in &self.edges {
+            let x = id[&BcNode::Block(b)];
+            let y = id[&BcNode::Cut(c)];
+            assert!(uf.unite(x, y), "block-cut tree has a cycle at ({b}, {c})");
+        }
+    }
+}
+
+/// Build the block–cut forest from a BCC result.
+pub fn block_cut_tree(r: &BccResult) -> BlockCutTree {
+    let n = r.labels.len();
+    let counts = bcc_membership_counts(r);
+    let cuts: Vec<V> = pack_index(n, |v| counts[v] >= 2);
+    let is_cut = {
+        let mut b = vec![false; n];
+        for &c in &cuts {
+            b[c as usize] = true;
+        }
+        b
+    };
+    let blocks: Vec<u32> = pack_index(n, |l| r.is_bcc_label(l as u32));
+
+    // Edges: for every cut vertex v, connect it to (a) its own label's
+    // block, and (b) every block it heads.
+    let mut edges: Vec<(u32, V)> = Vec::new();
+    for &v in &cuts {
+        let l = r.labels[v as usize];
+        if r.is_bcc_label(l) {
+            edges.push((l, v));
+        }
+    }
+    for l in 0..n {
+        let h = r.head[l];
+        if h != NONE && r.is_bcc_label(l as u32) && is_cut[h as usize] {
+            edges.push((l as u32, h));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    BlockCutTree { blocks, cuts, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{fast_bcc, BccOpts};
+    use fastbcc_graph::generators::classic::*;
+    use fastbcc_graph::Graph;
+
+    fn tree_of(g: &Graph) -> BlockCutTree {
+        block_cut_tree(&fast_bcc(g, BccOpts::default()))
+    }
+
+    #[test]
+    fn windmill_is_a_star() {
+        let t = tree_of(&windmill(5));
+        assert_eq!(t.blocks.len(), 5);
+        assert_eq!(t.cuts, vec![0]);
+        assert_eq!(t.edges.len(), 5);
+        assert_eq!(t.cut_degree(0), 5);
+        t.verify_forest();
+    }
+
+    #[test]
+    fn path_alternates_blocks_and_cuts() {
+        let n = 8;
+        let t = tree_of(&path(n));
+        assert_eq!(t.blocks.len(), n - 1); // each edge a block
+        assert_eq!(t.cuts.len(), n - 2); // internal vertices
+        assert_eq!(t.edges.len(), 2 * (n - 2)); // each cut joins 2 blocks
+        t.verify_forest();
+    }
+
+    #[test]
+    fn biconnected_graph_single_block() {
+        for g in [cycle(9), complete(7), petersen()] {
+            let t = tree_of(&g);
+            assert_eq!(t.blocks.len(), 1);
+            assert!(t.cuts.is_empty());
+            assert!(t.edges.is_empty());
+            t.verify_forest();
+        }
+    }
+
+    #[test]
+    fn barbell_shape() {
+        // clique - cut - bridge-block - cut - clique
+        let t = tree_of(&barbell(4, 1));
+        assert_eq!(t.blocks.len(), 3);
+        assert_eq!(t.cuts.len(), 2);
+        assert_eq!(t.edges.len(), 4);
+        t.verify_forest();
+    }
+
+    #[test]
+    fn forest_property_on_disconnected() {
+        let g = disjoint_union(&[&windmill(3), &path(5), &cycle(4), &Graph::empty(3)]);
+        let t = tree_of(&g);
+        t.verify_forest();
+        // Components: windmill tree (3 blocks + 1 cut), path tree
+        // (4 blocks + 3 cuts), cycle (1 block), isolated vertices (none).
+        assert_eq!(t.blocks.len(), 3 + 4 + 1);
+        assert_eq!(t.cuts.len(), 1 + 3);
+    }
+
+    #[test]
+    fn node_and_edge_counts_satisfy_forest_equation() {
+        // For each connected component with ≥1 edge, the block-cut tree is
+        // a tree: edges = nodes - 1. Check aggregate over a mixture.
+        let g = disjoint_union(&[&clique_chain(4, 3), &star(6)]);
+        let t = tree_of(&g);
+        t.verify_forest();
+        let trees = 2; // one per non-trivial component
+        assert_eq!(t.edges.len(), t.node_count() - trees);
+    }
+}

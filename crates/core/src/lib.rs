@@ -1,0 +1,38 @@
+//! # fastbcc-core — the FAST-BCC algorithm
+//!
+//! *Fencing an Arbitrary Spanning Tree*: the first parallel biconnectivity
+//! algorithm with `O(n + m)` expected work, `O(log³ n)` span w.h.p., and
+//! `O(n)` auxiliary space (Dong, Wang, Gu, Sun — PPoPP 2023).
+//!
+//! The algorithm (paper Alg. 1) has four steps, all implemented here on top
+//! of the substrate crates:
+//!
+//! 1. **First-CC** — compute a spanning forest of `G` with the LDD-UF-JTB
+//!    connectivity algorithm (`fastbcc-connectivity`);
+//! 2. **Rooting** — root every tree with the Euler tour technique
+//!    (`fastbcc-ett`);
+//! 3. **Tagging** — compute `first/last/w1/w2/low/high/parent` per vertex;
+//!    `low`/`high` are 1-D range min/max queries over the Euler order
+//!    ([`tags`], using the sparse table from `fastbcc-primitives`);
+//! 4. **Last-CC** — run connectivity on the **implicit skeleton** (`G`
+//!    minus fence and back edges, decided in `O(1)` per edge from the
+//!    tags — [`skeleton`]), then assign a component head per label
+//!    ([`algo`]).
+//!
+//! The output is the paper's `O(n)` BCC representation: a label per vertex
+//! plus a *component head* per label; a BCC is one label class together
+//! with its head ([`postprocess`] derives articulation points, bridges,
+//! explicit BCC vertex sets, and the canonical form the tests compare
+//! against baselines).
+
+pub mod algo;
+pub mod block_cut_tree;
+pub mod postprocess;
+pub mod skeleton;
+pub mod space;
+pub mod tags;
+
+pub use algo::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
+pub use block_cut_tree::{block_cut_tree, BcNode, BlockCutTree};
+pub use postprocess::{articulation_points, bridges, canonical_bccs, largest_bcc_size};
+pub use tags::Tags;

@@ -1,0 +1,77 @@
+//! Auxiliary-space accounting (for the Fig. 7 experiment).
+//!
+//! The paper's space claim — `O(n)` auxiliary memory beyond the input
+//! graph — is an *algorithmic* property; we make it measurable by having
+//! every phase register the byte size of the auxiliary structures it keeps
+//! live. The tracker records the running total and the peak, which is the
+//! number Fig. 7 compares across FAST-BCC / GBBS-style / Tarjan–Vishkin.
+
+/// Running/peak byte counter for auxiliary allocations.
+#[derive(Debug, Default, Clone)]
+pub struct SpaceTracker {
+    live: usize,
+    peak: usize,
+}
+
+impl SpaceTracker {
+    /// Fresh tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `bytes` of live auxiliary memory.
+    pub fn alloc(&mut self, bytes: usize) {
+        self.live += bytes;
+        self.peak = self.peak.max(self.live);
+    }
+
+    /// Register that `bytes` were released.
+    pub fn free(&mut self, bytes: usize) {
+        debug_assert!(bytes <= self.live, "freeing more than live");
+        self.live = self.live.saturating_sub(bytes);
+    }
+
+    /// Register a `Vec`'s heap footprint.
+    pub fn alloc_vec<T>(&mut self, v: &[T]) {
+        self.alloc(std::mem::size_of_val(v));
+    }
+
+    /// Currently live auxiliary bytes.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Peak auxiliary bytes seen so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut t = SpaceTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        assert_eq!(t.live(), 150);
+        assert_eq!(t.peak(), 150);
+        t.free(120);
+        assert_eq!(t.live(), 30);
+        assert_eq!(t.peak(), 150);
+        t.alloc(40);
+        assert_eq!(t.peak(), 150);
+        t.alloc(200);
+        assert_eq!(t.peak(), 270);
+    }
+
+    #[test]
+    fn alloc_vec_counts_payload() {
+        let mut t = SpaceTracker::new();
+        let v = vec![0u32; 256];
+        t.alloc_vec(&v);
+        assert_eq!(t.live(), 1024);
+    }
+}

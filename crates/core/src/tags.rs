@@ -1,0 +1,289 @@
+//! The *Tagging* step (paper §4.1 step 3, §5 "Computing Tags").
+//!
+//! From the rooted forest, compute per vertex:
+//!
+//! * `first[v]`, `last[v]` — Euler-tour appearance interval (from ETT);
+//! * `w1[v] = min({first[v]} ∪ {first[u] : (v,u) non-tree edge})` and
+//!   `w2[v]` its max counterpart — one parallel pass over all edges with
+//!   CAS priority writes;
+//! * `low[v] = min w1 over T_v`, `high[v] = max w2 over T_v` — since a
+//!   subtree is an interval `[first[v], last[v]]` of the Euler order, these
+//!   are 1-D range-min/max queries over the tour-ordered `w1`/`w2` arrays,
+//!   answered by parallel sparse tables.
+//!
+//! `O(n + m)` work and `O(log n)` span for the edge pass, `O(n log n)`
+//! work for the sparse tables (the paper's choice as well; this is the
+//! only super-linear-in-`n` structure and it is on tour positions, i.e.
+//! `O(n)`-sized input, so auxiliary space stays `O(n log n)` *bits*-level
+//! comparable to the paper's implementation).
+
+use fastbcc_ett::RootedForest;
+use fastbcc_graph::{Graph, V};
+use fastbcc_primitives::atomics::{as_atomic_u32, write_max_u32, write_min_u32};
+use fastbcc_primitives::par::par_for;
+use fastbcc_primitives::rmq::{BlockRmq, RmqKind};
+use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+
+/// Per-vertex tags driving the edge-classification predicates.
+pub struct Tags {
+    /// Parent in the rooted spanning forest (`NONE` for roots).
+    pub parent: Vec<V>,
+    /// First appearance on the Euler tour.
+    pub first: Vec<u32>,
+    /// Last appearance on the Euler tour.
+    pub last: Vec<u32>,
+    /// Minimum `w1` over the subtree.
+    pub low: Vec<u32>,
+    /// Maximum `w2` over the subtree.
+    pub high: Vec<u32>,
+}
+
+impl Tags {
+    /// True iff `u–v` is an edge of the spanning forest.
+    #[inline]
+    pub fn is_tree_edge(&self, u: V, v: V) -> bool {
+        self.parent[u as usize] == v || self.parent[v as usize] == u
+    }
+
+    /// Alg. 1 `Back(u, v)`: `u` is an ancestor of `v` (so a non-tree edge
+    /// `u–v` is a back edge iff `Back(u,v) || Back(v,u)`).
+    #[inline]
+    pub fn back(&self, u: V, v: V) -> bool {
+        self.first[u as usize] <= self.first[v as usize]
+            && self.last[u as usize] >= self.first[v as usize]
+    }
+
+    /// Alg. 1 `Fence(u, v)`: assuming `u = p(v)`, no edge from `T_v`
+    /// escapes `T_u`.
+    #[inline]
+    pub fn fence(&self, u: V, v: V) -> bool {
+        self.first[u as usize] <= self.low[v as usize]
+            && self.last[u as usize] >= self.high[v as usize]
+    }
+
+    /// Alg. 1 `InSkeleton(u, v)`: the edge is a plain tree edge or a cross
+    /// edge — i.e. it belongs to the implicit skeleton `G'`.
+    #[inline]
+    pub fn in_skeleton(&self, u: V, v: V) -> bool {
+        if self.is_tree_edge(u, v) {
+            !self.fence(u, v) && !self.fence(v, u)
+        } else {
+            !self.back(u, v) && !self.back(v, u)
+        }
+    }
+
+    /// Bytes of auxiliary memory held by the tag arrays.
+    pub fn bytes(&self) -> usize {
+        4 * (self.parent.len() + self.first.len() + self.last.len()
+            + self.low.len() + self.high.len())
+    }
+}
+
+/// Compute all tags. Returns the tags and the sparse-table bytes used
+/// (transient — freed before Last-CC), for space accounting.
+pub fn compute_tags(g: &Graph, rf: &RootedForest) -> (Tags, usize) {
+    let n = g.n();
+    let first = rf.first.clone();
+    let last = rf.last.clone();
+    let parent = rf.parent.clone();
+
+    // w1/w2 over vertices, seeded with first[v].
+    let mut w1 = first.clone();
+    let mut w2 = first.clone();
+    {
+        let a1 = as_atomic_u32(&mut w1);
+        let a2 = as_atomic_u32(&mut w2);
+        let parent_ref = &parent;
+        let first_ref = &first;
+        par_for(n, |ui| {
+            let u = ui as V;
+            for &v in g.neighbors(u) {
+                // Skip tree edges: their information is already captured by
+                // the subtree intervals themselves.
+                if parent_ref[u as usize] != v && parent_ref[v as usize] != u {
+                    write_min_u32(&a1[ui], first_ref[v as usize]);
+                    write_max_u32(&a2[ui], first_ref[v as usize]);
+                }
+            }
+        });
+    }
+
+    // Spread to Euler order and build the sparse tables.
+    let tour = &rf.tour_vertex;
+    let tl = tour.len();
+    let mut w1_tour: Vec<u32> = unsafe { uninit_vec(tl) };
+    let mut w2_tour: Vec<u32> = unsafe { uninit_vec(tl) };
+    {
+        let v1 = UnsafeSlice::new(&mut w1_tour);
+        let v2 = UnsafeSlice::new(&mut w2_tour);
+        let w1_ref = &w1;
+        let w2_ref = &w2;
+        par_for(tl, |p| unsafe {
+            let v = tour[p] as usize;
+            v1.write(p, w1_ref[v]);
+            v2.write(p, w2_ref[v]);
+        });
+    }
+    let st_min = BlockRmq::build(&w1_tour, RmqKind::Min);
+    let st_max = BlockRmq::build(&w2_tour, RmqKind::Max);
+    let table_bytes = st_min.bytes() + st_max.bytes() + 8 * tl;
+
+    // low/high by interval queries.
+    let mut low: Vec<u32> = unsafe { uninit_vec(n) };
+    let mut high: Vec<u32> = unsafe { uninit_vec(n) };
+    {
+        let lo = UnsafeSlice::new(&mut low);
+        let hi = UnsafeSlice::new(&mut high);
+        let first_ref = &first;
+        let last_ref = &last;
+        par_for(n, |v| unsafe {
+            lo.write(v, st_min.query(first_ref[v] as usize, last_ref[v] as usize));
+            hi.write(v, st_max.query(first_ref[v] as usize, last_ref[v] as usize));
+        });
+    }
+
+    (Tags { parent, first, last, low, high }, table_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_connectivity::cc::cc_seq;
+    use fastbcc_connectivity::spanning_forest::forest_adjacency;
+    use fastbcc_ett::root_forest;
+    use fastbcc_graph::builder::from_edges;
+    use fastbcc_graph::NONE;
+    use fastbcc_graph::generators::classic::*;
+
+    fn tags_of(g: &Graph) -> Tags {
+        let cc = cc_seq(g, true);
+        let t = forest_adjacency(g.n(), cc.forest.as_ref().unwrap());
+        let rf = root_forest(&t, &cc.labels, 3);
+        compute_tags(g, &rf).0
+    }
+
+    /// Oracle: recompute low/high by brute force over the rooted forest.
+    fn brute_low_high(g: &Graph, tags: &Tags) -> (Vec<u32>, Vec<u32>) {
+        let n = g.n();
+        // subtree membership via interval test with the same first/last.
+        let in_subtree = |anc: usize, v: usize| {
+            tags.first[anc] <= tags.first[v] && tags.last[anc] >= tags.last[v]
+        };
+        let mut low = vec![0u32; n];
+        let mut high = vec![0u32; n];
+        for v in 0..n {
+            let mut lo = u32::MAX;
+            let mut hi = 0u32;
+            for u in 0..n {
+                if in_subtree(v, u) {
+                    lo = lo.min(tags.first[u]);
+                    hi = hi.max(tags.first[u]);
+                    for &x in g.neighbors(u as V) {
+                        if !tags.is_tree_edge(u as V, x) {
+                            lo = lo.min(tags.first[x as usize]);
+                            hi = hi.max(tags.first[x as usize]);
+                        }
+                    }
+                }
+            }
+            low[v] = lo;
+            high[v] = hi;
+        }
+        (low, high)
+    }
+
+    #[test]
+    fn low_high_match_brute_force_on_zoo() {
+        for g in [
+            cycle(9),
+            windmill(4),
+            petersen(),
+            theta(1, 2, 3),
+            barbell(4, 2),
+            complete(6),
+            from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)]),
+        ] {
+            let tags = tags_of(&g);
+            let (lo, hi) = brute_low_high(&g, &tags);
+            assert_eq!(tags.low, lo, "low mismatch");
+            assert_eq!(tags.high, hi, "high mismatch");
+        }
+    }
+
+    #[test]
+    fn tree_edge_detection() {
+        let g = cycle(5);
+        let tags = tags_of(&g);
+        let tree_count = g.iter_edges().filter(|&(u, v)| tags.is_tree_edge(u, v)).count();
+        assert_eq!(tree_count, 4); // spanning tree of a 5-cycle
+    }
+
+    #[test]
+    fn non_tree_edge_classification_on_cycle() {
+        // A cycle's spanning tree is a path; the one non-tree edge joins the
+        // path's two endpoints. It is a back edge iff the tree root is one
+        // of those endpoints (ancestor relation), otherwise a cross edge.
+        let g = cycle(6);
+        let tags = tags_of(&g);
+        let non_tree: Vec<_> = g
+            .iter_edges()
+            .filter(|&(u, v)| !tags.is_tree_edge(u, v))
+            .collect();
+        assert_eq!(non_tree.len(), 1);
+        let (u, v) = non_tree[0];
+        let root_is_endpoint =
+            tags.parent[u as usize] == NONE || tags.parent[v as usize] == NONE;
+        let is_back = tags.back(u, v) || tags.back(v, u);
+        assert_eq!(is_back, root_is_endpoint, "edge {u}-{v}");
+        assert_eq!(tags.in_skeleton(u, v), !is_back);
+    }
+
+    #[test]
+    fn fence_edges_on_path_graph() {
+        // Every edge of a path is a fence edge (each is a bridge).
+        let g = path(10);
+        let tags = tags_of(&g);
+        for (u, v) in g.iter_edges() {
+            assert!(tags.is_tree_edge(u, v));
+            assert!(!tags.in_skeleton(u, v), "bridge {u}-{v} must be fenced");
+        }
+    }
+
+    #[test]
+    fn biconnected_graph_keeps_non_root_tree_edges_in_skeleton() {
+        // On K5 every tree edge *not incident to the root* is plain; the
+        // root's own tree edges are always fences (Lemma 4.9 case 1).
+        let g = complete(5);
+        let tags = tags_of(&g);
+        for (u, v) in g.iter_edges() {
+            if tags.is_tree_edge(u, v) {
+                let root_incident =
+                    tags.parent[u as usize] == NONE || tags.parent[v as usize] == NONE;
+                assert_eq!(
+                    tags.in_skeleton(u, v),
+                    !root_incident,
+                    "tree edge {u}-{v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windmill_fences_exactly_center_edges() {
+        // Each triangle center-edge pair: the tree edges from the center
+        // into each triangle are fences iff they separate BCCs. For the
+        // windmill rooted anywhere, each triangle is one BCC; the edges
+        // into a triangle from the center are that BCC's boundary.
+        let g = windmill(5);
+        let tags = tags_of(&g);
+        // The third edge of each triangle (leaf-leaf) must never be fenced.
+        for (u, v) in g.iter_edges() {
+            if u != 0 && v != 0 {
+                assert!(
+                    !tags.is_tree_edge(u, v) || tags.in_skeleton(u, v),
+                    "leaf-leaf tree edge {u}-{v} wrongly fenced"
+                );
+            }
+        }
+    }
+}

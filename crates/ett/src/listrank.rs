@@ -1,0 +1,213 @@
+//! Parallel list ranking with √n sampling.
+//!
+//! The paper's exact scheme (§5): "For list ranking, we coarsen the base
+//! cases by sampling √n nodes. We start from these nodes in parallel, with
+//! each node sequentially following the pointers until it visits the next
+//! sample. Then we compute the offsets of each sample by prefix sum, pass
+//! the offsets to other nodes by chasing the pointers from the samples, and
+//! scatter all nodes into a contiguous array."
+//!
+//! Works on a set of disjoint **circular** successor lists (one Euler
+//! circuit per tree). Each list must contain at least one designated start
+//! node; ranks are positions relative to that start. With random sampling
+//! the longest inter-sample segment is `O(√n log n)` w.h.p., which bounds
+//! the span; total work is `O(n)`.
+
+use fastbcc_primitives::par::par_for;
+use fastbcc_primitives::rng::hash64_pair;
+use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+
+/// Sentinel for "not a sample".
+const NOT_SAMPLE: u32 = u32::MAX;
+
+/// Rank the nodes of disjoint circular lists.
+///
+/// * `succ[i]` — successor of node `i`; every node lies on exactly one
+///   circular list.
+/// * `starts` — one designated start node per list (rank 0). Every circular
+///   list must contain exactly one start.
+///
+/// Returns `rank[i]` = distance from its list's start to `i` along `succ`.
+pub fn rank_circular_lists(succ: &[u32], starts: &[u32], seed: u64) -> Vec<u32> {
+    let n = succ.len();
+    let mut rank: Vec<u32> = unsafe { uninit_vec(n) };
+    if n == 0 {
+        return rank;
+    }
+
+    // --- choose samples: expected √n random nodes + every start ---------
+    // sample_id[i] != NOT_SAMPLE marks node i as the sample with that index.
+    let target = (n as f64).sqrt().ceil() as u64;
+    let is_random_sample =
+        |i: usize| -> bool { hash64_pair(seed, i as u64) % (n as u64).max(1) < target };
+    let mut is_start = vec![false; n];
+    for &s in starts {
+        is_start[s as usize] = true;
+    }
+    let randoms = fastbcc_primitives::pack::pack_index(n, |i| {
+        !is_start[i] && is_random_sample(i)
+    });
+    let mut samples: Vec<u32> = Vec::with_capacity(starts.len() + randoms.len());
+    samples.extend_from_slice(starts);
+    samples.extend_from_slice(&randoms);
+    let k = samples.len();
+    let mut sample_of = vec![NOT_SAMPLE; n];
+    {
+        let view = UnsafeSlice::new(&mut sample_of);
+        let samples_ref = &samples;
+        par_for(k, |si| unsafe { view.write(samples_ref[si] as usize, si as u32) });
+    }
+
+    // --- pass 1: walk each sample's segment, find next sample + length ---
+    let mut seg_len = vec![0u32; k];
+    let mut next_sample = vec![0u32; k];
+    {
+        let lens = UnsafeSlice::new(&mut seg_len);
+        let nexts = UnsafeSlice::new(&mut next_sample);
+        let sample_of_ref = &sample_of;
+        par_for(k, |si| {
+            let mut cur = succ[samples[si] as usize];
+            let mut len = 1u32;
+            while sample_of_ref[cur as usize] == NOT_SAMPLE {
+                cur = succ[cur as usize];
+                len += 1;
+            }
+            // SAFETY: slot si owned by this iteration.
+            unsafe {
+                lens.write(si, len);
+                nexts.write(si, sample_of_ref[cur as usize]);
+            }
+        });
+    }
+
+    // --- sequential over samples: accumulate offsets per circuit --------
+    // k = O(√n + #lists) so this pass is cheap; it also validates that each
+    // start's circuit returns to itself.
+    let mut offset = vec![u32::MAX; k];
+    for &s in starts {
+        let s0 = sample_of[s as usize];
+        let mut si = s0;
+        let mut acc = 0u32;
+        loop {
+            debug_assert_eq!(offset[si as usize], u32::MAX, "two starts on one circuit");
+            offset[si as usize] = acc;
+            acc += seg_len[si as usize];
+            si = next_sample[si as usize];
+            if si == s0 {
+                break;
+            }
+        }
+    }
+
+    // --- pass 2: re-walk segments, scattering final ranks ---------------
+    {
+        let view = UnsafeSlice::new(&mut rank);
+        let sample_of_ref = &sample_of;
+        par_for(k, |si| {
+            let base = offset[si];
+            debug_assert_ne!(base, u32::MAX, "sample on a circuit with no start");
+            let mut cur = samples[si];
+            let mut d = 0u32;
+            loop {
+                // SAFETY: every node belongs to exactly one sample segment.
+                unsafe { view.write(cur as usize, base + d) };
+                cur = succ[cur as usize];
+                d += 1;
+                if sample_of_ref[cur as usize] != NOT_SAMPLE {
+                    break;
+                }
+            }
+        });
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_primitives::rng::Rng;
+
+    /// Build one circular list visiting a given permutation order.
+    fn circle_from_order(order: &[u32]) -> Vec<u32> {
+        let n = order.len();
+        let mut succ = vec![0u32; n];
+        for i in 0..n {
+            succ[order[i] as usize] = order[(i + 1) % n];
+        }
+        succ
+    }
+
+    #[test]
+    fn single_circle_identity_order() {
+        let n = 1000;
+        let order: Vec<u32> = (0..n as u32).collect();
+        let succ = circle_from_order(&order);
+        let rank = rank_circular_lists(&succ, &[0], 1);
+        for i in 0..n {
+            assert_eq!(rank[i], i as u32);
+        }
+    }
+
+    #[test]
+    fn single_circle_random_order_random_start() {
+        let mut r = Rng::new(7);
+        for n in [1usize, 2, 3, 17, 1000, 40_000] {
+            let mut order: Vec<u32> = (0..n as u32).collect();
+            r.shuffle(&mut order);
+            let succ = circle_from_order(&order);
+            let start = order[r.index(n)];
+            let rank = rank_circular_lists(&succ, &[start], r.next_u64());
+            // Verify by walking.
+            let mut cur = start;
+            for d in 0..n as u32 {
+                assert_eq!(rank[cur as usize], d, "n={n}");
+                cur = succ[cur as usize];
+            }
+            assert_eq!(cur, start);
+        }
+    }
+
+    #[test]
+    fn multiple_disjoint_circles() {
+        let mut r = Rng::new(13);
+        // Three circles of different sizes over one id space.
+        let sizes = [5usize, 1, 300];
+        let n: usize = sizes.iter().sum();
+        let mut succ = vec![0u32; n];
+        let mut starts = Vec::new();
+        let mut base = 0usize;
+        for &sz in &sizes {
+            let mut order: Vec<u32> = (base as u32..(base + sz) as u32).collect();
+            r.shuffle(&mut order);
+            for i in 0..sz {
+                succ[order[i] as usize] = order[(i + 1) % sz];
+            }
+            starts.push(order[0]);
+            base += sz;
+        }
+        let rank = rank_circular_lists(&succ, &starts, 3);
+        for (ci, &s) in starts.iter().enumerate() {
+            let mut cur = s;
+            for d in 0..sizes[ci] as u32 {
+                assert_eq!(rank[cur as usize], d, "circle {ci}");
+                cur = succ[cur as usize];
+            }
+            assert_eq!(cur, s);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let rank = rank_circular_lists(&[], &[], 0);
+        assert!(rank.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let order: Vec<u32> = (0..777u32).rev().collect();
+        let succ = circle_from_order(&order);
+        let a = rank_circular_lists(&succ, &[5], 9);
+        let b = rank_circular_lists(&succ, &[5], 9);
+        assert_eq!(a, b);
+    }
+}

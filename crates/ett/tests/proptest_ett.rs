@@ -1,0 +1,114 @@
+//! Property-based tests for the Euler tour technique: on arbitrary random
+//! forests, the rooted structure must satisfy the laminar-interval algebra
+//! that the Fence/Back predicates rely on.
+
+use fastbcc_ett::{rank_circular_lists, root_forest};
+use fastbcc_graph::builder::from_edges;
+use fastbcc_graph::stats::cc_labels_seq;
+use fastbcc_graph::{V, NONE};
+use proptest::prelude::*;
+
+/// Random forest: each vertex i>0 attaches to a random earlier vertex with
+/// probability `p`, else starts a new tree.
+fn arb_forest(nmax: usize) -> impl Strategy<Value = (usize, Vec<(V, V)>)> {
+    (2..nmax, any::<u64>(), 0.5f64..1.0).prop_map(|(n, seed, p)| {
+        let mut edges = Vec::new();
+        for i in 1..n {
+            let h = fastbcc_primitives::rng::hash64_pair(seed, i as u64);
+            if fastbcc_primitives::rng::to_unit_f64(h) < p {
+                let parent = (fastbcc_primitives::rng::hash64_pair(seed, i as u64 + 1_000_000)
+                    % i as u64) as V;
+                edges.push((parent, i as V));
+            }
+        }
+        (n, edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rooted_forest_invariants((n, edges) in arb_forest(120), seed in any::<u64>()) {
+        let t = from_edges(n, &edges);
+        let labels = cc_labels_seq(&t);
+        let rf = root_forest(&t, &labels, seed);
+
+        prop_assert_eq!(rf.tour_len(), 2 * n - rf.roots.len());
+        for v in 0..n as V {
+            let (f, l) = (rf.first[v as usize], rf.last[v as usize]);
+            prop_assert!(f <= l);
+            prop_assert_eq!(rf.tour_vertex[f as usize], v);
+            prop_assert_eq!(rf.tour_vertex[l as usize], v);
+            match rf.parent[v as usize] {
+                NONE => prop_assert!(rf.roots.contains(&v)),
+                p => {
+                    prop_assert!(t.has_edge(p, v));
+                    prop_assert!(rf.first[p as usize] < f);
+                    prop_assert!(rf.last[p as usize] >= l);
+                }
+            }
+        }
+        // Intervals form a laminar family: any two vertex intervals are
+        // nested or disjoint.
+        for u in 0..n.min(40) {
+            for v in (u + 1)..n.min(40) {
+                let (a1, b1) = (rf.first[u], rf.last[u]);
+                let (a2, b2) = (rf.first[v], rf.last[v]);
+                let nested = (a1 <= a2 && b1 >= b2) || (a2 <= a1 && b2 >= b1);
+                let disjoint = b1 < a2 || b2 < a1;
+                prop_assert!(nested || disjoint, "intervals cross: {u} {v}");
+            }
+        }
+        // Ancestor test is antisymmetric except for self.
+        for u in 0..n.min(30) as V {
+            for v in 0..n.min(30) as V {
+                if u != v {
+                    prop_assert!(!(rf.is_ancestor(u, v) && rf.is_ancestor(v, u)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_vertex_appears_degree_times(
+        (n, edges) in arb_forest(100),
+        seed in any::<u64>()
+    ) {
+        // On the tour, a non-root of degree d appears d times (once per
+        // incoming arc); a root appears d+1 times (its leading position
+        // plus each return); an isolated root appears once.
+        let t = from_edges(n, &edges);
+        let labels = cc_labels_seq(&t);
+        let rf = root_forest(&t, &labels, seed);
+        let mut appearances = vec![0usize; n];
+        for &v in &rf.tour_vertex {
+            appearances[v as usize] += 1;
+        }
+        for v in 0..n {
+            let d = t.degree(v as V);
+            let is_root = rf.roots.contains(&(v as V));
+            let want = if is_root { d + 1 } else { d };
+            prop_assert_eq!(appearances[v], want, "vertex {}", v);
+        }
+    }
+
+    #[test]
+    fn list_ranking_on_random_circles(perm_seed in any::<u64>(), n in 1usize..3000) {
+        let mut r = fastbcc_primitives::rng::Rng::new(perm_seed);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        r.shuffle(&mut order);
+        let mut succ = vec![0u32; n];
+        for i in 0..n {
+            succ[order[i] as usize] = order[(i + 1) % n];
+        }
+        let start = order[r.index(n)];
+        let rank = rank_circular_lists(&succ, &[start], r.next_u64());
+        let mut cur = start;
+        for d in 0..n as u32 {
+            prop_assert_eq!(rank[cur as usize], d);
+            cur = succ[cur as usize];
+        }
+        prop_assert_eq!(cur, start);
+    }
+}

@@ -1,0 +1,161 @@
+//! Parallel CSR construction from edge lists.
+//!
+//! Pipeline (all phases parallel, `O(m)` work, `O(log m)` span):
+//!
+//! 1. symmetrize: every undirected edge becomes two directed arcs;
+//! 2. drop self-loops;
+//! 3. radix-sort arcs by `(src, dst)` (two stable passes);
+//! 4. pack out duplicate arcs;
+//! 5. derive offsets from the sorted survivors.
+//!
+//! This mirrors the preprocessing the paper applies to its inputs
+//! (symmetrization, dedup) so all algorithms see simple undirected graphs.
+
+use crate::csr::Graph;
+use crate::types::{EdgeList, V};
+use fastbcc_primitives::pack::{pack_map, filter_slice};
+use fastbcc_primitives::par::par_for;
+use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+use fastbcc_primitives::sort::{offsets_from_sorted, radix_sort_by};
+
+/// Build a symmetric, loop-free, duplicate-free CSR graph from an edge list.
+pub fn build_symmetric(el: &EdgeList) -> Graph {
+    let n = el.n;
+    assert!(n < u32::MAX as usize, "vertex count must fit in u32 with NONE reserved");
+    if el.edges.is_empty() {
+        return Graph::empty(n);
+    }
+
+    // 1+2: symmetrize and drop loops in one scatter.
+    let loops = fastbcc_primitives::reduce::count(el.edges.len(), |i| {
+        el.edges[i].0 == el.edges[i].1
+    });
+    let keep = el.edges.len() - loops;
+    let mut arcs: Vec<(V, V)> = unsafe { uninit_vec(2 * keep) };
+    {
+        // Compute destinations for survivors via pack of indices, then scatter
+        // both directions.
+        let idx = fastbcc_primitives::pack::pack_index_usize(el.edges.len(), |i| {
+            el.edges[i].0 != el.edges[i].1
+        });
+        let view = UnsafeSlice::new(&mut arcs);
+        par_for(idx.len(), |j| {
+            let (u, v) = el.edges[idx[j]];
+            // SAFETY: slots 2j and 2j+1 are owned by iteration j.
+            unsafe {
+                view.write(2 * j, (u, v));
+                view.write(2 * j + 1, (v, u));
+            }
+        });
+    }
+
+    from_arcs_dedup(n, arcs)
+}
+
+/// Build a CSR graph from directed arcs (already containing both directions
+/// if symmetry is intended). Deduplicates and drops self-loops.
+pub fn from_arcs_dedup(n: usize, arcs: Vec<(V, V)>) -> Graph {
+    if arcs.is_empty() {
+        return Graph::empty(n);
+    }
+    let no_loops = filter_slice(&arcs, |&(u, v)| u != v);
+    // 3: stable radix sorts: by dst, then by src => lexicographic (src, dst).
+    let max_id = (n.saturating_sub(1)) as u64;
+    let by_dst = radix_sort_by(&no_loops, max_id, |&(_, v)| v as u64);
+    let sorted = radix_sort_by(&by_dst, max_id, |&(u, _)| u as u64);
+
+    // 4: drop duplicates (adjacent after the sort).
+    let deduped: Vec<(V, V)> = pack_map(
+        sorted.len(),
+        |i| i == 0 || sorted[i] != sorted[i - 1],
+        |i| sorted[i],
+    );
+
+    // 5: offsets + flat arc targets.
+    let offsets = offsets_from_sorted(&deduped, n, |&(u, _)| u as usize);
+    let mut flat: Vec<V> = unsafe { uninit_vec(deduped.len()) };
+    {
+        let view = UnsafeSlice::new(&mut flat);
+        par_for(deduped.len(), |i| unsafe { view.write(i, deduped[i].1) });
+    }
+    Graph::from_raw_parts(offsets, flat)
+}
+
+/// Convenience: build from a plain `(u, v)` slice.
+pub fn from_edges(n: usize, edges: &[(V, V)]) -> Graph {
+    build_symmetric(&EdgeList { n, edges: edges.to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_paw_graph() {
+        let g = from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 8);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn dedups_and_drops_loops() {
+        let g = from_edges(
+            3,
+            &[(0, 1), (1, 0), (0, 1), (1, 1), (2, 2), (1, 2)],
+        );
+        assert_eq!(g.m_undirected(), 2); // {0,1}, {1,2}
+        assert!(!g.has_self_loops());
+        assert!(!g.has_multi_edges());
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn empty_and_isolated_vertices() {
+        let g = from_edges(5, &[]);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        let g = from_edges(5, &[(0, 4)]);
+        assert_eq!(g.degree(1), 0);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(4), 1);
+    }
+
+    #[test]
+    fn neighbor_lists_sorted() {
+        let g = from_edges(6, &[(3, 5), (3, 1), (3, 4), (3, 0), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn large_random_build_is_consistent() {
+        use fastbcc_primitives::rng::Rng;
+        let mut r = Rng::new(21);
+        let n = 10_000usize;
+        let m = 60_000usize;
+        let edges: Vec<(V, V)> = (0..m)
+            .map(|_| (r.index(n) as V, r.index(n) as V))
+            .collect();
+        let g = from_edges(n, &edges);
+        assert!(g.is_symmetric());
+        assert!(!g.has_self_loops());
+        assert!(!g.has_multi_edges());
+        // Every non-loop input edge must be present.
+        for &(u, v) in edges.iter().take(500) {
+            if u != v {
+                assert!(g.has_edge(u, v), "missing edge {u}-{v}");
+                assert!(g.has_edge(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn from_arcs_dedup_directed_input() {
+        // Input arcs deliberately asymmetric; builder keeps them as-is
+        // (minus dupes/loops) — symmetry is the caller's contract.
+        let g = from_arcs_dedup(3, vec![(0, 1), (0, 1), (1, 2), (2, 2)]);
+        assert_eq!(g.m(), 2);
+        assert!(!g.is_symmetric());
+    }
+}

@@ -1,0 +1,280 @@
+//! Small named graphs with closed-form biconnectivity structure.
+//!
+//! These are the correctness fixtures: for each family the number of BCCs,
+//! the articulation points, and the bridges are known analytically, so the
+//! test suites across crates assert against them.
+
+use crate::builder::build_symmetric;
+use crate::csr::Graph;
+use crate::types::{EdgeList, V};
+
+/// Path (chain) graph `0 - 1 - ... - n-1`. The paper's `Chn` inputs.
+/// Every edge is a bridge; every internal vertex is an articulation point;
+/// `n-1` BCCs of size 2.
+pub fn path(n: usize) -> Graph {
+    let mut el = EdgeList::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        el.push((i - 1) as V, i as V);
+    }
+    build_symmetric(&el)
+}
+
+/// Cycle graph: one single BCC, no articulation points (n ≥ 3).
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut el = EdgeList::with_capacity(n, n);
+    for i in 0..n {
+        el.push(i as V, ((i + 1) % n) as V);
+    }
+    build_symmetric(&el)
+}
+
+/// Star graph: center 0, leaves 1..n. `n-1` BCCs (one per spoke); the
+/// center is the unique articulation point (n ≥ 3).
+pub fn star(n: usize) -> Graph {
+    let mut el = EdgeList::with_capacity(n, n.saturating_sub(1));
+    for i in 1..n {
+        el.push(0, i as V);
+    }
+    build_symmetric(&el)
+}
+
+/// Complete graph `K_n`: one BCC, no articulation points (n ≥ 3).
+pub fn complete(n: usize) -> Graph {
+    let mut el = EdgeList::with_capacity(n, n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            el.push(i as V, j as V);
+        }
+    }
+    build_symmetric(&el)
+}
+
+/// Complete bipartite `K_{a,b}`: biconnected iff `a,b ≥ 2`.
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut el = EdgeList::with_capacity(a + b, a * b);
+    for i in 0..a {
+        for j in 0..b {
+            el.push(i as V, (a + j) as V);
+        }
+    }
+    build_symmetric(&el)
+}
+
+/// Theta graph: two terminals joined by three internally disjoint paths of
+/// `len1/len2/len3` internal vertices each. A single BCC (it is 2-connected).
+pub fn theta(len1: usize, len2: usize, len3: usize) -> Graph {
+    let n = 2 + len1 + len2 + len3;
+    let mut el = EdgeList::new(n);
+    let s: V = 0;
+    let t: V = 1;
+    let mut next = 2u32;
+    for &len in &[len1, len2, len3] {
+        let mut prev = s;
+        for _ in 0..len {
+            el.push(prev, next);
+            prev = next;
+            next += 1;
+        }
+        el.push(prev, t);
+    }
+    build_symmetric(&el)
+}
+
+/// Barbell: two `K_k` cliques joined by a path of `bridge_len` edges.
+/// BCCs: 2 cliques + `bridge_len` bridge edges.
+pub fn barbell(k: usize, bridge_len: usize) -> Graph {
+    assert!(k >= 3 && bridge_len >= 1);
+    let n = 2 * k + bridge_len.saturating_sub(1);
+    let mut el = EdgeList::new(n);
+    // Clique A: 0..k, clique B: k..2k. Path links vertex k-1 to vertex k
+    // through bridge_len-1 intermediate vertices 2k..2k+bridge_len-1.
+    for i in 0..k {
+        for j in (i + 1)..k {
+            el.push(i as V, j as V);
+            el.push((k + i) as V, (k + j) as V);
+        }
+    }
+    let mut prev = (k - 1) as V;
+    for b in 0..bridge_len.saturating_sub(1) {
+        let mid = (2 * k + b) as V;
+        el.push(prev, mid);
+        prev = mid;
+    }
+    el.push(prev, k as V);
+    build_symmetric(&el)
+}
+
+/// Windmill (friendship) graph: `t` triangles all sharing vertex 0.
+/// `t` BCCs; 0 is the sole articulation point (t ≥ 2).
+pub fn windmill(t: usize) -> Graph {
+    let n = 1 + 2 * t;
+    let mut el = EdgeList::new(n);
+    for i in 0..t {
+        let a = (1 + 2 * i) as V;
+        let b = (2 + 2 * i) as V;
+        el.push(0, a);
+        el.push(0, b);
+        el.push(a, b);
+    }
+    build_symmetric(&el)
+}
+
+/// Complete binary tree with `n` vertices (heap numbering). Every edge a
+/// bridge; `n-1` BCCs.
+pub fn binary_tree(n: usize) -> Graph {
+    let mut el = EdgeList::new(n);
+    for i in 1..n {
+        el.push(((i - 1) / 2) as V, i as V);
+    }
+    build_symmetric(&el)
+}
+
+/// Ladder graph: two paths of length `len` rung-connected. One BCC (len ≥ 2).
+pub fn ladder(len: usize) -> Graph {
+    assert!(len >= 2);
+    let n = 2 * len;
+    let mut el = EdgeList::new(n);
+    for i in 0..len {
+        el.push((2 * i) as V, (2 * i + 1) as V); // rung
+        if i + 1 < len {
+            el.push((2 * i) as V, (2 * i + 2) as V);
+            el.push((2 * i + 1) as V, (2 * i + 3) as V);
+        }
+    }
+    build_symmetric(&el)
+}
+
+/// Wheel: cycle of `n-1` vertices plus a hub adjacent to all. One BCC (n ≥ 4).
+pub fn wheel(n: usize) -> Graph {
+    assert!(n >= 4);
+    let mut el = EdgeList::new(n);
+    for i in 1..n {
+        el.push(0, i as V);
+        let nxt = if i == n - 1 { 1 } else { i + 1 };
+        el.push(i as V, nxt as V);
+    }
+    build_symmetric(&el)
+}
+
+/// The Petersen graph (3-regular, 3-connected): one BCC.
+pub fn petersen() -> Graph {
+    let outer: [(V, V); 5] = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)];
+    let spokes: [(V, V); 5] = [(0, 5), (1, 6), (2, 7), (3, 8), (4, 9)];
+    let inner: [(V, V); 5] = [(5, 7), (7, 9), (9, 6), (6, 8), (8, 5)];
+    let mut el = EdgeList::new(10);
+    for &(u, v) in outer.iter().chain(&spokes).chain(&inner) {
+        el.push(u, v);
+    }
+    build_symmetric(&el)
+}
+
+/// Disjoint union of graphs (relabels each component's vertices into a
+/// fresh id range). Used to test multi-CC handling.
+pub fn disjoint_union(parts: &[&Graph]) -> Graph {
+    let n: usize = parts.iter().map(|g| g.n()).sum();
+    let mut el = EdgeList::new(n);
+    let mut base = 0u32;
+    for g in parts {
+        for (u, v) in g.iter_edges() {
+            el.push(base + u, base + v);
+        }
+        base += g.n() as u32;
+    }
+    build_symmetric(&el)
+}
+
+/// A chain of `c` cliques `K_k`, consecutive cliques sharing one cut vertex.
+/// Exactly `c` BCCs; the shared vertices are the articulation points.
+pub fn clique_chain(c: usize, k: usize) -> Graph {
+    assert!(k >= 2 && c >= 1);
+    let n = c * (k - 1) + 1;
+    let mut el = EdgeList::new(n);
+    for ci in 0..c {
+        let base = ci * (k - 1);
+        // Clique on vertices base .. base+k (inclusive endpoints share).
+        for i in 0..k {
+            for j in (i + 1)..k {
+                el.push((base + i) as V, (base + j) as V);
+            }
+        }
+    }
+    build_symmetric(&el)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_right() {
+        assert_eq!(path(5).m_undirected(), 4);
+        assert_eq!(cycle(5).m_undirected(), 5);
+        assert_eq!(star(6).m_undirected(), 5);
+        assert_eq!(complete(6).m_undirected(), 15);
+        assert_eq!(complete_bipartite(2, 3).m_undirected(), 6);
+        assert_eq!(theta(1, 2, 3).m_undirected(), 2 + 3 + 4);
+        assert_eq!(windmill(4).m_undirected(), 12);
+        assert_eq!(binary_tree(7).m_undirected(), 6);
+        assert_eq!(ladder(3).m_undirected(), 3 + 4);
+        assert_eq!(wheel(5).m_undirected(), 8);
+        assert_eq!(petersen().m_undirected(), 15);
+        assert_eq!(clique_chain(3, 4).n(), 10);
+        assert_eq!(clique_chain(3, 4).m_undirected(), 18);
+    }
+
+    #[test]
+    fn all_symmetric_no_junk() {
+        for g in [
+            path(10),
+            cycle(8),
+            star(9),
+            complete(7),
+            complete_bipartite(3, 4),
+            theta(0, 1, 5),
+            barbell(4, 3),
+            windmill(5),
+            binary_tree(20),
+            ladder(6),
+            wheel(7),
+            petersen(),
+            clique_chain(4, 3),
+        ] {
+            assert!(g.is_symmetric());
+            assert!(!g.has_self_loops());
+            assert!(!g.has_multi_edges());
+        }
+    }
+
+    #[test]
+    fn barbell_structure() {
+        let g = barbell(4, 2);
+        // 2 cliques of 4 + 1 intermediate bridge vertex.
+        assert_eq!(g.n(), 9);
+        assert_eq!(g.m_undirected(), 6 + 6 + 2);
+        assert_eq!(g.degree(8), 2); // the intermediate vertex
+    }
+
+    #[test]
+    fn disjoint_union_counts() {
+        let g = disjoint_union(&[&cycle(3), &path(4)]);
+        assert_eq!(g.n(), 7);
+        assert_eq!(g.m_undirected(), 3 + 3);
+        // No cross edges.
+        for u in 0..3u32 {
+            for &v in g.neighbors(u) {
+                assert!(v < 3);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_degrees() {
+        let g = theta(2, 2, 2);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(1), 3);
+        for v in 2..8u32 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Grid-family generators: the paper's synthetic SQR/REC/SQR'/REC' inputs.
+//!
+//! Per the paper (§6): "We also create six synthetic graphs, including two
+//! grids (SQR and REC), two sampled grids (SQR' and REC', each edge is
+//! created with probability 0.6) … Each row and column in grid graphs are
+//! circular." — i.e. the grids are tori.
+
+use crate::builder::build_symmetric;
+use crate::csr::Graph;
+use crate::types::{EdgeList, V};
+use fastbcc_primitives::pack::pack_map;
+use fastbcc_primitives::rng::{hash64_pair, to_unit_f64};
+
+/// 2-D grid of `rows × cols` vertices. With `wrap = true` (the paper's
+/// setting) every row and column closes into a cycle (torus).
+///
+/// Vertex `(r, c)` has id `r * cols + c`. Generated in parallel.
+pub fn grid2d(rows: usize, cols: usize, wrap: bool) -> Graph {
+    grid2d_impl(rows, cols, wrap, None, 0)
+}
+
+/// Sampled 2-D grid: each torus edge is kept independently with
+/// probability `p` (the paper uses `p = 0.6` for SQR'/REC').
+pub fn grid2d_sampled(rows: usize, cols: usize, p: f64, seed: u64) -> Graph {
+    grid2d_impl(rows, cols, true, Some(p), seed)
+}
+
+fn grid2d_impl(rows: usize, cols: usize, wrap: bool, sample: Option<f64>, seed: u64) -> Graph {
+    assert!(rows >= 1 && cols >= 1);
+    let n = rows * cols;
+    // Edge slot encoding: slot 2*v is the "right" edge of cell v, slot
+    // 2*v + 1 is its "down" edge. With wrap every slot exists (unless the
+    // dimension is degenerate); without wrap the boundary slots are skipped.
+    let slots = 2 * n;
+    let keep = |s: usize| -> bool {
+        let v = s / 2;
+        let right = s % 2 == 0;
+        let (r, c) = (v / cols, v % cols);
+        let exists = if right {
+            // A right edge needs ≥ 2 columns; without wrap the last column
+            // has none. Avoid duplicate edges on 2-wide wrapped dims.
+            cols >= 2 && (wrap || c + 1 < cols) && !(wrap && cols == 2 && c == 1)
+        } else {
+            rows >= 2 && (wrap || r + 1 < rows) && !(wrap && rows == 2 && r == 1)
+        };
+        if !exists {
+            return false;
+        }
+        match sample {
+            None => true,
+            Some(p) => to_unit_f64(hash64_pair(seed, s as u64)) < p,
+        }
+    };
+    let edges = pack_map(slots, keep, |s| {
+        let v = (s / 2) as V;
+        let right = s % 2 == 0;
+        let (r, c) = (v as usize / cols, v as usize % cols);
+        let w = if right {
+            (r * cols + (c + 1) % cols) as V
+        } else {
+            (((r + 1) % rows) * cols + c) as V
+        };
+        (v, w)
+    });
+    build_symmetric(&EdgeList { n, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_grid_edge_count() {
+        // rows*(cols-1) + (rows-1)*cols horizontal+vertical edges.
+        let g = grid2d(4, 5, false);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m_undirected(), 4 * 4 + 3 * 5);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn torus_edge_count_and_regularity() {
+        let g = grid2d(5, 7, true);
+        assert_eq!(g.n(), 35);
+        assert_eq!(g.m_undirected(), 2 * 35);
+        // A torus with dims ≥ 3 is 4-regular.
+        for v in 0..35u32 {
+            assert_eq!(g.degree(v), 4, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        // 1 × n torus: row wraps into a cycle, no vertical edges.
+        let g = grid2d(1, 6, true);
+        assert_eq!(g.m_undirected(), 6);
+        // 2-wide wrapped dimension must not create duplicate edges.
+        let g = grid2d(2, 4, true);
+        assert!(!g.has_multi_edges());
+        assert_eq!(g.m_undirected(), 4 + 8); // vertical: 4 pairs; horizontal: 2 rows * 4
+        // Single vertex.
+        let g = grid2d(1, 1, true);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn sampled_grid_keeps_about_p() {
+        let g = grid2d_sampled(100, 100, 0.6, 42);
+        let full = 2 * 100 * 100;
+        let frac = g.m_undirected() as f64 / full as f64;
+        assert!((0.55..0.65).contains(&frac), "kept fraction {frac}");
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn sampled_grid_deterministic() {
+        let a = grid2d_sampled(50, 50, 0.6, 7);
+        let b = grid2d_sampled(50, 50, 0.6, 7);
+        assert_eq!(a, b);
+        let c = grid2d_sampled(50, 50, 0.6, 8);
+        assert_ne!(a.m(), c.m());
+    }
+
+    #[test]
+    fn paper_shapes_scaled() {
+        // SQR is a square torus, REC a 1:100 rectangle; smoke-test tiny
+        // versions of both aspect ratios.
+        let sqr = grid2d(32, 32, true);
+        let rec = grid2d(8, 128, true);
+        assert_eq!(sqr.n(), rec.n());
+        assert_eq!(sqr.m_undirected(), 2 * 1024);
+        assert_eq!(rec.m_undirected(), 2 * 1024);
+    }
+}

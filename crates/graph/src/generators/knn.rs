@@ -1,0 +1,153 @@
+//! k-nearest-neighbor graphs of uniform random points — the stand-in for
+//! the paper's k-NN inputs (HH5, CH5, GL2–GL20, COS5).
+//!
+//! "In k-NN graphs, each vertex is a multi-dimensional data point and has k
+//! edges pointing to its k-nearest neighbors (excluding itself)" (§6). The
+//! directed k-NN arcs are then symmetrized like every other input. Varying
+//! `k` with fixed points reproduces the GL2→GL20 sweep: larger `k` adds
+//! edges and *shrinks* the diameter, which is the lever the paper uses to
+//! show BFS-based baselines are diameter-bound.
+
+use super::points::PointGrid;
+use crate::builder::build_symmetric;
+use crate::csr::Graph;
+use crate::types::{EdgeList, V, NONE};
+use fastbcc_primitives::par::par_for;
+use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+
+/// Exact k-NN graph of `n` uniform random points in the unit square.
+pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
+    assert!(n >= 1);
+    let k = k.min(n.saturating_sub(1));
+    if k == 0 {
+        return Graph::empty(n);
+    }
+    let pg = PointGrid::uniform(n, 2 * k + 1, seed);
+
+    // arcs[i*k .. (i+1)*k] = the k nearest neighbors of i (NONE-padded never
+    // happens since k < n, but keep the guard for safety).
+    let mut arcs: Vec<(V, V)> = unsafe { uninit_vec(n * k) };
+    {
+        let view = UnsafeSlice::new(&mut arcs);
+        par_for(n, |i| {
+            let mut best = knn_of(&pg, i, k);
+            best.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            for (slot, &(_, j)) in best.iter().enumerate() {
+                // SAFETY: rows are disjoint per i.
+                unsafe { view.write(i * k + slot, (i as V, j)) };
+            }
+            for slot in best.len()..k {
+                unsafe { view.write(i * k + slot, (NONE, NONE)) };
+            }
+        });
+    }
+    let edges: Vec<(V, V)> =
+        fastbcc_primitives::pack::filter_slice(&arcs, |&(u, _)| u != NONE);
+    build_symmetric(&EdgeList { n, edges })
+}
+
+/// The `k` nearest neighbors of point `i` as `(dist², id)` pairs
+/// (unsorted). Expands cell rings until the ring's minimum possible
+/// distance exceeds the current k-th best distance.
+fn knn_of(pg: &PointGrid, i: usize, k: usize) -> Vec<(f64, V)> {
+    let (cx, cy) = pg.cell_xy(i);
+    // Max-heap by distance, capped at k elements, kept as a sorted-insert
+    // vec: k ≤ 20 in all our uses, so linear insertion beats a BinaryHeap.
+    let mut best: Vec<(f64, V)> = Vec::with_capacity(k + 1);
+    let push = |d: f64, j: V, best: &mut Vec<(f64, V)>| {
+        if best.len() == k && d >= best[k - 1].0 {
+            return;
+        }
+        let pos = best.partition_point(|&(bd, _)| bd < d);
+        best.insert(pos, (d, j));
+        if best.len() > k {
+            best.pop();
+        }
+    };
+    let max_ring = pg.dim; // worst case scans the whole grid
+    for r in 0..=max_ring {
+        // Any point in ring r is at distance ≥ (r-1) * cell_w from i
+        // (conservative: i may sit at its cell's edge).
+        if best.len() == k {
+            let min_possible = (r as f64 - 1.0).max(0.0) * pg.cell_w;
+            if min_possible * min_possible > best[k - 1].0 {
+                break;
+            }
+        }
+        pg.for_ring(cx, cy, r, |j| {
+            if j as usize != i {
+                push(pg.dist2(i, j as usize), j, &mut best);
+            }
+        });
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force k nearest for verification.
+    fn naive_knn(pg: &PointGrid, i: usize, k: usize) -> Vec<V> {
+        let mut d: Vec<(f64, V)> = (0..pg.xs.len())
+            .filter(|&j| j != i)
+            .map(|j| (pg.dist2(i, j), j as V))
+            .collect();
+        d.sort_by(|a, b| a.0.total_cmp(&b.0));
+        d.truncate(k);
+        d.into_iter().map(|(_, j)| j).collect()
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let n = 500;
+        let k = 5;
+        let pg = PointGrid::uniform(n, 2 * k + 1, 13);
+        for i in (0..n).step_by(37) {
+            let mut got: Vec<V> = knn_of(&pg, i, k).into_iter().map(|(_, j)| j).collect();
+            let mut want = naive_knn(&pg, i, k);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want, "point {i}");
+        }
+    }
+
+    #[test]
+    fn knn_graph_shape() {
+        let g = knn(2000, 3, 99);
+        assert_eq!(g.n(), 2000);
+        assert!(g.is_symmetric());
+        // Directed arcs: 2000*3; symmetrized and deduped (mutual pairs merge):
+        // between 3n and 6n directed arcs.
+        assert!(g.m() >= 3 * 2000 && g.m() <= 6 * 2000, "m = {}", g.m());
+        // Everyone has degree ≥ k (its own k outgoing arcs survive dedup).
+        for v in 0..2000u32 {
+            assert!(g.degree(v) >= 3);
+        }
+    }
+
+    #[test]
+    fn bigger_k_means_more_edges() {
+        let g2 = knn(3000, 2, 5);
+        let g5 = knn(3000, 5, 5);
+        let g10 = knn(3000, 10, 5);
+        assert!(g2.m() < g5.m());
+        assert!(g5.m() < g10.m());
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let g = knn(1, 5, 0);
+        assert_eq!(g.n(), 1);
+        assert_eq!(g.m(), 0);
+        let g = knn(2, 5, 0);
+        assert_eq!(g.m_undirected(), 1); // k clamps to 1; single mutual pair
+        let g = knn(5, 0, 0);
+        assert_eq!(g.m(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(knn(800, 4, 3), knn(800, 4, 3));
+    }
+}

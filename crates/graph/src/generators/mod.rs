@@ -1,0 +1,34 @@
+//! Synthetic graph generators.
+//!
+//! These stand in for the paper's 27-graph evaluation suite (Tab. 2). The
+//! suite spans five categories whose *discriminating property* for BCC
+//! algorithms is diameter and edge density; each category has a generator
+//! here producing the same regime:
+//!
+//! | paper category | generator | regime |
+//! |---|---|---|
+//! | social (YT/OK/LJ/TW/FT) | [`rmat::rmat`] | power-law, low diameter |
+//! | web (GG/SD/CW/HL) | [`rmat::web_like`] | denser power-law + local cliques, low diameter |
+//! | road (CA/USA/GE) | [`geometric::random_geometric`] | near-planar, avg degree ≈ 2–3, huge diameter |
+//! | k-NN (HH5/CH5/GL*/COS5) | [`knn::knn`] | k-nearest-neighbor of uniform points, large diameter |
+//! | synthetic (SQR/REC/SQR'/REC'/Chn) | [`grid::grid2d`], [`grid::grid2d_sampled`], [`classic::path`] | exact reproductions of the paper's family |
+//!
+//! All generators are **deterministic given a seed** and independent of
+//! thread schedule: randomness is counter-based (`hash64(seed, index)`).
+//!
+//! [`classic`] additionally provides the small named graphs used as
+//! correctness fixtures (theta graphs, barbells, windmills, …) whose BCC
+//! structure is known in closed form.
+
+pub mod classic;
+pub mod geometric;
+pub mod grid;
+pub mod knn;
+pub(crate) mod points;
+pub mod rmat;
+
+pub use classic::*;
+pub use geometric::random_geometric;
+pub use grid::{grid2d, grid2d_sampled};
+pub use knn::knn;
+pub use rmat::{rmat, web_like};

@@ -1,0 +1,148 @@
+//! Shared helper for the geometric generators: deterministic uniform points
+//! in the unit square, bucketed into a uniform cell grid.
+
+use crate::types::V;
+use fastbcc_primitives::rng::{hash64_pair, to_unit_f64};
+use fastbcc_primitives::semisort::semisort_by_small_key;
+
+/// A 2-D point set with a cell index for neighborhood queries.
+pub struct PointGrid {
+    pub xs: Vec<f64>,
+    pub ys: Vec<f64>,
+    /// Cells per side.
+    pub dim: usize,
+    /// Cell side length (= 1 / dim).
+    pub cell_w: f64,
+    /// Point ids grouped by cell, with CSR offsets of length `dim*dim + 1`.
+    pub cell_points: Vec<V>,
+    pub cell_offsets: Vec<usize>,
+}
+
+impl PointGrid {
+    /// `n` uniform points, grid sized for ≈ `per_cell` points per cell.
+    pub fn uniform(n: usize, per_cell: usize, seed: u64) -> Self {
+        let xs: Vec<f64> = (0..n)
+            .map(|i| to_unit_f64(hash64_pair(seed, 2 * i as u64)))
+            .collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| to_unit_f64(hash64_pair(seed, 2 * i as u64 + 1)))
+            .collect();
+        let dim = (((n.max(1)) as f64 / per_cell.max(1) as f64).sqrt().ceil() as usize).max(1);
+        Self::from_points(xs, ys, dim)
+    }
+
+    /// Bucket existing points into a `dim × dim` grid.
+    pub fn from_points(xs: Vec<f64>, ys: Vec<f64>, dim: usize) -> Self {
+        let n = xs.len();
+        let cell_w = 1.0 / dim as f64;
+        let cell_of = |i: usize| -> usize {
+            let cx = ((xs[i] * dim as f64) as usize).min(dim - 1);
+            let cy = ((ys[i] * dim as f64) as usize).min(dim - 1);
+            cy * dim + cx
+        };
+        let ids: Vec<V> = (0..n as V).collect();
+        let (cell_points, cell_offsets) =
+            semisort_by_small_key(&ids, dim * dim, |&i| cell_of(i as usize));
+        Self { xs, ys, dim, cell_w, cell_points, cell_offsets }
+    }
+
+    /// Cell coordinates of point `i`.
+    #[inline]
+    pub fn cell_xy(&self, i: usize) -> (usize, usize) {
+        let cx = ((self.xs[i] * self.dim as f64) as usize).min(self.dim - 1);
+        let cy = ((self.ys[i] * self.dim as f64) as usize).min(self.dim - 1);
+        (cx, cy)
+    }
+
+    /// Points in cell `(cx, cy)`.
+    #[inline]
+    pub fn cell(&self, cx: usize, cy: usize) -> &[V] {
+        let c = cy * self.dim + cx;
+        &self.cell_points[self.cell_offsets[c]..self.cell_offsets[c + 1]]
+    }
+
+    /// Squared distance between points `i` and `j`.
+    #[inline]
+    pub fn dist2(&self, i: usize, j: usize) -> f64 {
+        let dx = self.xs[i] - self.xs[j];
+        let dy = self.ys[i] - self.ys[j];
+        dx * dx + dy * dy
+    }
+
+    /// Visit every point in the square ring of cells at Chebyshev distance
+    /// `r` around `(cx, cy)` (r = 0 is the home cell itself).
+    pub fn for_ring(&self, cx: usize, cy: usize, r: usize, mut f: impl FnMut(V)) {
+        let dim = self.dim as isize;
+        let (cx, cy) = (cx as isize, cy as isize);
+        let r = r as isize;
+        let mut visit = |x: isize, y: isize| {
+            if x >= 0 && x < dim && y >= 0 && y < dim {
+                for &p in self.cell(x as usize, y as usize) {
+                    f(p);
+                }
+            }
+        };
+        if r == 0 {
+            visit(cx, cy);
+            return;
+        }
+        for x in (cx - r)..=(cx + r) {
+            visit(x, cy - r);
+            visit(x, cy + r);
+        }
+        for y in (cy - r + 1)..(cy + r) {
+            visit(cx - r, y);
+            visit(cx + r, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_points() {
+        let pg = PointGrid::uniform(5000, 8, 42);
+        assert_eq!(pg.cell_points.len(), 5000);
+        let mut seen = vec![false; 5000];
+        for &p in &pg.cell_points {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn points_live_in_their_cell() {
+        let pg = PointGrid::uniform(2000, 4, 7);
+        for cy in 0..pg.dim {
+            for cx in 0..pg.dim {
+                for &p in pg.cell(cx, cy) {
+                    assert_eq!(pg.cell_xy(p as usize), (cx, cy));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rings_partition_neighborhood() {
+        let pg = PointGrid::uniform(3000, 6, 9);
+        // Counting all points over all rings from a center must count every
+        // point exactly once.
+        let (cx, cy) = (pg.dim / 2, pg.dim / 2);
+        let mut count = 0usize;
+        for r in 0..pg.dim {
+            pg.for_ring(cx, cy, r, |_| count += 1);
+        }
+        assert_eq!(count, 3000);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = PointGrid::uniform(100, 4, 1);
+        let b = PointGrid::uniform(100, 4, 1);
+        assert_eq!(a.xs, b.xs);
+        assert_eq!(a.ys, b.ys);
+    }
+}

@@ -1,0 +1,169 @@
+//! R-MAT recursive-matrix generator (Chakrabarti–Zhan–Faloutsos) — the
+//! standard power-law generator; stands in for the paper's social networks
+//! (YT/OK/LJ/TW/FT), and with denser parameters plus planted local cliques
+//! for its web crawls (GG/SD/CW/HL).
+//!
+//! Edges are generated independently (counter-based randomness), so the
+//! generator is parallel and deterministic for a given seed.
+
+use crate::builder::build_symmetric;
+use crate::csr::Graph;
+use crate::types::{EdgeList, V};
+use fastbcc_primitives::pack::pack_map;
+use fastbcc_primitives::rng::{hash64_pair, to_unit_f64};
+
+/// R-MAT parameters: quadrant probabilities (a, b, c); d = 1 - a - b - c.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Per-level multiplicative noise amplitude (0 = none).
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    /// Graph500 parameters: a=0.57, b=0.19, c=0.19 (d=0.05) with mild noise,
+    /// yielding the skewed degree distribution of social networks.
+    fn default() -> Self {
+        Self { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+}
+
+/// Generate one R-MAT endpoint pair for edge index `i`.
+fn rmat_edge(scale: u32, seed: u64, i: u64, p: RmatParams) -> (V, V) {
+    let mut u = 0u64;
+    let mut v = 0u64;
+    for level in 0..scale {
+        let h = hash64_pair(seed, i * 64 + level as u64);
+        let r = to_unit_f64(h);
+        // Per-level noise keeps the distribution from being too regular.
+        let jitter = 1.0 + p.noise * (to_unit_f64(hash64_pair(h, level as u64)) - 0.5);
+        let a = p.a * jitter;
+        let b = p.b * jitter;
+        let c = p.c * jitter;
+        let total = a + b + c + (1.0 - p.a - p.b - p.c) * jitter;
+        let r = r * total;
+        u <<= 1;
+        v <<= 1;
+        if r < a {
+            // top-left
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as V, v as V)
+}
+
+/// R-MAT graph on `2^scale` vertices with `m_target` undirected edge
+/// samples (self-loops and duplicates are removed, so the final count is a
+/// bit lower — as with the real datasets).
+pub fn rmat_with(scale: u32, m_target: usize, seed: u64, p: RmatParams) -> Graph {
+    assert!(scale <= 31);
+    let n = 1usize << scale;
+    let edges = pack_map(m_target, |_| true, |i| rmat_edge(scale, seed, i as u64, p));
+    build_symmetric(&EdgeList { n, edges })
+}
+
+/// Social-network-like R-MAT with Graph500 defaults.
+pub fn rmat(scale: u32, m_target: usize, seed: u64) -> Graph {
+    rmat_with(scale, m_target, seed, RmatParams::default())
+}
+
+/// Web-crawl-like graph: a denser, slightly less skewed R-MAT core plus
+/// planted "site" cliques (pages of one site link each other densely),
+/// echoing the large-BCC, higher-local-density structure of web graphs.
+pub fn web_like(scale: u32, m_target: usize, seed: u64) -> Graph {
+    let n = 1usize << scale;
+    let params = RmatParams { a: 0.45, b: 0.22, c: 0.22, noise: 0.05 };
+    let mut edges = pack_map(m_target, |_| true, |i| rmat_edge(scale, seed, i as u64, params));
+    // Plant cliques: sites of 4–12 consecutive page ids, covering ~30% of
+    // the vertices, every site fully linked internally.
+    let mut v = 0usize;
+    let mut k = 0u64;
+    while v + 12 < n {
+        let h = hash64_pair(seed ^ 0xC11C_0E5, k);
+        k += 1;
+        let size = 4 + (h % 9) as usize;
+        if h % 10 < 3 {
+            for i in 0..size {
+                for j in (i + 1)..size {
+                    edges.push(((v + i) as V, (v + j) as V));
+                }
+            }
+        }
+        v += size;
+    }
+    build_symmetric(&EdgeList { n, edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic() {
+        let a = rmat(10, 5000, 1);
+        let b = rmat(10, 5000, 1);
+        assert_eq!(a, b);
+        let c = rmat(10, 5000, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_shape() {
+        let g = rmat(12, 40_000, 3);
+        assert_eq!(g.n(), 4096);
+        // Dedup/self-loop removal costs some edges but most survive.
+        assert!(g.m_undirected() > 25_000, "m = {}", g.m_undirected());
+        assert!(g.is_symmetric());
+        assert!(!g.has_self_loops());
+    }
+
+    #[test]
+    fn rmat_degrees_are_skewed() {
+        let g = rmat(12, 40_000, 4);
+        let max_deg = (0..g.n() as V).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.m() as f64 / g.n() as f64;
+        // Power-law: hub degree far above average.
+        assert!(
+            max_deg as f64 > 10.0 * avg,
+            "max {max_deg} vs avg {avg} — not skewed"
+        );
+    }
+
+    #[test]
+    fn web_like_contains_dense_pockets() {
+        let g = web_like(12, 30_000, 5);
+        assert!(g.is_symmetric());
+        // Triangle count per edge in planted cliques is high; cheap proxy:
+        // some vertex has ≥ 3 mutually adjacent neighbors.
+        let mut found = false;
+        'outer: for v in 0..g.n() as V {
+            let nb = g.neighbors(v);
+            if nb.len() < 3 {
+                continue;
+            }
+            for i in 0..nb.len().min(8) {
+                for j in (i + 1)..nb.len().min(8) {
+                    if g.has_edge(nb[i], nb[j]) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "no triangles found in web-like graph");
+    }
+
+    #[test]
+    fn endpoints_in_range() {
+        let g = rmat(8, 2000, 6);
+        assert!(g.arcs().iter().all(|&v| (v as usize) < g.n()));
+    }
+}

@@ -1,0 +1,156 @@
+//! Graph serialization: a compact binary format for caching generated
+//! benchmark inputs, plus the PBBS-style text adjacency format for
+//! interoperability with the paper's C++ artifacts.
+
+use crate::csr::Graph;
+use crate::types::V;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"FBCCGRv1";
+
+/// Write `g` in the binary format (magic, n, m, offsets as u64, arcs as u32).
+pub fn save_binary(g: &Graph, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&(g.n() as u64).to_le_bytes())?;
+    w.write_all(&(g.m() as u64).to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&(o as u64).to_le_bytes())?;
+    }
+    for &a in g.arcs() {
+        w.write_all(&a.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read a graph written by [`save_binary`].
+pub fn load_binary(path: &Path) -> io::Result<Graph> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut arcs = vec![0 as V; m];
+    let mut buf = vec![0u8; m * 4];
+    r.read_exact(&mut buf)?;
+    for (i, c) in buf.chunks_exact(4).enumerate() {
+        arcs[i] = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+    Ok(Graph::from_raw_parts(offsets, arcs))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Write the PBBS "AdjacencyGraph" text format used by the paper's suite.
+pub fn save_adjacency_text(g: &Graph, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "AdjacencyGraph")?;
+    writeln!(w, "{}", g.n())?;
+    writeln!(w, "{}", g.m())?;
+    for &o in &g.offsets()[..g.n()] {
+        writeln!(w, "{o}")?;
+    }
+    for &a in g.arcs() {
+        writeln!(w, "{a}")?;
+    }
+    w.flush()
+}
+
+/// Read the PBBS "AdjacencyGraph" text format.
+pub fn load_adjacency_text(path: &Path) -> io::Result<Graph> {
+    let r = BufReader::new(File::open(path)?);
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+    if header.trim() != "AdjacencyGraph" {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad header"));
+    }
+    let mut next_usize = |what: &str| -> io::Result<usize> {
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("missing {what}")))??;
+            let t = line.trim();
+            if !t.is_empty() {
+                return t
+                    .parse::<usize>()
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        }
+    };
+    let n = next_usize("n")?;
+    let m = next_usize("m")?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..n {
+        offsets.push(next_usize("offset")?);
+    }
+    offsets.push(m);
+    let mut arcs = Vec::with_capacity(m);
+    for _ in 0..m {
+        arcs.push(next_usize("arc")? as V);
+    }
+    Ok(Graph::from_raw_parts(offsets, arcs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fastbcc_io_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = windmill(13);
+        let p = tmp("bin");
+        save_binary(&g, &p).unwrap();
+        let h = load_binary(&p).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = barbell(4, 3);
+        let p = tmp("txt");
+        save_adjacency_text(&g, &p).unwrap();
+        let h = load_adjacency_text(&p).unwrap();
+        assert_eq!(g, h);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrip() {
+        let g = Graph::empty(4);
+        let p = tmp("empty");
+        save_binary(&g, &p).unwrap();
+        assert_eq!(load_binary(&p).unwrap(), g);
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let p = tmp("junk");
+        std::fs::write(&p, b"NOTAGRAPH-file").unwrap();
+        assert!(load_binary(&p).is_err());
+        std::fs::remove_file(&p).ok();
+    }
+}

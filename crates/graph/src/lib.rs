@@ -1,0 +1,27 @@
+//! # fastbcc-graph
+//!
+//! Graph substrate for the FAST-BCC reproduction: a compressed-sparse-row
+//! (CSR) representation with a parallel builder, the synthetic generator
+//! suite standing in for the paper's 27-graph benchmark collection, graph
+//! statistics (approximate diameter, degree distributions), vertex
+//! relabeling, and a simple binary/text graph format for caching generated
+//! inputs.
+//!
+//! Conventions:
+//!
+//! * vertices are dense `u32` ids (`0..n`), [`types::NONE`] is the sentinel;
+//! * all BCC algorithms operate on **undirected** graphs stored
+//!   symmetrically (each edge appears as two directed arcs);
+//! * builders deduplicate parallel edges and drop self-loops, mirroring the
+//!   paper's preprocessing ("for directed graphs, we symmetrize them").
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod permute;
+pub mod stats;
+pub mod types;
+
+pub use csr::Graph;
+pub use types::{EdgeList, V, NONE};

@@ -1,0 +1,128 @@
+//! Vertex relabeling.
+//!
+//! FAST-BCC's *First-CC* step reorders the CSR "to let each CC be
+//! contiguous" (paper §5, *Spanning Forest*). This module provides the
+//! permutation application; computing a CC-contiguous permutation lives in
+//! the connectivity crate (it needs the labels).
+
+use crate::csr::Graph;
+use crate::types::V;
+use fastbcc_primitives::par::par_for;
+use fastbcc_primitives::scan::prefix_sums;
+use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+
+/// Relabel vertices: new id of `v` is `perm[v]`; `perm` must be a bijection
+/// on `0..n`. `O(n + m)` work, `O(log n)` span.
+pub fn relabel(g: &Graph, perm: &[V]) -> Graph {
+    let n = g.n();
+    assert_eq!(perm.len(), n);
+    debug_assert!(is_permutation(perm));
+
+    // inverse permutation: old id at each new position.
+    let mut inv: Vec<V> = unsafe { uninit_vec(n) };
+    {
+        let view = UnsafeSlice::new(&mut inv);
+        par_for(n, |old| unsafe { view.write(perm[old] as usize, old as V) });
+    }
+
+    // new offsets = scanned degrees in new order.
+    let mut offsets: Vec<usize> = unsafe { uninit_vec(n + 1) };
+    {
+        let view = UnsafeSlice::new(&mut offsets);
+        par_for(n, |new| unsafe { view.write(new, g.degree(inv[new])) });
+        unsafe { view.write(n, 0) };
+    }
+    let m = prefix_sums(&mut offsets[..]);
+    debug_assert_eq!(m, g.m());
+    // prefix_sums over n+1 entries leaves offsets[n] = total already:
+    // entry n contributed 0, so its exclusive prefix is the full sum.
+
+    let mut arcs: Vec<V> = unsafe { uninit_vec(m) };
+    {
+        let view = UnsafeSlice::new(&mut arcs);
+        let offsets_ref = &offsets;
+        par_for(n, |new| {
+            let old = inv[new];
+            let base = offsets_ref[new];
+            let mut renamed: Vec<V> = g.neighbors(old).iter().map(|&w| perm[w as usize]).collect();
+            renamed.sort_unstable();
+            for (i, w) in renamed.into_iter().enumerate() {
+                // SAFETY: each new vertex owns its disjoint arc range.
+                unsafe { view.write(base + i, w) };
+            }
+        });
+    }
+    Graph::from_raw_parts(offsets, arcs)
+}
+
+/// Identity permutation.
+pub fn identity(n: usize) -> Vec<V> {
+    (0..n as V).collect()
+}
+
+/// Check that `perm` is a bijection on `0..n`.
+pub fn is_permutation(perm: &[V]) -> bool {
+    let n = perm.len();
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p as usize >= n || seen[p as usize] {
+            return false;
+        }
+        seen[p as usize] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+    use crate::generators::classic::*;
+    use fastbcc_primitives::rng::Rng;
+
+    #[test]
+    fn identity_relabel_is_noop() {
+        let g = cycle(7);
+        let h = relabel(&g, &identity(7));
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]);
+        // Rotate labels by 2.
+        let perm: Vec<V> = (0..5).map(|v| ((v + 2) % 5) as V).collect();
+        let h = relabel(&g, &perm);
+        assert_eq!(h.n(), g.n());
+        assert_eq!(h.m(), g.m());
+        assert!(h.is_symmetric());
+        for (u, v) in g.iter_edges() {
+            assert!(h.has_edge(perm[u as usize], perm[v as usize]));
+        }
+    }
+
+    #[test]
+    fn random_permutation_roundtrip() {
+        let g = windmill(20);
+        let n = g.n();
+        let mut r = Rng::new(5);
+        let mut perm = identity(n);
+        r.shuffle(&mut perm);
+        let h = relabel(&g, &perm);
+        // Applying the inverse brings the graph back.
+        let mut inv = vec![0 as V; n];
+        for (old, &new) in perm.iter().enumerate() {
+            inv[new as usize] = old as V;
+        }
+        let back = relabel(&h, &inv);
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn is_permutation_detects_errors() {
+        assert!(is_permutation(&[2, 0, 1]));
+        assert!(!is_permutation(&[0, 0, 1]));
+        assert!(!is_permutation(&[0, 3, 1]));
+        assert!(is_permutation(&[]));
+    }
+}

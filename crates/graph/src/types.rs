@@ -1,0 +1,64 @@
+//! Core vertex/edge types shared across the workspace.
+
+/// Vertex id. `u32` halves the memory traffic of `usize` ids and covers
+/// every graph this machine can hold; edge *counts* use `usize`.
+pub type V = u32;
+
+/// Sentinel "no vertex" value (also the hash-bag empty marker).
+pub const NONE: V = u32::MAX;
+
+/// An undirected edge list plus its vertex-count, the interchange format
+/// between generators and the CSR builder.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    /// Number of vertices (ids in `edges` are `< n`).
+    pub n: usize,
+    /// Undirected edges; the builder symmetrizes, dedups and drops loops.
+    pub edges: Vec<(V, V)>,
+}
+
+impl EdgeList {
+    /// New edge list over `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// New edge list with preallocated edge capacity.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Append an edge (unchecked besides debug assertions).
+    #[inline]
+    pub fn push(&mut self, u: V, v: V) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push((u, v));
+    }
+
+    /// Number of (possibly duplicate) undirected edges recorded.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_list_basics() {
+        let mut el = EdgeList::new(4);
+        assert!(el.is_empty());
+        el.push(0, 1);
+        el.push(2, 3);
+        assert_eq!(el.len(), 2);
+        assert_eq!(el.edges, vec![(0, 1), (2, 3)]);
+        let el2 = EdgeList::with_capacity(10, 100);
+        assert!(el2.edges.capacity() >= 100);
+    }
+}

@@ -1,0 +1,222 @@
+//! Concurrent hash bag — the frontier container behind the paper's
+//! "hash bag and local search" connectivity optimization (§5, Fig. 6).
+//!
+//! A hash bag supports lock-free parallel insertion of ids and a parallel
+//! `extract_all` that compacts the contents into a dense vector. Unlike a
+//! hash *set* it tolerates duplicate inserts cheaply (BFS frontiers may
+//! discover a vertex twice; the visited-bit already deduplicates logically).
+//!
+//! Design (after Wang et al.): a sequence of geometrically growing chunks of
+//! `AtomicU32` slots. An insert hashes to a slot in the current chunk and
+//! linear-probes a bounded number of times; if the chunk looks full it
+//! advances the shared chunk cursor and retries in the next chunk. Because
+//! chunk sizes double, the amortized cost per insert is `O(1)` expected and
+//! the total capacity adapts to the actual frontier size without
+//! preallocating `O(n)` per round.
+
+use crate::pack::pack_map;
+use crate::rng::hash64;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+const EMPTY: u32 = u32::MAX;
+/// Probes in a chunk before spilling to the next one.
+const MAX_PROBES: usize = 16;
+/// Slots in the first chunk.
+const FIRST_CHUNK: usize = 1 << 12;
+
+std::thread_local! {
+    /// Per-thread insertion nonce. A bag is never *searched*, only drained,
+    /// so slot choice need not be value-addressable; salting each insertion
+    /// with a thread-local counter spreads duplicate values over the whole
+    /// chunk instead of piling them on one probe sequence.
+    static INSERT_NONCE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// A lock-free bag of `u32` ids (values must be `< u32::MAX`).
+///
+/// Deliberately keeps **no shared insertion counter**: one `fetch_add` per
+/// insert would serialize all inserting threads on a single cache line,
+/// defeating the purpose of the structure. Size queries scan the chunks.
+pub struct HashBag {
+    chunks: Vec<Box<[AtomicU32]>>,
+    /// Index of the chunk currently accepting inserts.
+    active: AtomicUsize,
+}
+
+fn new_chunk(size: usize) -> Box<[AtomicU32]> {
+    (0..size).map(|_| AtomicU32::new(EMPTY)).collect()
+}
+
+/// Parallel count of occupied slots in a chunk.
+fn fastbcc_primitives_count(chunk: &[AtomicU32]) -> usize {
+    crate::reduce::count(chunk.len(), |i| chunk[i].load(Ordering::Relaxed) != EMPTY)
+}
+
+impl HashBag {
+    /// Create a bag able to hold up to `capacity` ids across all chunks.
+    /// Chunks are preallocated (sizes `FIRST_CHUNK`, 2×, 4×, …) so inserts
+    /// never allocate; the total is ≈ `2 * max(capacity, FIRST_CHUNK)` slots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut chunks = Vec::new();
+        let mut size = FIRST_CHUNK;
+        let mut total = 0usize;
+        // Keep the load factor of the final configuration below 1/2.
+        while total < 2 * capacity.max(FIRST_CHUNK) {
+            chunks.push(new_chunk(size));
+            total += size;
+            size *= 2;
+        }
+        Self { chunks, active: AtomicUsize::new(0) }
+    }
+
+    /// Insert `v` (duplicates allowed). Lock-free; panics only if every
+    /// chunk is exhausted, which the capacity invariant prevents.
+    pub fn insert(&self, v: u32) {
+        debug_assert_ne!(v, EMPTY, "u32::MAX is the reserved empty marker");
+        let mut ci = self.active.load(Ordering::Relaxed);
+        let nonce = INSERT_NONCE.with(|c| {
+            let mut x = c.get();
+            if x == 0 {
+                // First insert on this thread: derive a distinct stream id.
+                static THREAD_SEQ: AtomicUsize = AtomicUsize::new(1);
+                x = hash64(THREAD_SEQ.fetch_add(1, Ordering::Relaxed) as u64) | 1;
+            }
+            c.set(x.wrapping_add(0x9E37_79B9_7F4A_7C15));
+            x
+        });
+        let h = hash64(v as u64 ^ nonce);
+        loop {
+            assert!(ci < self.chunks.len(), "hash bag capacity exhausted");
+            let chunk = &self.chunks[ci];
+            let mask = chunk.len() - 1;
+            let base = h as usize & mask;
+            for p in 0..MAX_PROBES {
+                let slot = &chunk[(base + p) & mask];
+                if slot.load(Ordering::Relaxed) == EMPTY
+                    && slot
+                        .compare_exchange(EMPTY, v, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return;
+                }
+            }
+            // Chunk congested: advance the shared cursor (idempotent race —
+            // losers simply observe the new value).
+            let _ = self.active.compare_exchange(ci, ci + 1, Ordering::Relaxed, Ordering::Relaxed);
+            ci = self.active.load(Ordering::Relaxed).max(ci + 1);
+        }
+    }
+
+    /// Number of elements currently stored (parallel scan of used chunks;
+    /// call at quiescence).
+    pub fn len(&self) -> usize {
+        let used_chunks = (self.active.load(Ordering::Relaxed) + 1).min(self.chunks.len());
+        (0..used_chunks)
+            .map(|ci| {
+                let chunk = &self.chunks[ci];
+                fastbcc_primitives_count(chunk)
+            })
+            .sum()
+    }
+
+    /// True if no element is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drain all contents into a dense vector and clear the bag.
+    /// Parallel `O(slots scanned)` work.
+    pub fn extract_all(&mut self) -> Vec<u32> {
+        let used_chunks = (self.active.load(Ordering::Relaxed) + 1).min(self.chunks.len());
+        let mut out = Vec::new();
+        for ci in 0..used_chunks {
+            let chunk = &self.chunks[ci];
+            let part = pack_map(
+                chunk.len(),
+                |i| chunk[i].load(Ordering::Relaxed) != EMPTY,
+                |i| chunk[i].load(Ordering::Relaxed),
+            );
+            out.extend_from_slice(&part);
+        }
+        self.reset();
+        out
+    }
+
+    /// Clear the bag for reuse (parallel).
+    pub fn reset(&mut self) {
+        let used_chunks = (self.active.load(Ordering::Relaxed) + 1).min(self.chunks.len());
+        for ci in 0..used_chunks {
+            let chunk = &self.chunks[ci];
+            crate::par::par_for(chunk.len(), |i| {
+                chunk[i].store(EMPTY, Ordering::Relaxed);
+            });
+        }
+        self.active.store(0, Ordering::Relaxed);
+    }
+
+    /// Bytes of memory held (for space accounting).
+    pub fn bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.len() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::par_for;
+
+    #[test]
+    fn insert_then_extract_roundtrip() {
+        let mut bag = HashBag::with_capacity(10_000);
+        par_for(10_000, |i| bag.insert(i as u32));
+        let mut got = bag.extract_all();
+        got.sort_unstable();
+        assert_eq!(got, (0..10_000u32).collect::<Vec<_>>());
+        assert!(bag.is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_preserved_as_bag_semantics() {
+        let mut bag = HashBag::with_capacity(1000);
+        par_for(1000, |i| bag.insert((i % 10) as u32));
+        let got = bag.extract_all();
+        assert_eq!(got.len(), 1000);
+        assert!(got.iter().all(|&v| v < 10));
+    }
+
+    #[test]
+    fn reuse_after_extract() {
+        let mut bag = HashBag::with_capacity(5000);
+        for round in 0..5u32 {
+            par_for(3000, |i| bag.insert(i as u32 + round * 100_000));
+            let got = bag.extract_all();
+            assert_eq!(got.len(), 3000, "round {round}");
+            assert!(got.iter().all(|&v| v / 100_000 == round));
+        }
+    }
+
+    #[test]
+    fn overflow_spills_into_later_chunks() {
+        // Insert more than the first chunk can hold: forces chunk advance.
+        let mut bag = HashBag::with_capacity(FIRST_CHUNK * 3);
+        let n = FIRST_CHUNK * 2;
+        par_for(n, |i| bag.insert(i as u32));
+        assert!(bag.active.load(Ordering::Relaxed) > 0, "expected spill to chunk 1+");
+        let mut got = bag.extract_all();
+        got.sort_unstable();
+        assert_eq!(got.len(), n);
+        assert_eq!(got, (0..n as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_extract() {
+        let mut bag = HashBag::with_capacity(100);
+        assert!(bag.extract_all().is_empty());
+    }
+
+    #[test]
+    fn capacity_accounting() {
+        let bag = HashBag::with_capacity(1 << 16);
+        assert!(bag.bytes() >= (1 << 17) * 4);
+    }
+}

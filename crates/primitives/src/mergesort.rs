@@ -1,0 +1,203 @@
+//! Parallel comparison sort: mergesort with parallel merging.
+//!
+//! The integer sorts in [`crate::sort`] cover the BCC pipeline's hot paths;
+//! this module completes the primitive layer with a general comparison
+//! sort (ParlayLib ships one too — `sample_sort`/`merge_sort`). Classic
+//! structure [CLRS ch. 27]:
+//!
+//! * split, recursively sort both halves in parallel (`rayon::join`);
+//! * **parallel merge**: split the larger input at its median, binary-search
+//!   the split key in the smaller input, emit the two sub-merges in
+//!   parallel.
+//!
+//! `O(n log n)` work, `O(log³ n)` span.
+
+use crate::par::DEFAULT_GRAIN;
+use crate::slice::{uninit_vec, UnsafeSlice};
+
+/// Sort a slice in parallel with a key extractor.
+pub fn par_sort_by_key<T, K, F>(xs: &mut [T], key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    par_sort_by(xs, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Sort a slice in parallel with a comparator.
+pub fn par_sort_by<T, C>(xs: &mut [T], cmp: C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync + Copy,
+{
+    let n = xs.len();
+    if n <= 1 {
+        return;
+    }
+    let mut buf: Vec<T> = unsafe { uninit_vec(n) };
+    sort_rec(xs, &mut buf, cmp);
+}
+
+/// Sort a slice of `Ord` values in parallel.
+pub fn par_sort<T: Copy + Ord + Send + Sync>(xs: &mut [T]) {
+    par_sort_by(xs, |a, b| a.cmp(b));
+}
+
+fn sort_rec<T, C>(xs: &mut [T], buf: &mut [T], cmp: C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync + Copy,
+{
+    let n = xs.len();
+    if n <= DEFAULT_GRAIN {
+        xs.sort_by(cmp);
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (xl, xr) = xs.split_at_mut(mid);
+        let (bl, br) = buf.split_at_mut(mid);
+        rayon::join(|| sort_rec(xl, bl, cmp), || sort_rec(xr, br, cmp));
+    }
+    // Merge the sorted halves through the buffer.
+    buf.copy_from_slice(xs);
+    let (a, b) = buf.split_at(mid);
+    let out = UnsafeSlice::new(xs);
+    par_merge(a, b, &out, 0, cmp);
+}
+
+/// Merge sorted `a` and `b` into `out[base..base + a.len() + b.len()]`.
+fn par_merge<T, C>(a: &[T], b: &[T], out: &UnsafeSlice<'_, T>, base: usize, cmp: C)
+where
+    T: Copy + Send + Sync,
+    C: Fn(&T, &T) -> std::cmp::Ordering + Sync + Copy,
+{
+    let (n, m) = (a.len(), b.len());
+    if n + m <= 2 * DEFAULT_GRAIN {
+        // Sequential two-finger merge (stable: ties take from `a`).
+        let (mut i, mut j, mut k) = (0, 0, base);
+        while i < n && j < m {
+            let take_a = cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater;
+            // SAFETY: every output slot in [base, base+n+m) written once.
+            unsafe {
+                if take_a {
+                    out.write(k, a[i]);
+                    i += 1;
+                } else {
+                    out.write(k, b[j]);
+                    j += 1;
+                }
+            }
+            k += 1;
+        }
+        while i < n {
+            unsafe { out.write(k, a[i]) };
+            i += 1;
+            k += 1;
+        }
+        while j < m {
+            unsafe { out.write(k, b[j]) };
+            j += 1;
+            k += 1;
+        }
+        return;
+    }
+    // Split at the larger side's median; partition the other side by
+    // binary search. For stability, elements equal to the pivot that live
+    // in `a` must stay left of equals in `b`:
+    if n >= m {
+        let i = n / 2;
+        let pivot = &a[i];
+        // First index in b strictly greater-or-equal keeps b's equals right.
+        let j = partition_point(b, |x| cmp(x, pivot) == std::cmp::Ordering::Less);
+        rayon::join(
+            || par_merge(&a[..i], &b[..j], out, base, cmp),
+            || par_merge(&a[i..], &b[j..], out, base + i + j, cmp),
+        );
+    } else {
+        let j = m / 2;
+        let pivot = &b[j];
+        // Elements of `a` equal to the pivot go left (stability).
+        let i = partition_point(a, |x| cmp(x, pivot) != std::cmp::Ordering::Greater);
+        rayon::join(
+            || par_merge(&a[..i], &b[..j], out, base, cmp),
+            || par_merge(&a[i..], &b[j..], out, base + i + j, cmp),
+        );
+    }
+}
+
+fn partition_point<T>(xs: &[T], pred: impl Fn(&T) -> bool) -> usize {
+    let (mut lo, mut hi) = (0, xs.len());
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if pred(&xs[mid]) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{hash64, Rng};
+
+    #[test]
+    fn sorts_random_u64() {
+        for n in [0usize, 1, 2, 100, DEFAULT_GRAIN, 4 * DEFAULT_GRAIN + 17, 500_000] {
+            let mut xs: Vec<u64> = (0..n).map(|i| hash64(i as u64)).collect();
+            let mut want = xs.clone();
+            want.sort_unstable();
+            par_sort(&mut xs);
+            assert_eq!(xs, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn stable_on_equal_keys() {
+        let n = 100_000;
+        let mut xs: Vec<(u32, u32)> =
+            (0..n).map(|i| ((hash64(i as u64) % 50) as u32, i as u32)).collect();
+        par_sort_by_key(&mut xs, |&(k, _)| k);
+        for w in xs.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated: {:?}", w);
+            }
+        }
+    }
+
+    #[test]
+    fn custom_comparator_descending() {
+        let mut xs: Vec<u32> = (0..50_000).map(|i| hash64(i) as u32).collect();
+        par_sort_by(&mut xs, |a, b| b.cmp(a));
+        assert!(xs.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn already_sorted_and_reversed() {
+        let mut asc: Vec<u32> = (0..100_000).collect();
+        let want = asc.clone();
+        par_sort(&mut asc);
+        assert_eq!(asc, want);
+        let mut desc: Vec<u32> = (0..100_000).rev().collect();
+        par_sort(&mut desc);
+        assert_eq!(desc, want);
+    }
+
+    #[test]
+    fn randomized_against_std() {
+        let mut r = Rng::new(44);
+        for _ in 0..10 {
+            let n = r.index(30_000);
+            let mut xs: Vec<i64> = (0..n).map(|_| r.next_u64() as i64).collect();
+            let mut want = xs.clone();
+            want.sort_unstable();
+            par_sort(&mut xs);
+            assert_eq!(xs, want);
+        }
+    }
+}

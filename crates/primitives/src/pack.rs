@@ -1,0 +1,145 @@
+//! Parallel filter/pack: `O(n)` work, `O(log n)` span.
+//!
+//! Pack compacts the elements (or indices) satisfying a predicate into a
+//! dense output array, preserving order. It is the standard
+//! count–scan–scatter composition: per-block counts, an exclusive scan for
+//! block offsets, then a parallel scatter of survivors into their slots.
+//! Used throughout the repo for frontier compaction, edge filtering, and
+//! extracting fence edges / articulation points.
+
+use crate::par::{block_bounds, num_blocks, DEFAULT_GRAIN};
+use crate::scan::prefix_sums;
+use crate::slice::{uninit_vec, UnsafeSlice};
+use rayon::prelude::*;
+
+/// Pack `f(i)` for every `i` in `0..n` with `keep(i)`, preserving index order.
+///
+/// **`keep` must be pure**: it is evaluated twice per index (once to count,
+/// once to scatter) and must return the same answer both times; a
+/// side-effecting or racy predicate desynchronizes the two passes and
+/// leaves uninitialized output slots.
+pub fn pack_map<T, K, F>(n: usize, keep: K, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    K: Fn(usize) -> bool + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    let bounds = block_bounds(n, blocks);
+
+    // Count survivors per block.
+    let mut offsets: Vec<usize> = bounds
+        .par_windows(2)
+        .map(|w| (w[0]..w[1]).filter(|&i| keep(i)).count())
+        .collect();
+    let total = prefix_sums(&mut offsets);
+
+    // Scatter.
+    let mut out: Vec<T> = unsafe { uninit_vec(total) };
+    {
+        let view = UnsafeSlice::new(&mut out);
+        bounds.par_windows(2).enumerate().for_each(|(b, w)| {
+            let mut pos = offsets[b];
+            for i in w[0]..w[1] {
+                if keep(i) {
+                    // SAFETY: each output slot is written by exactly one
+                    // block at exactly one position (disjoint by the scan).
+                    unsafe { view.write(pos, f(i)) };
+                    pos += 1;
+                }
+            }
+        });
+    }
+    out
+}
+
+/// Indices in `0..n` satisfying `keep`, in increasing order.
+pub fn pack_index<K: Fn(usize) -> bool + Sync>(n: usize, keep: K) -> Vec<u32> {
+    debug_assert!(n <= u32::MAX as usize);
+    pack_map(n, &keep, |i| i as u32)
+}
+
+/// Indices in `0..n` satisfying `keep`, as `usize`.
+pub fn pack_index_usize<K: Fn(usize) -> bool + Sync>(n: usize, keep: K) -> Vec<usize> {
+    pack_map(n, &keep, |i| i)
+}
+
+/// Pack the elements of `xs` satisfying the per-element predicate.
+pub fn filter_slice<T, P>(xs: &[T], pred: P) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    P: Fn(&T) -> bool + Sync,
+{
+    pack_map(xs.len(), |i| pred(&xs[i]), |i| xs[i])
+}
+
+/// Combined filter+map over a slice.
+pub fn filter_map_slice<T, U, F>(xs: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Copy + Send + Sync,
+    F: Fn(&T) -> Option<U> + Sync,
+{
+    // Two-pass evaluation of `f` keeps this allocation-free per element; the
+    // callers' `f` is cheap (tag predicates), so recomputation is the right
+    // trade versus materializing Options.
+    pack_map(xs.len(), |i| f(&xs[i]).is_some(), |i| f(&xs[i]).unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::hash64;
+
+    #[test]
+    fn pack_index_matches_sequential() {
+        for n in [0usize, 1, 100, 4096, 50_000] {
+            let got = pack_index(n, |i| hash64(i as u64) % 3 == 0);
+            let want: Vec<u32> = (0..n)
+                .filter(|&i| hash64(i as u64) % 3 == 0)
+                .map(|i| i as u32)
+                .collect();
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn pack_all_and_none() {
+        let all = pack_index(1000, |_| true);
+        assert_eq!(all.len(), 1000);
+        assert!(all.iter().enumerate().all(|(i, &x)| x == i as u32));
+        let none = pack_index(1000, |_| false);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn filter_slice_preserves_order() {
+        let xs: Vec<u64> = (0..30_000).map(hash64).collect();
+        let got = filter_slice(&xs, |&x| x % 2 == 0);
+        let want: Vec<u64> = xs.iter().copied().filter(|&x| x % 2 == 0).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn filter_map_slice_works() {
+        let xs: Vec<u32> = (0..10_000).collect();
+        let got = filter_map_slice(&xs, |&x| if x % 7 == 0 { Some(x * 2) } else { None });
+        let want: Vec<u32> = (0..10_000).filter(|x| x % 7 == 0).map(|x| x * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn randomized_against_sequential() {
+        let mut r = crate::rng::Rng::new(77);
+        for _ in 0..10 {
+            let n = r.index(30_000);
+            let data: Vec<u64> = (0..n).map(|_| r.next_u64() % 100).collect();
+            let got = filter_slice(&data, |&x| x < 50);
+            let want: Vec<u64> = data.iter().copied().filter(|&x| x < 50).collect();
+            assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Thin helpers over the rayon fork–join runtime.
+//!
+//! The paper's cost model is binary fork–join with randomized work stealing
+//! (Blumofe–Leiserson). Rayon implements that model; these helpers add the
+//! two things our algorithm code needs on top:
+//!
+//! 1. **grain-size control** — the analyses assume `O(1)` leaf bodies, and a
+//!    practical implementation needs coarsened leaves ([`par_for_grain`]);
+//! 2. **scoped thread pools** — the scalability experiments (Fig. 4) measure
+//!    the same code under different worker counts ([`with_threads`]).
+
+use rayon::prelude::*;
+
+/// Default grain size for parallel loops over cheap bodies.
+///
+/// Chosen so that a leaf task amortizes the ~100ns steal/fork overhead over
+/// at least a few microseconds of work; the usual ParlayLib default is of the
+/// same order (1024–2048).
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Number of worker threads in the current rayon pool.
+#[inline]
+pub fn num_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+/// Run `f` on a freshly built pool with exactly `n` worker threads.
+///
+/// Used by the benchmark harness to produce the thread-sweep curves of
+/// Fig. 4. Building a pool is milliseconds of overhead, so callers should
+/// wrap whole measurements, not inner loops.
+pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n.max(1))
+        .build()
+        .expect("failed to build rayon pool")
+        .install(f)
+}
+
+/// Parallel for over `0..n` with the default grain size.
+#[inline]
+pub fn par_for(n: usize, f: impl Fn(usize) + Sync + Send) {
+    par_for_grain(n, DEFAULT_GRAIN, f)
+}
+
+/// Parallel for over `0..n`, splitting into chunks of at least `grain`
+/// indices. `O(n)` work, `O(grain + log n)` span.
+pub fn par_for_grain(n: usize, grain: usize, f: impl Fn(usize) + Sync + Send) {
+    if n == 0 {
+        return;
+    }
+    let grain = grain.max(1);
+    if n <= grain {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+    let chunks = n.div_ceil(grain);
+    (0..chunks).into_par_iter().for_each(|c| {
+        let lo = c * grain;
+        let hi = (lo + grain).min(n);
+        for i in lo..hi {
+            f(i);
+        }
+    });
+}
+
+/// Number of blocks used by block-based primitives (scan, pack, histogram).
+///
+/// We want enough blocks for load balance (a small multiple of the worker
+/// count) but few enough that the sequential over-blocks pass is negligible.
+#[inline]
+pub fn num_blocks(n: usize, grain: usize) -> usize {
+    if n == 0 {
+        1
+    } else {
+        n.div_ceil(grain.max(1)).min(4 * num_threads().max(1) * 8).max(1)
+    }
+}
+
+/// Split `0..n` into `blocks` nearly-equal contiguous ranges; returns the
+/// boundaries (length `blocks + 1`, first 0, last `n`).
+pub fn block_bounds(n: usize, blocks: usize) -> Vec<usize> {
+    let blocks = blocks.max(1);
+    let mut b = Vec::with_capacity(blocks + 1);
+    for i in 0..=blocks {
+        b.push(i * n / blocks);
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_visits_every_index_once() {
+        let n = 10_007;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for(n, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_empty_and_single() {
+        par_for(0, |_| panic!("must not be called"));
+        let hit = AtomicUsize::new(0);
+        par_for(1, |i| {
+            assert_eq!(i, 0);
+            hit.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hit.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn par_for_grain_one() {
+        let n = 513;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_for_grain(n, 1, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn block_bounds_cover_range() {
+        for n in [0usize, 1, 7, 100, 1000] {
+            for blocks in [1usize, 2, 3, 8, 64] {
+                let b = block_bounds(n, blocks);
+                assert_eq!(b.len(), blocks + 1);
+                assert_eq!(b[0], 0);
+                assert_eq!(*b.last().unwrap(), n);
+                assert!(b.windows(2).all(|w| w[0] <= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_runs_with_requested_parallelism() {
+        let t = with_threads(2, num_threads);
+        assert_eq!(t, 2);
+        let t = with_threads(1, num_threads);
+        assert_eq!(t, 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Parallel reductions: `O(n)` work, `O(log n)` span.
+//!
+//! Implemented by blocked divide-and-conquer over `rayon::join` so the
+//! recursion tree is the balanced binary tree the work–span analysis
+//! assumes, with leaves coarsened to [`par::DEFAULT_GRAIN`].
+
+use crate::par::DEFAULT_GRAIN;
+
+/// Generic associative reduction of `f(i)` over `0..n` with identity `id`.
+pub fn reduce_with<T, F, Op>(n: usize, id: T, f: F, op: Op) -> T
+where
+    T: Send + Sync + Copy,
+    F: Fn(usize) -> T + Sync,
+    Op: Fn(T, T) -> T + Sync + Send + Copy,
+{
+    fn go<T, F, Op>(lo: usize, hi: usize, id: T, f: &F, op: Op) -> T
+    where
+        T: Send + Sync + Copy,
+        F: Fn(usize) -> T + Sync,
+        Op: Fn(T, T) -> T + Sync + Send + Copy,
+    {
+        if hi - lo <= DEFAULT_GRAIN {
+            let mut acc = id;
+            for i in lo..hi {
+                acc = op(acc, f(i));
+            }
+            return acc;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = rayon::join(|| go(lo, mid, id, f, op), || go(mid, hi, id, f, op));
+        op(a, b)
+    }
+    if n == 0 {
+        return id;
+    }
+    go(0, n, id, &f, op)
+}
+
+/// Sum of `f(i)` for `i` in `0..n`.
+pub fn sum_usize<F: Fn(usize) -> usize + Sync>(n: usize, f: F) -> usize {
+    reduce_with(n, 0usize, f, |a, b| a + b)
+}
+
+/// Sum of `f(i)` for `i` in `0..n`, 64-bit.
+pub fn sum_u64<F: Fn(usize) -> u64 + Sync>(n: usize, f: F) -> u64 {
+    reduce_with(n, 0u64, f, |a, b| a + b)
+}
+
+/// Count of indices satisfying `pred`.
+pub fn count<F: Fn(usize) -> bool + Sync>(n: usize, pred: F) -> usize {
+    sum_usize(n, |i| pred(i) as usize)
+}
+
+/// Minimum of a slice (`None` when empty).
+pub fn min_slice<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<T> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(reduce_with(xs.len(), xs[0], |i| xs[i], |a, b| a.min(b)))
+}
+
+/// Maximum of a slice (`None` when empty).
+pub fn max_slice<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<T> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(reduce_with(xs.len(), xs[0], |i| xs[i], |a, b| a.max(b)))
+}
+
+/// True iff `pred(i)` holds for all `i` in `0..n`.
+pub fn all<F: Fn(usize) -> bool + Sync>(n: usize, pred: F) -> bool {
+    reduce_with(n, true, |i| pred(i), |a, b| a && b)
+}
+
+/// True iff `pred(i)` holds for some `i` in `0..n`.
+pub fn any<F: Fn(usize) -> bool + Sync>(n: usize, pred: F) -> bool {
+    reduce_with(n, false, |i| pred(i), |a, b| a || b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sums_match_sequential() {
+        let n = 1_000_000;
+        assert_eq!(sum_usize(n, |i| i), n * (n - 1) / 2);
+        assert_eq!(sum_u64(0, |_| 1), 0);
+        assert_eq!(sum_u64(1, |i| i as u64 + 5), 5);
+    }
+
+    #[test]
+    fn count_matches() {
+        assert_eq!(count(1000, |i| i % 3 == 0), 334);
+        assert_eq!(count(0, |_| true), 0);
+    }
+
+    #[test]
+    fn min_max_match_std() {
+        let xs: Vec<u64> = (0..100_000).map(crate::rng::hash64).collect();
+        assert_eq!(min_slice(&xs), xs.iter().copied().min());
+        assert_eq!(max_slice(&xs), xs.iter().copied().max());
+        let empty: Vec<u64> = vec![];
+        assert_eq!(min_slice(&empty), None);
+        assert_eq!(max_slice(&empty), None);
+    }
+
+    #[test]
+    fn all_any() {
+        assert!(all(10_000, |i| i < 10_000));
+        assert!(!all(10_000, |i| i < 9_999));
+        assert!(any(10_000, |i| i == 9_999));
+        assert!(!any(10_000, |i| i == 10_000));
+        assert!(all(0, |_| false));
+        assert!(!any(0, |_| true));
+    }
+
+    #[test]
+    fn nonuniform_grain_boundaries() {
+        // Exercise sizes straddling the grain boundary.
+        for n in [
+            DEFAULT_GRAIN - 1,
+            DEFAULT_GRAIN,
+            DEFAULT_GRAIN + 1,
+            2 * DEFAULT_GRAIN + 3,
+        ] {
+            assert_eq!(sum_usize(n, |i| i), n * (n - 1) / 2, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Parallel sparse table for 1-D range-minimum / range-maximum queries.
+//!
+//! FAST-BCC's *Tagging* step (paper §4.1, §5 "Computing Tags") computes
+//! `low[v]`/`high[v]` as a range-min/-max of the `w1`/`w2` arrays over the
+//! Euler-tour interval `[first[v], last[v]]`. A sparse table gives `O(1)`
+//! queries after an `O(n log n)`-work, `O(log n)`-span build [BFGS20]:
+//! level `k` stores the reduction of every length-`2^k` window, and level
+//! `k+1` is computed from level `k` with one parallel pass.
+
+use crate::par::par_for;
+use crate::slice::{uninit_vec, UnsafeSlice};
+
+// (Both RMQ structures below share these imports; `BlockRmq` wraps
+// `SparseTable` over its block summaries.)
+
+/// Which reduction the table answers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RmqKind {
+    Min,
+    Max,
+}
+
+/// Sparse table over a `u32` array (all tag arrays in this repo are `u32`).
+pub struct SparseTable {
+    kind: RmqKind,
+    n: usize,
+    /// `levels[k][i]` = reduction of `data[i .. i + 2^k]`; level 0 is the
+    /// input copy. Stored as one flat vec per level.
+    levels: Vec<Vec<u32>>,
+}
+
+impl SparseTable {
+    /// Build a table of `kind` over `data`. `O(n log n)` work, `O(log n)` span.
+    pub fn build(data: &[u32], kind: RmqKind) -> Self {
+        let n = data.len();
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        levels.push(data.to_vec());
+        let mut width = 1usize; // window size of current last level
+        while 2 * width <= n {
+            let prev = levels.last().unwrap();
+            let m = n - 2 * width + 1;
+            let mut next: Vec<u32> = unsafe { uninit_vec(m) };
+            {
+                let view = UnsafeSlice::new(&mut next);
+                let prev_ref = &prev[..];
+                par_for(m, |i| {
+                    let a = prev_ref[i];
+                    let b = prev_ref[i + width];
+                    let v = match kind {
+                        RmqKind::Min => a.min(b),
+                        RmqKind::Max => a.max(b),
+                    };
+                    // SAFETY: index i written exactly once.
+                    unsafe { view.write(i, v) };
+                });
+            }
+            levels.push(next);
+            width *= 2;
+        }
+        Self { kind, n, levels }
+    }
+
+    /// Number of elements indexed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the table indexes no elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Reduction over the **inclusive** range `[lo, hi]`. Panics if empty or
+    /// out of bounds. `O(1)`.
+    #[inline]
+    pub fn query(&self, lo: usize, hi: usize) -> u32 {
+        assert!(lo <= hi && hi < self.n, "bad RMQ range [{lo}, {hi}] (n={})", self.n);
+        let len = hi - lo + 1;
+        let k = (usize::BITS - 1 - len.leading_zeros()) as usize; // floor(log2(len))
+        let w = 1usize << k;
+        let a = self.levels[k][lo];
+        let b = self.levels[k][hi + 1 - w];
+        match self.kind {
+            RmqKind::Min => a.min(b),
+            RmqKind::Max => a.max(b),
+        }
+    }
+
+    /// Bytes of auxiliary memory held by the table (for space accounting).
+    pub fn bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.len() * std::mem::size_of::<u32>()).sum()
+    }
+}
+
+/// Block-decomposed RMQ: the linear-space variant of the sparse table.
+///
+/// The input is split into blocks of [`BlockRmq::BLOCK`] elements; a sparse
+/// table is built over the per-block reductions only (`n/B` entries), and a
+/// query scans its two partial boundary blocks (`O(B)` each) plus one
+/// `O(1)` table lookup. With constant `B` this is the classic
+/// `O(n)`-space, `O(1)`-table + `O(B)`-scan trade — in practice ~`B×`
+/// cheaper to build than the full table, which matters because FAST-BCC
+/// builds two tables per run and queries each exactly `n` times.
+pub struct BlockRmq {
+    kind: RmqKind,
+    data: Vec<u32>,
+    summary: SparseTable,
+}
+
+impl BlockRmq {
+    /// Elements per block. 32 bounds a query’s two boundary scans to one
+    /// cache line each while still shrinking the summary table 32×.
+    pub const BLOCK: usize = 32;
+
+    /// Build over `data` (which is copied; tag arrays are consumed by the
+    /// caller afterwards).
+    pub fn build(data: &[u32], kind: RmqKind) -> Self {
+        let n = data.len();
+        let blocks = n.div_ceil(Self::BLOCK).max(1);
+        let mut mins: Vec<u32> = unsafe { uninit_vec(blocks) };
+        {
+            let view = UnsafeSlice::new(&mut mins);
+            par_for(blocks, |b| {
+                let lo = b * Self::BLOCK;
+                let hi = ((b + 1) * Self::BLOCK).min(n);
+                let it = data[lo..hi].iter().copied();
+                let v = match kind {
+                    RmqKind::Min => it.min().unwrap_or(u32::MAX),
+                    RmqKind::Max => it.max().unwrap_or(0),
+                };
+                // SAFETY: block index written once.
+                unsafe { view.write(b, v) };
+            });
+        }
+        let summary = SparseTable::build(&mins, kind);
+        Self { kind, data: data.to_vec(), summary }
+    }
+
+    /// Reduction over the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn query(&self, lo: usize, hi: usize) -> u32 {
+        assert!(lo <= hi && hi < self.data.len(), "bad RMQ range [{lo}, {hi}]");
+        let (bl, bh) = (lo / Self::BLOCK, hi / Self::BLOCK);
+        let scan = |a: usize, b: usize| -> u32 {
+            let it = self.data[a..=b].iter().copied();
+            match self.kind {
+                RmqKind::Min => it.min().unwrap(),
+                RmqKind::Max => it.max().unwrap(),
+            }
+        };
+        if bl == bh {
+            return scan(lo, hi);
+        }
+        let left = scan(lo, (bl + 1) * Self::BLOCK - 1);
+        let right = scan(bh * Self::BLOCK, hi);
+        let mut best = match self.kind {
+            RmqKind::Min => left.min(right),
+            RmqKind::Max => left.max(right),
+        };
+        if bl + 1 <= bh - 1 {
+            let mid = self.summary.query(bl + 1, bh - 1);
+            best = match self.kind {
+                RmqKind::Min => best.min(mid),
+                RmqKind::Max => best.max(mid),
+            };
+        }
+        best
+    }
+
+    /// Bytes of auxiliary memory held.
+    pub fn bytes(&self) -> usize {
+        self.data.len() * 4 + self.summary.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{hash64, Rng};
+
+    fn naive(data: &[u32], lo: usize, hi: usize, kind: RmqKind) -> u32 {
+        let it = data[lo..=hi].iter().copied();
+        match kind {
+            RmqKind::Min => it.min().unwrap(),
+            RmqKind::Max => it.max().unwrap(),
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_random_data() {
+        let n = 5000;
+        let data: Vec<u32> = (0..n).map(|i| (hash64(i as u64) % 1_000_000) as u32).collect();
+        let tmin = SparseTable::build(&data, RmqKind::Min);
+        let tmax = SparseTable::build(&data, RmqKind::Max);
+        let mut r = Rng::new(11);
+        for _ in 0..2000 {
+            let lo = r.index(n);
+            let hi = lo + r.index(n - lo);
+            assert_eq!(tmin.query(lo, hi), naive(&data, lo, hi, RmqKind::Min));
+            assert_eq!(tmax.query(lo, hi), naive(&data, lo, hi, RmqKind::Max));
+        }
+    }
+
+    #[test]
+    fn single_element_and_full_range() {
+        let data = vec![7u32];
+        let t = SparseTable::build(&data, RmqKind::Min);
+        assert_eq!(t.query(0, 0), 7);
+        assert_eq!(t.len(), 1);
+
+        let data: Vec<u32> = (0..1027).map(|i| (hash64(i) % 100) as u32).collect();
+        let t = SparseTable::build(&data, RmqKind::Max);
+        assert_eq!(t.query(0, data.len() - 1), *data.iter().max().unwrap());
+        for i in 0..data.len() {
+            assert_eq!(t.query(i, i), data[i]);
+        }
+    }
+
+    #[test]
+    fn power_of_two_boundaries() {
+        for n in [2usize, 4, 8, 1024, 1025, 1023] {
+            let data: Vec<u32> = (0..n).map(|i| (hash64(i as u64 + 3) % 50) as u32).collect();
+            let t = SparseTable::build(&data, RmqKind::Min);
+            for lo in [0, n / 2, n - 1] {
+                for hi in [lo, (lo + n / 2).min(n - 1), n - 1] {
+                    assert_eq!(t.query(lo, hi), naive(&data, lo, hi, RmqKind::Min), "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad RMQ range")]
+    fn out_of_bounds_panics() {
+        let t = SparseTable::build(&[1, 2, 3], RmqKind::Min);
+        t.query(1, 3);
+    }
+
+    #[test]
+    fn bytes_accounting_positive() {
+        let data = vec![0u32; 4096];
+        let t = SparseTable::build(&data, RmqKind::Min);
+        // n log n scale: at least n * levels/2 entries.
+        assert!(t.bytes() >= 4096 * 4);
+    }
+
+    #[test]
+    fn block_rmq_matches_sparse_table() {
+        let n = 10_000;
+        let data: Vec<u32> = (0..n).map(|i| (hash64(i as u64) % 1_000_000) as u32).collect();
+        for kind in [RmqKind::Min, RmqKind::Max] {
+            let full = SparseTable::build(&data, kind);
+            let blocked = BlockRmq::build(&data, kind);
+            let mut r = Rng::new(23);
+            for _ in 0..3000 {
+                let lo = r.index(n);
+                let hi = lo + r.index(n - lo);
+                assert_eq!(blocked.query(lo, hi), full.query(lo, hi), "[{lo},{hi}] {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_rmq_boundary_cases() {
+        // Sizes around the block boundary, and ranges that live entirely
+        // inside one block, span exactly two, and span the whole array.
+        for n in [1usize, BlockRmq::BLOCK - 1, BlockRmq::BLOCK, BlockRmq::BLOCK + 1, 3 * BlockRmq::BLOCK] {
+            let data: Vec<u32> = (0..n).map(|i| (hash64(i as u64 + 7) % 100) as u32).collect();
+            let b = BlockRmq::build(&data, RmqKind::Min);
+            for lo in 0..n {
+                for hi in [lo, (lo + BlockRmq::BLOCK).min(n - 1), n - 1] {
+                    assert_eq!(b.query(lo, hi), naive(&data, lo, hi, RmqKind::Min), "n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_rmq_is_much_smaller() {
+        let data = vec![1u32; 1 << 18];
+        let full = SparseTable::build(&data, RmqKind::Min);
+        let blocked = BlockRmq::build(&data, RmqKind::Min);
+        assert!(blocked.bytes() * 4 < full.bytes(), "{} vs {}", blocked.bytes(), full.bytes());
+    }
+}

@@ -1,0 +1,219 @@
+//! Deterministic random number generation for parallel algorithms.
+//!
+//! Parallel algorithms must not draw from a shared sequential stream — that
+//! would serialize them and make results schedule-dependent. Instead we use
+//! *counter-based* randomness: a strong 64-bit mixer ([`hash64`], the
+//! SplitMix64 finalizer) applied to `(seed, index)` pairs, so that
+//!
+//! * every parallel iteration derives its randomness independently, and
+//! * every run with the same seed produces bit-identical output regardless
+//!   of thread count or schedule.
+//!
+//! A small stateful generator ([`Rng`], xoshiro256\*\*) is provided for
+//! sequential contexts such as test-case construction.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing permutation.
+///
+/// This is the mixer used to seed xoshiro generators and is an excellent
+/// integer hash (passes SMHasher). `O(1)` work.
+#[inline]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Hash two words into one; used for per-(seed, index) parallel randomness.
+#[inline]
+pub fn hash64_pair(a: u64, b: u64) -> u64 {
+    hash64(a ^ hash64(b))
+}
+
+/// Map a hash to a uniform value in `[0, bound)`.
+///
+/// Uses the widening-multiply trick (Lemire); bias is ≤ 2⁻⁶⁴·bound, i.e.
+/// negligible for every bound we use.
+#[inline]
+pub fn bounded(h: u64, bound: u64) -> u64 {
+    if bound == 0 {
+        return 0;
+    }
+    ((h as u128 * bound as u128) >> 64) as u64
+}
+
+/// Uniform `f64` in `[0, 1)` from a hash (53 mantissa bits).
+#[inline]
+pub fn to_unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A sample from Exponential(β) derived from a hash, via inversion.
+/// Used by the low-diameter decomposition's shifted start times.
+#[inline]
+pub fn exponential(h: u64, beta: f64) -> f64 {
+    // Map to (0,1] to avoid ln(0).
+    let u = 1.0 - to_unit_f64(h);
+    -u.ln() / beta
+}
+
+/// Sequential xoshiro256\*\* generator, seeded from SplitMix64 as its
+/// authors prescribe. Not `Sync`: parallel code should use [`hash64_pair`].
+#[derive(Clone, Debug)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Create a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            hash64(sm)
+        };
+        let s = [next(), next(), next(), next()];
+        // xoshiro must not start in the all-zero state.
+        let s = if s == [0, 0, 0, 0] { [1, 2, 3, 4] } else { s };
+        Self { s }
+    }
+
+    /// Next uniform 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound = 0` yields 0.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        bounded(self.next_u64(), bound)
+    }
+
+    /// Uniform `usize` index in `[0, bound)`.
+    #[inline]
+    pub fn index(&mut self, bound: usize) -> usize {
+        self.next_below(bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0,1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        to_unit_f64(self.next_u64())
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn coin(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    /// Fork an independent stream (for handing to a subtask deterministically).
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        Rng::new(self.next_u64() ^ hash64(stream))
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash64_is_deterministic_and_spread() {
+        assert_eq!(hash64(42), hash64(42));
+        assert_ne!(hash64(1), hash64(2));
+        // Crude avalanche check: flipping one input bit flips ~half the
+        // output bits on average.
+        let mut total = 0u32;
+        for i in 0..64 {
+            total += (hash64(0) ^ hash64(1u64 << i)).count_ones();
+        }
+        let avg = total as f64 / 64.0;
+        assert!((24.0..40.0).contains(&avg), "weak avalanche: {avg}");
+    }
+
+    #[test]
+    fn bounded_respects_bound() {
+        let mut r = Rng::new(7);
+        for _ in 0..10_000 {
+            let b = 1 + r.next_below(1000);
+            let v = bounded(r.next_u64(), b);
+            assert!(v < b);
+        }
+        assert_eq!(bounded(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut counts = [0usize; 10];
+        for i in 0..100_000u64 {
+            counts[bounded(hash64(i), 10) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn rng_streams_reproducible() {
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(124);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn exponential_is_positive_with_sane_mean() {
+        let beta = 0.5;
+        let n = 50_000u64;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let e = exponential(hash64(i), beta);
+            assert!(e >= 0.0);
+            sum += e;
+        }
+        let mean = sum / n as f64;
+        // True mean is 1/beta = 2.
+        assert!((1.9..2.1).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<u32> = (0..1000).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<_>>());
+        assert_ne!(v, (0..1000).collect::<Vec<_>>(), "shuffle left identity");
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut r = Rng::new(99);
+        for _ in 0..10_000 {
+            let x = r.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

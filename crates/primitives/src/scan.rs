@@ -1,0 +1,208 @@
+//! Parallel prefix sums (scan): `O(n)` work, `O(log n)` span.
+//!
+//! The classic blocked two-pass scheme [BFGS20 §4]:
+//!
+//! 1. split the input into `B` contiguous blocks and reduce each in parallel;
+//! 2. exclusive-scan the `B` block sums (sequentially — `B` is a small
+//!    multiple of the worker count, so this is `O(p)` ≪ `O(n)`);
+//! 3. re-scan each block in parallel seeded with its block offset.
+//!
+//! With `B = Θ(p)` the span is `O(n/B + B) = O(n/p + p)`, which realizes the
+//! `O(log n)` span bound of the recursive algorithm for all practical `n`
+//! while touching the data exactly twice.
+
+use crate::par::{block_bounds, num_blocks, DEFAULT_GRAIN};
+use rayon::prelude::*;
+
+/// In-place **exclusive** scan with operator `op` and identity `id`.
+/// Returns the total reduction of the original input.
+///
+/// After the call, `a[i]` holds `op(id, a[0], ..., a[i-1])`.
+pub fn scan_exclusive_inplace<T, Op>(a: &mut [T], id: T, op: Op) -> T
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync + Send + Copy,
+{
+    let n = a.len();
+    if n == 0 {
+        return id;
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    if blocks <= 1 {
+        let mut acc = id;
+        for x in a.iter_mut() {
+            let old = *x;
+            *x = acc;
+            acc = op(acc, old);
+        }
+        return acc;
+    }
+    let bounds = block_bounds(n, blocks);
+
+    // Pass 1: per-block reductions.
+    let mut sums: Vec<T> = bounds
+        .par_windows(2)
+        .map(|w| a[w[0]..w[1]].iter().fold(id, |acc, &x| op(acc, x)))
+        .collect();
+
+    // Sequential scan over the (few) block sums.
+    let mut acc = id;
+    for s in sums.iter_mut() {
+        let old = *s;
+        *s = acc;
+        acc = op(acc, old);
+    }
+    let total = acc;
+
+    // Pass 2: per-block exclusive scan seeded with the block offset.
+    let sums_ref = &sums;
+    let block_slices: Vec<&mut [T]> = split_at_bounds(a, &bounds);
+    block_slices.into_par_iter().enumerate().for_each(|(b, blk)| {
+        let mut acc = sums_ref[b];
+        for x in blk.iter_mut() {
+            let old = *x;
+            *x = acc;
+            acc = op(acc, old);
+        }
+    });
+    total
+}
+
+/// In-place **inclusive** scan; returns the total.
+pub fn scan_inclusive_inplace<T, Op>(a: &mut [T], id: T, op: Op) -> T
+where
+    T: Copy + Send + Sync,
+    Op: Fn(T, T) -> T + Sync + Send + Copy,
+{
+    let n = a.len();
+    if n == 0 {
+        return id;
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    let bounds = block_bounds(n, blocks);
+    let mut sums: Vec<T> = bounds
+        .par_windows(2)
+        .map(|w| a[w[0]..w[1]].iter().fold(id, |acc, &x| op(acc, x)))
+        .collect();
+    let mut acc = id;
+    for s in sums.iter_mut() {
+        let old = *s;
+        *s = acc;
+        acc = op(acc, old);
+    }
+    let total = acc;
+    let sums_ref = &sums;
+    let block_slices: Vec<&mut [T]> = split_at_bounds(a, &bounds);
+    block_slices.into_par_iter().enumerate().for_each(|(b, blk)| {
+        let mut acc = sums_ref[b];
+        for x in blk.iter_mut() {
+            acc = op(acc, *x);
+            *x = acc;
+        }
+    });
+    total
+}
+
+/// Exclusive prefix sums of `usize` counts — the workhorse for offsets.
+/// Returns the total.
+pub fn prefix_sums(a: &mut [usize]) -> usize {
+    scan_exclusive_inplace(a, 0usize, |x, y| x + y)
+}
+
+/// Split a mutable slice into the pieces delimited by `bounds`
+/// (`bounds[0] = 0`, `bounds.last() = a.len()`, nondecreasing).
+fn split_at_bounds<'a, T>(mut a: &'a mut [T], bounds: &[usize]) -> Vec<&'a mut [T]> {
+    let mut out = Vec::with_capacity(bounds.len().saturating_sub(1));
+    let mut prev = 0usize;
+    for &b in &bounds[1..] {
+        let (head, tail) = a.split_at_mut(b - prev);
+        out.push(head);
+        a = tail;
+        prev = b;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::hash64;
+
+    fn seq_exclusive(a: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(a.len());
+        let mut acc = 0;
+        for &x in a {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn exclusive_matches_sequential() {
+        for n in [0usize, 1, 2, 100, 4096, 100_001] {
+            let orig: Vec<usize> = (0..n).map(|i| (hash64(i as u64) % 10) as usize).collect();
+            let (want, want_total) = seq_exclusive(&orig);
+            let mut got = orig.clone();
+            let total = prefix_sums(&mut got);
+            assert_eq!(total, want_total, "n={n}");
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn inclusive_matches_sequential() {
+        for n in [0usize, 1, 5, 4095, 65_537] {
+            let orig: Vec<u64> = (0..n).map(|i| hash64(i as u64) % 100).collect();
+            let mut want = Vec::with_capacity(n);
+            let mut acc = 0u64;
+            for &x in &orig {
+                acc += x;
+                want.push(acc);
+            }
+            let mut got = orig.clone();
+            let total = scan_inclusive_inplace(&mut got, 0u64, |a, b| a + b);
+            assert_eq!(total, acc);
+            assert_eq!(got, want, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scan_with_max_operator() {
+        let n = 10_000;
+        let orig: Vec<u64> = (0..n).map(|i| hash64(i as u64) % 1000).collect();
+        let mut got = orig.clone();
+        let total = scan_exclusive_inplace(&mut got, 0u64, |a, b| a.max(b));
+        assert_eq!(total, orig.iter().copied().max().unwrap());
+        let mut run = 0u64;
+        for i in 0..n {
+            assert_eq!(got[i], run);
+            run = run.max(orig[i]);
+        }
+    }
+
+    #[test]
+    fn split_at_bounds_partitions() {
+        let mut v: Vec<u32> = (0..10).collect();
+        let bounds = vec![0, 3, 3, 7, 10];
+        let parts = split_at_bounds(&mut v, &bounds);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], &[0, 1, 2]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2], &[3, 4, 5, 6]);
+        assert_eq!(parts[3], &[7, 8, 9]);
+    }
+
+    #[test]
+    fn proptest_like_randomized_sizes() {
+        let mut r = crate::rng::Rng::new(31);
+        for _ in 0..20 {
+            let n = r.index(20_000);
+            let orig: Vec<usize> = (0..n).map(|_| r.index(7)).collect();
+            let (want, want_total) = seq_exclusive(&orig);
+            let mut got = orig.clone();
+            let total = prefix_sums(&mut got);
+            assert_eq!((got, total), (want, want_total));
+        }
+    }
+}

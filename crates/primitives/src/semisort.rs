@@ -1,0 +1,166 @@
+//! Parallel semisort [GSSB15]: group equal keys contiguously.
+//!
+//! A semisort does **not** promise a total order — only that equal keys end
+//! up adjacent. The Euler tour construction (paper §5, "we replicate each
+//! undirected edge into two directed edges and semisort them, so edges with
+//! the same first endpoint are contiguous") needs exactly this.
+//!
+//! Two entry points:
+//!
+//! * [`semisort_by_small_key`] — keys are already dense integers `< K`
+//!   (vertex ids). A stable counting/radix sort is then a semisort with
+//!   `O(n)` work, and it additionally yields CSR-style group offsets.
+//! * [`semisort_by_hash`] — arbitrary `u64` keys. We radix-sort by the
+//!   SplitMix64 hash of the key, then repair the (rare, expected-`O(1)`
+//!   size) hash-collision runs with local sorts. Expected `O(n)` work.
+
+use crate::rng::hash64;
+use crate::sort::{counting_sort_by, offsets_from_sorted, radix_sort_by};
+
+/// Bound on direct counting sort: a single pass pays `O(K·B)` for its
+/// per-block histograms, so it only wins while the bucket count stays
+/// comparable to the input size; beyond that, adaptive-digit radix wins.
+const SMALL_KEY_DIRECT: usize = 1 << 16;
+
+#[inline]
+fn use_direct_counting(num_keys: usize, items: usize) -> bool {
+    num_keys <= SMALL_KEY_DIRECT && num_keys <= items.max(64) * 8
+}
+
+/// Semisort `items` by a dense integer key `< num_keys`.
+///
+/// Returns `(grouped, offsets)` where `offsets.len() == num_keys + 1` and
+/// group `j` occupies `grouped[offsets[j]..offsets[j+1]]`. The grouping is
+/// stable (original order within each group).
+pub fn semisort_by_small_key<T, F>(
+    items: &[T],
+    num_keys: usize,
+    key: F,
+) -> (Vec<T>, Vec<usize>)
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    if use_direct_counting(num_keys, items.len()) {
+        return counting_sort_by(items, num_keys, &key);
+    }
+    let sorted = radix_sort_by(items, num_keys.saturating_sub(1) as u64, |t| key(t) as u64);
+    let offsets = offsets_from_sorted(&sorted, num_keys, &key);
+    (sorted, offsets)
+}
+
+/// Semisort by an arbitrary `u64` key. Equal keys become contiguous;
+/// group order is pseudo-random (by key hash).
+pub fn semisort_by_hash<T, F>(items: &[T], key: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> u64 + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.to_vec();
+    }
+    // Sort by full 64-bit hash: collisions of distinct keys are ~n²/2⁶⁴,
+    // i.e. essentially nonexistent, but we repair them anyway for
+    // correctness rather than probability-1 hand-waving.
+    let mut sorted = radix_sort_by(items, u64::MAX, |t| hash64(key(t)));
+    // Repair pass: within a run of equal hashes, group by actual key with a
+    // stable insertion sort (runs are expected length ≤ 2).
+    let mut i = 0;
+    while i < n {
+        let h = hash64(key(&sorted[i]));
+        let mut j = i + 1;
+        while j < n && hash64(key(&sorted[j])) == h {
+            j += 1;
+        }
+        if j - i > 1 {
+            sorted[i..j].sort_by_key(|t| key(t));
+        }
+        i = j;
+    }
+    sorted
+}
+
+/// Check the semisort postcondition: every key's occurrences are contiguous.
+/// Exposed for tests across crates.
+pub fn is_grouped<T, K: Eq + std::hash::Hash, F: Fn(&T) -> K>(items: &[T], key: F) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    let mut i = 0;
+    while i < items.len() {
+        let k = key(&items[i]);
+        if !seen.insert(k) {
+            return false;
+        }
+        let kref = key(&items[i]);
+        while i < items.len() && key(&items[i]) == kref {
+            i += 1;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn small_key_groups_and_offsets() {
+        let mut r = Rng::new(3);
+        for &k in &[1usize, 7, 256, 70_000, 300_000] {
+            let n = 20_000;
+            let items: Vec<(u32, u32)> =
+                (0..n).map(|i| (r.index(k) as u32, i as u32)).collect();
+            let (grouped, offsets) = semisort_by_small_key(&items, k, |&(a, _)| a as usize);
+            assert_eq!(grouped.len(), n);
+            assert_eq!(offsets.len(), k + 1);
+            assert!(is_grouped(&grouped, |&(a, _)| a));
+            // Offsets delimit exactly the right groups.
+            for j in 0..k {
+                for i in offsets[j]..offsets[j + 1] {
+                    assert_eq!(grouped[i].0 as usize, j);
+                }
+            }
+            // Stability.
+            for w in grouped.windows(2) {
+                if w[0].0 == w[1].0 {
+                    assert!(w[0].1 < w[1].1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hash_semisort_groups_arbitrary_keys() {
+        let mut r = Rng::new(4);
+        let n = 30_000;
+        // Keys drawn from a small pool to force many duplicates.
+        let pool: Vec<u64> = (0..300).map(|_| r.next_u64()).collect();
+        let items: Vec<u64> = (0..n).map(|_| pool[r.index(pool.len())]).collect();
+        let grouped = semisort_by_hash(&items, |&x| x);
+        assert_eq!(grouped.len(), n);
+        assert!(is_grouped(&grouped, |&x| x));
+        // Same multiset.
+        let mut a = items.clone();
+        let mut b = grouped.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (g, o) = semisort_by_small_key::<u32, _>(&[], 10, |&x| x as usize);
+        assert!(g.is_empty());
+        assert_eq!(o.len(), 11);
+        let g = semisort_by_hash(&[42u64], |&x| x);
+        assert_eq!(g, vec![42]);
+    }
+
+    #[test]
+    fn is_grouped_detects_violation() {
+        assert!(is_grouped(&[1, 1, 2, 2, 3], |&x: &i32| x));
+        assert!(!is_grouped(&[1, 2, 1], |&x: &i32| x));
+        assert!(is_grouped::<i32, i32, _>(&[], |&x| x));
+    }
+}

@@ -1,0 +1,151 @@
+//! Shared-slice scatter writes for parallel algorithms.
+//!
+//! Many of the algorithms in this repository perform *scatter* phases: a
+//! parallel loop where iteration `i` writes to a data-dependent position
+//! `pos(i)` of an output buffer, with the algorithm guaranteeing that
+//! positions are pairwise distinct (e.g. writing each element to its
+//! scanned offset in a pack or counting sort). Safe Rust cannot express
+//! "disjoint but data-dependent" mutable access, so this module provides the
+//! standard HPC escape hatch: a `Send + Sync` view over a mutable slice whose
+//! `write` is `unsafe` with a documented disjointness contract.
+
+use std::cell::UnsafeCell;
+use std::marker::PhantomData;
+
+/// A shareable view over `&mut [T]` permitting concurrent disjoint writes.
+///
+/// # Safety contract
+/// Callers of [`UnsafeSlice::write`] (and `get_mut`) must guarantee that no
+/// index is written by more than one thread during the lifetime of the view,
+/// and that no index is concurrently read and written. Reads of indices that
+/// are never concurrently written are fine.
+pub struct UnsafeSlice<'a, T> {
+    ptr: *const UnsafeCell<T>,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send + Sync> Send for UnsafeSlice<'_, T> {}
+unsafe impl<T: Send + Sync> Sync for UnsafeSlice<'_, T> {}
+
+impl<'a, T> UnsafeSlice<'a, T> {
+    /// Wrap a mutable slice. The borrow checker keeps the original slice
+    /// inaccessible for `'a`, so this view is the sole access path.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        let len = slice.len();
+        // `UnsafeCell<T>` has the same layout as `T`.
+        let ptr = slice.as_mut_ptr() as *const UnsafeCell<T>;
+        Self { ptr, len, _marker: PhantomData }
+    }
+
+    /// Length of the underlying slice.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the underlying slice is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` at `i`.
+    ///
+    /// # Safety
+    /// No other thread may read or write index `i` concurrently, and `i`
+    /// must be in bounds (checked with a debug assertion only).
+    #[inline]
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len, "UnsafeSlice write out of bounds: {i} >= {}", self.len);
+        *(*self.ptr.add(i)).get() = value;
+    }
+
+    /// Read the value at `i`.
+    ///
+    /// # Safety
+    /// No other thread may be writing index `i` concurrently, and `i` must
+    /// be in bounds.
+    #[inline]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len, "UnsafeSlice read out of bounds: {i} >= {}", self.len);
+        *(*self.ptr.add(i)).get()
+    }
+
+    /// Mutable reference to the element at `i`.
+    ///
+    /// # Safety
+    /// Same disjointness contract as [`write`](Self::write).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len);
+        &mut *(*self.ptr.add(i)).get()
+    }
+}
+
+/// Allocate a `Vec<T>` of length `n` without initializing its contents,
+/// for use as a scatter target that the algorithm fully overwrites.
+///
+/// # Safety
+/// The caller must write every index before reading it. We restrict `T` to
+/// `Copy` types (plain old data in all our uses — ids, offsets, tags) so
+/// dropping uninitialized contents is not an issue even on panic unwind.
+pub unsafe fn uninit_vec<T: Copy>(n: usize) -> Vec<T> {
+    let mut v = Vec::with_capacity(n);
+    // SAFETY: capacity reserved above; contents are POD per the T: Copy bound
+    // and the caller's contract to overwrite before reading.
+    v.set_len(n);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::par_for;
+
+    #[test]
+    fn disjoint_parallel_writes_land() {
+        let n = 100_000;
+        let mut out = vec![0u64; n];
+        {
+            let view = UnsafeSlice::new(&mut out);
+            // Permutation scatter: index i writes slot (i * 7919) % n, which
+            // is a bijection because gcd(7919, n) = 1.
+            par_for(n, |i| unsafe {
+                view.write((i * 7919) % n, i as u64);
+            });
+        }
+        let mut seen = vec![false; n];
+        for (slot, &v) in out.iter().enumerate() {
+            assert_eq!((v as usize * 7919) % n, slot);
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut v = vec![1, 2, 3];
+        let s = UnsafeSlice::new(&mut v);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        let mut e: Vec<u32> = vec![];
+        let s = UnsafeSlice::new(&mut e);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn uninit_vec_fully_written_roundtrip() {
+        let n = 4096;
+        let mut v: Vec<u32> = unsafe { uninit_vec(n) };
+        {
+            let view = UnsafeSlice::new(&mut v);
+            par_for(n, |i| unsafe { view.write(i, i as u32 * 3) });
+        }
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u32 * 3));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the parallel primitives: every primitive is
+//! compared against its obvious sequential specification on arbitrary
+//! inputs, including adversarial sizes around block/grain boundaries.
+
+use fastbcc_primitives::rmq::{BlockRmq, RmqKind, SparseTable};
+use fastbcc_primitives::{pack, reduce, scan, semisort, sort};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn scan_exclusive_is_prefix_sum(xs in proptest::collection::vec(0usize..1000, 0..5000)) {
+        let mut got = xs.clone();
+        let total = scan::prefix_sums(&mut got);
+        let mut acc = 0usize;
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(got[i], acc);
+            acc += x;
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn scan_inclusive_matches(xs in proptest::collection::vec(0u64..1000, 0..5000)) {
+        let mut got = xs.clone();
+        let total = scan::scan_inclusive_inplace(&mut got, 0, |a, b| a + b);
+        let mut acc = 0u64;
+        for (i, &x) in xs.iter().enumerate() {
+            acc += x;
+            prop_assert_eq!(got[i], acc);
+        }
+        prop_assert_eq!(total, acc);
+    }
+
+    #[test]
+    fn pack_equals_filter(xs in proptest::collection::vec(any::<u32>(), 0..5000)) {
+        let got = pack::filter_slice(&xs, |&x| x % 3 == 0);
+        let want: Vec<u32> = xs.iter().copied().filter(|&x| x % 3 == 0).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn counting_sort_matches_stable_sort(
+        xs in proptest::collection::vec(0u32..97, 0..4000)
+    ) {
+        let tagged: Vec<(u32, u32)> =
+            xs.iter().enumerate().map(|(i, &k)| (k, i as u32)).collect();
+        let (got, offsets) = sort::counting_sort_by(&tagged, 97, |&(k, _)| k as usize);
+        let mut want = tagged.clone();
+        want.sort_by_key(|&(k, _)| k); // std stable sort
+        prop_assert_eq!(&got, &want);
+        // Offsets delimit buckets.
+        for k in 0..97usize {
+            for i in offsets[k]..offsets[k + 1] {
+                prop_assert_eq!(got[i].0 as usize, k);
+            }
+        }
+    }
+
+    #[test]
+    fn radix_sort_matches_std(xs in proptest::collection::vec(any::<u64>(), 0..4000)) {
+        let got = sort::radix_sort_by(&xs, u64::MAX, |&x| x);
+        let mut want = xs.clone();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn semisort_groups_and_preserves_multiset(
+        xs in proptest::collection::vec(0u32..50, 0..3000)
+    ) {
+        let n_keys = 50;
+        let (grouped, offsets) =
+            semisort::semisort_by_small_key(&xs, n_keys, |&x| x as usize);
+        prop_assert!(semisort::is_grouped(&grouped, |&x| x));
+        let mut a = xs.clone();
+        let mut b = grouped.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(offsets[n_keys], xs.len());
+    }
+
+    #[test]
+    fn hash_semisort_groups(keys in proptest::collection::vec(0u64..40, 0..2000)) {
+        let grouped = semisort::semisort_by_hash(&keys, |&x| x);
+        prop_assert!(semisort::is_grouped(&grouped, |&x| x));
+        prop_assert_eq!(grouped.len(), keys.len());
+    }
+
+    #[test]
+    fn rmq_structures_agree_with_naive(
+        xs in proptest::collection::vec(any::<u32>(), 1..2000),
+        queries in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..50)
+    ) {
+        let n = xs.len();
+        let full_min = SparseTable::build(&xs, RmqKind::Min);
+        let block_max = BlockRmq::build(&xs, RmqKind::Max);
+        for (a, b) in queries {
+            let lo = a as usize % n;
+            let hi = lo + (b as usize % (n - lo));
+            let naive_min = xs[lo..=hi].iter().copied().min().unwrap();
+            let naive_max = xs[lo..=hi].iter().copied().max().unwrap();
+            prop_assert_eq!(full_min.query(lo, hi), naive_min);
+            prop_assert_eq!(block_max.query(lo, hi), naive_max);
+        }
+    }
+
+    #[test]
+    fn reduce_ops_match_iterators(xs in proptest::collection::vec(any::<u32>(), 0..3000)) {
+        prop_assert_eq!(reduce::min_slice(&xs), xs.iter().copied().min());
+        prop_assert_eq!(reduce::max_slice(&xs), xs.iter().copied().max());
+        let sum = reduce::sum_u64(xs.len(), |i| xs[i] as u64);
+        prop_assert_eq!(sum, xs.iter().map(|&x| x as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn offsets_from_sorted_consistency(mut xs in proptest::collection::vec(0u32..64, 0..2000)) {
+        xs.sort_unstable();
+        let offsets = sort::offsets_from_sorted(&xs, 64, |&x| x as usize);
+        prop_assert_eq!(offsets.len(), 65);
+        prop_assert_eq!(offsets[0], 0);
+        prop_assert_eq!(offsets[64], xs.len());
+        for k in 0..64usize {
+            prop_assert!(offsets[k] <= offsets[k + 1]);
+            for i in offsets[k]..offsets[k + 1] {
+                prop_assert_eq!(xs[i] as usize, k);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Network-resilience audit: given a communication network, rank the
+//! articulation points by how much of the network they disconnect, and
+//! simulate hardening (adding redundant links) until no single point of
+//! failure remains — an application loop driving the BCC API.
+//!
+//! ```text
+//! cargo run --release --example network_resilience
+//! ```
+
+use fast_bcc::prelude::*;
+
+/// Build a two-tier "datacenter + branches" topology: a well-connected
+/// core ring with chords, plus branch chains hanging off core routers —
+/// realistic single points of failure.
+fn build_network(core: usize, branches: usize, branch_len: usize, seed: u64) -> Graph {
+    let n = core + branches * branch_len;
+    let mut el = EdgeList::new(n);
+    // Core ring + skip chords (2-connected).
+    for i in 0..core {
+        el.push(i as V, ((i + 1) % core) as V);
+        el.push(i as V, ((i + 3) % core) as V);
+    }
+    // Branches: chains attached to pseudo-random core routers.
+    let mut next = core;
+    for b in 0..branches {
+        let attach = (fast_bcc::primitives::rng::hash64_pair(seed, b as u64) % core as u64) as usize;
+        let mut prev = attach;
+        for _ in 0..branch_len {
+            el.push(prev as V, next as V);
+            prev = next;
+            next += 1;
+        }
+    }
+    builder::build_symmetric(&el)
+}
+
+fn main() {
+    let core = 64;
+    let branches = 12;
+    let branch_len = 5;
+    let mut g = build_network(core, branches, branch_len, 7);
+    println!(
+        "network: {} routers, {} links ({} core + {} branches of {})",
+        g.n(),
+        g.m_undirected(),
+        core,
+        branches,
+        branch_len
+    );
+
+    // Hardening loop: while single points of failure exist, add a redundant
+    // link from each branch tip back into the core.
+    for round in 0.. {
+        let r = fast_bcc(&g, BccOpts::default());
+        let aps = articulation_points(&r);
+        let brs = bridges(&r);
+        let counts = bcc_membership_counts(&r);
+        println!(
+            "\nround {round}: {} BCCs, {} articulation points, {} bridges",
+            r.num_bcc,
+            aps.len(),
+            brs.len()
+        );
+        if aps.is_empty() {
+            println!("network is fully biconnected — no single point of failure ✓");
+            break;
+        }
+        // Rank the worst offenders (most BCC memberships = most cut power).
+        let mut ranked: Vec<(u32, V)> = aps.iter().map(|&v| (counts[v as usize], v)).collect();
+        ranked.sort_unstable_by(|a, b| b.cmp(a));
+        println!(
+            "  worst articulation routers (memberships): {:?}",
+            &ranked[..ranked.len().min(5)]
+        );
+
+        // Hardening: close every bridge by linking its far endpoint to a
+        // second core router (creating a cycle through the branch).
+        let mut extra: Vec<(V, V)> = Vec::new();
+        for (i, &(u, v)) in brs.iter().enumerate() {
+            let deep = if counts[u as usize] <= counts[v as usize] { u } else { v };
+            let target = ((deep as usize + 17 * (i + 1)) % core) as V;
+            if deep != target && !g.has_edge(deep, target) {
+                extra.push((deep, target));
+            }
+        }
+        println!("  adding {} redundant links", extra.len());
+        let mut edges: Vec<(V, V)> = g.iter_edges().collect();
+        edges.extend_from_slice(&extra);
+        g = builder::from_edges(g.n(), &edges);
+        if round > 20 {
+            println!("  (giving up after 20 rounds)");
+            break;
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: build a small graph, run FAST-BCC, inspect the output.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fast_bcc::prelude::*;
+
+fn main() {
+    // A small network with visible biconnectivity structure:
+    //
+    //      1 --- 2           6 --- 7
+    //      |  X  |           |     |
+    //      0 --- 3 --- 4 --- 5 --- 8
+    //                  |
+    //                  9 (leaf)
+    //
+    // Left block {0,1,2,3} is 2-connected (with chords), the middle is a
+    // chain of bridges, and {5,6,7,8} is a cycle.
+    let edges: &[(V, V)] = &[
+        (0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), // left block + chords
+        (3, 4), (4, 5), // bridges
+        (5, 6), (6, 7), (7, 8), (8, 5), // right cycle
+        (4, 9), // pendant
+    ];
+    let g = builder::from_edges(10, edges);
+    println!("graph: n = {}, m = {} undirected edges", g.n(), g.m_undirected());
+
+    let result = fast_bcc(&g, BccOpts::default());
+    println!("\nbiconnected components: {}", result.num_bcc);
+    for (i, bcc) in canonical_bccs(&result).iter().enumerate() {
+        println!("  BCC {i}: {bcc:?}");
+    }
+
+    let aps = articulation_points(&result);
+    println!("\narticulation points (single points of failure): {aps:?}");
+
+    let mut brs = bridges(&result);
+    brs.iter_mut().for_each(|e| *e = (e.0.min(e.1), e.0.max(e.1)));
+    brs.sort_unstable();
+    println!("bridges (critical links): {brs:?}");
+
+    println!("\nlargest BCC covers {} of {} vertices", largest_bcc_size(&result), g.n());
+    println!(
+        "phase times: first-cc {:?}, rooting {:?}, tagging {:?}, last-cc {:?}",
+        result.breakdown.first_cc,
+        result.breakdown.rooting,
+        result.breakdown.tagging,
+        result.breakdown.last_cc
+    );
+
+    // Cross-check against the sequential Hopcroft–Tarjan baseline.
+    let ht = fast_bcc::baselines::hopcroft_tarjan(&g, true);
+    assert_eq!(ht.num_bcc, result.num_bcc);
+    assert_eq!(ht.bccs.unwrap(), canonical_bccs(&result));
+    println!("\nverified against sequential Hopcroft–Tarjan ✓");
+}

@@ -1,0 +1,67 @@
+//! # fast-bcc
+//!
+//! **FAST-BCC** — *Provably Fast and Space-Efficient Parallel
+//! Biconnectivity* (Dong, Wang, Gu, Sun — PPoPP 2023), reproduced in Rust.
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`fast_bcc`] — the parallel BCC algorithm: `O(n + m)` expected work,
+//!   `O(log³ n)` span w.h.p., `O(n)` auxiliary space;
+//! * [`graph`] — CSR graphs, parallel builders, and the synthetic
+//!   generator suite;
+//! * [`connectivity`] — LDD-UF-JTB parallel connectivity with spanning
+//!   forests;
+//! * [`ett`] — Euler tour technique and parallel list ranking;
+//! * [`baselines`] — Hopcroft–Tarjan, Tarjan–Vishkin, and the BFS-skeleton
+//!   algorithms the paper compares against;
+//! * [`primitives`] — the ParlayLib-equivalent parallel primitive layer.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fast_bcc::prelude::*;
+//!
+//! // Two triangles sharing vertex 0 (a "bowtie"): two BCCs, one
+//! // articulation point.
+//! let g = fast_bcc::graph::builder::from_edges(
+//!     5,
+//!     &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
+//! );
+//! let r = fast_bcc(&g, BccOpts::default());
+//! assert_eq!(r.num_bcc, 2);
+//! assert_eq!(articulation_points(&r), vec![0]);
+//! ```
+
+pub use fastbcc_baselines as baselines;
+pub use fastbcc_connectivity as connectivity;
+pub use fastbcc_core as core;
+pub use fastbcc_ett as ett;
+pub use fastbcc_graph as graph;
+pub use fastbcc_primitives as primitives;
+
+pub use fastbcc_core::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
+
+/// Everything a typical user needs in scope.
+pub mod prelude {
+    pub use fastbcc_core::block_cut_tree::{block_cut_tree, BcNode, BlockCutTree};
+    pub use fastbcc_core::postprocess::{
+        articulation_points, bcc_membership_counts, bridges, canonical_bccs, largest_bcc_size,
+    };
+    pub use fastbcc_core::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
+    pub use fastbcc_graph::{builder, generators, stats, EdgeList, Graph, V, NONE};
+    pub use fastbcc_primitives::with_threads;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn facade_quickstart_compiles_and_runs() {
+        let g = builder::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
+        let r = fast_bcc(&g, BccOpts::default());
+        assert_eq!(r.num_bcc, 2);
+        assert_eq!(articulation_points(&r), vec![0]);
+        assert!(bridges(&r).is_empty());
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-algorithm agreement (experiment E8): FAST-BCC, Tarjan–Vishkin,
+//! the BFS-skeleton baseline, SM'14-style, and sequential Hopcroft–Tarjan
+//! must produce identical canonical BCC partitions on every input.
+
+use fast_bcc::baselines::{bfs_bcc, hopcroft_tarjan, sm14, tarjan_vishkin};
+use fast_bcc::graph::generators::classic::*;
+use fast_bcc::graph::generators::{grid2d, grid2d_sampled, knn, random_geometric, rmat, web_like};
+use fast_bcc::prelude::*;
+
+fn check_all(g: &Graph, tag: &str) {
+    let want = hopcroft_tarjan(g, true);
+    let want_sets = want.bccs.unwrap();
+
+    for (name, opts) in [
+        ("fast/ldd", BccOpts::default()),
+        ("fast/ldd-nolocal", BccOpts { local_search: false, ..Default::default() }),
+        ("fast/ufasync", BccOpts { scheme: CcScheme::UfAsync, ..Default::default() }),
+    ] {
+        let r = fast_bcc(g, opts);
+        assert_eq!(r.num_bcc, want.num_bcc, "{tag}: {name} count");
+        assert_eq!(canonical_bccs(&r), want_sets, "{tag}: {name} sets");
+        // Derived structures must match the oracle too.
+        assert_eq!(
+            articulation_points(&r),
+            want.articulation_points,
+            "{tag}: {name} articulation points"
+        );
+        let mut got_bridges: Vec<(V, V)> = bridges(&r)
+            .into_iter()
+            .map(|(a, b)| (a.min(b), a.max(b)))
+            .collect();
+        got_bridges.sort_unstable();
+        assert_eq!(got_bridges, want.bridges, "{tag}: {name} bridges");
+    }
+
+    let tv = tarjan_vishkin(g, 99);
+    assert_eq!(tv.num_bcc, want.num_bcc, "{tag}: TV count");
+    assert_eq!(tv.canonical_bccs(), want_sets, "{tag}: TV sets");
+
+    let bfs = bfs_bcc(g, 3);
+    assert_eq!(bfs.num_bcc, want.num_bcc, "{tag}: BFS-BCC count");
+    assert_eq!(canonical_bccs(&bfs), want_sets, "{tag}: BFS-BCC sets");
+
+    if let Ok(sm) = sm14(g) {
+        assert_eq!(sm.num_bcc, want.num_bcc, "{tag}: SM14 count");
+        assert_eq!(canonical_bccs(&sm), want_sets, "{tag}: SM14 sets");
+    }
+}
+
+#[test]
+fn classic_zoo() {
+    check_all(&path(30), "path");
+    check_all(&cycle(17), "cycle");
+    check_all(&star(12), "star");
+    check_all(&complete(9), "complete");
+    check_all(&complete_bipartite(3, 5), "K3,5");
+    check_all(&theta(2, 3, 4), "theta");
+    check_all(&barbell(5, 3), "barbell");
+    check_all(&windmill(8), "windmill");
+    check_all(&binary_tree(63), "binary-tree");
+    check_all(&ladder(9), "ladder");
+    check_all(&wheel(11), "wheel");
+    check_all(&petersen(), "petersen");
+    check_all(&clique_chain(7, 4), "clique-chain");
+}
+
+#[test]
+fn degenerate_inputs() {
+    check_all(&Graph::empty(0), "empty-0");
+    check_all(&Graph::empty(1), "empty-1");
+    check_all(&Graph::empty(10), "empty-10");
+    check_all(&path(2), "single-edge");
+    check_all(&disjoint_union(&[&path(2), &path(2)]), "two-edges");
+}
+
+#[test]
+fn disconnected_mixtures() {
+    check_all(
+        &disjoint_union(&[&cycle(6), &path(5), &windmill(3), &Graph::empty(4)]),
+        "mixture",
+    );
+    check_all(
+        &disjoint_union(&[&complete(5), &complete(5), &star(7)]),
+        "cliques+star",
+    );
+}
+
+#[test]
+fn generated_social_and_web() {
+    check_all(&rmat(10, 6_000, 1), "rmat10");
+    check_all(&rmat(12, 20_000, 2), "rmat12");
+    check_all(&web_like(10, 5_000, 3), "web10");
+}
+
+#[test]
+fn generated_meshes_and_roads() {
+    check_all(&grid2d(17, 23, true), "torus");
+    check_all(&grid2d(10, 40, false), "open-grid");
+    check_all(&grid2d_sampled(25, 25, 0.6, 5), "sampled-grid");
+    check_all(&random_geometric(1500, 0.035, 6), "geometric");
+}
+
+#[test]
+fn generated_knn_sweep() {
+    for k in [1, 2, 3, 6] {
+        check_all(&knn(800, k, 7), &format!("knn-k{k}"));
+    }
+}
