@@ -102,7 +102,9 @@ pub fn bfs_tags(g: &Graph, f: &BfsForest) -> Tags {
         let view = UnsafeSlice::new(&mut last);
         let first_ref = &first;
         let size_ref = &size;
-        par_for(n, |v| unsafe { view.write(v, first_ref[v] + size_ref[v] - 1) });
+        par_for(n, |v| unsafe {
+            view.write(v, first_ref[v] + size_ref[v] - 1)
+        });
     }
 
     // --- w1/w2 from non-tree edges ----------------------------------------
@@ -149,7 +151,13 @@ pub fn bfs_tags(g: &Graph, f: &BfsForest) -> Tags {
         });
     }
 
-    Tags { parent, first, last, low, high }
+    Tags {
+        parent,
+        first,
+        last,
+        low,
+        high,
+    }
 }
 
 #[cfg(test)]
@@ -164,7 +172,13 @@ mod tests {
 
     #[test]
     fn preorder_intervals_are_laminar() {
-        for g in [cycle(12), windmill(5), barbell(4, 2), complete(6), binary_tree(31)] {
+        for g in [
+            cycle(12),
+            windmill(5),
+            barbell(4, 2),
+            complete(6),
+            binary_tree(31),
+        ] {
             let tags = tags_of(&g);
             let n = g.n();
             // Parent interval contains child interval strictly.
@@ -184,7 +198,13 @@ mod tests {
 
     #[test]
     fn low_high_match_brute_force() {
-        for g in [cycle(9), windmill(4), petersen(), theta(1, 2, 3), complete(6)] {
+        for g in [
+            cycle(9),
+            windmill(4),
+            petersen(),
+            theta(1, 2, 3),
+            complete(6),
+        ] {
             let tags = tags_of(&g);
             let n = g.n();
             let in_subtree = |anc: usize, v: usize| {
@@ -221,7 +241,10 @@ mod tests {
             for &r2 in f.roots.iter().skip(i + 1) {
                 let a = (tags.first[r1 as usize], tags.last[r1 as usize]);
                 let b = (tags.first[r2 as usize], tags.last[r2 as usize]);
-                assert!(a.1 < b.0 || b.1 < a.0, "tree intervals overlap: {a:?} {b:?}");
+                assert!(
+                    a.1 < b.0 || b.1 < a.0,
+                    "tree intervals overlap: {a:?} {b:?}"
+                );
             }
         }
     }

@@ -8,7 +8,7 @@
 //! chains of 10⁷–10⁸ vertices, where recursion would overflow any thread
 //! stack. `O(n + m)` work, `O(n + m)` space for the DFS/edge stacks.
 
-use fastbcc_graph::{Graph, V, NONE};
+use fastbcc_graph::{Graph, NONE, V};
 
 /// Result of a Hopcroft–Tarjan run.
 pub struct HtResult {
@@ -131,15 +131,19 @@ pub fn hopcroft_tarjan(g: &Graph, collect: bool) -> HtResult {
         }
     }
 
-    let articulation_points: Vec<V> =
-        (0..n as V).filter(|&v| is_art[v as usize]).collect();
+    let articulation_points: Vec<V> = (0..n as V).filter(|&v| is_art[v as usize]).collect();
     bridges.sort_unstable();
     let bccs = collect.then(|| {
         let mut b = bccs;
         b.sort_unstable();
         b
     });
-    HtResult { num_bcc, bccs, articulation_points, bridges }
+    HtResult {
+        num_bcc,
+        bccs,
+        articulation_points,
+        bridges,
+    }
 }
 
 #[cfg(test)]
@@ -193,7 +197,10 @@ mod tests {
         let r = hopcroft_tarjan(&g, true);
         assert_eq!(r.num_bcc, 1 + 2);
         assert_eq!(r.bccs.unwrap().len(), 3);
-        assert_eq!(hopcroft_tarjan(&fastbcc_graph::Graph::empty(0), false).num_bcc, 0);
+        assert_eq!(
+            hopcroft_tarjan(&fastbcc_graph::Graph::empty(0), false).num_bcc,
+            0
+        );
     }
 
     #[test]

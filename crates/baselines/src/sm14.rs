@@ -97,6 +97,8 @@ pub fn sm14(g: &Graph) -> Result<BccResult, Sm14Unsupported> {
             last_cc,
         },
         aux_peak_bytes: 4 * n * 8,
+        // The baselines allocate everything fresh on every call.
+        fresh_alloc_bytes: 4 * n * 8,
     })
 }
 

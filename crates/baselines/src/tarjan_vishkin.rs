@@ -24,7 +24,7 @@ use fastbcc_connectivity::spanning_forest::forest_adjacency;
 use fastbcc_connectivity::ConcurrentUnionFind;
 use fastbcc_core::tags::compute_tags;
 use fastbcc_ett::root_forest;
-use fastbcc_graph::{Graph, V, NONE};
+use fastbcc_graph::{Graph, NONE, V};
 use fastbcc_primitives::pack::pack_index_usize;
 use fastbcc_primitives::par::par_for;
 use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
@@ -50,8 +50,7 @@ pub struct TvResult {
 impl TvResult {
     /// Canonical BCC vertex sets (for cross-algorithm comparison).
     pub fn canonical_bccs(&self) -> Vec<Vec<V>> {
-        let mut groups: std::collections::HashMap<u32, Vec<V>> =
-            std::collections::HashMap::new();
+        let mut groups: std::collections::HashMap<u32, Vec<V>> = std::collections::HashMap::new();
         for (i, &(u, v)) in self.edges.iter().enumerate() {
             let l = self.edge_labels[i];
             let g = groups.entry(l).or_default();
@@ -89,7 +88,13 @@ pub fn tarjan_vishkin(g: &Graph, seed: u64) -> TvResult {
     // --- shared prefix: spanning forest, rooting, tags -------------------
     let cc = ldd_uf_jtb(
         g,
-        CcOpts { ldd: LddOpts { seed, ..Default::default() }, want_forest: true },
+        CcOpts {
+            ldd: LddOpts {
+                seed,
+                ..Default::default()
+            },
+            want_forest: true,
+        },
     );
     let forest = cc.forest.as_ref().unwrap();
     let tree = forest_adjacency(n, forest);
@@ -113,8 +118,8 @@ pub fn tarjan_vishkin(g: &Graph, seed: u64) -> TvResult {
             let a = fwd_arcs[e];
             let (u, v) = (src_ref[a], arcs[a]);
             // Reverse arc located by binary search in v's sorted list.
-            let rev = g.arc_range(v).start
-                + g.neighbors(v).binary_search(&u).expect("missing twin arc");
+            let rev =
+                g.arc_range(v).start + g.neighbors(v).binary_search(&u).expect("missing twin arc");
             // SAFETY: each arc written exactly once (once as forward, once
             // as the reverse of its twin).
             unsafe {
@@ -152,8 +157,7 @@ pub fn tarjan_vishkin(g: &Graph, seed: u64) -> TvResult {
             if tags.parent[ui] == v {
                 // a = (child u -> parent v): rule 3.
                 if tags.parent[vi] != NONE {
-                    let escapes = tags.low[ui] < tags.first[vi]
-                        || tags.high[ui] > tags.last[vi];
+                    let escapes = tags.low[ui] < tags.first[vi] || tags.high[ui] > tags.last[vi];
                     if escapes {
                         acc.push((e_uv, tree_eid[vi]));
                     }

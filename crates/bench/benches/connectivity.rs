@@ -21,14 +21,25 @@ fn bench_cc(c: &mut Criterion) {
 
     for (tag, g) in [("rmat17", &social), ("grid500", &grid)] {
         group.bench_function(format!("ldd_uf_jtb/{tag}"), |b| {
-            b.iter(|| black_box(ldd_uf_jtb(g, CcOpts { want_forest: true, ..Default::default() })))
+            b.iter(|| {
+                black_box(ldd_uf_jtb(
+                    g,
+                    CcOpts {
+                        want_forest: true,
+                        ..Default::default()
+                    },
+                ))
+            })
         });
         group.bench_function(format!("ldd_uf_jtb_nolocal/{tag}"), |b| {
             b.iter(|| {
                 black_box(ldd_uf_jtb(
                     g,
                     CcOpts {
-                        ldd: LddOpts { local_search: false, ..Default::default() },
+                        ldd: LddOpts {
+                            local_search: false,
+                            ..Default::default()
+                        },
                         want_forest: true,
                     },
                 ))

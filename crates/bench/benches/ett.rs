@@ -15,7 +15,10 @@ use std::time::Duration;
 
 fn tree_and_labels(g: &Graph) -> (Graph, Vec<u32>) {
     let cc = cc_seq(g, true);
-    (forest_adjacency(g.n(), cc.forest.as_ref().unwrap()), cc.labels)
+    (
+        forest_adjacency(g.n(), cc.forest.as_ref().unwrap()),
+        cc.labels,
+    )
 }
 
 fn bench_ett(c: &mut Criterion) {
@@ -30,8 +33,17 @@ fn bench_ett(c: &mut Criterion) {
     let starg = star(n);
     let social = rmat(18, 2 * n, 3);
     let social_tree = {
-        let cc = ldd_uf_jtb(&social, CcOpts { want_forest: true, ..Default::default() });
-        (forest_adjacency(social.n(), cc.forest.as_ref().unwrap()), cc.labels)
+        let cc = ldd_uf_jtb(
+            &social,
+            CcOpts {
+                want_forest: true,
+                ..Default::default()
+            },
+        );
+        (
+            forest_adjacency(social.n(), cc.forest.as_ref().unwrap()),
+            cc.labels,
+        )
     };
 
     for (tag, g) in [("path1M", &chain), ("star1M", &starg)] {

@@ -26,7 +26,11 @@ fn bench_phases(c: &mut Criterion) {
             b.iter(|| {
                 black_box(fast_bcc(
                     g,
-                    BccOpts { scheme: CcScheme::LddUfJtb, local_search: true, ..Default::default() },
+                    BccOpts {
+                        scheme: CcScheme::LddUfJtb,
+                        local_search: true,
+                        ..Default::default()
+                    },
                 ))
             })
         });
@@ -46,7 +50,10 @@ fn bench_phases(c: &mut Criterion) {
             b.iter(|| {
                 black_box(fast_bcc(
                     g,
-                    BccOpts { scheme: CcScheme::UfAsync, ..Default::default() },
+                    BccOpts {
+                        scheme: CcScheme::UfAsync,
+                        ..Default::default()
+                    },
                 ))
             })
         });

@@ -27,7 +27,7 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     group.bench_function("pack_index_1M", |b| {
-        b.iter(|| black_box(pack::pack_index(N, |i| hash64(i as u64) % 3 == 0)))
+        b.iter(|| black_box(pack::pack_index(N, |i| hash64(i as u64).is_multiple_of(3))))
     });
 
     let keys: Vec<u32> = (0..N).map(|i| (hash64(i as u64) % 1024) as u32).collect();
@@ -41,8 +41,9 @@ fn bench_primitives(c: &mut Criterion) {
     });
 
     let ids: Vec<u32> = (0..N as u32).collect();
-    let owners: Vec<u32> =
-        (0..N).map(|i| (hash64(i as u64 + 9) % (N as u64 / 4)) as u32).collect();
+    let owners: Vec<u32> = (0..N)
+        .map(|i| (hash64(i as u64 + 9) % (N as u64 / 4)) as u32)
+        .collect();
     group.bench_function("semisort_1M_dense_keys", |b| {
         b.iter(|| {
             black_box(semisort::semisort_by_small_key(&ids, N / 4, |&v| {

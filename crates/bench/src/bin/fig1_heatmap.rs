@@ -17,7 +17,10 @@ fn main() {
     let opts = RunOpts::from_args(&args);
     let rows = run_suite(&opts);
 
-    println!("{:<10} {:>8} {:>8} {:>8} {:>6}", "graph", "Ours", "GBBS*", "SM14*", "SEQ");
+    println!(
+        "{:<10} {:>8} {:>8} {:>8} {:>6}",
+        "graph", "Ours", "GBBS*", "SM14*", "SEQ"
+    );
     let categories = [
         Category::Social,
         Category::Web,

@@ -10,9 +10,9 @@
 //! On the paper's 96-core machine the x-axis runs to 192 hyperthreads;
 //! pass a longer `--threads` list on bigger hardware.
 
+use fastbcc_baselines::{bfs_bcc, hopcroft_tarjan, sm14, tarjan_vishkin};
 use fastbcc_bench::measure::{time_median, Args};
 use fastbcc_bench::suite::filter_suite;
-use fastbcc_baselines::{bfs_bcc, hopcroft_tarjan, sm14, tarjan_vishkin};
 use fastbcc_core::{fast_bcc, BccOpts};
 use fastbcc_primitives::with_threads;
 
@@ -27,7 +27,10 @@ fn main() {
         .filter_map(|x| x.trim().parse().ok())
         .collect();
     // Paper's Fig. 4 graph selection mapped to our suite names.
-    let names = args.get("--graphs").unwrap_or("LJ,SD,GE,GL5,REC").to_string();
+    let names = args
+        .get("--graphs")
+        .unwrap_or("LJ,SD,GE,GL5,REC")
+        .to_string();
 
     println!("fig4: speedup over SEQ (higher is better); threads = {threads:?}");
     for spec in filter_suite(Some(&names)) {
@@ -41,7 +44,10 @@ fn main() {
             g.m_undirected(),
             seq_s
         );
-        println!("{:>8} {:>8} {:>8} {:>8} {:>8}", "threads", "Ours", "GBBS*", "SM14*", "TV");
+        println!(
+            "{:>8} {:>8} {:>8} {:>8} {:>8}",
+            "threads", "Ours", "GBBS*", "SM14*", "TV"
+        );
         for &p in &threads {
             let (_, ours) =
                 with_threads(p, || time_median(reps, || fast_bcc(&g, BccOpts::default())));

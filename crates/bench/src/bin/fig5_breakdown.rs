@@ -34,7 +34,9 @@ fn main() {
     let reps = args.get_usize("--reps", 3);
     let p = args.get_usize("--threads", 0);
     let p = if p == 0 {
-        std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
     } else {
         p
     };
@@ -42,7 +44,12 @@ fn main() {
     println!("fig5: phase breakdown in seconds ({p} threads)");
     for spec in filter_suite(args.get("--graphs")) {
         let g = spec.build(scale);
-        println!("=== {} (n={}, m={}) ===", spec.name, g.n(), g.m_undirected());
+        println!(
+            "=== {} (n={}, m={}) ===",
+            spec.name,
+            g.n(),
+            g.m_undirected()
+        );
         println!(
             "  {:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "", "First-CC", "Rooting", "Tagging", "Last-CC", "total"

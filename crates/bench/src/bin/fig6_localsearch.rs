@@ -33,7 +33,9 @@ fn main() {
     let reps = args.get_usize("--reps", 3);
     let p = args.get_usize("--threads", 0);
     let p = if p == 0 {
-        std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
     } else {
         p
     };
@@ -42,22 +44,47 @@ fn main() {
     let mut ratios = Vec::new();
     for spec in filter_suite(args.get("--graphs")) {
         let g = spec.build(scale);
-        println!("=== {} (n={}, m={}) ===", spec.name, g.n(), g.m_undirected());
+        println!(
+            "=== {} (n={}, m={}) ===",
+            spec.name,
+            g.n(),
+            g.m_undirected()
+        );
         println!(
             "  {:<6} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "", "First-CC", "Rooting", "Tagging", "Last-CC", "total"
         );
         let (orig, _) = with_threads(p, || {
-            time_median(reps, || fast_bcc(&g, BccOpts { local_search: false, ..Default::default() }))
+            time_median(reps, || {
+                fast_bcc(
+                    &g,
+                    BccOpts {
+                        local_search: false,
+                        ..Default::default()
+                    },
+                )
+            })
         });
         row("Orig.", &orig.breakdown);
         let (opt, _) = with_threads(p, || {
-            time_median(reps, || fast_bcc(&g, BccOpts { local_search: true, ..Default::default() }))
+            time_median(reps, || {
+                fast_bcc(
+                    &g,
+                    BccOpts {
+                        local_search: true,
+                        ..Default::default()
+                    },
+                )
+            })
         });
         row("Opt.", &opt.breakdown);
-        let ratio = orig.breakdown.total().as_secs_f64() / opt.breakdown.total().as_secs_f64().max(1e-9);
+        let ratio =
+            orig.breakdown.total().as_secs_f64() / opt.breakdown.total().as_secs_f64().max(1e-9);
         println!("  Orig./Opt. = {ratio:.2}x");
         ratios.push(ratio);
     }
-    println!("\ngeomean Orig./Opt. = {:.2}x (paper: 1.5x average, up to 5x)", geomean(&ratios));
+    println!(
+        "\ngeomean Orig./Opt. = {:.2}x (paper: 1.5x average, up to 5x)",
+        geomean(&ratios)
+    );
 }

@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! cargo run --release -p fastbcc-bench --bin fig7_space -- \
-//!     [--scale 0.1] [--graphs ...]
+//!     [--scale 0.1] [--graphs ...] [--json out.jsonl]
 //! ```
+//!
+//! `--json` writes one record per (graph, algorithm) with the
+//! `aux_peak_bytes` space metric; for FAST-BCC it also reports a pooled
+//! `BccEngine`'s warm-solve `fresh_alloc_bytes` (0 = full buffer reuse).
 //!
 //! Expected shape: TV's explicit `O(m)` skeleton blows up with the
 //! edge-to-vertex ratio (up to ~11× in the paper, OOM on the largest
@@ -13,27 +17,36 @@
 //! fewer tags").
 
 use fastbcc_baselines::{bfs_bcc, tarjan_vishkin};
-use fastbcc_bench::measure::Args;
+use fastbcc_bench::measure::{write_json_lines, Args, RunRecord};
 use fastbcc_bench::suite::filter_suite;
-use fastbcc_core::{fast_bcc, BccOpts};
+use fastbcc_core::{BccEngine, BccOpts};
 
 fn main() {
     let args = Args::parse();
     let scale = args.get_f64("--scale", 0.1);
+    let mut records: Vec<RunRecord> = Vec::new();
 
     println!(
-        "{:<8} {:>10} {:>6} | {:>12} {:>12} {:>12} | {:>7} {:>7} {:>7}",
-        "graph", "n", "m/n", "ours(B)", "gbbs*(B)", "TV(B)", "ours", "gbbs*", "TV"
+        "{:<8} {:>10} {:>6} | {:>12} {:>12} {:>12} | {:>7} {:>7} {:>7} | {:>9}",
+        "graph", "n", "m/n", "ours(B)", "gbbs*(B)", "TV(B)", "ours", "gbbs*", "TV", "warm(B)"
     );
-    println!("{:>66} (normalized to smallest)", "");
+    println!(
+        "{:>66} (normalized to smallest; warm = engine re-solve fresh bytes)",
+        ""
+    );
     for spec in filter_suite(args.get("--graphs")) {
         let g = spec.build(scale);
-        let ours = fast_bcc(&g, BccOpts::default()).aux_peak_bytes;
+        // Cold solve sizes the engine workspace; the warm re-solve measures
+        // what a pooled repeated-query server actually allocates.
+        let mut engine = BccEngine::new(BccOpts::default());
+        let cold = engine.solve(&g);
+        let (ours, cold_fresh) = (cold.aux_peak_bytes, cold.fresh_alloc_bytes);
+        let warm_fresh = engine.solve(&g).fresh_alloc_bytes;
         let gbbs = bfs_bcc(&g, 7).aux_peak_bytes;
         let tv = tarjan_vishkin(&g, 5).aux_peak_bytes;
         let min = ours.min(gbbs).min(tv).max(1);
         println!(
-            "{:<8} {:>10} {:>6.1} | {:>12} {:>12} {:>12} | {:>7.2} {:>7.2} {:>7.2}",
+            "{:<8} {:>10} {:>6.1} | {:>12} {:>12} {:>12} | {:>7.2} {:>7.2} {:>7.2} | {:>9}",
             spec.name,
             g.n(),
             g.m() as f64 / g.n().max(1) as f64,
@@ -43,6 +56,26 @@ fn main() {
             ours as f64 / min as f64,
             gbbs as f64 / min as f64,
             tv as f64 / min as f64,
+            warm_fresh,
         );
+        let rec = |algo: &str, peak: usize, fresh: usize| RunRecord {
+            graph: spec.name.to_string(),
+            algo: algo.to_string(),
+            n: g.n(),
+            m: g.m_undirected(),
+            threads: fastbcc_primitives::num_threads(),
+            median_secs: 0.0,
+            aux_peak_bytes: peak,
+            fresh_alloc_bytes: fresh,
+        };
+        records.push(rec("fast_bcc/cold", ours, cold_fresh));
+        records.push(rec("fast_bcc/warm", ours, warm_fresh));
+        records.push(rec("bfs_bcc", gbbs, gbbs));
+        records.push(rec("tarjan_vishkin", tv, tv));
+    }
+
+    if let Some(path) = args.get("--json") {
+        write_json_lines(path, &records).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {} records to {path}", records.len());
     }
 }

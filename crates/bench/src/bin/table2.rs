@@ -3,8 +3,13 @@
 //!
 //! ```text
 //! cargo run --release -p fastbcc-bench --bin table2 -- \
-//!     [--scale 0.1] [--reps 3] [--threads 0] [--graphs SQR,Chn6]
+//!     [--scale 0.1] [--reps 3] [--threads 0] [--graphs SQR,Chn6] \
+//!     [--json out.jsonl]
 //! ```
+//!
+//! `--json` additionally writes one JSON record per (graph, algorithm)
+//! configuration, including the `aux_peak_bytes` / `fresh_alloc_bytes`
+//! space counters, so successive PRs can chart the space trajectory.
 //!
 //! Column meanings follow the paper: `par.` = parallel time on all
 //! threads, `seq.` = the same code on one thread, `spd.` = self-relative
@@ -43,6 +48,16 @@ fn main() {
         print_row(r);
     }
     print_means(&rows);
+
+    if let Some(path) = args.get("--json") {
+        let records: Vec<_> = rows
+            .iter()
+            .flat_map(|r| r.records(opts.effective_threads()))
+            .collect();
+        fastbcc_bench::measure::write_json_lines(path, &records)
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("wrote {} records to {path}", records.len());
+    }
 }
 
 fn print_row(r: &RowResult) {
@@ -70,8 +85,14 @@ fn print_row(r: &RowResult) {
 }
 
 fn print_means(rows: &[RowResult]) {
-    let ours: Vec<f64> = rows.iter().map(|r| r.speedup_over_seq(r.ours_par)).collect();
-    let gbbs: Vec<f64> = rows.iter().map(|r| r.speedup_over_seq(r.gbbs_par)).collect();
+    let ours: Vec<f64> = rows
+        .iter()
+        .map(|r| r.speedup_over_seq(r.ours_par))
+        .collect();
+    let gbbs: Vec<f64> = rows
+        .iter()
+        .map(|r| r.speedup_over_seq(r.gbbs_par))
+        .collect();
     let tbest: Vec<f64> = rows
         .iter()
         .map(|r| r.best_baseline().as_secs_f64() / r.ours_par.as_secs_f64().max(1e-9))

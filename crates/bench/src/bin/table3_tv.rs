@@ -23,7 +23,9 @@ fn main() {
     let reps = args.get_usize("--reps", 3);
     let p = args.get_usize("--threads", 0);
     let p = if p == 0 {
-        std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
     } else {
         p
     };

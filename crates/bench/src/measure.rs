@@ -1,8 +1,12 @@
 //! Measurement utilities: repeated timing with medians (the paper runs
 //! each test 10× and reports the median), geometric means (the paper's
-//! cross-graph aggregate), and simple CLI-argument parsing shared by the
-//! experiment binaries.
+//! cross-graph aggregate), simple CLI-argument parsing shared by the
+//! experiment binaries, and JSON-lines emission of per-run records —
+//! including the space counters ([`RunRecord::aux_peak_bytes`] /
+//! [`RunRecord::fresh_alloc_bytes`]) that future PRs chart for the Fig. 7
+//! space trajectory.
 
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 /// Time one invocation.
@@ -49,6 +53,78 @@ pub fn fmt_secs(d: Duration) -> String {
     }
 }
 
+/// One benchmark observation, serialized as a JSON object. Space columns
+/// are recorded alongside time so one artifact feeds both the Tab. 2 time
+/// charts and the Fig. 7 space-trajectory charts.
+#[derive(Clone, Debug)]
+pub struct RunRecord {
+    /// Suite graph name (e.g. `"SQR*"`).
+    pub graph: String,
+    /// Algorithm/configuration label (e.g. `"fast_bcc/par"`).
+    pub algo: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Worker threads the run used (1 = sequential configuration).
+    pub threads: usize,
+    /// Median wall-clock seconds.
+    pub median_secs: f64,
+    /// Peak auxiliary bytes held live during the run (Fig. 7 metric).
+    pub aux_peak_bytes: usize,
+    /// Buffer capacity newly allocated during the run — 0 when a pooled
+    /// `BccEngine` workspace served every major array.
+    pub fresh_alloc_bytes: usize,
+}
+
+impl RunRecord {
+    /// Serialize as a single JSON object (no external deps; keys are fixed
+    /// and the only string fields are escaped).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":{},\"algo\":{},\"n\":{},\"m\":{},\"threads\":{},\
+             \"median_secs\":{:.9},\"aux_peak_bytes\":{},\"fresh_alloc_bytes\":{}}}",
+            json_escape(&self.graph),
+            json_escape(&self.algo),
+            self.n,
+            self.m,
+            self.threads,
+            self.median_secs,
+            self.aux_peak_bytes,
+            self.fresh_alloc_bytes,
+        )
+    }
+}
+
+/// Quote and escape a string for JSON embedding.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Write records as JSON lines (one object per line — append-friendly and
+/// trivially parsed by any plotting script).
+pub fn write_json_lines(path: &str, records: &[RunRecord]) -> std::io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for r in records {
+        writeln!(f, "{}", r.to_json())?;
+    }
+    f.flush()
+}
+
 /// Minimal CLI parsing: `--key value` pairs and flags.
 pub struct Args {
     raw: Vec<String>,
@@ -56,7 +132,9 @@ pub struct Args {
 
 impl Args {
     pub fn parse() -> Self {
-        Self { raw: std::env::args().skip(1).collect() }
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     pub fn get(&self, key: &str) -> Option<&str> {
@@ -68,11 +146,15 @@ impl Args {
     }
 
     pub fn get_f64(&self, key: &str, default: f64) -> f64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn get_usize(&self, key: &str, default: usize) -> usize {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn flag(&self, key: &str) -> bool {
@@ -109,5 +191,75 @@ mod tests {
         assert_eq!(fmt_secs(Duration::from_millis(1)), "0.001");
         assert_eq!(fmt_secs(Duration::from_secs_f64(2.346)), "2.35");
         assert_eq!(fmt_secs(Duration::from_secs(120)), "120");
+    }
+
+    #[test]
+    fn run_record_json_shape() {
+        let r = RunRecord {
+            graph: "SQR*".into(),
+            algo: "fast_bcc/par".into(),
+            n: 10,
+            m: 20,
+            threads: 4,
+            median_secs: 0.25,
+            aux_peak_bytes: 4096,
+            fresh_alloc_bytes: 0,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"graph\":\"SQR*\""));
+        assert!(j.contains("\"aux_peak_bytes\":4096"));
+        assert!(j.contains("\"fresh_alloc_bytes\":0"));
+        assert!(j.contains("\"median_secs\":0.25"));
+    }
+
+    #[test]
+    fn json_escaping_of_strings() {
+        let r = RunRecord {
+            graph: "a\"b\\c\nd".into(),
+            algo: "x".into(),
+            n: 0,
+            m: 0,
+            threads: 1,
+            median_secs: 0.0,
+            aux_peak_bytes: 0,
+            fresh_alloc_bytes: 0,
+        };
+        assert!(r.to_json().contains("a\\\"b\\\\c\\nd"));
+    }
+
+    #[test]
+    fn json_lines_roundtrip_to_disk() {
+        let path =
+            std::env::temp_dir().join(format!("fastbcc_measure_json_{}.jsonl", std::process::id()));
+        let recs = vec![
+            RunRecord {
+                graph: "g1".into(),
+                algo: "a".into(),
+                n: 1,
+                m: 2,
+                threads: 1,
+                median_secs: 0.5,
+                aux_peak_bytes: 100,
+                fresh_alloc_bytes: 100,
+            },
+            RunRecord {
+                graph: "g2".into(),
+                algo: "b".into(),
+                n: 3,
+                m: 4,
+                threads: 2,
+                median_secs: 1.5,
+                aux_peak_bytes: 200,
+                fresh_alloc_bytes: 0,
+            },
+        ];
+        write_json_lines(path.to_str().unwrap(), &recs).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], recs[0].to_json());
+        assert_eq!(lines[1], recs[1].to_json());
     }
 }

@@ -3,7 +3,7 @@
 //! parallel and single-thread configurations, cross-check the BCC counts,
 //! and collect a row of results.
 
-use crate::measure::{time_median, Args};
+use crate::measure::{time_median, Args, RunRecord};
 use crate::suite::{filter_suite, Category, GraphSpec};
 use fastbcc_baselines::{bfs_bcc, hopcroft_tarjan, sm14};
 use fastbcc_core::{fast_bcc, largest_bcc_size, BccOpts};
@@ -29,6 +29,18 @@ pub struct RowResult {
     pub gbbs_seq: Duration,
     /// `None` = unsupported (disconnected input), as in Tab. 2.
     pub sm14_par: Option<Duration>,
+    /// FAST-BCC peak auxiliary bytes (Fig. 7 metric).
+    pub ours_aux_peak_bytes: usize,
+    /// FAST-BCC freshly allocated bytes in the measured parallel run (0
+    /// once a pooled workspace is warm; one-shot runs pay everything).
+    pub ours_fresh_bytes: usize,
+    /// Same, for the single-thread configuration.
+    pub ours_seq_fresh_bytes: usize,
+    /// GBBS-style baseline peak auxiliary bytes.
+    pub gbbs_aux_peak_bytes: usize,
+    /// GBBS-style baseline fresh bytes (it pools nothing, so this equals
+    /// its peak).
+    pub gbbs_fresh_bytes: usize,
 }
 
 impl RowResult {
@@ -44,6 +56,56 @@ impl RowResult {
             best = best.min(s);
         }
         best
+    }
+
+    /// Flatten into per-(graph, algo) JSON records, carrying the space
+    /// counters where the algorithm reports them.
+    pub fn records(&self, threads: usize) -> Vec<RunRecord> {
+        let rec = |algo: &str, t: Duration, thr: usize, peak: usize, fresh: usize| RunRecord {
+            graph: self.name.to_string(),
+            algo: algo.to_string(),
+            n: self.n,
+            m: self.m,
+            threads: thr,
+            median_secs: t.as_secs_f64(),
+            aux_peak_bytes: peak,
+            fresh_alloc_bytes: fresh,
+        };
+        let mut out = vec![
+            rec("hopcroft_tarjan/seq", self.seq, 1, 0, 0),
+            rec(
+                "fast_bcc/par",
+                self.ours_par,
+                threads,
+                self.ours_aux_peak_bytes,
+                self.ours_fresh_bytes,
+            ),
+            rec(
+                "fast_bcc/seq",
+                self.ours_seq,
+                1,
+                self.ours_aux_peak_bytes,
+                self.ours_seq_fresh_bytes,
+            ),
+            rec(
+                "bfs_bcc/par",
+                self.gbbs_par,
+                threads,
+                self.gbbs_aux_peak_bytes,
+                self.gbbs_fresh_bytes,
+            ),
+            rec(
+                "bfs_bcc/seq",
+                self.gbbs_seq,
+                1,
+                self.gbbs_aux_peak_bytes,
+                self.gbbs_fresh_bytes,
+            ),
+        ];
+        if let Some(t) = self.sm14_par {
+            out.push(rec("sm14/par", t, threads, 0, 0));
+        }
+        out
     }
 }
 
@@ -67,7 +129,9 @@ impl RunOpts {
 
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|x| x.get())
+                .unwrap_or(1)
         } else {
             self.threads
         }
@@ -87,7 +151,7 @@ pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
     // algorithm time on a warm pool, not thread spawn latency).
     let (ours, ours_par) =
         with_threads(p, || time_median(reps, || fast_bcc(g, BccOpts::default())));
-    let (_, ours_seq) =
+    let (ours_seq_r, ours_seq) =
         with_threads(1, || time_median(reps, || fast_bcc(g, BccOpts::default())));
 
     let (gbbs, gbbs_par) = with_threads(p, || time_median(reps, || bfs_bcc(g, 7)));
@@ -96,15 +160,27 @@ pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
     let sm14_par = match with_threads(p, || sm14(g)) {
         Ok(_) => {
             let (r, t) = with_threads(p, || time_median(reps, || sm14(g).unwrap()));
-            assert_eq!(r.num_bcc, ht.num_bcc, "{}: SM14 BCC count mismatch", spec.name);
+            assert_eq!(
+                r.num_bcc, ht.num_bcc,
+                "{}: SM14 BCC count mismatch",
+                spec.name
+            );
             Some(t)
         }
         Err(_) => None,
     };
 
     // Cross-check every algorithm against SEQ.
-    assert_eq!(ours.num_bcc, ht.num_bcc, "{}: FAST-BCC count mismatch", spec.name);
-    assert_eq!(gbbs.num_bcc, ht.num_bcc, "{}: BFS-BCC count mismatch", spec.name);
+    assert_eq!(
+        ours.num_bcc, ht.num_bcc,
+        "{}: FAST-BCC count mismatch",
+        spec.name
+    );
+    assert_eq!(
+        gbbs.num_bcc, ht.num_bcc,
+        "{}: BFS-BCC count mismatch",
+        spec.name
+    );
 
     let largest = largest_bcc_size(&ours);
     RowResult {
@@ -121,6 +197,11 @@ pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
         gbbs_par,
         gbbs_seq,
         sm14_par,
+        ours_aux_peak_bytes: ours.aux_peak_bytes,
+        ours_fresh_bytes: ours.fresh_alloc_bytes,
+        ours_seq_fresh_bytes: ours_seq_r.fresh_alloc_bytes,
+        gbbs_aux_peak_bytes: gbbs.aux_peak_bytes,
+        gbbs_fresh_bytes: gbbs.fresh_alloc_bytes,
     }
 }
 
@@ -144,7 +225,12 @@ mod tests {
 
     #[test]
     fn runner_smoke_on_tiny_scale() {
-        let opts = RunOpts { scale: 0.005, reps: 1, threads: 2, names: None };
+        let opts = RunOpts {
+            scale: 0.005,
+            reps: 1,
+            threads: 2,
+            names: None,
+        };
         for spec in small_suite().iter().take(2) {
             let g = spec.build(opts.scale);
             let row = run_one(spec, &g, &opts);

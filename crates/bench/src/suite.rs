@@ -54,46 +54,122 @@ fn sc(n: usize, scale: f64) -> usize {
 pub fn suite() -> Vec<GraphSpec> {
     vec![
         // --- Social (power-law, low diameter) ---------------------------
-        GraphSpec { name: "YT*", category: Category::Social, build: |s| rmat(scale_pow2(65_536, s), sc(400_000, s), 101) },
-        GraphSpec { name: "OK*", category: Category::Social, build: |s| rmat(scale_pow2(32_768, s), sc(900_000, s), 102) },
-        GraphSpec { name: "LJ*", category: Category::Social, build: |s| rmat(scale_pow2(131_072, s), sc(1_200_000, s), 103) },
+        GraphSpec {
+            name: "YT*",
+            category: Category::Social,
+            build: |s| rmat(scale_pow2(65_536, s), sc(400_000, s), 101),
+        },
+        GraphSpec {
+            name: "OK*",
+            category: Category::Social,
+            build: |s| rmat(scale_pow2(32_768, s), sc(900_000, s), 102),
+        },
+        GraphSpec {
+            name: "LJ*",
+            category: Category::Social,
+            build: |s| rmat(scale_pow2(131_072, s), sc(1_200_000, s), 103),
+        },
         // --- Web (denser power-law + cliques) ---------------------------
-        GraphSpec { name: "GG*", category: Category::Web, build: |s| web_like(scale_pow2(32_768, s), sc(500_000, s), 104) },
-        GraphSpec { name: "SD*", category: Category::Web, build: |s| web_like(scale_pow2(131_072, s), sc(2_500_000, s), 105) },
+        GraphSpec {
+            name: "GG*",
+            category: Category::Web,
+            build: |s| web_like(scale_pow2(32_768, s), sc(500_000, s), 104),
+        },
+        GraphSpec {
+            name: "SD*",
+            category: Category::Web,
+            build: |s| web_like(scale_pow2(131_072, s), sc(2_500_000, s), 105),
+        },
         // --- Road (near-planar, huge diameter) --------------------------
-        GraphSpec { name: "CA*", category: Category::Road, build: |s| {
-            let n = sc(250_000, s);
-            random_geometric(n, geometric::road_like_radius(n), 106)
-        } },
-        GraphSpec { name: "GE*", category: Category::Road, build: |s| {
-            let n = sc(500_000, s);
-            random_geometric(n, geometric::road_like_radius(n), 107)
-        } },
+        GraphSpec {
+            name: "CA*",
+            category: Category::Road,
+            build: |s| {
+                let n = sc(250_000, s);
+                random_geometric(n, geometric::road_like_radius(n), 106)
+            },
+        },
+        GraphSpec {
+            name: "GE*",
+            category: Category::Road,
+            build: |s| {
+                let n = sc(500_000, s);
+                random_geometric(n, geometric::road_like_radius(n), 107)
+            },
+        },
         // --- k-NN (same point set, sweeping k as GL2–GL20) --------------
-        GraphSpec { name: "HH5*", category: Category::Knn, build: |s| knn(sc(150_000, s), 5, 108) },
-        GraphSpec { name: "GL2*", category: Category::Knn, build: |s| knn(sc(250_000, s), 2, 109) },
-        GraphSpec { name: "GL5*", category: Category::Knn, build: |s| knn(sc(250_000, s), 5, 109) },
-        GraphSpec { name: "GL10*", category: Category::Knn, build: |s| knn(sc(250_000, s), 10, 109) },
-        GraphSpec { name: "GL15*", category: Category::Knn, build: |s| knn(sc(250_000, s), 15, 109) },
-        GraphSpec { name: "GL20*", category: Category::Knn, build: |s| knn(sc(250_000, s), 20, 109) },
-        GraphSpec { name: "COS5*", category: Category::Knn, build: |s| knn(sc(400_000, s), 5, 110) },
+        GraphSpec {
+            name: "HH5*",
+            category: Category::Knn,
+            build: |s| knn(sc(150_000, s), 5, 108),
+        },
+        GraphSpec {
+            name: "GL2*",
+            category: Category::Knn,
+            build: |s| knn(sc(250_000, s), 2, 109),
+        },
+        GraphSpec {
+            name: "GL5*",
+            category: Category::Knn,
+            build: |s| knn(sc(250_000, s), 5, 109),
+        },
+        GraphSpec {
+            name: "GL10*",
+            category: Category::Knn,
+            build: |s| knn(sc(250_000, s), 10, 109),
+        },
+        GraphSpec {
+            name: "GL15*",
+            category: Category::Knn,
+            build: |s| knn(sc(250_000, s), 15, 109),
+        },
+        GraphSpec {
+            name: "GL20*",
+            category: Category::Knn,
+            build: |s| knn(sc(250_000, s), 20, 109),
+        },
+        GraphSpec {
+            name: "COS5*",
+            category: Category::Knn,
+            build: |s| knn(sc(400_000, s), 5, 110),
+        },
         // --- Synthetic (exact reproductions, scaled) ---------------------
-        GraphSpec { name: "SQR", category: Category::Synthetic, build: |s| {
-            let side = sc(1000, s.sqrt());
-            grid2d(side, side, true)
-        } },
-        GraphSpec { name: "REC", category: Category::Synthetic, build: |s| {
-            grid2d(sc(100, s.sqrt()), sc(10_000, s.sqrt()), true)
-        } },
-        GraphSpec { name: "SQR'", category: Category::Synthetic, build: |s| {
-            let side = sc(1000, s.sqrt());
-            grid2d_sampled(side, side, 0.6, 111)
-        } },
-        GraphSpec { name: "REC'", category: Category::Synthetic, build: |s| {
-            grid2d_sampled(sc(100, s.sqrt()), sc(10_000, s.sqrt()), 0.6, 112)
-        } },
-        GraphSpec { name: "Chn6", category: Category::Synthetic, build: |s| path(sc(1_000_000, s)) },
-        GraphSpec { name: "Chn7", category: Category::Synthetic, build: |s| path(sc(10_000_000, s)) },
+        GraphSpec {
+            name: "SQR",
+            category: Category::Synthetic,
+            build: |s| {
+                let side = sc(1000, s.sqrt());
+                grid2d(side, side, true)
+            },
+        },
+        GraphSpec {
+            name: "REC",
+            category: Category::Synthetic,
+            build: |s| grid2d(sc(100, s.sqrt()), sc(10_000, s.sqrt()), true),
+        },
+        GraphSpec {
+            name: "SQR'",
+            category: Category::Synthetic,
+            build: |s| {
+                let side = sc(1000, s.sqrt());
+                grid2d_sampled(side, side, 0.6, 111)
+            },
+        },
+        GraphSpec {
+            name: "REC'",
+            category: Category::Synthetic,
+            build: |s| grid2d_sampled(sc(100, s.sqrt()), sc(10_000, s.sqrt()), 0.6, 112),
+        },
+        GraphSpec {
+            name: "Chn6",
+            category: Category::Synthetic,
+            build: |s| path(sc(1_000_000, s)),
+        },
+        GraphSpec {
+            name: "Chn7",
+            category: Category::Synthetic,
+            build: |s| path(sc(10_000_000, s)),
+        },
     ]
 }
 
@@ -119,7 +195,11 @@ pub fn filter_suite(names: Option<&str>) -> Vec<GraphSpec> {
             let wanted: Vec<&str> = list.split(',').map(|x| x.trim()).collect();
             suite()
                 .into_iter()
-                .filter(|s| wanted.iter().any(|w| s.name.trim_end_matches('*') == w.trim_end_matches('*')))
+                .filter(|s| {
+                    wanted
+                        .iter()
+                        .any(|w| s.name.trim_end_matches('*') == w.trim_end_matches('*'))
+                })
                 .collect()
         }
     }
@@ -148,8 +228,7 @@ mod tests {
 
     #[test]
     fn small_suite_covers_every_category() {
-        let cats: std::collections::HashSet<_> =
-            small_suite().iter().map(|s| s.category).collect();
+        let cats: std::collections::HashSet<_> = small_suite().iter().map(|s| s.category).collect();
         assert_eq!(cats.len(), 5);
     }
 }

@@ -5,7 +5,7 @@
 //! span is `O(diam(G) · log n)`. Exposed here because it shares the
 //! claim-by-CAS frontier machinery with the LDD.
 
-use fastbcc_graph::{Graph, V, NONE};
+use fastbcc_graph::{Graph, NONE, V};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 

@@ -11,10 +11,11 @@
 //! sequential oracle.
 
 use crate::bfs::bfs_forest;
-use crate::ldd::LddOpts;
+use crate::ldd::{ldd_filtered_in, LddOpts, LddScratch};
 use crate::unionfind::{ConcurrentUnionFind, SeqUnionFind};
 use fastbcc_graph::{Graph, V};
 use fastbcc_primitives::pack::pack_map;
+use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
 use rayon::prelude::*;
 
 /// Options for [`ldd_uf_jtb`].
@@ -39,6 +40,26 @@ pub struct CcOutput {
     pub num_components: usize,
 }
 
+/// Reusable buffers for the parallel CC algorithms: the LDD scratch plus
+/// the concurrent union–find. One `CcScratch` serves both of FAST-BCC's
+/// connectivity phases (First-CC and Last-CC) across repeated solves.
+#[derive(Default)]
+pub struct CcScratch {
+    pub ldd: LddScratch,
+    pub uf: ConcurrentUnionFind,
+}
+
+impl CcScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes currently reserved (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        self.ldd.heap_bytes() + self.uf.heap_bytes()
+    }
+}
+
 /// The LDD-UF-JTB connectivity algorithm (ConnectIt; paper Thm. 5.1).
 pub fn ldd_uf_jtb(g: &Graph, opts: CcOpts) -> CcOutput {
     ldd_uf_jtb_filtered(g, opts, &|_, _| true)
@@ -51,20 +72,60 @@ pub fn ldd_uf_jtb_filtered<F>(g: &Graph, opts: CcOpts, filter: &F) -> CcOutput
 where
     F: Fn(V, V) -> bool + Sync,
 {
+    let mut scratch = CcScratch::new();
+    let mut labels = Vec::new();
+    let mut forest = opts.want_forest.then(Vec::new);
+    let num_components = ldd_uf_jtb_filtered_in(
+        g,
+        opts.ldd,
+        filter,
+        &mut scratch,
+        &mut labels,
+        forest.as_mut(),
+    );
+    if let Some(f) = &forest {
+        debug_assert_eq!(f.len(), g.n() - num_components);
+    }
+    CcOutput {
+        labels,
+        forest,
+        num_components,
+    }
+}
+
+/// [`ldd_uf_jtb_filtered`] writing into caller-owned buffers: component
+/// labels into `labels_out`, and (when `forest_out` is `Some`) the spanning
+/// forest into it. Returns the component count. All `O(n)` intermediates
+/// live in `scratch` and are reused across calls — this is the engine's
+/// repeated-solve path.
+pub fn ldd_uf_jtb_filtered_in<F>(
+    g: &Graph,
+    ldd_opts: LddOpts,
+    filter: &F,
+    scratch: &mut CcScratch,
+    labels_out: &mut Vec<u32>,
+    forest_out: Option<&mut Vec<(V, V)>>,
+) -> usize
+where
+    F: Fn(V, V) -> bool + Sync,
+{
     let n = g.n();
-    let dec = crate::ldd::ldd_filtered(g, opts.ldd, filter);
-    let uf = ConcurrentUnionFind::new(n);
+    let want_forest = forest_out.is_some();
+    ldd_filtered_in(g, ldd_opts, filter, &mut scratch.ldd, want_forest);
+    scratch.uf.reset(n);
+    let cluster = &scratch.ldd.cluster;
+    let uf = &scratch.uf;
 
     // Union the clusters over inter-cluster edges, remembering which edges
     // performed a union — those join the spanning forest.
-    let union_edges: Vec<(V, V)> = if opts.want_forest {
-        (0..n as V)
+    if let Some(forest) = forest_out {
+        let union_edges: Vec<(V, V)> = (0..n as V)
             .into_par_iter()
             .fold(Vec::new, |mut acc: Vec<(V, V)>, u| {
-                let cu = dec.cluster[u as usize];
+                let cu = cluster[u as usize];
                 for &w in g.neighbors(u) {
                     if u < w && filter(u, w) {
-                        let cw = dec.cluster[w as usize];
+                        let cw = cluster[w as usize];
                         if cu != cw && uf.unite(cu, cw) {
                             acc.push((u, w));
                         }
@@ -75,38 +136,35 @@ where
             .reduce(Vec::new, |mut a, mut b| {
                 a.append(&mut b);
                 a
-            })
+            });
+        forest.clear();
+        forest.extend_from_slice(&scratch.ldd.tree_edges);
+        forest.extend_from_slice(&union_edges);
     } else {
         (0..n as V).into_par_iter().for_each(|u| {
-            let cu = dec.cluster[u as usize];
+            let cu = cluster[u as usize];
             for &w in g.neighbors(u) {
                 if u < w && filter(u, w) {
-                    let cw = dec.cluster[w as usize];
+                    let cw = cluster[w as usize];
                     if cu != cw {
                         uf.unite(cu, cw);
                     }
                 }
             }
         });
-        Vec::new()
-    };
+    }
 
     // Final label: the UF representative of the vertex's cluster.
-    let labels: Vec<u32> = (0..n)
-        .into_par_iter()
-        .map(|v| uf.find(dec.cluster[v]))
-        .collect();
-    let num_components = count_components(&labels);
-
-    let forest = if opts.want_forest {
-        let mut f = dec.tree_edges;
-        f.extend_from_slice(&union_edges);
-        debug_assert_eq!(f.len(), n - num_components);
-        Some(f)
-    } else {
-        None
-    };
-    CcOutput { labels, forest, num_components }
+    // SAFETY: every slot written exactly once below.
+    unsafe { reuse_uninit(labels_out, n) };
+    {
+        let view = UnsafeSlice::new(labels_out.as_mut_slice());
+        fastbcc_primitives::par::par_for(n, |v| {
+            // SAFETY: disjoint writes.
+            unsafe { view.write(v, uf.find(cluster[v])) };
+        });
+    }
+    count_components(labels_out)
 }
 
 /// Asynchronous union–find CC: throw every edge at the concurrent UF.
@@ -119,14 +177,38 @@ pub fn uf_async_filtered<F>(g: &Graph, want_forest: bool, filter: &F) -> CcOutpu
 where
     F: Fn(V, V) -> bool + Sync,
 {
+    let mut uf = ConcurrentUnionFind::default();
+    let mut labels = Vec::new();
+    let mut forest = want_forest.then(Vec::new);
+    let num_components = uf_async_filtered_in(g, filter, &mut uf, &mut labels, forest.as_mut());
+    CcOutput {
+        labels,
+        forest,
+        num_components,
+    }
+}
+
+/// [`uf_async_filtered`] writing into caller-owned buffers (the engine's
+/// repeated-solve path). Returns the component count.
+pub fn uf_async_filtered_in<F>(
+    g: &Graph,
+    filter: &F,
+    uf: &mut ConcurrentUnionFind,
+    labels_out: &mut Vec<u32>,
+    forest_out: Option<&mut Vec<(V, V)>>,
+) -> usize
+where
+    F: Fn(V, V) -> bool + Sync,
+{
     let n = g.n();
-    let uf = ConcurrentUnionFind::new(n);
-    let forest_edges: Vec<(V, V)> = if want_forest {
-        (0..n as V)
+    uf.reset(n);
+    let uf_ref = &*uf;
+    if let Some(forest) = forest_out {
+        let forest_edges: Vec<(V, V)> = (0..n as V)
             .into_par_iter()
             .fold(Vec::new, |mut acc: Vec<(V, V)>, u| {
                 for &w in g.neighbors(u) {
-                    if u < w && filter(u, w) && uf.unite(u, w) {
+                    if u < w && filter(u, w) && uf_ref.unite(u, w) {
                         acc.push((u, w));
                     }
                 }
@@ -135,24 +217,20 @@ where
             .reduce(Vec::new, |mut a, mut b| {
                 a.append(&mut b);
                 a
-            })
+            });
+        forest.clear();
+        forest.extend_from_slice(&forest_edges);
     } else {
         (0..n as V).into_par_iter().for_each(|u| {
             for &w in g.neighbors(u) {
                 if u < w && filter(u, w) {
-                    uf.unite(u, w);
+                    uf_ref.unite(u, w);
                 }
             }
         });
-        Vec::new()
-    };
-    let labels = uf.labels();
-    let num_components = count_components(&labels);
-    CcOutput {
-        labels,
-        forest: want_forest.then_some(forest_edges),
-        num_components,
     }
+    uf_ref.labels_into(labels_out);
+    count_components(labels_out)
 }
 
 /// BFS-based CC (diameter-bound span); forest = BFS tree arcs.
@@ -167,7 +245,11 @@ pub fn bfs_cc(g: &Graph, want_forest: bool) -> CcOutput {
             |v| (f.parent[v], v as V),
         )
     });
-    CcOutput { labels: f.root, forest, num_components }
+    CcOutput {
+        labels: f.root,
+        forest,
+        num_components,
+    }
 }
 
 /// Sequential union–find CC (test oracle / baseline building block).
@@ -177,10 +259,8 @@ pub fn cc_seq(g: &Graph, want_forest: bool) -> CcOutput {
     let mut forest_edges = Vec::new();
     for u in 0..n as V {
         for &w in g.neighbors(u) {
-            if u < w && uf.unite(u, w) {
-                if want_forest {
-                    forest_edges.push((u, w));
-                }
+            if u < w && uf.unite(u, w) && want_forest {
+                forest_edges.push((u, w));
             }
         }
     }
@@ -205,11 +285,9 @@ pub fn cc_contiguous_perm(labels: &[u32]) -> Vec<V> {
     let n = labels.len();
     let ids: Vec<V> = (0..n as V).collect();
     // Semisort vertices by label; position in the sorted order is the new id.
-    let (sorted, _) = fastbcc_primitives::semisort::semisort_by_small_key(
-        &ids,
-        n.max(1),
-        |&v| labels[v as usize] as usize,
-    );
+    let (sorted, _) = fastbcc_primitives::semisort::semisort_by_small_key(&ids, n.max(1), |&v| {
+        labels[v as usize] as usize
+    });
     let mut perm: Vec<V> = unsafe { fastbcc_primitives::slice::uninit_vec(n) };
     {
         let view = fastbcc_primitives::slice::UnsafeSlice::new(&mut perm);
@@ -249,7 +327,16 @@ mod tests {
     fn check_all_algorithms(g: &Graph) {
         let oracle = cc_labels_seq(g);
         for (name, out) in [
-            ("ldd_uf_jtb", ldd_uf_jtb(g, CcOpts { want_forest: true, ..Default::default() })),
+            (
+                "ldd_uf_jtb",
+                ldd_uf_jtb(
+                    g,
+                    CcOpts {
+                        want_forest: true,
+                        ..Default::default()
+                    },
+                ),
+            ),
             ("uf_async", uf_async(g, true)),
             ("bfs_cc", bfs_cc(g, true)),
             ("cc_seq", cc_seq(g, true)),
@@ -303,7 +390,13 @@ mod tests {
     #[test]
     fn forest_edge_count_excludes_cycles() {
         let g = complete(30);
-        let out = ldd_uf_jtb(&g, CcOpts { want_forest: true, ..Default::default() });
+        let out = ldd_uf_jtb(
+            &g,
+            CcOpts {
+                want_forest: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(out.forest.unwrap().len(), 29);
         assert_eq!(out.num_components, 1);
     }
@@ -327,7 +420,10 @@ mod tests {
     fn ldd_uf_without_local_search_matches() {
         let g = grid2d(50, 20, false);
         let opts = CcOpts {
-            ldd: LddOpts { local_search: false, ..Default::default() },
+            ldd: LddOpts {
+                local_search: false,
+                ..Default::default()
+            },
             want_forest: true,
         };
         let out = ldd_uf_jtb(&g, opts);

@@ -15,12 +15,19 @@
 //! the machine, each frontier vertex explores *multiple* hops before the
 //! next synchronization, collapsing the many near-empty rounds that
 //! dominate large-diameter graphs.
+//!
+//! Two entry points: [`ldd_filtered`] allocates its outputs (one-shot
+//! callers), while [`ldd_filtered_in`] writes the per-vertex cluster and
+//! BFS-parent arrays into a caller-owned [`LddScratch`], so repeated solves
+//! (the core engine's `Workspace`) reuse the `O(n)` buffers.
 
-use fastbcc_graph::{Graph, V, NONE};
+use fastbcc_graph::{Graph, NONE, V};
+use fastbcc_primitives::atomics::as_atomic_u32;
 use fastbcc_primitives::hashbag::HashBag;
-use fastbcc_primitives::pack::pack_map;
+use fastbcc_primitives::pack::{pack_map, pack_map_into};
 use fastbcc_primitives::rng::{exponential, hash64_pair};
 use fastbcc_primitives::semisort::semisort_by_small_key;
+use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -37,11 +44,15 @@ pub struct LddOpts {
 
 impl Default for LddOpts {
     fn default() -> Self {
-        Self { beta: None, local_search: true, seed: 0x5EED_1DD }
+        Self {
+            beta: None,
+            local_search: true,
+            seed: 0x5EED_1DD,
+        }
     }
 }
 
-/// Decomposition result.
+/// Decomposition result (owned-output API).
 pub struct LddResult {
     /// Cluster id of every vertex — the id of its center vertex.
     pub cluster: Vec<u32>,
@@ -50,6 +61,52 @@ pub struct LddResult {
     pub tree_edges: Vec<(V, V)>,
     /// Number of synchronous rounds executed.
     pub rounds: usize,
+}
+
+/// Reusable per-solve buffers for the decomposition: the `O(n)`
+/// cluster/parent arrays, the cluster-forest arc buffer, and the lazily
+/// created local-search hash bag. Sized on first use and reused verbatim
+/// by subsequent calls of any size.
+#[derive(Default)]
+pub struct LddScratch {
+    /// Cluster id per vertex (output; valid after a `ldd_filtered_in` call).
+    pub cluster: Vec<u32>,
+    /// BFS parent per vertex, `NONE` for centers (output).
+    pub parent: Vec<u32>,
+    /// Cluster-forest arcs `(parent, child)` (output when requested).
+    pub tree_edges: Vec<(V, V)>,
+    /// Exponential-shift start round per vertex.
+    start_round: Vec<u32>,
+    /// Identity permutation fed to the start-round semisort; rebuilt only
+    /// when the vertex count changes.
+    ids: Vec<V>,
+    bag: Option<HashBag>,
+}
+
+impl LddScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserve the per-vertex buffers for `n` vertices.
+    pub fn reserve(&mut self, n: usize) {
+        self.cluster.reserve(n);
+        self.parent.reserve(n);
+        self.tree_edges.reserve(n);
+        self.start_round.reserve(n);
+        self.ids.reserve(n);
+    }
+
+    /// Heap bytes currently reserved by the scratch buffers (capacity, not
+    /// length) — the engine's fresh-allocation accounting reads this.
+    pub fn heap_bytes(&self) -> usize {
+        4 * (self.cluster.capacity()
+            + self.parent.capacity()
+            + self.start_round.capacity()
+            + self.ids.capacity())
+            + std::mem::size_of::<(V, V)>() * self.tree_edges.capacity()
+            + self.bag.as_ref().map_or(0, HashBag::bytes)
+    }
 }
 
 /// Frontier size below which local search kicks in. The optimization is a
@@ -75,39 +132,83 @@ pub fn ldd_filtered<F>(g: &Graph, opts: LddOpts, filter: &F) -> LddResult
 where
     F: Fn(V, V) -> bool + Sync,
 {
-    let n = g.n();
-    if n == 0 {
-        return LddResult { cluster: Vec::new(), tree_edges: Vec::new(), rounds: 0 };
+    let mut scratch = LddScratch::new();
+    let rounds = ldd_filtered_in(g, opts, filter, &mut scratch, true);
+    LddResult {
+        cluster: scratch.cluster,
+        tree_edges: scratch.tree_edges,
+        rounds,
     }
-    let beta = opts.beta.unwrap_or_else(|| 1.0 / ((n.max(4) as f64).log2()));
+}
+
+/// [`ldd_filtered`] writing into caller-owned scratch. Returns the round
+/// count; `scratch.cluster` / `scratch.parent` hold the decomposition and
+/// `scratch.tree_edges` the cluster-forest arcs (when `collect_tree_edges`;
+/// skipping the extraction saves a pack pass for pure-CC callers).
+pub fn ldd_filtered_in<F>(
+    g: &Graph,
+    opts: LddOpts,
+    filter: &F,
+    scratch: &mut LddScratch,
+    collect_tree_edges: bool,
+) -> usize
+where
+    F: Fn(V, V) -> bool + Sync,
+{
+    let n = g.n();
+    scratch.cluster.clear();
+    scratch.cluster.resize(n, NONE);
+    scratch.parent.clear();
+    scratch.parent.resize(n, NONE);
+    scratch.tree_edges.clear();
+    if n == 0 {
+        return 0;
+    }
+    let beta = opts
+        .beta
+        .unwrap_or_else(|| 1.0 / ((n.max(4) as f64).log2()));
 
     // Shifted start rounds, capped so the bucket array stays O(n): the
     // probability of an Exp(β) sample exceeding 4 ln(n)/β is n^{-4}.
     let cap = ((4.0 * (n.max(2) as f64).ln() / beta).ceil() as usize).max(1);
-    let start_round: Vec<u32> = (0..n)
-        .into_par_iter()
-        .map(|v| {
+    // SAFETY: every slot in 0..n is written by the scatter below.
+    unsafe { reuse_uninit(&mut scratch.start_round, n) };
+    {
+        let view = UnsafeSlice::new(scratch.start_round.as_mut_slice());
+        fastbcc_primitives::par::par_for(n, |v| {
             let e = exponential(hash64_pair(opts.seed, v as u64), beta);
-            (e as usize).min(cap) as u32
-        })
-        .collect();
+            // SAFETY: disjoint writes.
+            unsafe { view.write(v, (e as usize).min(cap) as u32) };
+        });
+    }
+    let start_round = &scratch.start_round;
     // Group vertices by start round for O(1) center injection per round.
-    let ids: Vec<V> = (0..n as V).collect();
+    // The identity array only needs rebuilding when `n` changes.
+    if scratch.ids.len() != n {
+        // SAFETY: fully written below.
+        unsafe { reuse_uninit(&mut scratch.ids, n) };
+        let view = UnsafeSlice::new(scratch.ids.as_mut_slice());
+        fastbcc_primitives::par::par_for(n, |v| {
+            // SAFETY: disjoint writes.
+            unsafe { view.write(v, v as V) };
+        });
+    }
     let (by_round, round_offsets) =
-        semisort_by_small_key(&ids, cap + 1, |&v| start_round[v as usize] as usize);
+        semisort_by_small_key(&scratch.ids, cap + 1, |&v| start_round[v as usize] as usize);
 
-    let cluster: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
-    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    let cluster: &[AtomicU32] = as_atomic_u32(&mut scratch.cluster);
+    let parent: &[AtomicU32] = as_atomic_u32(&mut scratch.parent);
     // Coverage is tallied once per round at the (sequential) round barrier,
     // not with a shared per-claim atomic — one fetch_add per claimed vertex
     // would serialize the frontier expansion on the counter's cache line.
     let mut covered = 0usize;
 
     let mut frontier: Vec<V> = Vec::new();
-    // The bag is allocated lazily on first use and sized for the boundary
-    // of a small frontier only — when local search never engages (low
-    // diameter graphs), its cost is zero.
-    let mut bag: Option<HashBag> = None;
+    // The bag lives in the scratch so repeat solves reuse its chunks; it is
+    // allocated lazily on first use and sized for the boundary of a small
+    // frontier only — when local search never engages (low diameter
+    // graphs), its cost is zero.
+    let bag_slot = &mut scratch.bag;
     let bag_capacity = (local_search_threshold() * LOCAL_SEARCH_BUDGET).min(n.max(16));
     let mut rounds = 0usize;
     let mut r = 0usize;
@@ -147,11 +248,21 @@ where
         // pay the bag overhead.
         let use_local = frontier.len() < local_search_threshold() && rounds > 32;
         if opts.local_search && use_local {
-            let bag = bag.get_or_insert_with(|| HashBag::with_capacity(bag_capacity));
+            // A pooled bag from an earlier (smaller) solve may be under the
+            // capacity this call computed; `HashBag` cannot grow after
+            // construction (insert panics when every chunk is exhausted), so
+            // rebuild it whenever it no longer fits. The bag is empty
+            // between rounds (`extract_all` drains it), so replacement never
+            // loses entries.
+            let too_small = !matches!(&*bag_slot, Some(b) if b.fits(bag_capacity));
+            if too_small {
+                *bag_slot = Some(HashBag::with_capacity(bag_capacity));
+            }
+            let bag = bag_slot.as_mut().expect("bag ensured above");
             let bag_ref = &*bag;
             let claims: usize = frontier
                 .par_iter()
-                .map(|&u| expand_local(g, u, &cluster, &parent, bag_ref, filter))
+                .map(|&u| expand_local(g, u, cluster, parent, bag_ref, filter))
                 .sum();
             covered += claims;
             frontier = bag.extract_all();
@@ -181,15 +292,17 @@ where
         }
     }
 
-    // Unwrap atomics (quiescent now).
-    let cluster: Vec<u32> = cluster.into_iter().map(AtomicU32::into_inner).collect();
-    let parent: Vec<u32> = parent.into_iter().map(AtomicU32::into_inner).collect();
-    let tree_edges = pack_map(
-        n,
-        |v| parent[v] != NONE,
-        |v| (parent[v], v as V),
-    );
-    LddResult { cluster, tree_edges, rounds }
+    // Quiescent now: read the plain arrays back from the scratch.
+    if collect_tree_edges {
+        let parent_now = &scratch.parent;
+        pack_map_into(
+            n,
+            |v| parent_now[v] != NONE,
+            |v| (parent_now[v], v as V),
+            &mut scratch.tree_edges,
+        );
+    }
+    rounds
 }
 
 /// Bounded multi-hop local search from `u`: claims up to
@@ -264,7 +377,13 @@ mod tests {
     fn covers_simple_graphs() {
         for g in [path(50), cycle(64), star(40), complete(20), windmill(7)] {
             for local in [false, true] {
-                let res = ldd(&g, LddOpts { local_search: local, ..Default::default() });
+                let res = ldd(
+                    &g,
+                    LddOpts {
+                        local_search: local,
+                        ..Default::default()
+                    },
+                );
                 check_valid_decomposition(&g, &res);
             }
         }
@@ -295,11 +414,23 @@ mod tests {
     fn beta_controls_cluster_count() {
         // Higher beta => more centers => more, smaller clusters.
         let g = grid2d(60, 60, false);
-        let low = ldd(&g, LddOpts { beta: Some(0.02), seed: 1, local_search: false });
-        let high = ldd(&g, LddOpts { beta: Some(0.9), seed: 1, local_search: false });
-        let count = |r: &LddResult| {
-            (0..g.n()).filter(|&v| r.cluster[v] == v as u32).count()
-        };
+        let low = ldd(
+            &g,
+            LddOpts {
+                beta: Some(0.02),
+                seed: 1,
+                local_search: false,
+            },
+        );
+        let high = ldd(
+            &g,
+            LddOpts {
+                beta: Some(0.9),
+                seed: 1,
+                local_search: false,
+            },
+        );
+        let count = |r: &LddResult| (0..g.n()).filter(|&v| r.cluster[v] == v as u32).count();
         assert!(
             count(&high) > 2 * count(&low),
             "beta=0.9 gave {} clusters vs beta=0.02 {}",
@@ -314,11 +445,29 @@ mod tests {
         // gate (the gate exists so low-diameter graphs never pay for the
         // optimization).
         let g = path(100_000);
-        let plain = ldd(&g, LddOpts { beta: Some(0.01), local_search: false, seed: 2 });
-        let opt = ldd(&g, LddOpts { beta: Some(0.01), local_search: true, seed: 2 });
+        let plain = ldd(
+            &g,
+            LddOpts {
+                beta: Some(0.01),
+                local_search: false,
+                seed: 2,
+            },
+        );
+        let opt = ldd(
+            &g,
+            LddOpts {
+                beta: Some(0.01),
+                local_search: true,
+                seed: 2,
+            },
+        );
         check_valid_decomposition(&g, &plain);
         check_valid_decomposition(&g, &opt);
-        assert!(plain.rounds > 32, "test premise: plain rounds {} > gate", plain.rounds);
+        assert!(
+            plain.rounds > 32,
+            "test premise: plain rounds {} > gate",
+            plain.rounds
+        );
         assert!(
             opt.rounds < plain.rounds,
             "local search did not reduce rounds: {} vs {}",
@@ -333,5 +482,70 @@ mod tests {
         let res = ldd(&g, LddOpts::default());
         assert_eq!(res.cluster.len(), 0);
         assert_eq!(res.rounds, 0);
+    }
+
+    #[test]
+    fn scratch_reuse_produces_valid_decompositions() {
+        // One scratch across differently-sized graphs, in both directions
+        // (grow and shrink), with tree-edge collection toggled.
+        let mut scratch = LddScratch::new();
+        let graphs = [grid2d(30, 30, false), path(2_000), complete(25), path(50)];
+        for (i, g) in graphs.iter().enumerate() {
+            let collect = i % 2 == 0;
+            let rounds =
+                ldd_filtered_in(g, LddOpts::default(), &|_, _| true, &mut scratch, collect);
+            assert!(rounds > 0 || g.m() == 0);
+            assert_eq!(scratch.cluster.len(), g.n());
+            if collect {
+                let res = LddResult {
+                    cluster: scratch.cluster.clone(),
+                    tree_edges: scratch.tree_edges.clone(),
+                    rounds,
+                };
+                check_valid_decomposition(g, &res);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_bag_regrows_for_larger_local_search() {
+        // First engage local search on a small graph (small pooled bag),
+        // then on a much larger one whose computed bag capacity exceeds it:
+        // the scratch must rebuild the bag instead of panicking on
+        // "hash bag capacity exhausted".
+        let mut scratch = LddScratch::new();
+        let small_opts = LddOpts {
+            beta: Some(0.01),
+            local_search: true,
+            seed: 2,
+        };
+        ldd_filtered_in(&path(5_000), small_opts, &|_, _| true, &mut scratch, true);
+        let big = path(150_000);
+        let big_opts = LddOpts {
+            beta: Some(0.005),
+            local_search: true,
+            seed: 2,
+        };
+        let rounds = ldd_filtered_in(&big, big_opts, &|_, _| true, &mut scratch, true);
+        assert!(rounds > 32, "test premise: local search must engage");
+        let res = LddResult {
+            cluster: scratch.cluster.clone(),
+            tree_edges: scratch.tree_edges.clone(),
+            rounds,
+        };
+        check_valid_decomposition(&big, &res);
+    }
+
+    #[test]
+    fn scratch_capacity_is_stable_across_identical_runs() {
+        let g = grid2d(50, 50, false);
+        let mut scratch = LddScratch::new();
+        ldd_filtered_in(&g, LddOpts::default(), &|_, _| true, &mut scratch, true);
+        let bytes = scratch.heap_bytes();
+        assert!(bytes >= 8 * g.n());
+        for _ in 0..3 {
+            ldd_filtered_in(&g, LddOpts::default(), &|_, _| true, &mut scratch, true);
+            assert_eq!(scratch.heap_bytes(), bytes, "scratch buffers reallocated");
+        }
     }
 }

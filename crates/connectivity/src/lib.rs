@@ -28,5 +28,6 @@ pub mod ldd;
 pub mod spanning_forest;
 pub mod unionfind;
 
-pub use cc::{bfs_cc, cc_seq, ldd_uf_jtb, uf_async, CcOpts, CcOutput};
+pub use cc::{bfs_cc, cc_seq, ldd_uf_jtb, uf_async, CcOpts, CcOutput, CcScratch};
+pub use ldd::LddScratch;
 pub use unionfind::{ConcurrentUnionFind, SeqUnionFind};

@@ -38,14 +38,32 @@ pub fn verify_spanning_forest(g: &Graph, forest: &[(V, V)], num_components: usiz
 /// `O(n)` work with small constants, since this sits on FAST-BCC's
 /// *Rooting* critical path.
 pub fn forest_adjacency(n: usize, forest: &[(V, V)]) -> Graph {
+    let mut offsets = Vec::new();
+    let mut arcs = Vec::new();
+    forest_adjacency_in(n, forest, &mut offsets, &mut arcs);
+    Graph::from_raw_parts(offsets, arcs)
+}
+
+/// [`forest_adjacency`] writing the raw CSR arrays into caller-owned
+/// buffers (cleared first, allocations reused). The caller assembles them
+/// with [`Graph::from_raw_parts`] and can reclaim the buffers afterwards
+/// via [`Graph::into_raw_parts`] — the engine's repeated-solve path.
+pub fn forest_adjacency_in(
+    n: usize,
+    forest: &[(V, V)],
+    offsets_out: &mut Vec<usize>,
+    arcs_out: &mut Vec<V>,
+) {
     use fastbcc_primitives::par::par_for;
     use fastbcc_primitives::scan::prefix_sums;
-    use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+    use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let m = forest.len();
     // Degree histogram.
-    let mut degree = vec![0usize; n + 1];
+    offsets_out.clear();
+    offsets_out.resize(n + 1, 0);
+    let degree = offsets_out;
     {
         let deg: &[AtomicUsize] =
             unsafe { &*(degree.as_mut_slice() as *mut [usize] as *const [AtomicUsize]) };
@@ -56,16 +74,16 @@ pub fn forest_adjacency(n: usize, forest: &[(V, V)]) -> Graph {
             deg[v as usize].fetch_add(1, Ordering::Relaxed);
         });
     }
-    let total = prefix_sums(&mut degree);
+    let total = prefix_sums(degree);
     debug_assert_eq!(total, 2 * m);
-    let offsets = degree; // now exclusive offsets, length n+1 with [n] = 2m
+    let offsets = &*degree; // now exclusive offsets, length n+1 with [n] = 2m
 
     // Scatter both arc directions using atomic cursors.
-    let cursors: Vec<AtomicUsize> =
-        offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
-    let mut arcs: Vec<V> = unsafe { uninit_vec(2 * m) };
+    let cursors: Vec<AtomicUsize> = offsets[..n].iter().map(|&o| AtomicUsize::new(o)).collect();
+    // SAFETY: every slot in 0..2m is written exactly once below.
+    unsafe { reuse_uninit(arcs_out, 2 * m) };
     {
-        let view = UnsafeSlice::new(&mut arcs);
+        let view = UnsafeSlice::new(arcs_out.as_mut_slice());
         let cur = &cursors;
         par_for(m, |i| {
             let (u, v) = forest[i];
@@ -84,20 +102,18 @@ pub fn forest_adjacency(n: usize, forest: &[(V, V)]) -> Graph {
     // Sort each neighbor list (binary-searchable, and the builder
     // invariant other code relies on). Lists are short for forests.
     {
-        let view = UnsafeSlice::new(&mut arcs);
+        let view = UnsafeSlice::new(arcs_out.as_mut_slice());
         let offsets_ref = &offsets;
         par_for(n, |v| {
             let (lo, hi) = (offsets_ref[v], offsets_ref[v + 1]);
             if hi > lo {
                 // SAFETY: each vertex owns its arc range exclusively.
-                let list = unsafe {
-                    std::slice::from_raw_parts_mut(view.get_mut(lo) as *mut V, hi - lo)
-                };
+                let list =
+                    unsafe { std::slice::from_raw_parts_mut(view.get_mut(lo) as *mut V, hi - lo) };
                 list.sort_unstable();
             }
         });
     }
-    Graph::from_raw_parts(offsets, arcs)
 }
 
 #[cfg(test)]

@@ -26,7 +26,11 @@ pub struct SeqUnionFind {
 impl SeqUnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), rank: vec![0; n], sets: n }
+        Self {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
     }
 
     /// Representative of `u`'s set.
@@ -78,10 +82,47 @@ pub struct ConcurrentUnionFind {
     parent: Vec<AtomicU32>,
 }
 
+impl Default for ConcurrentUnionFind {
+    /// An empty structure; size it with [`Self::reset`].
+    fn default() -> Self {
+        Self { parent: Vec::new() }
+    }
+}
+
 impl ConcurrentUnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).map(AtomicU32::new).collect() }
+        Self {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Reset to `n` singleton sets, reusing the existing allocation when
+    /// its capacity suffices (the scratch-pooled engine path).
+    ///
+    /// Re-initialization runs in parallel over the retained prefix; only
+    /// genuinely new tail elements (growth beyond the previous length) are
+    /// pushed sequentially, so evolving-graph workloads with fluctuating
+    /// `n` stay parallel after the high-water mark is reached.
+    pub fn reset(&mut self, n: usize) {
+        let old = self.parent.len().min(n);
+        self.parent.truncate(n);
+        if self.parent.len() < n {
+            let grow_from = self.parent.len() as u32;
+            self.parent.reserve(n - self.parent.len());
+            self.parent
+                .extend((grow_from..n as u32).map(AtomicU32::new));
+        }
+        let parent = &self.parent;
+        fastbcc_primitives::par::par_for(old, |v| {
+            parent[v].store(v as u32, Ordering::Relaxed);
+        });
+    }
+
+    /// Heap bytes currently reserved (capacity, not length) — used by the
+    /// engine's fresh-allocation accounting.
+    pub fn heap_bytes(&self) -> usize {
+        self.parent.capacity() * 4
     }
 
     /// Number of elements.
@@ -133,7 +174,11 @@ impl ConcurrentUnionFind {
                 return false;
             }
             // Link lower priority under higher (randomized linking).
-            let (lo, hi) = if Self::prio(ru) < Self::prio(rv) { (ru, rv) } else { (rv, ru) };
+            let (lo, hi) = if Self::prio(ru) < Self::prio(rv) {
+                (ru, rv)
+            } else {
+                (rv, ru)
+            };
             if self.parent[lo as usize]
                 .compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
@@ -177,6 +222,19 @@ impl ConcurrentUnionFind {
             });
         }
         out
+    }
+
+    /// [`Self::labels`] into a caller-provided buffer, reusing its
+    /// allocation (quiescent).
+    pub fn labels_into(&self, out: &mut Vec<u32>) {
+        let n = self.parent.len();
+        // SAFETY: every slot is written exactly once below.
+        unsafe { fastbcc_primitives::slice::reuse_uninit(out, n) };
+        let view = fastbcc_primitives::slice::UnsafeSlice::new(out.as_mut_slice());
+        fastbcc_primitives::par::par_for(n, |v| {
+            // SAFETY: disjoint writes.
+            unsafe { view.write(v, self.find(v as u32)) };
+        });
     }
 
     /// Number of distinct roots (quiescent).

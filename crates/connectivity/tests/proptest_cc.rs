@@ -52,7 +52,7 @@ proptest! {
     #[test]
     fn filtered_cc_equals_materialized_subgraph(g in arb_graph(48, 150), seed in any::<u64>()) {
         // Pseudo-random symmetric edge predicate.
-        let keep = |u: V, v: V| hash64_pair(seed, ((u.min(v) as u64) << 32) | u.max(v) as u64) % 3 != 0;
+        let keep = |u: V, v: V| !hash64_pair(seed, ((u.min(v) as u64) << 32) | u.max(v) as u64).is_multiple_of(3);
         // Materialize the subgraph.
         let kept: Vec<(V, V)> = g.iter_edges().filter(|&(u, v)| keep(u, v)).collect();
         let sub = from_edges(g.n(), &kept);

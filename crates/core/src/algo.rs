@@ -14,16 +14,11 @@
 //! `O(n)` auxiliary space. Every phase is timed individually — the Fig. 5
 //! breakdown experiment reads the [`Breakdown`] directly.
 
-use crate::space::SpaceTracker;
-use crate::tags::{compute_tags, Tags};
-use fastbcc_connectivity::cc::{ldd_uf_jtb_filtered, uf_async, uf_async_filtered, CcOpts};
-use fastbcc_connectivity::ldd::LddOpts;
-use fastbcc_connectivity::spanning_forest::forest_adjacency;
-use fastbcc_ett::root_forest;
-use fastbcc_graph::{Graph, V, NONE};
+use crate::tags::Tags;
+use fastbcc_graph::{Graph, NONE, V};
 use fastbcc_primitives::par::par_for;
-use std::sync::atomic::{AtomicU32, Ordering};
-use std::time::{Duration, Instant};
+use std::sync::atomic::Ordering;
+use std::time::Duration;
 
 /// Which connectivity algorithm powers First-CC and Last-CC.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -50,7 +45,11 @@ pub struct BccOpts {
 
 impl Default for BccOpts {
     fn default() -> Self {
-        Self { scheme: CcScheme::LddUfJtb, local_search: true, seed: 0xFA57_BCC }
+        Self {
+            scheme: CcScheme::LddUfJtb,
+            local_search: true,
+            seed: 0xFA57_BCC,
+        }
     }
 }
 
@@ -91,6 +90,11 @@ pub struct BccResult {
     pub breakdown: Breakdown,
     /// Peak auxiliary memory (analytic accounting of the major arrays).
     pub aux_peak_bytes: usize,
+    /// Buffer capacity newly allocated during this solve. A one-shot
+    /// [`fast_bcc`] pays for every array; a repeated
+    /// [`crate::engine::BccEngine::solve`] on a same-shaped input reports 0
+    /// here (all major arrays served from the pooled [`crate::engine::Workspace`]).
+    pub fresh_alloc_bytes: usize,
 }
 
 impl BccResult {
@@ -143,120 +147,57 @@ impl BccResult {
 ///
 /// Returns `(head, label_count, num_bcc)`.
 pub fn assign_heads(labels: &[u32], tags: &Tags) -> (Vec<V>, Vec<u32>, usize) {
+    let mut head = Vec::new();
+    let mut label_count = Vec::new();
+    let num_bcc = assign_heads_in(labels, tags, &mut head, &mut label_count);
+    (head, label_count, num_bcc)
+}
+
+/// [`assign_heads`] writing into caller-owned buffers (the engine's result
+/// slot). Returns the BCC count.
+pub fn assign_heads_in(
+    labels: &[u32],
+    tags: &Tags,
+    head_out: &mut Vec<V>,
+    count_out: &mut Vec<u32>,
+) -> usize {
     let n = labels.len();
-    let head_atomic: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
+    head_out.clear();
+    head_out.resize(n, NONE);
     {
+        let head_atomic = fastbcc_primitives::atomics::as_atomic_u32(head_out);
         let parent_ref = &tags.parent;
-        let head_ref = &head_atomic;
         par_for(n, |u| {
             let p = parent_ref[u];
             if p != NONE && labels[u] != labels[p as usize] {
-                head_ref[labels[u] as usize].store(p, Ordering::Relaxed);
+                head_atomic[labels[u] as usize].store(p, Ordering::Relaxed);
             }
         });
     }
-    let head: Vec<V> = head_atomic.into_iter().map(AtomicU32::into_inner).collect();
 
     // Label histogram → BCC count: a label is a BCC iff it has ≥ 2 members
     // or a head (i.e. it contains at least one edge).
-    let mut label_count = vec![0u32; n];
+    count_out.clear();
+    count_out.resize(n, 0);
     {
-        let counts = fastbcc_primitives::atomics::as_atomic_u32(&mut label_count);
+        let counts = fastbcc_primitives::atomics::as_atomic_u32(count_out);
         par_for(n, |v| {
             counts[labels[v] as usize].fetch_add(1, Ordering::Relaxed);
         });
     }
-    let head_ref = &head;
-    let count_ref = &label_count;
-    let num_bcc = fastbcc_primitives::reduce::count(n, |l| {
-        count_ref[l] >= 2 || head_ref[l] != NONE
-    });
-    (head, label_count, num_bcc)
+    let head_ref = &*head_out;
+    let count_ref = &*count_out;
+    fastbcc_primitives::reduce::count(n, |l| count_ref[l] >= 2 || head_ref[l] != NONE)
 }
 
 /// Run FAST-BCC on `g`.
+///
+/// One-shot wrapper over [`crate::engine::BccEngine`]: builds a throwaway
+/// scratch [`crate::engine::Workspace`], solves once, and moves the result
+/// out. Callers answering repeated queries should hold a `BccEngine`
+/// instead, which amortizes every major-array allocation across solves.
 pub fn fast_bcc(g: &Graph, opts: BccOpts) -> BccResult {
-    let n = g.n();
-    let mut space = SpaceTracker::new();
-    if n == 0 {
-        return BccResult {
-            labels: Vec::new(),
-            head: Vec::new(),
-            label_count: Vec::new(),
-            tags: Tags {
-                parent: Vec::new(),
-                first: Vec::new(),
-                last: Vec::new(),
-                low: Vec::new(),
-                high: Vec::new(),
-            },
-            num_bcc: 0,
-            num_cc: 0,
-            breakdown: Breakdown::default(),
-            aux_peak_bytes: 0,
-        };
-    }
-
-    let ldd_opts = LddOpts { beta: None, local_search: opts.local_search, seed: opts.seed };
-
-    // ---- Step 1: First-CC (spanning forest) -----------------------------
-    let t0 = Instant::now();
-    let cc = match opts.scheme {
-        CcScheme::LddUfJtb => fastbcc_connectivity::cc::ldd_uf_jtb(
-            g,
-            CcOpts { ldd: ldd_opts, want_forest: true },
-        ),
-        CcScheme::UfAsync => uf_async(g, true),
-    };
-    let first_cc = t0.elapsed();
-    let forest = cc.forest.as_ref().expect("forest requested");
-    // LDD cluster/parent arrays + UF + labels + forest edges.
-    space.alloc(4 * n * 3 + 4 * n + 8 * forest.len());
-
-    // ---- Step 2: Rooting (ETT) ------------------------------------------
-    let t1 = Instant::now();
-    let tree = forest_adjacency(n, forest);
-    let rf = root_forest(&tree, &cc.labels, opts.seed ^ 0xE77);
-    let rooting = t1.elapsed();
-    space.alloc(tree.bytes() + rf.bytes());
-
-    // ---- Step 3: Tagging --------------------------------------------------
-    let t2 = Instant::now();
-    let (tags, table_bytes) = compute_tags(g, &rf);
-    let tagging = t2.elapsed();
-    space.alloc(tags.bytes() + table_bytes);
-    space.free(table_bytes); // sparse tables freed inside compute_tags
-    drop(rf);
-    drop(tree);
-
-    // ---- Step 4: Last-CC on the implicit skeleton ------------------------
-    let t3 = Instant::now();
-    let skeleton_filter = |u: V, v: V| tags.in_skeleton(u, v);
-    let sk = match opts.scheme {
-        CcScheme::LddUfJtb => ldd_uf_jtb_filtered(
-            g,
-            CcOpts { ldd: LddOpts { seed: opts.seed ^ 0x1A57, ..ldd_opts }, want_forest: false },
-            &skeleton_filter,
-        ),
-        CcScheme::UfAsync => uf_async_filtered(g, false, &skeleton_filter),
-    };
-    let labels = sk.labels;
-    space.alloc(4 * n * 3);
-
-    let (head, label_count, num_bcc) = assign_heads(&labels, &tags);
-    let last_cc = t3.elapsed();
-    space.alloc(8 * n);
-
-    BccResult {
-        labels,
-        head,
-        label_count,
-        tags,
-        num_bcc,
-        num_cc: cc.num_components,
-        breakdown: Breakdown { first_cc, rooting, tagging, last_cc },
-        aux_peak_bytes: space.peak(),
-    }
+    crate::engine::BccEngine::new(opts).solve_into(g)
 }
 
 #[cfg(test)]
@@ -295,7 +236,10 @@ mod tests {
     fn disconnected_and_degenerate() {
         assert_eq!(nbcc(&Graph::empty(0)), 0);
         assert_eq!(nbcc(&Graph::empty(7)), 0);
-        assert_eq!(nbcc(&disjoint_union(&[&cycle(4), &path(3), &complete(5)])), 1 + 2 + 1);
+        assert_eq!(
+            nbcc(&disjoint_union(&[&cycle(4), &path(3), &complete(5)])),
+            1 + 2 + 1
+        );
         // Single edge.
         let g = path(2);
         assert_eq!(nbcc(&g), 1);
@@ -317,7 +261,9 @@ mod tests {
         // fences).
         let g = windmill(4);
         let r = fast_bcc(&g, BccOpts::default());
-        let root = (0..g.n() as V).find(|&v| r.tags.parent[v as usize] == NONE).unwrap();
+        let root = (0..g.n() as V)
+            .find(|&v| r.tags.parent[v as usize] == NONE)
+            .unwrap();
         let mut heads: Vec<V> = (0..g.n())
             .filter_map(|l| (r.head[l] != NONE).then_some(r.head[l]))
             .collect();
@@ -327,14 +273,29 @@ mod tests {
             heads.iter().all(|&h| h == 0 || h == root),
             "heads = {heads:?}, root = {root}"
         );
-        assert!(heads.contains(&0), "center must head the non-root triangles");
+        assert!(
+            heads.contains(&0),
+            "center must head the non-root triangles"
+        );
     }
 
     #[test]
     fn both_schemes_agree() {
         for g in [windmill(5), barbell(4, 2), cycle(30), clique_chain(4, 5)] {
-            let a = fast_bcc(&g, BccOpts { scheme: CcScheme::LddUfJtb, ..Default::default() });
-            let b = fast_bcc(&g, BccOpts { scheme: CcScheme::UfAsync, ..Default::default() });
+            let a = fast_bcc(
+                &g,
+                BccOpts {
+                    scheme: CcScheme::LddUfJtb,
+                    ..Default::default()
+                },
+            );
+            let b = fast_bcc(
+                &g,
+                BccOpts {
+                    scheme: CcScheme::UfAsync,
+                    ..Default::default()
+                },
+            );
             assert_eq!(a.num_bcc, b.num_bcc);
             assert_eq!(a.num_cc, b.num_cc);
         }
@@ -343,8 +304,20 @@ mod tests {
     #[test]
     fn local_search_toggle_agrees() {
         let g = clique_chain(10, 5);
-        let a = fast_bcc(&g, BccOpts { local_search: true, ..Default::default() });
-        let b = fast_bcc(&g, BccOpts { local_search: false, ..Default::default() });
+        let a = fast_bcc(
+            &g,
+            BccOpts {
+                local_search: true,
+                ..Default::default()
+            },
+        );
+        let b = fast_bcc(
+            &g,
+            BccOpts {
+                local_search: false,
+                ..Default::default()
+            },
+        );
         assert_eq!(a.num_bcc, b.num_bcc);
     }
 

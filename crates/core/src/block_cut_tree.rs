@@ -12,7 +12,7 @@
 
 use crate::algo::BccResult;
 use crate::postprocess::bcc_membership_counts;
-use fastbcc_graph::{V, NONE};
+use fastbcc_graph::{NONE, V};
 use fastbcc_primitives::pack::pack_index;
 
 /// A node of the block–cut tree.
@@ -98,7 +98,11 @@ pub fn block_cut_tree(r: &BccResult) -> BlockCutTree {
     }
     edges.sort_unstable();
     edges.dedup();
-    BlockCutTree { blocks, cuts, edges }
+    BlockCutTree {
+        blocks,
+        cuts,
+        edges,
+    }
 }
 
 #[cfg(test)]

@@ -27,6 +27,7 @@
 
 pub mod algo;
 pub mod block_cut_tree;
+pub mod engine;
 pub mod postprocess;
 pub mod skeleton;
 pub mod space;
@@ -34,5 +35,6 @@ pub mod tags;
 
 pub use algo::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
 pub use block_cut_tree::{block_cut_tree, BcNode, BlockCutTree};
+pub use engine::{BccEngine, Workspace};
 pub use postprocess::{articulation_points, bridges, canonical_bccs, largest_bcc_size};
 pub use tags::Tags;

@@ -7,7 +7,7 @@
 //! uniquely because two distinct BCCs share at most one vertex (Fact 4.1).
 
 use crate::algo::BccResult;
-use fastbcc_graph::{V, NONE};
+use fastbcc_graph::{NONE, V};
 use fastbcc_primitives::atomics::as_atomic_u32;
 use fastbcc_primitives::pack::pack_index;
 use fastbcc_primitives::par::par_for;

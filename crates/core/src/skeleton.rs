@@ -83,7 +83,13 @@ mod tests {
 
     #[test]
     fn counts_partition_all_edges() {
-        for g in [cycle(10), complete(7), windmill(6), barbell(4, 3), petersen()] {
+        for g in [
+            cycle(10),
+            complete(7),
+            windmill(6),
+            barbell(4, 3),
+            petersen(),
+        ] {
             let tags = tags_of(&g);
             let c = class_counts(&g, &tags);
             assert_eq!(c.iter().sum::<usize>(), g.m_undirected());

@@ -5,18 +5,47 @@
 //! every phase register the byte size of the auxiliary structures it keeps
 //! live. The tracker records the running total and the peak, which is the
 //! number Fig. 7 compares across FAST-BCC / GBBS-style / Tarjan–Vishkin.
+//!
+//! With the scratch-pooled engine the tracker lives inside the
+//! [`crate::engine::Workspace`] and additionally distinguishes *live*
+//! bytes (what the algorithm holds, identical run over run) from *fresh*
+//! bytes (capacity the workspace actually had to grow this solve). A
+//! repeated solve on a same-shaped input reports `fresh() == 0`: every
+//! major array was served from the pooled buffers.
 
-/// Running/peak byte counter for auxiliary allocations.
+/// Running/peak byte counter for auxiliary allocations, plus a per-solve
+/// fresh-allocation counter for buffer-reuse verification.
 #[derive(Debug, Default, Clone)]
 pub struct SpaceTracker {
     live: usize,
     peak: usize,
+    fresh: usize,
 }
 
 impl SpaceTracker {
     /// Fresh tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Start a new measurement epoch (one engine solve): live/peak/fresh
+    /// all restart at zero while the underlying buffers stay pooled.
+    pub fn begin_solve(&mut self) {
+        self.live = 0;
+        self.peak = 0;
+        self.fresh = 0;
+    }
+
+    /// Record bytes of buffer capacity that had to be newly allocated (or
+    /// grown) during this epoch.
+    pub fn note_fresh(&mut self, bytes: usize) {
+        self.fresh += bytes;
+    }
+
+    /// Newly allocated capacity bytes in the current epoch — 0 when every
+    /// major array was reused from the workspace pool.
+    pub fn fresh(&self) -> usize {
+        self.fresh
     }
 
     /// Register `bytes` of live auxiliary memory.

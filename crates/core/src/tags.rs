@@ -22,9 +22,10 @@ use fastbcc_graph::{Graph, V};
 use fastbcc_primitives::atomics::{as_atomic_u32, write_max_u32, write_min_u32};
 use fastbcc_primitives::par::par_for;
 use fastbcc_primitives::rmq::{BlockRmq, RmqKind};
-use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
 
 /// Per-vertex tags driving the edge-classification predicates.
+#[derive(Default)]
 pub struct Tags {
     /// Parent in the rooted spanning forest (`NONE` for roots).
     pub parent: Vec<V>,
@@ -74,75 +75,151 @@ impl Tags {
 
     /// Bytes of auxiliary memory held by the tag arrays.
     pub fn bytes(&self) -> usize {
-        4 * (self.parent.len() + self.first.len() + self.last.len()
-            + self.low.len() + self.high.len())
+        4 * (self.parent.len()
+            + self.first.len()
+            + self.last.len()
+            + self.low.len()
+            + self.high.len())
+    }
+
+    /// Heap bytes currently reserved (capacity, not length) — the engine's
+    /// fresh-allocation accounting reads this.
+    pub fn heap_bytes(&self) -> usize {
+        4 * (self.parent.capacity()
+            + self.first.capacity()
+            + self.last.capacity()
+            + self.low.capacity()
+            + self.high.capacity())
+    }
+}
+
+/// Reusable buffers for [`compute_tags_in`]: the vertex- and tour-ordered
+/// `w1`/`w2` arrays. The sparse tables themselves stay transient — they
+/// are freed before Last-CC in the one-shot flow, and rebuilding them is
+/// the documented `O(n log n)`-work step of the paper's tagging phase.
+#[derive(Default)]
+pub struct TagScratch {
+    w1: Vec<u32>,
+    w2: Vec<u32>,
+    w1_tour: Vec<u32>,
+    w2_tour: Vec<u32>,
+}
+
+impl TagScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserve for `n` vertices (tour-ordered arrays hold up to `2n`).
+    pub fn reserve(&mut self, n: usize) {
+        self.w1.reserve(n);
+        self.w2.reserve(n);
+        self.w1_tour.reserve(2 * n);
+        self.w2_tour.reserve(2 * n);
+    }
+
+    /// Heap bytes currently reserved (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        4 * (self.w1.capacity()
+            + self.w2.capacity()
+            + self.w1_tour.capacity()
+            + self.w2_tour.capacity())
     }
 }
 
 /// Compute all tags. Returns the tags and the sparse-table bytes used
 /// (transient — freed before Last-CC), for space accounting.
 pub fn compute_tags(g: &Graph, rf: &RootedForest) -> (Tags, usize) {
+    let mut tags = Tags::default();
+    let mut scratch = TagScratch::new();
+    let table_bytes = compute_tags_in(g, rf, &mut tags, &mut scratch);
+    (tags, table_bytes)
+}
+
+/// [`compute_tags`] writing into a caller-owned [`Tags`] (the five tag
+/// arrays of the engine's result slot) with intermediates in `scratch`.
+/// Returns the transient sparse-table bytes for space accounting.
+pub fn compute_tags_in(
+    g: &Graph,
+    rf: &RootedForest,
+    out: &mut Tags,
+    scratch: &mut TagScratch,
+) -> usize {
     let n = g.n();
-    let first = rf.first.clone();
-    let last = rf.last.clone();
-    let parent = rf.parent.clone();
+    out.first.clear();
+    out.first.extend_from_slice(&rf.first);
+    out.last.clear();
+    out.last.extend_from_slice(&rf.last);
+    out.parent.clear();
+    out.parent.extend_from_slice(&rf.parent);
+    let first = &out.first;
+    let last = &out.last;
+    let parent = &out.parent;
 
     // w1/w2 over vertices, seeded with first[v].
-    let mut w1 = first.clone();
-    let mut w2 = first.clone();
+    let w1 = &mut scratch.w1;
+    w1.clear();
+    w1.extend_from_slice(first);
+    let w2 = &mut scratch.w2;
+    w2.clear();
+    w2.extend_from_slice(first);
     {
-        let a1 = as_atomic_u32(&mut w1);
-        let a2 = as_atomic_u32(&mut w2);
-        let parent_ref = &parent;
-        let first_ref = &first;
+        let a1 = as_atomic_u32(w1);
+        let a2 = as_atomic_u32(w2);
         par_for(n, |ui| {
             let u = ui as V;
             for &v in g.neighbors(u) {
                 // Skip tree edges: their information is already captured by
                 // the subtree intervals themselves.
-                if parent_ref[u as usize] != v && parent_ref[v as usize] != u {
-                    write_min_u32(&a1[ui], first_ref[v as usize]);
-                    write_max_u32(&a2[ui], first_ref[v as usize]);
+                if parent[u as usize] != v && parent[v as usize] != u {
+                    write_min_u32(&a1[ui], first[v as usize]);
+                    write_max_u32(&a2[ui], first[v as usize]);
                 }
             }
         });
     }
+    let w1 = &*w1;
+    let w2 = &*w2;
 
     // Spread to Euler order and build the sparse tables.
     let tour = &rf.tour_vertex;
     let tl = tour.len();
-    let mut w1_tour: Vec<u32> = unsafe { uninit_vec(tl) };
-    let mut w2_tour: Vec<u32> = unsafe { uninit_vec(tl) };
+    let w1_tour = &mut scratch.w1_tour;
+    let w2_tour = &mut scratch.w2_tour;
+    // SAFETY: every slot in 0..tl is written exactly once below.
+    unsafe {
+        reuse_uninit(w1_tour, tl);
+        reuse_uninit(w2_tour, tl);
+    }
     {
-        let v1 = UnsafeSlice::new(&mut w1_tour);
-        let v2 = UnsafeSlice::new(&mut w2_tour);
-        let w1_ref = &w1;
-        let w2_ref = &w2;
+        let v1 = UnsafeSlice::new(w1_tour.as_mut_slice());
+        let v2 = UnsafeSlice::new(w2_tour.as_mut_slice());
         par_for(tl, |p| unsafe {
             let v = tour[p] as usize;
-            v1.write(p, w1_ref[v]);
-            v2.write(p, w2_ref[v]);
+            v1.write(p, w1[v]);
+            v2.write(p, w2[v]);
         });
     }
-    let st_min = BlockRmq::build(&w1_tour, RmqKind::Min);
-    let st_max = BlockRmq::build(&w2_tour, RmqKind::Max);
+    let st_min = BlockRmq::build(w1_tour, RmqKind::Min);
+    let st_max = BlockRmq::build(w2_tour, RmqKind::Max);
     let table_bytes = st_min.bytes() + st_max.bytes() + 8 * tl;
 
     // low/high by interval queries.
-    let mut low: Vec<u32> = unsafe { uninit_vec(n) };
-    let mut high: Vec<u32> = unsafe { uninit_vec(n) };
+    // SAFETY: every slot in 0..n is written exactly once below.
+    unsafe {
+        reuse_uninit(&mut out.low, n);
+        reuse_uninit(&mut out.high, n);
+    }
     {
-        let lo = UnsafeSlice::new(&mut low);
-        let hi = UnsafeSlice::new(&mut high);
-        let first_ref = &first;
-        let last_ref = &last;
+        let lo = UnsafeSlice::new(out.low.as_mut_slice());
+        let hi = UnsafeSlice::new(out.high.as_mut_slice());
         par_for(n, |v| unsafe {
-            lo.write(v, st_min.query(first_ref[v] as usize, last_ref[v] as usize));
-            hi.write(v, st_max.query(first_ref[v] as usize, last_ref[v] as usize));
+            lo.write(v, st_min.query(first[v] as usize, last[v] as usize));
+            hi.write(v, st_max.query(first[v] as usize, last[v] as usize));
         });
     }
 
-    (Tags { parent, first, last, low, high }, table_bytes)
+    table_bytes
 }
 
 #[cfg(test)]
@@ -152,8 +229,8 @@ mod tests {
     use fastbcc_connectivity::spanning_forest::forest_adjacency;
     use fastbcc_ett::root_forest;
     use fastbcc_graph::builder::from_edges;
-    use fastbcc_graph::NONE;
     use fastbcc_graph::generators::classic::*;
+    use fastbcc_graph::NONE;
 
     fn tags_of(g: &Graph) -> Tags {
         let cc = cc_seq(g, true);
@@ -201,7 +278,19 @@ mod tests {
             theta(1, 2, 3),
             barbell(4, 2),
             complete(6),
-            from_edges(7, &[(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)]),
+            from_edges(
+                7,
+                &[
+                    (0, 1),
+                    (1, 2),
+                    (2, 0),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 3),
+                    (5, 6),
+                ],
+            ),
         ] {
             let tags = tags_of(&g);
             let (lo, hi) = brute_low_high(&g, &tags);
@@ -214,7 +303,10 @@ mod tests {
     fn tree_edge_detection() {
         let g = cycle(5);
         let tags = tags_of(&g);
-        let tree_count = g.iter_edges().filter(|&(u, v)| tags.is_tree_edge(u, v)).count();
+        let tree_count = g
+            .iter_edges()
+            .filter(|&(u, v)| tags.is_tree_edge(u, v))
+            .count();
         assert_eq!(tree_count, 4); // spanning tree of a 5-cycle
     }
 
@@ -231,8 +323,7 @@ mod tests {
             .collect();
         assert_eq!(non_tree.len(), 1);
         let (u, v) = non_tree[0];
-        let root_is_endpoint =
-            tags.parent[u as usize] == NONE || tags.parent[v as usize] == NONE;
+        let root_is_endpoint = tags.parent[u as usize] == NONE || tags.parent[v as usize] == NONE;
         let is_back = tags.back(u, v) || tags.back(v, u);
         assert_eq!(is_back, root_is_endpoint, "edge {u}-{v}");
         assert_eq!(tags.in_skeleton(u, v), !is_back);
@@ -259,11 +350,7 @@ mod tests {
             if tags.is_tree_edge(u, v) {
                 let root_incident =
                     tags.parent[u as usize] == NONE || tags.parent[v as usize] == NONE;
-                assert_eq!(
-                    tags.in_skeleton(u, v),
-                    !root_incident,
-                    "tree edge {u}-{v}"
-                );
+                assert_eq!(tags.in_skeleton(u, v), !root_incident, "tree edge {u}-{v}");
             }
         }
     }

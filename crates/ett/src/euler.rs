@@ -14,16 +14,17 @@
 //! boundary because a subtree's positions are contained in its tree's
 //! segment.
 
-use fastbcc_graph::{Graph, V, NONE};
+use fastbcc_graph::{Graph, NONE, V};
 use fastbcc_primitives::atomics::{as_atomic_u32, write_max_u32, write_min_u32};
-use fastbcc_primitives::pack::pack_index;
+use fastbcc_primitives::pack::{pack_index_into, pack_map_into};
 use fastbcc_primitives::par::par_for;
 use fastbcc_primitives::scan::prefix_sums;
-use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
 
-use crate::listrank::rank_circular_lists;
+use crate::listrank::{rank_circular_lists_in, ListRankScratch};
 
 /// A rooted spanning forest with Euler-tour tags.
+#[derive(Default)]
 pub struct RootedForest {
     /// Parent of each vertex; `NONE` for tree roots (and isolated vertices).
     pub parent: Vec<V>,
@@ -53,8 +54,65 @@ impl RootedForest {
 
     /// Bytes of auxiliary memory held.
     pub fn bytes(&self) -> usize {
-        4 * (self.parent.len() + self.first.len() + self.last.len()
-            + self.tour_vertex.len() + self.roots.len())
+        4 * (self.parent.len()
+            + self.first.len()
+            + self.last.len()
+            + self.tour_vertex.len()
+            + self.roots.len())
+    }
+
+    /// Heap bytes currently reserved (capacity, not length) — the engine's
+    /// fresh-allocation accounting reads this.
+    pub fn heap_bytes(&self) -> usize {
+        4 * (self.parent.capacity()
+            + self.first.capacity()
+            + self.last.capacity()
+            + self.tour_vertex.capacity()
+            + self.roots.capacity())
+    }
+}
+
+/// Reusable buffers for [`root_forest_in`]: the per-arc successor/rank
+/// arrays of the Euler circuits plus the per-tree layout tables.
+#[derive(Default)]
+pub struct EttScratch {
+    pos_of_root: Vec<u32>,
+    sizes: Vec<u32>,
+    offsets: Vec<usize>,
+    src: Vec<V>,
+    succ: Vec<u32>,
+    start_arcs: Vec<u32>,
+    rank: Vec<u32>,
+    listrank: ListRankScratch,
+}
+
+impl EttScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserve for an `n`-vertex forest (arc arrays hold up to
+    /// `2(n-1)` entries; the sample tables size themselves on first use).
+    pub fn reserve(&mut self, n: usize) {
+        self.pos_of_root.reserve(n);
+        self.sizes.reserve(n);
+        self.offsets.reserve(n);
+        self.src.reserve(2 * n);
+        self.succ.reserve(2 * n);
+        self.start_arcs.reserve(n);
+        self.rank.reserve(2 * n);
+    }
+
+    /// Heap bytes currently reserved (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        4 * (self.pos_of_root.capacity()
+            + self.sizes.capacity()
+            + self.src.capacity()
+            + self.succ.capacity()
+            + self.start_arcs.capacity()
+            + self.rank.capacity())
+            + 8 * self.offsets.capacity()
+            + self.listrank.heap_bytes()
     }
 }
 
@@ -63,37 +121,65 @@ impl RootedForest {
 /// * `tree` — symmetric CSR adjacency of the forest edges;
 /// * `labels` — tree label per vertex (`labels[r] == r` for the root used).
 pub fn root_forest(tree: &Graph, labels: &[u32], seed: u64) -> RootedForest {
+    let mut out = RootedForest::default();
+    let mut scratch = EttScratch::new();
+    root_forest_in(tree, labels, seed, &mut out, &mut scratch);
+    out
+}
+
+/// [`root_forest`] writing into a caller-owned [`RootedForest`], with every
+/// intermediate (arc sources, circuit successors, list-ranking arrays) in
+/// `scratch` — the engine's repeated-solve path.
+pub fn root_forest_in(
+    tree: &Graph,
+    labels: &[u32],
+    seed: u64,
+    out: &mut RootedForest,
+    scratch: &mut EttScratch,
+) {
     let n = tree.n();
     assert_eq!(labels.len(), n);
     let m_arcs = tree.m();
 
     // --- roots, tree sizes, per-tree layout offsets ----------------------
-    let roots: Vec<V> = pack_index(n, |v| labels[v] == v as u32);
+    pack_index_into(n, |v| labels[v] == v as u32, &mut out.roots);
+    let roots = &out.roots;
     // size[t] = vertices in tree t (indexed by root order); count via a
     // per-root atomic histogram.
-    let mut pos_of_root = vec![u32::MAX; n];
+    let pos_of_root = &mut scratch.pos_of_root;
+    pos_of_root.clear();
+    pos_of_root.resize(n, u32::MAX);
     {
-        let view = UnsafeSlice::new(&mut pos_of_root);
-        let roots_ref = &roots;
-        par_for(roots.len(), |t| unsafe { view.write(roots_ref[t] as usize, t as u32) });
+        let view = UnsafeSlice::new(pos_of_root.as_mut_slice());
+        par_for(roots.len(), |t| unsafe {
+            view.write(roots[t] as usize, t as u32)
+        });
     }
-    let mut sizes = vec![0u32; roots.len()];
+    let pos_of_root = &*pos_of_root;
+    let sizes = &mut scratch.sizes;
+    sizes.clear();
+    sizes.resize(roots.len(), 0);
     {
-        let counts = as_atomic_u32(&mut sizes);
+        let counts = as_atomic_u32(sizes);
         par_for(n, |v| {
             let t = pos_of_root[labels[v] as usize];
             counts[t as usize].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
     }
     // Vertex-sequence length per tree is 2s-1; scan for global offsets.
-    let mut offsets: Vec<usize> = sizes.iter().map(|&s| 2 * s as usize - 1).collect();
-    let total_tour = prefix_sums(&mut offsets);
+    let offsets = &mut scratch.offsets;
+    offsets.clear();
+    offsets.extend(sizes.iter().map(|&s| 2 * s as usize - 1));
+    let total_tour = prefix_sums(offsets);
+    let offsets = &*offsets;
     debug_assert_eq!(total_tour, 2 * n - roots.len());
 
     // --- arc sources and circuit successors ------------------------------
-    let mut src: Vec<V> = unsafe { uninit_vec(m_arcs) };
+    let src = &mut scratch.src;
+    // SAFETY: arc ranges partition 0..m, so every slot is written.
+    unsafe { reuse_uninit(src, m_arcs) };
     {
-        let view = UnsafeSlice::new(&mut src);
+        let view = UnsafeSlice::new(src.as_mut_slice());
         par_for(n, |u| {
             for a in tree.arc_range(u as V) {
                 // SAFETY: arc ranges partition 0..m.
@@ -101,54 +187,71 @@ pub fn root_forest(tree: &Graph, labels: &[u32], seed: u64) -> RootedForest {
             }
         });
     }
+    let src = &*src;
     // succ[a] for arc a = (u -> v): the arc after (v -> u) in v's rotation.
     let arcs = tree.arcs();
-    let mut succ: Vec<u32> = unsafe { uninit_vec(m_arcs) };
+    let succ = &mut scratch.succ;
+    // SAFETY: one write per arc index below.
+    unsafe { reuse_uninit(succ, m_arcs) };
     {
-        let view = UnsafeSlice::new(&mut succ);
+        let view = UnsafeSlice::new(succ.as_mut_slice());
         par_for(m_arcs, |a| {
             let u = src[a];
             let v = arcs[a];
             let base = tree.arc_range(v).start;
             let deg = tree.degree(v);
             // Neighbor lists are sorted and duplicate-free: binary search.
-            let j = tree.neighbors(v).binary_search(&u).expect("twin arc missing");
+            let j = tree
+                .neighbors(v)
+                .binary_search(&u)
+                .expect("twin arc missing");
             let next = base + (j + 1) % deg;
             // SAFETY: one write per arc index.
             unsafe { view.write(a, next as u32) };
         });
     }
+    let succ = &*succ;
 
     // --- list-rank the circuits ------------------------------------------
     // Start arc of tree t: the first outgoing arc of its root (trees of
     // size 1 have no arcs and are handled by layout alone).
-    let start_arcs: Vec<u32> = fastbcc_primitives::pack::pack_map(
+    pack_map_into(
         roots.len(),
         |t| tree.degree(roots[t]) > 0,
         |t| tree.arc_range(roots[t]).start as u32,
+        &mut scratch.start_arcs,
     );
-    let rank = rank_circular_lists(&succ, &start_arcs, seed);
+    rank_circular_lists_in(
+        succ,
+        &scratch.start_arcs,
+        seed,
+        &mut scratch.rank,
+        &mut scratch.listrank,
+    );
+    let rank = &scratch.rank;
 
     // --- scatter the vertex sequence and tags ----------------------------
-    let mut tour_vertex: Vec<V> = unsafe { uninit_vec(total_tour) };
+    // SAFETY: position (offset + rank + 1) is unique per arc and the root
+    // slots cover the remainder, so every slot is written.
+    unsafe { reuse_uninit(&mut out.tour_vertex, total_tour) };
     {
-        let view = UnsafeSlice::new(&mut tour_vertex);
-        let roots_ref = &roots;
-        let offsets_ref = &offsets;
-        par_for(roots.len(), |t| unsafe { view.write(offsets_ref[t], roots_ref[t]) });
+        let view = UnsafeSlice::new(out.tour_vertex.as_mut_slice());
+        par_for(roots.len(), |t| unsafe { view.write(offsets[t], roots[t]) });
         par_for(m_arcs, |a| {
             let t = pos_of_root[labels[src[a] as usize] as usize] as usize;
             // SAFETY: position (offset + rank + 1) is unique per arc.
-            unsafe { view.write(offsets_ref[t] + rank[a] as usize + 1, arcs[a]) };
+            unsafe { view.write(offsets[t] + rank[a] as usize + 1, arcs[a]) };
         });
     }
 
-    let mut first = vec![u32::MAX; n];
-    let mut last = vec![0u32; n];
+    out.first.clear();
+    out.first.resize(n, u32::MAX);
+    out.last.clear();
+    out.last.resize(n, 0);
     {
-        let f = as_atomic_u32(&mut first);
-        let l = as_atomic_u32(&mut last);
-        let tour_ref = &tour_vertex;
+        let f = as_atomic_u32(&mut out.first);
+        let l = as_atomic_u32(&mut out.last);
+        let tour_ref = &out.tour_vertex;
         par_for(total_tour, |p| {
             let v = tour_ref[p] as usize;
             write_min_u32(&f[v], p as u32);
@@ -157,10 +260,11 @@ pub fn root_forest(tree: &Graph, labels: &[u32], seed: u64) -> RootedForest {
     }
 
     // --- parents ----------------------------------------------------------
-    let mut parent = vec![NONE; n];
+    out.parent.clear();
+    out.parent.resize(n, NONE);
     {
-        let view = UnsafeSlice::new(&mut parent);
-        let first_ref = &first;
+        let view = UnsafeSlice::new(out.parent.as_mut_slice());
+        let first_ref = &out.first;
         par_for(m_arcs, |a| {
             let u = src[a];
             let v = arcs[a];
@@ -172,8 +276,6 @@ pub fn root_forest(tree: &Graph, labels: &[u32], seed: u64) -> RootedForest {
             }
         });
     }
-
-    RootedForest { parent, first, last, tour_vertex, roots }
 }
 
 #[cfg(test)]

@@ -15,10 +15,40 @@
 
 use fastbcc_primitives::par::par_for;
 use fastbcc_primitives::rng::hash64_pair;
-use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
+use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
 
 /// Sentinel for "not a sample".
 const NOT_SAMPLE: u32 = u32::MAX;
+
+/// Reusable buffers for [`rank_circular_lists_in`]: the `O(n)` sample-id
+/// array plus the `O(√n)` per-sample segment tables.
+#[derive(Default)]
+pub struct ListRankScratch {
+    sample_of: Vec<u32>,
+    is_start: Vec<bool>,
+    samples: Vec<u32>,
+    randoms: Vec<u32>,
+    seg_len: Vec<u32>,
+    next_sample: Vec<u32>,
+    offset: Vec<u32>,
+}
+
+impl ListRankScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes currently reserved (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        4 * (self.sample_of.capacity()
+            + self.samples.capacity()
+            + self.randoms.capacity()
+            + self.seg_len.capacity()
+            + self.next_sample.capacity()
+            + self.offset.capacity())
+            + self.is_start.capacity()
+    }
+}
 
 /// Rank the nodes of disjoint circular lists.
 ///
@@ -29,41 +59,75 @@ const NOT_SAMPLE: u32 = u32::MAX;
 ///
 /// Returns `rank[i]` = distance from its list's start to `i` along `succ`.
 pub fn rank_circular_lists(succ: &[u32], starts: &[u32], seed: u64) -> Vec<u32> {
+    let mut rank = Vec::new();
+    let mut scratch = ListRankScratch::new();
+    rank_circular_lists_in(succ, starts, seed, &mut rank, &mut scratch);
+    rank
+}
+
+/// [`rank_circular_lists`] writing into a caller-owned rank buffer, with
+/// all intermediates in `scratch` (the engine's repeated-solve path).
+pub fn rank_circular_lists_in(
+    succ: &[u32],
+    starts: &[u32],
+    seed: u64,
+    rank_out: &mut Vec<u32>,
+    scratch: &mut ListRankScratch,
+) {
     let n = succ.len();
-    let mut rank: Vec<u32> = unsafe { uninit_vec(n) };
+    // SAFETY: every node lies on exactly one sample segment, so pass 2
+    // writes every slot.
+    unsafe { reuse_uninit(rank_out, n) };
     if n == 0 {
-        return rank;
+        return;
     }
+    let rank = rank_out;
 
     // --- choose samples: expected √n random nodes + every start ---------
     // sample_id[i] != NOT_SAMPLE marks node i as the sample with that index.
     let target = (n as f64).sqrt().ceil() as u64;
     let is_random_sample =
         |i: usize| -> bool { hash64_pair(seed, i as u64) % (n as u64).max(1) < target };
-    let mut is_start = vec![false; n];
+    let is_start = &mut scratch.is_start;
+    is_start.clear();
+    is_start.resize(n, false);
     for &s in starts {
         is_start[s as usize] = true;
     }
-    let randoms = fastbcc_primitives::pack::pack_index(n, |i| {
-        !is_start[i] && is_random_sample(i)
-    });
-    let mut samples: Vec<u32> = Vec::with_capacity(starts.len() + randoms.len());
+    let is_start = &*is_start;
+    fastbcc_primitives::pack::pack_index_into(
+        n,
+        |i| !is_start[i] && is_random_sample(i),
+        &mut scratch.randoms,
+    );
+    let samples = &mut scratch.samples;
+    samples.clear();
+    samples.reserve(starts.len() + scratch.randoms.len());
     samples.extend_from_slice(starts);
-    samples.extend_from_slice(&randoms);
+    samples.extend_from_slice(&scratch.randoms);
+    let samples = &*samples;
     let k = samples.len();
-    let mut sample_of = vec![NOT_SAMPLE; n];
+    let sample_of = &mut scratch.sample_of;
+    sample_of.clear();
+    sample_of.resize(n, NOT_SAMPLE);
     {
-        let view = UnsafeSlice::new(&mut sample_of);
-        let samples_ref = &samples;
-        par_for(k, |si| unsafe { view.write(samples_ref[si] as usize, si as u32) });
+        let view = UnsafeSlice::new(sample_of.as_mut_slice());
+        par_for(k, |si| unsafe {
+            view.write(samples[si] as usize, si as u32)
+        });
     }
+    let sample_of = &*sample_of;
 
     // --- pass 1: walk each sample's segment, find next sample + length ---
-    let mut seg_len = vec![0u32; k];
-    let mut next_sample = vec![0u32; k];
+    let seg_len = &mut scratch.seg_len;
+    seg_len.clear();
+    seg_len.resize(k, 0);
+    let next_sample = &mut scratch.next_sample;
+    next_sample.clear();
+    next_sample.resize(k, 0);
     {
-        let lens = UnsafeSlice::new(&mut seg_len);
-        let nexts = UnsafeSlice::new(&mut next_sample);
+        let lens = UnsafeSlice::new(seg_len.as_mut_slice());
+        let nexts = UnsafeSlice::new(next_sample.as_mut_slice());
         let sample_of_ref = &sample_of;
         par_for(k, |si| {
             let mut cur = succ[samples[si] as usize];
@@ -83,7 +147,11 @@ pub fn rank_circular_lists(succ: &[u32], starts: &[u32], seed: u64) -> Vec<u32> 
     // --- sequential over samples: accumulate offsets per circuit --------
     // k = O(√n + #lists) so this pass is cheap; it also validates that each
     // start's circuit returns to itself.
-    let mut offset = vec![u32::MAX; k];
+    let seg_len = &*seg_len;
+    let next_sample = &*next_sample;
+    let offset = &mut scratch.offset;
+    offset.clear();
+    offset.resize(k, u32::MAX);
     for &s in starts {
         let s0 = sample_of[s as usize];
         let mut si = s0;
@@ -100,8 +168,9 @@ pub fn rank_circular_lists(succ: &[u32], starts: &[u32], seed: u64) -> Vec<u32> 
     }
 
     // --- pass 2: re-walk segments, scattering final ranks ---------------
+    let offset = &*offset;
     {
-        let view = UnsafeSlice::new(&mut rank);
+        let view = UnsafeSlice::new(rank.as_mut_slice());
         let sample_of_ref = &sample_of;
         par_for(k, |si| {
             let base = offset[si];
@@ -119,7 +188,6 @@ pub fn rank_circular_lists(succ: &[u32], starts: &[u32], seed: u64) -> Vec<u32> 
             }
         });
     }
-    rank
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use fastbcc_ett::{rank_circular_lists, root_forest};
 use fastbcc_graph::builder::from_edges;
 use fastbcc_graph::stats::cc_labels_seq;
-use fastbcc_graph::{V, NONE};
+use fastbcc_graph::{NONE, V};
 use proptest::prelude::*;
 
 /// Random forest: each vertex i>0 attaches to a random earlier vertex with

@@ -13,7 +13,7 @@
 
 use crate::csr::Graph;
 use crate::types::{EdgeList, V};
-use fastbcc_primitives::pack::{pack_map, filter_slice};
+use fastbcc_primitives::pack::{filter_slice, pack_map};
 use fastbcc_primitives::par::par_for;
 use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
 use fastbcc_primitives::sort::{offsets_from_sorted, radix_sort_by};
@@ -21,15 +21,17 @@ use fastbcc_primitives::sort::{offsets_from_sorted, radix_sort_by};
 /// Build a symmetric, loop-free, duplicate-free CSR graph from an edge list.
 pub fn build_symmetric(el: &EdgeList) -> Graph {
     let n = el.n;
-    assert!(n < u32::MAX as usize, "vertex count must fit in u32 with NONE reserved");
+    assert!(
+        n < u32::MAX as usize,
+        "vertex count must fit in u32 with NONE reserved"
+    );
     if el.edges.is_empty() {
         return Graph::empty(n);
     }
 
     // 1+2: symmetrize and drop loops in one scatter.
-    let loops = fastbcc_primitives::reduce::count(el.edges.len(), |i| {
-        el.edges[i].0 == el.edges[i].1
-    });
+    let loops =
+        fastbcc_primitives::reduce::count(el.edges.len(), |i| el.edges[i].0 == el.edges[i].1);
     let keep = el.edges.len() - loops;
     let mut arcs: Vec<(V, V)> = unsafe { uninit_vec(2 * keep) };
     {
@@ -83,7 +85,10 @@ pub fn from_arcs_dedup(n: usize, arcs: Vec<(V, V)>) -> Graph {
 
 /// Convenience: build from a plain `(u, v)` slice.
 pub fn from_edges(n: usize, edges: &[(V, V)]) -> Graph {
-    build_symmetric(&EdgeList { n, edges: edges.to_vec() })
+    build_symmetric(&EdgeList {
+        n,
+        edges: edges.to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -101,10 +106,7 @@ mod tests {
 
     #[test]
     fn dedups_and_drops_loops() {
-        let g = from_edges(
-            3,
-            &[(0, 1), (1, 0), (0, 1), (1, 1), (2, 2), (1, 2)],
-        );
+        let g = from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 1), (2, 2), (1, 2)]);
         assert_eq!(g.m_undirected(), 2); // {0,1}, {1,2}
         assert!(!g.has_self_loops());
         assert!(!g.has_multi_edges());
@@ -134,9 +136,7 @@ mod tests {
         let mut r = Rng::new(21);
         let n = 10_000usize;
         let m = 60_000usize;
-        let edges: Vec<(V, V)> = (0..m)
-            .map(|_| (r.index(n) as V, r.index(n) as V))
-            .collect();
+        let edges: Vec<(V, V)> = (0..m).map(|_| (r.index(n) as V, r.index(n) as V)).collect();
         let g = from_edges(n, &edges);
         assert!(g.is_symmetric());
         assert!(!g.has_self_loops());

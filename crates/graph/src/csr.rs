@@ -6,7 +6,7 @@
 //! Neighbor lists of a vertex are contiguous and sorted, enabling cache-
 //! friendly scans and binary-searched membership tests.
 
-use crate::types::{V, NONE};
+use crate::types::{NONE, V};
 
 /// A static graph in CSR form. Construct via [`crate::builder`] functions
 /// or [`Graph::from_raw_parts`].
@@ -21,8 +21,15 @@ impl Graph {
     /// (monotone offsets, ids in range).
     pub fn from_raw_parts(offsets: Vec<usize>, edges: Vec<V>) -> Self {
         assert!(!offsets.is_empty(), "offsets must have length n+1 >= 1");
-        assert_eq!(*offsets.last().unwrap(), edges.len(), "offsets must end at m");
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            edges.len(),
+            "offsets must end at m"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
         let n = offsets.len() - 1;
         assert!(
             edges.iter().all(|&v| (v as usize) < n),
@@ -31,9 +38,20 @@ impl Graph {
         Self { offsets, edges }
     }
 
+    /// Dissolve into the raw CSR arrays, handing their allocations back to
+    /// the caller. Inverse of [`Graph::from_raw_parts`]; lets scratch-pooled
+    /// callers (the core engine's `Workspace`) rebuild a graph each solve
+    /// without reallocating.
+    pub fn into_raw_parts(self) -> (Vec<usize>, Vec<V>) {
+        (self.offsets, self.edges)
+    }
+
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
-        Self { offsets: vec![0; n + 1], edges: Vec::new() }
+        Self {
+            offsets: vec![0; n + 1],
+            edges: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -92,8 +110,7 @@ impl Graph {
 
     /// Iterate all directed arcs as `(src, dst)` pairs (sequential).
     pub fn iter_arcs(&self) -> impl Iterator<Item = (V, V)> + '_ {
-        (0..self.n() as V)
-            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
+        (0..self.n() as V).flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Iterate undirected edges once each (`u < v`), assuming symmetry.
@@ -106,7 +123,9 @@ impl Graph {
     pub fn is_symmetric(&self) -> bool {
         use fastbcc_primitives::reduce::all;
         all(self.n(), |u| {
-            self.neighbors(u as V).iter().all(|&v| self.has_edge(v, u as V))
+            self.neighbors(u as V)
+                .iter()
+                .all(|&v| self.has_edge(v, u as V))
         })
     }
 

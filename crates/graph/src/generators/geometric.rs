@@ -17,10 +17,20 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
     // Cell width = radius: neighbors live in the 3×3 cell block.
     let dim = ((1.0 / radius).floor() as usize).clamp(1, 4096);
     let xs: Vec<f64> = (0..n)
-        .map(|i| fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(seed, 2 * i as u64)))
+        .map(|i| {
+            fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(
+                seed,
+                2 * i as u64,
+            ))
+        })
         .collect();
     let ys: Vec<f64> = (0..n)
-        .map(|i| fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(seed, 2 * i as u64 + 1)))
+        .map(|i| {
+            fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(
+                seed,
+                2 * i as u64 + 1,
+            ))
+        })
         .collect();
     let pg = PointGrid::from_points(xs, ys, dim);
     let r2 = radius * radius;
@@ -84,10 +94,20 @@ mod tests {
         let g = random_geometric(n, radius, 17);
         // Recreate identical points for the naive computation.
         let xs: Vec<f64> = (0..n)
-            .map(|i| fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(17, 2 * i as u64)))
+            .map(|i| {
+                fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(
+                    17,
+                    2 * i as u64,
+                ))
+            })
             .collect();
         let ys: Vec<f64> = (0..n)
-            .map(|i| fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(17, 2 * i as u64 + 1)))
+            .map(|i| {
+                fastbcc_primitives::rng::to_unit_f64(fastbcc_primitives::rng::hash64_pair(
+                    17,
+                    2 * i as u64 + 1,
+                ))
+            })
             .collect();
         let dim = ((1.0 / radius).floor() as usize).clamp(1, 4096);
         let pg = PointGrid::from_points(xs, ys, dim);

@@ -34,7 +34,7 @@ fn grid2d_impl(rows: usize, cols: usize, wrap: bool, sample: Option<f64>, seed: 
     let slots = 2 * n;
     let keep = |s: usize| -> bool {
         let v = s / 2;
-        let right = s % 2 == 0;
+        let right = s.is_multiple_of(2);
         let (r, c) = (v / cols, v % cols);
         let exists = if right {
             // A right edge needs ≥ 2 columns; without wrap the last column
@@ -98,7 +98,7 @@ mod tests {
         let g = grid2d(2, 4, true);
         assert!(!g.has_multi_edges());
         assert_eq!(g.m_undirected(), 4 + 8); // vertical: 4 pairs; horizontal: 2 rows * 4
-        // Single vertex.
+                                             // Single vertex.
         let g = grid2d(1, 1, true);
         assert_eq!(g.n(), 1);
         assert_eq!(g.m(), 0);

@@ -11,7 +11,7 @@
 use super::points::PointGrid;
 use crate::builder::build_symmetric;
 use crate::csr::Graph;
-use crate::types::{EdgeList, V, NONE};
+use crate::types::{EdgeList, NONE, V};
 use fastbcc_primitives::par::par_for;
 use fastbcc_primitives::slice::{uninit_vec, UnsafeSlice};
 
@@ -41,8 +41,7 @@ pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
             }
         });
     }
-    let edges: Vec<(V, V)> =
-        fastbcc_primitives::pack::filter_slice(&arcs, |&(u, _)| u != NONE);
+    let edges: Vec<(V, V)> = fastbcc_primitives::pack::filter_slice(&arcs, |&(u, _)| u != NONE);
     build_symmetric(&EdgeList { n, edges })
 }
 

@@ -43,7 +43,14 @@ impl PointGrid {
         let ids: Vec<V> = (0..n as V).collect();
         let (cell_points, cell_offsets) =
             semisort_by_small_key(&ids, dim * dim, |&i| cell_of(i as usize));
-        Self { xs, ys, dim, cell_w, cell_points, cell_offsets }
+        Self {
+            xs,
+            ys,
+            dim,
+            cell_w,
+            cell_points,
+            cell_offsets,
+        }
     }
 
     /// Cell coordinates of point `i`.

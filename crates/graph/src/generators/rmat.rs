@@ -26,7 +26,12 @@ impl Default for RmatParams {
     /// Graph500 parameters: a=0.57, b=0.19, c=0.19 (d=0.05) with mild noise,
     /// yielding the skewed degree distribution of social networks.
     fn default() -> Self {
-        Self { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+        Self {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
     }
 }
 
@@ -80,8 +85,17 @@ pub fn rmat(scale: u32, m_target: usize, seed: u64) -> Graph {
 /// echoing the large-BCC, higher-local-density structure of web graphs.
 pub fn web_like(scale: u32, m_target: usize, seed: u64) -> Graph {
     let n = 1usize << scale;
-    let params = RmatParams { a: 0.45, b: 0.22, c: 0.22, noise: 0.05 };
-    let mut edges = pack_map(m_target, |_| true, |i| rmat_edge(scale, seed, i as u64, params));
+    let params = RmatParams {
+        a: 0.45,
+        b: 0.22,
+        c: 0.22,
+        noise: 0.05,
+    };
+    let mut edges = pack_map(
+        m_target,
+        |_| true,
+        |i| rmat_edge(scale, seed, i as u64, params),
+    );
     // Plant cliques: sites of 4–12 consecutive page ids, covering ~30% of
     // the vertices, every site fully linked internally.
     let mut v = 0usize;

@@ -81,9 +81,9 @@ pub fn load_adjacency_text(path: &Path) -> io::Result<Graph> {
     }
     let mut next_usize = |what: &str| -> io::Result<usize> {
         loop {
-            let line = lines
-                .next()
-                .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("missing {what}")))??;
+            let line = lines.next().ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("missing {what}"))
+            })??;
             let t = line.trim();
             if !t.is_empty() {
                 return t

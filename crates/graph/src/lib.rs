@@ -24,4 +24,4 @@ pub mod stats;
 pub mod types;
 
 pub use csr::Graph;
-pub use types::{EdgeList, V, NONE};
+pub use types::{EdgeList, NONE, V};

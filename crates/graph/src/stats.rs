@@ -6,7 +6,7 @@
 //! simple sequential code, not part of any timed region.
 
 use crate::csr::Graph;
-use crate::types::{V, NONE};
+use crate::types::{NONE, V};
 use std::collections::VecDeque;
 
 /// BFS distances from `src` (u32::MAX = unreachable).

@@ -20,12 +20,18 @@ pub struct EdgeList {
 impl EdgeList {
     /// New edge list over `n` vertices.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// New edge list with preallocated edge capacity.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        Self { n, edges: Vec::with_capacity(m) }
+        Self {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Append an edge (unchecked besides debug assertions).

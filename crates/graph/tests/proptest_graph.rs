@@ -8,8 +8,7 @@ use proptest::prelude::*;
 
 fn arb_edges(nmax: usize, mmax: usize) -> impl Strategy<Value = (usize, Vec<(V, V)>)> {
     (1..nmax).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as V, 0..n as V), 0..mmax)
-            .prop_map(move |edges| (n, edges))
+        proptest::collection::vec((0..n as V, 0..n as V), 0..mmax).prop_map(move |edges| (n, edges))
     })
 }
 

@@ -146,7 +146,10 @@ mod tests {
             write_max_u64(&cell, crate::rng::hash64(i as u64 + 7));
         });
         let got = cell.load(Ordering::Relaxed);
-        let expect = (0..100_000u64).map(|i| crate::rng::hash64(i + 7)).max().unwrap();
+        let expect = (0..100_000u64)
+            .map(|i| crate::rng::hash64(i + 7))
+            .max()
+            .unwrap();
         assert_eq!(got, expect);
     }
 

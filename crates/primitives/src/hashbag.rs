@@ -66,7 +66,19 @@ impl HashBag {
             total += size;
             size *= 2;
         }
-        Self { chunks, active: AtomicUsize::new(0) }
+        Self {
+            chunks,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// True iff this bag can hold `capacity` ids under the same load-factor
+    /// invariant [`HashBag::with_capacity`] establishes — the check pooled
+    /// scratch owners use to decide whether a reused bag must be rebuilt
+    /// (bags cannot grow after construction).
+    pub fn fits(&self, capacity: usize) -> bool {
+        let total: usize = self.chunks.iter().map(|c| c.len()).sum();
+        total >= 2 * capacity.max(FIRST_CHUNK)
     }
 
     /// Insert `v` (duplicates allowed). Lock-free; panics only if every
@@ -102,7 +114,9 @@ impl HashBag {
             }
             // Chunk congested: advance the shared cursor (idempotent race —
             // losers simply observe the new value).
-            let _ = self.active.compare_exchange(ci, ci + 1, Ordering::Relaxed, Ordering::Relaxed);
+            let _ = self
+                .active
+                .compare_exchange(ci, ci + 1, Ordering::Relaxed, Ordering::Relaxed);
             ci = self.active.load(Ordering::Relaxed).max(ci + 1);
         }
     }
@@ -201,7 +215,10 @@ mod tests {
         let mut bag = HashBag::with_capacity(FIRST_CHUNK * 3);
         let n = FIRST_CHUNK * 2;
         par_for(n, |i| bag.insert(i as u32));
-        assert!(bag.active.load(Ordering::Relaxed) > 0, "expected spill to chunk 1+");
+        assert!(
+            bag.active.load(Ordering::Relaxed) > 0,
+            "expected spill to chunk 1+"
+        );
         let mut got = bag.extract_all();
         got.sort_unstable();
         assert_eq!(got.len(), n);

@@ -147,7 +147,15 @@ mod tests {
 
     #[test]
     fn sorts_random_u64() {
-        for n in [0usize, 1, 2, 100, DEFAULT_GRAIN, 4 * DEFAULT_GRAIN + 17, 500_000] {
+        for n in [
+            0usize,
+            1,
+            2,
+            100,
+            DEFAULT_GRAIN,
+            4 * DEFAULT_GRAIN + 17,
+            500_000,
+        ] {
             let mut xs: Vec<u64> = (0..n).map(|i| hash64(i as u64)).collect();
             let mut want = xs.clone();
             want.sort_unstable();
@@ -159,8 +167,9 @@ mod tests {
     #[test]
     fn stable_on_equal_keys() {
         let n = 100_000;
-        let mut xs: Vec<(u32, u32)> =
-            (0..n).map(|i| ((hash64(i as u64) % 50) as u32, i as u32)).collect();
+        let mut xs: Vec<(u32, u32)> = (0..n)
+            .map(|i| ((hash64(i as u64) % 50) as u32, i as u32))
+            .collect();
         par_sort_by_key(&mut xs, |&(k, _)| k);
         for w in xs.windows(2) {
             assert!(w[0].0 <= w[1].0);

@@ -56,10 +56,50 @@ where
     out
 }
 
+/// [`pack_map`] into a caller-provided buffer, reusing its allocation.
+/// The buffer is cleared first; on return it holds exactly the survivors.
+pub fn pack_map_into<T, K, F>(n: usize, keep: K, f: F, out: &mut Vec<T>)
+where
+    T: Copy + Send + Sync,
+    K: Fn(usize) -> bool + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    let bounds = block_bounds(n, blocks);
+    let mut offsets: Vec<usize> = bounds
+        .par_windows(2)
+        .map(|w| (w[0]..w[1]).filter(|&i| keep(i)).count())
+        .collect();
+    let total = prefix_sums(&mut offsets);
+    // SAFETY: every slot in 0..total is written exactly once below.
+    unsafe { crate::slice::reuse_uninit(out, total) };
+    let view = UnsafeSlice::new(out.as_mut_slice());
+    bounds.par_windows(2).enumerate().for_each(|(b, w)| {
+        let mut pos = offsets[b];
+        for i in w[0]..w[1] {
+            if keep(i) {
+                // SAFETY: disjoint slots by the scan (see pack_map).
+                unsafe { view.write(pos, f(i)) };
+                pos += 1;
+            }
+        }
+    });
+}
+
 /// Indices in `0..n` satisfying `keep`, in increasing order.
 pub fn pack_index<K: Fn(usize) -> bool + Sync>(n: usize, keep: K) -> Vec<u32> {
     debug_assert!(n <= u32::MAX as usize);
     pack_map(n, &keep, |i| i as u32)
+}
+
+/// [`pack_index`] into a caller-provided buffer, reusing its allocation.
+pub fn pack_index_into<K: Fn(usize) -> bool + Sync>(n: usize, keep: K, out: &mut Vec<u32>) {
+    debug_assert!(n <= u32::MAX as usize);
+    pack_map_into(n, &keep, |i| i as u32, out);
 }
 
 /// Indices in `0..n` satisfying `keep`, as `usize`.
@@ -97,9 +137,9 @@ mod tests {
     #[test]
     fn pack_index_matches_sequential() {
         for n in [0usize, 1, 100, 4096, 50_000] {
-            let got = pack_index(n, |i| hash64(i as u64) % 3 == 0);
+            let got = pack_index(n, |i| hash64(i as u64).is_multiple_of(3));
             let want: Vec<u32> = (0..n)
-                .filter(|&i| hash64(i as u64) % 3 == 0)
+                .filter(|&i| hash64(i as u64).is_multiple_of(3))
                 .map(|i| i as u32)
                 .collect();
             assert_eq!(got, want, "n={n}");

@@ -75,7 +75,9 @@ pub fn num_blocks(n: usize, grain: usize) -> usize {
     if n == 0 {
         1
     } else {
-        n.div_ceil(grain.max(1)).min(4 * num_threads().max(1) * 8).max(1)
+        n.div_ceil(grain.max(1))
+            .min(4 * num_threads().max(1) * 8)
+            .max(1)
     }
 }
 

@@ -69,12 +69,12 @@ pub fn max_slice<T: Ord + Copy + Send + Sync>(xs: &[T]) -> Option<T> {
 
 /// True iff `pred(i)` holds for all `i` in `0..n`.
 pub fn all<F: Fn(usize) -> bool + Sync>(n: usize, pred: F) -> bool {
-    reduce_with(n, true, |i| pred(i), |a, b| a && b)
+    reduce_with(n, true, pred, |a, b| a && b)
 }
 
 /// True iff `pred(i)` holds for some `i` in `0..n`.
 pub fn any<F: Fn(usize) -> bool + Sync>(n: usize, pred: F) -> bool {
-    reduce_with(n, false, |i| pred(i), |a, b| a || b)
+    reduce_with(n, false, pred, |a, b| a || b)
 }
 
 #[cfg(test)]

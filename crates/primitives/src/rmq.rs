@@ -74,7 +74,11 @@ impl SparseTable {
     /// out of bounds. `O(1)`.
     #[inline]
     pub fn query(&self, lo: usize, hi: usize) -> u32 {
-        assert!(lo <= hi && hi < self.n, "bad RMQ range [{lo}, {hi}] (n={})", self.n);
+        assert!(
+            lo <= hi && hi < self.n,
+            "bad RMQ range [{lo}, {hi}] (n={})",
+            self.n
+        );
         let len = hi - lo + 1;
         let k = (usize::BITS - 1 - len.leading_zeros()) as usize; // floor(log2(len))
         let w = 1usize << k;
@@ -88,7 +92,10 @@ impl SparseTable {
 
     /// Bytes of auxiliary memory held by the table (for space accounting).
     pub fn bytes(&self) -> usize {
-        self.levels.iter().map(|l| l.len() * std::mem::size_of::<u32>()).sum()
+        self.levels
+            .iter()
+            .map(|l| l.len() * std::mem::size_of::<u32>())
+            .sum()
     }
 }
 
@@ -133,13 +140,20 @@ impl BlockRmq {
             });
         }
         let summary = SparseTable::build(&mins, kind);
-        Self { kind, data: data.to_vec(), summary }
+        Self {
+            kind,
+            data: data.to_vec(),
+            summary,
+        }
     }
 
     /// Reduction over the inclusive range `[lo, hi]`.
     #[inline]
     pub fn query(&self, lo: usize, hi: usize) -> u32 {
-        assert!(lo <= hi && hi < self.data.len(), "bad RMQ range [{lo}, {hi}]");
+        assert!(
+            lo <= hi && hi < self.data.len(),
+            "bad RMQ range [{lo}, {hi}]"
+        );
         let (bl, bh) = (lo / Self::BLOCK, hi / Self::BLOCK);
         let scan = |a: usize, b: usize| -> u32 {
             let it = self.data[a..=b].iter().copied();
@@ -157,7 +171,7 @@ impl BlockRmq {
             RmqKind::Min => left.min(right),
             RmqKind::Max => left.max(right),
         };
-        if bl + 1 <= bh - 1 {
+        if bl < bh - 1 {
             let mid = self.summary.query(bl + 1, bh - 1);
             best = match self.kind {
                 RmqKind::Min => best.min(mid),
@@ -189,7 +203,9 @@ mod tests {
     #[test]
     fn matches_naive_on_random_data() {
         let n = 5000;
-        let data: Vec<u32> = (0..n).map(|i| (hash64(i as u64) % 1_000_000) as u32).collect();
+        let data: Vec<u32> = (0..n)
+            .map(|i| (hash64(i as u64) % 1_000_000) as u32)
+            .collect();
         let tmin = SparseTable::build(&data, RmqKind::Min);
         let tmax = SparseTable::build(&data, RmqKind::Max);
         let mut r = Rng::new(11);
@@ -247,7 +263,9 @@ mod tests {
     #[test]
     fn block_rmq_matches_sparse_table() {
         let n = 10_000;
-        let data: Vec<u32> = (0..n).map(|i| (hash64(i as u64) % 1_000_000) as u32).collect();
+        let data: Vec<u32> = (0..n)
+            .map(|i| (hash64(i as u64) % 1_000_000) as u32)
+            .collect();
         for kind in [RmqKind::Min, RmqKind::Max] {
             let full = SparseTable::build(&data, kind);
             let blocked = BlockRmq::build(&data, kind);
@@ -255,7 +273,11 @@ mod tests {
             for _ in 0..3000 {
                 let lo = r.index(n);
                 let hi = lo + r.index(n - lo);
-                assert_eq!(blocked.query(lo, hi), full.query(lo, hi), "[{lo},{hi}] {kind:?}");
+                assert_eq!(
+                    blocked.query(lo, hi),
+                    full.query(lo, hi),
+                    "[{lo},{hi}] {kind:?}"
+                );
             }
         }
     }
@@ -264,8 +286,16 @@ mod tests {
     fn block_rmq_boundary_cases() {
         // Sizes around the block boundary, and ranges that live entirely
         // inside one block, span exactly two, and span the whole array.
-        for n in [1usize, BlockRmq::BLOCK - 1, BlockRmq::BLOCK, BlockRmq::BLOCK + 1, 3 * BlockRmq::BLOCK] {
-            let data: Vec<u32> = (0..n).map(|i| (hash64(i as u64 + 7) % 100) as u32).collect();
+        for n in [
+            1usize,
+            BlockRmq::BLOCK - 1,
+            BlockRmq::BLOCK,
+            BlockRmq::BLOCK + 1,
+            3 * BlockRmq::BLOCK,
+        ] {
+            let data: Vec<u32> = (0..n)
+                .map(|i| (hash64(i as u64 + 7) % 100) as u32)
+                .collect();
             let b = BlockRmq::build(&data, RmqKind::Min);
             for lo in 0..n {
                 for hi in [lo, (lo + BlockRmq::BLOCK).min(n - 1), n - 1] {
@@ -280,6 +310,11 @@ mod tests {
         let data = vec![1u32; 1 << 18];
         let full = SparseTable::build(&data, RmqKind::Min);
         let blocked = BlockRmq::build(&data, RmqKind::Min);
-        assert!(blocked.bytes() * 4 < full.bytes(), "{} vs {}", blocked.bytes(), full.bytes());
+        assert!(
+            blocked.bytes() * 4 < full.bytes(),
+            "{} vs {}",
+            blocked.bytes(),
+            full.bytes()
+        );
     }
 }

@@ -57,14 +57,17 @@ where
     // Pass 2: per-block exclusive scan seeded with the block offset.
     let sums_ref = &sums;
     let block_slices: Vec<&mut [T]> = split_at_bounds(a, &bounds);
-    block_slices.into_par_iter().enumerate().for_each(|(b, blk)| {
-        let mut acc = sums_ref[b];
-        for x in blk.iter_mut() {
-            let old = *x;
-            *x = acc;
-            acc = op(acc, old);
-        }
-    });
+    block_slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(b, blk)| {
+            let mut acc = sums_ref[b];
+            for x in blk.iter_mut() {
+                let old = *x;
+                *x = acc;
+                acc = op(acc, old);
+            }
+        });
     total
 }
 
@@ -93,13 +96,16 @@ where
     let total = acc;
     let sums_ref = &sums;
     let block_slices: Vec<&mut [T]> = split_at_bounds(a, &bounds);
-    block_slices.into_par_iter().enumerate().for_each(|(b, blk)| {
-        let mut acc = sums_ref[b];
-        for x in blk.iter_mut() {
-            acc = op(acc, *x);
-            *x = acc;
-        }
-    });
+    block_slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(b, blk)| {
+            let mut acc = sums_ref[b];
+            for x in blk.iter_mut() {
+                acc = op(acc, *x);
+                *x = acc;
+            }
+        });
     total
 }
 

@@ -32,11 +32,7 @@ fn use_direct_counting(num_keys: usize, items: usize) -> bool {
 /// Returns `(grouped, offsets)` where `offsets.len() == num_keys + 1` and
 /// group `j` occupies `grouped[offsets[j]..offsets[j+1]]`. The grouping is
 /// stable (original order within each group).
-pub fn semisort_by_small_key<T, F>(
-    items: &[T],
-    num_keys: usize,
-    key: F,
-) -> (Vec<T>, Vec<usize>)
+pub fn semisort_by_small_key<T, F>(items: &[T], num_keys: usize, key: F) -> (Vec<T>, Vec<usize>)
 where
     T: Copy + Send + Sync,
     F: Fn(&T) -> usize + Sync,
@@ -109,8 +105,7 @@ mod tests {
         let mut r = Rng::new(3);
         for &k in &[1usize, 7, 256, 70_000, 300_000] {
             let n = 20_000;
-            let items: Vec<(u32, u32)> =
-                (0..n).map(|i| (r.index(k) as u32, i as u32)).collect();
+            let items: Vec<(u32, u32)> = (0..n).map(|i| (r.index(k) as u32, i as u32)).collect();
             let (grouped, offsets) = semisort_by_small_key(&items, k, |&(a, _)| a as usize);
             assert_eq!(grouped.len(), n);
             assert_eq!(offsets.len(), k + 1);

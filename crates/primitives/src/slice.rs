@@ -35,7 +35,11 @@ impl<'a, T> UnsafeSlice<'a, T> {
         let len = slice.len();
         // `UnsafeCell<T>` has the same layout as `T`.
         let ptr = slice.as_mut_ptr() as *const UnsafeCell<T>;
-        Self { ptr, len, _marker: PhantomData }
+        Self {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
     }
 
     /// Length of the underlying slice.
@@ -57,7 +61,11 @@ impl<'a, T> UnsafeSlice<'a, T> {
     /// must be in bounds (checked with a debug assertion only).
     #[inline]
     pub unsafe fn write(&self, i: usize, value: T) {
-        debug_assert!(i < self.len, "UnsafeSlice write out of bounds: {i} >= {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "UnsafeSlice write out of bounds: {i} >= {}",
+            self.len
+        );
         *(*self.ptr.add(i)).get() = value;
     }
 
@@ -71,7 +79,11 @@ impl<'a, T> UnsafeSlice<'a, T> {
     where
         T: Copy,
     {
-        debug_assert!(i < self.len, "UnsafeSlice read out of bounds: {i} >= {}", self.len);
+        debug_assert!(
+            i < self.len,
+            "UnsafeSlice read out of bounds: {i} >= {}",
+            self.len
+        );
         *(*self.ptr.add(i)).get()
     }
 
@@ -94,12 +106,29 @@ impl<'a, T> UnsafeSlice<'a, T> {
 /// The caller must write every index before reading it. We restrict `T` to
 /// `Copy` types (plain old data in all our uses — ids, offsets, tags) so
 /// dropping uninitialized contents is not an issue even on panic unwind.
+#[allow(clippy::uninit_vec)] // deliberate: Copy-only scatter targets, see contract above
 pub unsafe fn uninit_vec<T: Copy>(n: usize) -> Vec<T> {
     let mut v = Vec::with_capacity(n);
     // SAFETY: capacity reserved above; contents are POD per the T: Copy bound
     // and the caller's contract to overwrite before reading.
     v.set_len(n);
     v
+}
+
+/// Resize `v` to length `n` without initializing new contents, reusing its
+/// existing allocation — the scratch-buffer counterpart of [`uninit_vec`]
+/// for the engine's reusable `Workspace`-style scatter targets.
+///
+/// # Safety
+/// Same contract as [`uninit_vec`]: every index must be written before it
+/// is read. `T: Copy` keeps stale/uninitialized contents drop-free.
+#[allow(clippy::uninit_vec)] // deliberate: Copy-only scatter targets, see contract above
+pub unsafe fn reuse_uninit<T: Copy>(v: &mut Vec<T>, n: usize) {
+    v.clear();
+    v.reserve(n);
+    // SAFETY: capacity reserved above; contents are POD per the T: Copy
+    // bound and the caller's contract to overwrite before reading.
+    v.set_len(n);
 }
 
 #[cfg(test)]

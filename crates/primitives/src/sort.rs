@@ -221,8 +221,9 @@ mod tests {
         // Pairs (key, original index): after sorting, indices within a key
         // must stay increasing.
         let n = 30_000;
-        let items: Vec<(u32, u32)> =
-            (0..n).map(|i| ((hash64(i as u64) % 11) as u32, i as u32)).collect();
+        let items: Vec<(u32, u32)> = (0..n)
+            .map(|i| ((hash64(i as u64) % 11) as u32, i as u32))
+            .collect();
         let (sorted, _) = counting_sort_by(&items, 11, |&(k, _)| k as usize);
         for w in sorted.windows(2) {
             if w[0].0 == w[1].0 {
@@ -272,8 +273,9 @@ mod tests {
 
     #[test]
     fn radix_sort_is_stable_on_pairs() {
-        let items: Vec<(u32, u32)> =
-            (0..20_000).map(|i| ((hash64(i) % 100) as u32, i as u32)).collect();
+        let items: Vec<(u32, u32)> = (0..20_000)
+            .map(|i| ((hash64(i) % 100) as u32, i as u32))
+            .collect();
         let got = radix_sort_by(&items, 99, |&(k, _)| k as u64);
         for w in got.windows(2) {
             assert!(w[0].0 <= w[1].0);

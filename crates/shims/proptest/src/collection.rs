@@ -1,0 +1,33 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec`s with lengths drawn from `[min, max)` and elements
+/// from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.max.saturating_sub(self.min).max(1) as u64;
+        let len = self.min + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors with lengths in `size` (half-open, as real proptest treats
+/// `Range<usize>`) and elements from `element`.
+pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty vec-size range");
+    VecStrategy {
+        element,
+        min: size.start,
+        max: size.end,
+    }
+}

@@ -1,0 +1,38 @@
+//! Hermetic stand-in for the `rayon` crate.
+//!
+//! The FAST-BCC workspace must build with no network access, so this crate
+//! implements — from scratch, on `std::thread::scope` — exactly the rayon
+//! surface the workspace uses:
+//!
+//! * [`join`], [`scope`], [`current_num_threads`], [`ThreadPoolBuilder`] /
+//!   [`ThreadPool::install`] (scoped worker counts, used by
+//!   `fastbcc_primitives::par::with_threads` for the Fig. 4 sweeps);
+//! * [`prelude`] — `into_par_iter()` on ranges and vectors, `par_iter()` /
+//!   `par_windows()` on slices, and the `map` / `enumerate` / `fold` /
+//!   `reduce` / `for_each` / `sum` / `collect` adapters.
+//!
+//! Execution model: every parallel operation splits its input into a few
+//! contiguous pieces per worker and runs the pieces on scoped threads with
+//! an atomic work-claim counter (a simplified, non-stealing fork–join).
+//! With an installed pool size of 1, everything runs inline on the calling
+//! thread, which keeps single-thread runs fully deterministic. Piece
+//! boundaries depend only on input length and the installed worker count,
+//! so `collect` is order-stable like rayon's.
+//!
+//! Swap this shim for the real crate by pointing the workspace `rayon`
+//! dependency at crates.io; no source changes are needed.
+
+mod iter;
+mod pool;
+
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+pub use iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator, ParallelSlice};

@@ -1,0 +1,245 @@
+//! Worker-count bookkeeping, `join`, `scope`, and scoped "thread pools".
+//!
+//! There is no persistent pool: `ThreadPool::install` only records the
+//! requested worker count in a thread-local, and every parallel operation
+//! spawns short-lived scoped threads up to that count. Worker threads
+//! inherit the installing thread's count so nested parallel calls see a
+//! consistent `current_num_threads`.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+fn hardware_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|x| x.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// 0 = no pool installed on this thread (fall back to hardware count).
+    static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads parallel operations on this thread may use.
+pub fn current_num_threads() -> usize {
+    let n = POOL_SIZE.with(Cell::get);
+    if n == 0 {
+        hardware_threads()
+    } else {
+        n
+    }
+}
+
+/// RAII guard that installs a pool size on the current thread.
+pub(crate) struct PoolSizeGuard {
+    prev: usize,
+}
+
+impl PoolSizeGuard {
+    pub(crate) fn install(n: usize) -> Self {
+        let prev = POOL_SIZE.with(|c| {
+            let prev = c.get();
+            c.set(n);
+            prev
+        });
+        Self { prev }
+    }
+}
+
+impl Drop for PoolSizeGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        POOL_SIZE.with(|c| c.set(prev));
+    }
+}
+
+/// Global count of live helper threads spawned by [`join`]; bounds the
+/// thread explosion of deep recursive joins (mergesort, reductions).
+static LIVE_JOIN_HELPERS: AtomicUsize = AtomicUsize::new(0);
+
+struct HelperTicket;
+
+impl HelperTicket {
+    fn try_acquire() -> Option<Self> {
+        let cap = hardware_threads().saturating_sub(1);
+        let prev = LIVE_JOIN_HELPERS.fetch_add(1, Ordering::Relaxed);
+        if prev >= cap {
+            LIVE_JOIN_HELPERS.fetch_sub(1, Ordering::Relaxed);
+            None
+        } else {
+            Some(Self)
+        }
+    }
+}
+
+impl Drop for HelperTicket {
+    fn drop(&mut self) {
+        LIVE_JOIN_HELPERS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Potentially-parallel fork–join: runs `a` on the calling thread and `b`
+/// on a scoped helper thread when the pool size and the global helper
+/// budget allow, else both sequentially.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let threads = current_num_threads();
+    if threads <= 1 {
+        return (a(), b());
+    }
+    let Some(ticket) = HelperTicket::try_acquire() else {
+        return (a(), b());
+    };
+    std::thread::scope(|s| {
+        let handle = s.spawn(move || {
+            let _guard = PoolSizeGuard::install(threads);
+            let r = b();
+            drop(ticket);
+            r
+        });
+        let ra = a();
+        let rb = match handle.join() {
+            Ok(r) => r,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// Scope handle (`rayon::scope`). Spawned closures run inline, which is a
+/// legal schedule for rayon scopes and keeps the shim simple.
+pub struct Scope<'scope> {
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        f(self);
+    }
+}
+
+/// Create a scope; the workspace only uses it as a structured block around
+/// parallel iterators, so the callback simply runs on the calling thread.
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    f(&Scope {
+        _marker: PhantomData,
+    })
+}
+
+/// Error building a pool (never produced by this shim; kept for API parity).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// 0 (the default) means "use the hardware parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped worker-count handle; see the module docs.
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's worker count installed.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        let _guard = PoolSizeGuard::install(self.threads);
+        f()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let base = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), base);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn nested_joins_do_not_deadlock() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn scope_spawn_runs() {
+        let mut hits = 0;
+        scope(|s| {
+            s.spawn(|_| {});
+            hits += 1;
+        });
+        assert_eq!(hits, 1);
+    }
+}

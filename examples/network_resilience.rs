@@ -23,7 +23,8 @@ fn build_network(core: usize, branches: usize, branch_len: usize, seed: u64) -> 
     // Branches: chains attached to pseudo-random core routers.
     let mut next = core;
     for b in 0..branches {
-        let attach = (fast_bcc::primitives::rng::hash64_pair(seed, b as u64) % core as u64) as usize;
+        let attach =
+            (fast_bcc::primitives::rng::hash64_pair(seed, b as u64) % core as u64) as usize;
         let mut prev = attach;
         for _ in 0..branch_len {
             el.push(prev as V, next as V);
@@ -77,7 +78,11 @@ fn main() {
         // second core router (creating a cycle through the branch).
         let mut extra: Vec<(V, V)> = Vec::new();
         for (i, &(u, v)) in brs.iter().enumerate() {
-            let deep = if counts[u as usize] <= counts[v as usize] { u } else { v };
+            let deep = if counts[u as usize] <= counts[v as usize] {
+                u
+            } else {
+                v
+            };
             let target = ((deep as usize + 17 * (i + 1)) % core) as V;
             if deep != target && !g.has_edge(deep, target) {
                 extra.push((deep, target));

@@ -18,13 +18,26 @@ fn main() {
     // Left block {0,1,2,3} is 2-connected (with chords), the middle is a
     // chain of bridges, and {5,6,7,8} is a cycle.
     let edges: &[(V, V)] = &[
-        (0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (1, 3), // left block + chords
-        (3, 4), (4, 5), // bridges
-        (5, 6), (6, 7), (7, 8), (8, 5), // right cycle
+        (0, 1),
+        (1, 2),
+        (2, 3),
+        (3, 0),
+        (0, 2),
+        (1, 3), // left block + chords
+        (3, 4),
+        (4, 5), // bridges
+        (5, 6),
+        (6, 7),
+        (7, 8),
+        (8, 5), // right cycle
         (4, 9), // pendant
     ];
     let g = builder::from_edges(10, edges);
-    println!("graph: n = {}, m = {} undirected edges", g.n(), g.m_undirected());
+    println!(
+        "graph: n = {}, m = {} undirected edges",
+        g.n(),
+        g.m_undirected()
+    );
 
     let result = fast_bcc(&g, BccOpts::default());
     println!("\nbiconnected components: {}", result.num_bcc);
@@ -36,11 +49,16 @@ fn main() {
     println!("\narticulation points (single points of failure): {aps:?}");
 
     let mut brs = bridges(&result);
-    brs.iter_mut().for_each(|e| *e = (e.0.min(e.1), e.0.max(e.1)));
+    brs.iter_mut()
+        .for_each(|e| *e = (e.0.min(e.1), e.0.max(e.1)));
     brs.sort_unstable();
     println!("bridges (critical links): {brs:?}");
 
-    println!("\nlargest BCC covers {} of {} vertices", largest_bcc_size(&result), g.n());
+    println!(
+        "\nlargest BCC covers {} of {} vertices",
+        largest_bcc_size(&result),
+        g.n()
+    );
     println!(
         "phase times: first-cc {:?}, rooting {:?}, tagging {:?}, last-cc {:?}",
         result.breakdown.first_cc,

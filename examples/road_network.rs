@@ -51,10 +51,16 @@ fn main() {
     println!("\nanalysis:");
     println!("  connected components : {}", result.num_cc);
     println!("  biconnected components: {}", result.num_bcc);
-    println!("  critical junctions    : {} ({:.2}% of intersections)",
-        aps.len(), 100.0 * aps.len() as f64 / n as f64);
+    println!(
+        "  critical junctions    : {} ({:.2}% of intersections)",
+        aps.len(),
+        100.0 * aps.len() as f64 / n as f64
+    );
     println!("  critical road segments: {}", brs.len());
-    println!("  largest resilient zone: {} intersections", largest_bcc_size(&result));
+    println!(
+        "  largest resilient zone: {} intersections",
+        largest_bcc_size(&result)
+    );
 
     println!("\ntimings:");
     println!("  FAST-BCC (parallel)      : {t_fast:?}");

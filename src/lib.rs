@@ -7,6 +7,10 @@
 //!
 //! * [`fast_bcc`] — the parallel BCC algorithm: `O(n + m)` expected work,
 //!   `O(log³ n)` span w.h.p., `O(n)` auxiliary space;
+//! * [`BccEngine`] — the scratch-pooled repeated-query solver: one
+//!   `Workspace` owns every per-phase array, so solving many graphs
+//!   amortizes all major allocations (the second solve of a same-shaped
+//!   input allocates nothing);
 //! * [`graph`] — CSR graphs, parallel builders, and the synthetic
 //!   generator suite;
 //! * [`connectivity`] — LDD-UF-JTB parallel connectivity with spanning
@@ -39,7 +43,7 @@ pub use fastbcc_ett as ett;
 pub use fastbcc_graph as graph;
 pub use fastbcc_primitives as primitives;
 
-pub use fastbcc_core::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
+pub use fastbcc_core::{fast_bcc, BccEngine, BccOpts, BccResult, Breakdown, CcScheme, Workspace};
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
@@ -47,8 +51,10 @@ pub mod prelude {
     pub use fastbcc_core::postprocess::{
         articulation_points, bcc_membership_counts, bridges, canonical_bccs, largest_bcc_size,
     };
-    pub use fastbcc_core::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
-    pub use fastbcc_graph::{builder, generators, stats, EdgeList, Graph, V, NONE};
+    pub use fastbcc_core::{
+        fast_bcc, BccEngine, BccOpts, BccResult, Breakdown, CcScheme, Workspace,
+    };
+    pub use fastbcc_graph::{builder, generators, stats, EdgeList, Graph, NONE, V};
     pub use fastbcc_primitives::with_threads;
 }
 

@@ -13,8 +13,20 @@ fn check_all(g: &Graph, tag: &str) {
 
     for (name, opts) in [
         ("fast/ldd", BccOpts::default()),
-        ("fast/ldd-nolocal", BccOpts { local_search: false, ..Default::default() }),
-        ("fast/ufasync", BccOpts { scheme: CcScheme::UfAsync, ..Default::default() }),
+        (
+            "fast/ldd-nolocal",
+            BccOpts {
+                local_search: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "fast/ufasync",
+            BccOpts {
+                scheme: CcScheme::UfAsync,
+                ..Default::default()
+            },
+        ),
     ] {
         let r = fast_bcc(g, opts);
         assert_eq!(r.num_bcc, want.num_bcc, "{tag}: {name} count");

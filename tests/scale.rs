@@ -74,7 +74,11 @@ fn knn_medium() {
 
 #[test]
 fn road_like_medium() {
-    let g = random_geometric(40_000, fast_bcc::graph::generators::geometric::road_like_radius(40_000), 15);
+    let g = random_geometric(
+        40_000,
+        fast_bcc::graph::generators::geometric::road_like_radius(40_000),
+        15,
+    );
     check_counts(&g, "road");
 }
 
@@ -96,10 +100,7 @@ fn span_shape_on_large_diameter() {
         bfs.rounds
     );
 
-    let ldd = fast_bcc::connectivity::ldd::ldd(
-        &g,
-        fast_bcc::connectivity::ldd::LddOpts::default(),
-    );
+    let ldd = fast_bcc::connectivity::ldd::ldd(&g, fast_bcc::connectivity::ldd::LddOpts::default());
     // polylog regime: generous bound log²(n) ≈ 350 for n = 4·10⁵.
     let bound = {
         let l = (n as f64).log2();
