@@ -64,6 +64,7 @@ fn main() {
             n: g.n(),
             m: g.m_undirected(),
             threads: fastbcc_primitives::num_threads(),
+            pool_workers: fastbcc_primitives::pool_spawns(),
             median_secs: 0.0,
             aux_peak_bytes: peak,
             fresh_alloc_bytes: fresh,

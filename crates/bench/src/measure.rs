@@ -66,8 +66,14 @@ pub struct RunRecord {
     pub n: usize,
     /// Undirected edge count.
     pub m: usize,
-    /// Worker threads the run used (1 = sequential configuration).
+    /// Installed worker budget the run was measured under (1 = sequential
+    /// configuration). With the persistent pool this is the *enforced*
+    /// concurrency cap, not a request — see `fastbcc_primitives::with_threads`.
     pub threads: usize,
+    /// OS worker threads the shared pool had spawned when the record was
+    /// taken. Constant across warm runs; recorded to prove measured runs
+    /// paid no thread-spawn latency.
+    pub pool_workers: usize,
     /// Median wall-clock seconds.
     pub median_secs: f64,
     /// Peak auxiliary bytes held live during the run (Fig. 7 metric).
@@ -83,12 +89,14 @@ impl RunRecord {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"graph\":{},\"algo\":{},\"n\":{},\"m\":{},\"threads\":{},\
-             \"median_secs\":{:.9},\"aux_peak_bytes\":{},\"fresh_alloc_bytes\":{}}}",
+             \"pool_workers\":{},\"median_secs\":{:.9},\"aux_peak_bytes\":{},\
+             \"fresh_alloc_bytes\":{}}}",
             json_escape(&self.graph),
             json_escape(&self.algo),
             self.n,
             self.m,
             self.threads,
+            self.pool_workers,
             self.median_secs,
             self.aux_peak_bytes,
             self.fresh_alloc_bytes,
@@ -201,6 +209,7 @@ mod tests {
             n: 10,
             m: 20,
             threads: 4,
+            pool_workers: 3,
             median_secs: 0.25,
             aux_peak_bytes: 4096,
             fresh_alloc_bytes: 0,
@@ -208,6 +217,7 @@ mod tests {
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"graph\":\"SQR*\""));
+        assert!(j.contains("\"pool_workers\":3"));
         assert!(j.contains("\"aux_peak_bytes\":4096"));
         assert!(j.contains("\"fresh_alloc_bytes\":0"));
         assert!(j.contains("\"median_secs\":0.25"));
@@ -221,6 +231,7 @@ mod tests {
             n: 0,
             m: 0,
             threads: 1,
+            pool_workers: 0,
             median_secs: 0.0,
             aux_peak_bytes: 0,
             fresh_alloc_bytes: 0,
@@ -239,6 +250,7 @@ mod tests {
                 n: 1,
                 m: 2,
                 threads: 1,
+                pool_workers: 0,
                 median_secs: 0.5,
                 aux_peak_bytes: 100,
                 fresh_alloc_bytes: 100,
@@ -249,6 +261,7 @@ mod tests {
                 n: 3,
                 m: 4,
                 threads: 2,
+                pool_workers: 1,
                 median_secs: 1.5,
                 aux_peak_bytes: 200,
                 fresh_alloc_bytes: 0,

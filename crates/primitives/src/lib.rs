@@ -40,5 +40,5 @@ pub mod semisort;
 pub mod slice;
 pub mod sort;
 
-pub use par::{num_threads, with_threads};
+pub use par::{num_threads, pool_spawns, with_threads, worker_index};
 pub use slice::UnsafeSlice;

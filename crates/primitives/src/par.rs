@@ -24,17 +24,34 @@ pub fn num_threads() -> usize {
     rayon::current_num_threads()
 }
 
-/// Run `f` on a freshly built pool with exactly `n` worker threads.
+/// Run `f` with a worker budget of exactly `n` threads.
 ///
 /// Used by the benchmark harness to produce the thread-sweep curves of
-/// Fig. 4. Building a pool is milliseconds of overhead, so callers should
-/// wrap whole measurements, not inner loops.
+/// Fig. 4. The budget is faithful: however deeply `f` nests parallel
+/// operations, at most `n` workers ever run them concurrently. Workers
+/// come from the shared persistent pool, so entering a region is cheap
+/// (no threads are spawned after the pool is warm).
 pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
     rayon::ThreadPoolBuilder::new()
         .num_threads(n.max(1))
         .build()
         .expect("failed to build rayon pool")
         .install(f)
+}
+
+/// Stable index of the current pool worker (`0..`), or `None` on threads
+/// outside the pool — the key for future per-worker scratch arrays.
+#[inline]
+pub fn worker_index() -> Option<usize> {
+    rayon::current_thread_index()
+}
+
+/// Total pool worker OS threads spawned so far (monotone). A warm
+/// workload holds this constant; benchmarks record it to prove measured
+/// runs paid no thread-spawn latency.
+#[inline]
+pub fn pool_spawns() -> usize {
+    rayon::pool_spawn_count()
 }
 
 /// Parallel for over `0..n` with the default grain size.
@@ -68,15 +85,15 @@ pub fn par_for_grain(n: usize, grain: usize, f: impl Fn(usize) + Sync + Send) {
 
 /// Number of blocks used by block-based primitives (scan, pack, histogram).
 ///
-/// We want enough blocks for load balance (a small multiple of the worker
-/// count) but few enough that the sequential over-blocks pass is negligible.
+/// We want enough blocks for load balance (at most 4× the worker count)
+/// but few enough that the sequential over-blocks pass is negligible.
 #[inline]
 pub fn num_blocks(n: usize, grain: usize) -> usize {
     if n == 0 {
         1
     } else {
         n.div_ceil(grain.max(1))
-            .min(4 * num_threads().max(1) * 8)
+            .min(4 * num_threads().max(1))
             .max(1)
     }
 }
@@ -147,5 +164,35 @@ mod tests {
         assert_eq!(t, 2);
         let t = with_threads(1, num_threads);
         assert_eq!(t, 1);
+    }
+
+    /// Acceptance: a `with_threads(k)` region never exceeds `k`
+    /// concurrently-running workers, for k ∈ {1, 2, 4}, regardless of the
+    /// hardware thread count.
+    #[test]
+    fn with_threads_bounds_concurrent_workers() {
+        for k in [1usize, 2, 4] {
+            let active = AtomicUsize::new(0);
+            let peak = AtomicUsize::new(0);
+            with_threads(k, || {
+                par_for_grain(64, 1, |_| {
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            });
+            let peak = peak.load(Ordering::SeqCst);
+            assert!(peak >= 1);
+            assert!(
+                peak <= k,
+                "{peak} concurrent workers under with_threads({k})"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_index_absent_on_external_threads() {
+        assert_eq!(worker_index(), None);
     }
 }

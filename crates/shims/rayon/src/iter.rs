@@ -1,18 +1,19 @@
 //! Data-parallel iterators: the slice of rayon's iterator API the
 //! workspace uses, executed by splitting inputs into contiguous pieces and
-//! fanning the pieces out over scoped threads.
+//! draining the pieces through the persistent work-sharing pool.
 //!
 //! Core contract: [`ParallelIterator::split`] turns an iterator into
 //! ordered `(offset, sequential-iterator)` pieces. Adapters compose at the
 //! piece level (`map` wraps each piece's iterator; `fold` turns each piece
 //! into a single lazily-computed accumulator). Terminals hand the pieces
-//! to [`run_pieces`], which claims them with an atomic counter from up to
-//! `current_num_threads()` workers (the calling thread included). Piece
+//! to [`run_pieces`], which publishes one pool job per operation; the
+//! calling thread and any in-budget pool workers claim pieces with an
+//! atomic cursor (see `pool.rs` — the pool bounds total live workers
+//! globally, so nested parallel calls never oversubscribe). Piece
 //! boundaries depend only on the input length and the worker count, never
 //! on timing, so ordered terminals (`collect`) are deterministic.
 
-use crate::pool::{current_num_threads, PoolSizeGuard};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::pool::{current_num_threads, run_parallel};
 use std::sync::Mutex;
 
 /// Near-equal contiguous boundaries: `pieces + 1` values from 0 to `n`.
@@ -45,33 +46,16 @@ where
         return pieces.into_iter().map(|(off, it)| work(off, it)).collect();
     }
     let np = pieces.len();
-    let jobs: Vec<Mutex<Option<(usize, I::SeqIter)>>> =
+    let inputs: Vec<Mutex<Option<(usize, I::SeqIter)>>> =
         pieces.into_iter().map(|p| Mutex::new(Some(p))).collect();
     let slots: Vec<Mutex<Option<R>>> = (0..np).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    let jobs_ref = &jobs;
-    let slots_ref = &slots;
-    let next_ref = &next;
-    let drain = move || loop {
-        let i = next_ref.fetch_add(1, Ordering::Relaxed);
-        if i >= np {
-            break;
-        }
-        let (off, it) = jobs_ref[i]
+    run_parallel(np, &|i| {
+        let (off, it) = inputs[i]
             .lock()
             .unwrap()
             .take()
             .expect("piece claimed twice");
-        *slots_ref[i].lock().unwrap() = Some(work(off, it));
-    };
-    std::thread::scope(|s| {
-        for _ in 1..threads.min(np) {
-            s.spawn(|| {
-                let _guard = PoolSizeGuard::install(threads);
-                drain();
-            });
-        }
-        drain();
+        *slots[i].lock().unwrap() = Some(work(off, it));
     });
     slots
         .into_iter()
@@ -290,6 +274,9 @@ impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
 }
 
 /// Parallel iterator over sliding windows (`par_windows`).
+///
+/// Construction validates `size >= 1` (matching `slice::windows`), so
+/// `len_hint` and `split` agree on every constructible value.
 pub struct SliceParWindows<'a, T> {
     slice: &'a [T],
     size: usize,
@@ -304,7 +291,6 @@ impl<'a, T: Sync> ParallelIterator for SliceParWindows<'a, T> {
     }
 
     fn split(self, pieces: usize) -> Vec<(usize, Self::SeqIter)> {
-        assert!(self.size >= 1, "window size must be positive");
         let s = self.slice;
         let size = self.size;
         piece_bounds(self.len_hint(), pieces)
@@ -330,6 +316,7 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 
     fn par_windows(&self, size: usize) -> SliceParWindows<'_, T> {
+        assert!(size >= 1, "window size must be positive");
         SliceParWindows { slice: self, size }
     }
 }
@@ -481,6 +468,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn range_map_collect_ordered() {
@@ -553,6 +541,91 @@ mod tests {
             .map(|(b, w)| b + w[0])
             .collect();
         assert!(idx.iter().enumerate().all(|(i, &x)| x == 2 * i));
+    }
+
+    #[test]
+    #[should_panic(expected = "window size must be positive")]
+    fn par_windows_rejects_zero_size_at_construction() {
+        let xs = [1u32, 2, 3];
+        let _ = xs.par_windows(0);
+    }
+
+    #[test]
+    fn par_windows_len_hint_matches_split() {
+        let xs: Vec<u32> = (0..17).collect();
+        for size in 1..=5usize {
+            let hint = xs.par_windows(size).len_hint();
+            let total: usize = xs
+                .par_windows(size)
+                .split(4)
+                .into_iter()
+                .map(|(_, it)| it.count())
+                .sum();
+            assert_eq!(hint, total, "size {size}");
+            assert_eq!(hint, xs.windows(size).count(), "size {size}");
+        }
+    }
+
+    /// Regression for the scoped-thread shim, where a nested `par_for`
+    /// spawned ~threads² OS threads: the pool must bound concurrently
+    /// running workers by the installed size and total spawned threads by
+    /// the largest budget ever requested.
+    #[test]
+    fn nested_parallelism_bounds_live_workers() {
+        use std::time::Duration;
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let active = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let hits: Vec<AtomicUsize> = (0..32 * 32).map(|_| AtomicUsize::new(0)).collect();
+        pool.install(|| {
+            (0usize..32).into_par_iter().for_each(|i| {
+                (0usize..32).into_par_iter().for_each(|j| {
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(50));
+                    hits[i * 32 + j].fetch_add(1, Ordering::SeqCst);
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "{} concurrent workers under with_threads(4)",
+            peak.load(Ordering::SeqCst)
+        );
+        // Workers are global and spawned at most once per budget slot:
+        // never more than the largest worker count this test binary uses.
+        let cap = crate::current_num_threads().max(4);
+        assert!(
+            crate::pool_spawn_count() < cap.max(2),
+            "pool spawned {} threads (budget cap {})",
+            crate::pool_spawn_count(),
+            cap
+        );
+    }
+
+    #[test]
+    fn collect_is_identical_across_thread_counts() {
+        let reference: Vec<u64> = (0u64..40_000)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
+        for k in [1usize, 2, 4] {
+            let pool = crate::ThreadPoolBuilder::new()
+                .num_threads(k)
+                .build()
+                .unwrap();
+            let got: Vec<u64> = pool.install(|| {
+                (0u64..40_000)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(2_654_435_761))
+                    .collect()
+            });
+            assert_eq!(got, reference, "collect diverged at {k} threads");
+        }
     }
 
     #[test]

@@ -1,32 +1,46 @@
 //! Hermetic stand-in for the `rayon` crate.
 //!
 //! The FAST-BCC workspace must build with no network access, so this crate
-//! implements — from scratch, on `std::thread::scope` — exactly the rayon
-//! surface the workspace uses:
+//! implements — from scratch, on `std::thread` — exactly the rayon surface
+//! the workspace uses:
 //!
-//! * [`join`], [`scope`], [`current_num_threads`], [`ThreadPoolBuilder`] /
-//!   [`ThreadPool::install`] (scoped worker counts, used by
-//!   `fastbcc_primitives::par::with_threads` for the Fig. 4 sweeps);
+//! * [`join`], [`scope`], [`current_num_threads`], [`current_thread_index`],
+//!   [`ThreadPoolBuilder`] / [`ThreadPool::install`] (scoped worker counts,
+//!   used by `fastbcc_primitives::par::with_threads` for the Fig. 4 sweeps);
 //! * [`prelude`] — `into_par_iter()` on ranges and vectors, `par_iter()` /
 //!   `par_windows()` on slices, and the `map` / `enumerate` / `fold` /
 //!   `reduce` / `for_each` / `sum` / `collect` adapters.
 //!
-//! Execution model: every parallel operation splits its input into a few
-//! contiguous pieces per worker and runs the pieces on scoped threads with
-//! an atomic work-claim counter (a simplified, non-stealing fork–join).
-//! With an installed pool size of 1, everything runs inline on the calling
-//! thread, which keeps single-thread runs fully deterministic. Piece
-//! boundaries depend only on input length and the installed worker count,
-//! so `collect` is order-stable like rayon's.
+//! Execution model: a **persistent work-sharing pool** (see `pool.rs`).
+//! Worker threads spawn lazily, once, and park on a condvar between
+//! operations; each parallel operation publishes a type-erased job whose
+//! contiguous pieces are claimed with an atomic cursor by the calling
+//! thread and by however many pool workers the installed budget admits.
+//! `join` publishes its right branch the same way and runs it inline if no
+//! worker picks it up. An installed pool size of `k` is enforced as a
+//! shared ticket budget across arbitrarily nested operations, so
+//! `install` regions never run more than `k` workers and a warm workload
+//! spawns zero new OS threads ([`pool_spawn_count`]). With a size of 1,
+//! everything runs inline on the calling thread, which keeps
+//! single-thread runs fully deterministic. Piece boundaries depend only
+//! on input length and the installed worker count, so `collect` is
+//! order-stable like rayon's.
+//!
+//! The default worker budget honors the `FASTBCC_THREADS` environment
+//! variable (a positive integer), falling back to the hardware
+//! parallelism.
 //!
 //! Swap this shim for the real crate by pointing the workspace `rayon`
-//! dependency at crates.io; no source changes are needed.
+//! dependency at crates.io; the only shim-specific extension is
+//! [`pool_spawn_count`] (a test hook), used nowhere in the algorithm
+//! crates' hot paths.
 
 mod iter;
 mod pool;
 
 pub use pool::{
-    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, current_thread_index, join, pool_spawn_count, scope, Scope, ThreadPool,
+    ThreadPoolBuildError, ThreadPoolBuilder,
 };
 
 pub mod prelude {

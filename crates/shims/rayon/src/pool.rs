@@ -1,15 +1,50 @@
-//! Worker-count bookkeeping, `join`, `scope`, and scoped "thread pools".
+//! The persistent work-sharing pool behind [`join`] and the parallel
+//! iterators, plus the worker-count bookkeeping (`current_num_threads`,
+//! `ThreadPool::install`).
 //!
-//! There is no persistent pool: `ThreadPool::install` only records the
-//! requested worker count in a thread-local, and every parallel operation
-//! spawns short-lived scoped threads up to that count. Worker threads
-//! inherit the installing thread's count so nested parallel calls see a
-//! consistent `current_num_threads`.
+//! # Architecture
+//!
+//! Worker threads are spawned **once** (lazily, on first demand) and park
+//! on a condvar between parallel operations — a warm solve spawns zero OS
+//! threads ([`pool_spawn_count`] is the test hook for that invariant).
+//! A parallel operation publishes a type-erased [`Job`] to a shared board:
+//! a chunk cursor claimed via atomic `fetch_add`, a completion latch, and
+//! a raw pointer to the operation's body on the submitting thread's stack.
+//! The submitting thread immediately helps drain its own job; idle workers
+//! wake, attach to any open job they may legally help, and drain it too
+//! (work *sharing*: jobs come to the board, workers go to jobs — there is
+//! no per-worker deque to steal from).
+//!
+//! # Worker-count fidelity
+//!
+//! Every `ThreadPool` owns a [`Region`] — a concurrency budget of `cap`
+//! tickets shared by *all* operations submitted under that `install`
+//! scope, however deeply nested. A pool worker may only attach to a job
+//! if it can take a ticket from the job's region, while a submitting
+//! thread always participates in its own job — so a region entered by `S`
+//! concurrent submitting threads runs at most `max(S, cap)` workers, and
+//! in the usual single-submitter case (`with_threads(k)` creates a fresh
+//! region per call) never more than `k`, no matter how many cores the
+//! machine has or how many jobs the region publishes. Threads with no
+//! installed pool share one default region whose budget is
+//! `FASTBCC_THREADS` (if set) or the hardware parallelism — concurrent
+//! engines on different OS threads therefore share the pool's helpers
+//! without oversubscribing the machine (helpers only fill the budget the
+//! submitters haven't already used).
+//!
+//! # Deadlock freedom
+//!
+//! Only submitters ever block (on their own job's latch), and only after
+//! draining every unclaimed chunk themselves; helpers never wait for
+//! anything. A blocked submitter is thus only waiting on chunks that some
+//! other thread is actively running, so progress is guaranteed even when
+//! every worker is busy and nested operations run inline.
 
-use std::cell::Cell;
-use std::marker::PhantomData;
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 fn hardware_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
@@ -20,72 +55,399 @@ fn hardware_threads() -> usize {
     })
 }
 
-thread_local! {
-    /// 0 = no pool installed on this thread (fall back to hardware count).
-    static POOL_SIZE: Cell<usize> = const { Cell::new(0) };
+/// Parse a `FASTBCC_THREADS`-style value: a positive integer, else `None`.
+fn parse_threads(var: Option<&str>) -> Option<usize> {
+    var.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
 }
 
-/// Number of worker threads parallel operations on this thread may use.
-pub fn current_num_threads() -> usize {
-    let n = POOL_SIZE.with(Cell::get);
-    if n == 0 {
-        hardware_threads()
-    } else {
-        n
+/// Default worker budget when no pool is installed: the `FASTBCC_THREADS`
+/// environment variable if set to a positive integer, else the hardware
+/// parallelism.
+fn default_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        parse_threads(std::env::var("FASTBCC_THREADS").ok().as_deref())
+            .unwrap_or_else(hardware_threads)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Regions: the concurrency budget of one installed pool scope
+// ---------------------------------------------------------------------------
+
+/// A budget of `cap` tickets shared by every job submitted under one
+/// `install` scope (or the process-wide default scope). One ticket is one
+/// thread — submitter or helper — currently running the region's bodies.
+struct Region {
+    cap: usize,
+    active: AtomicUsize,
+}
+
+impl Region {
+    fn new(cap: usize) -> Arc<Self> {
+        Arc::new(Self {
+            cap: cap.max(1),
+            active: AtomicUsize::new(0),
+        })
+    }
+
+    /// Helper-side acquisition: backs off when the region is at capacity.
+    fn try_ticket(&self) -> bool {
+        let prev = self.active.fetch_add(1, Ordering::Relaxed);
+        if prev >= self.cap {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            false
+        } else {
+            true
+        }
+    }
+
+    /// Submitter-side acquisition: a submitter always participates in its
+    /// own job, so it takes a ticket unconditionally.
+    fn take_ticket(&self) {
+        self.active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn release_ticket(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn saturated(&self) -> bool {
+        self.active.load(Ordering::Relaxed) >= self.cap
     }
 }
 
-/// RAII guard that installs a pool size on the current thread.
-pub(crate) struct PoolSizeGuard {
-    prev: usize,
+fn default_region() -> Arc<Region> {
+    static R: OnceLock<Arc<Region>> = OnceLock::new();
+    R.get_or_init(|| Region::new(default_threads())).clone()
 }
 
-impl PoolSizeGuard {
-    pub(crate) fn install(n: usize) -> Self {
-        let prev = POOL_SIZE.with(|c| {
-            let prev = c.get();
-            c.set(n);
-            prev
-        });
+// ---------------------------------------------------------------------------
+// Per-thread context
+// ---------------------------------------------------------------------------
+
+/// What a thread currently runs under: the installed worker count, the
+/// region whose budget bounds it, and whether this thread already holds a
+/// region ticket (true while running job bodies, so nested submissions
+/// don't double-count themselves).
+#[derive(Clone)]
+struct Ctx {
+    threads: usize,
+    region: Arc<Region>,
+    holds_ticket: bool,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    /// Stable pool-worker index, set once per worker thread.
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// RAII guard that installs a [`Ctx`] on the current thread.
+struct CtxGuard {
+    prev: Option<Ctx>,
+}
+
+impl CtxGuard {
+    fn install(ctx: Ctx) -> Self {
+        let prev = CTX.with(|c| c.borrow_mut().replace(ctx));
         Self { prev }
     }
 }
 
-impl Drop for PoolSizeGuard {
+impl Drop for CtxGuard {
     fn drop(&mut self) {
-        let prev = self.prev;
-        POOL_SIZE.with(|c| c.set(prev));
+        let prev = self.prev.take();
+        CTX.with(|c| *c.borrow_mut() = prev);
     }
 }
 
-/// Global count of live helper threads spawned by [`join`]; bounds the
-/// thread explosion of deep recursive joins (mergesort, reductions).
-static LIVE_JOIN_HELPERS: AtomicUsize = AtomicUsize::new(0);
+/// Number of worker threads parallel operations on this thread may use.
+pub fn current_num_threads() -> usize {
+    CTX.with(|c| c.borrow().as_ref().map(|x| x.threads))
+        .unwrap_or_else(default_threads)
+}
 
-struct HelperTicket;
+/// The pool-worker index of the current thread (`0..` in spawn order), or
+/// `None` on threads outside the pool (matches `rayon::current_thread_index`).
+/// Stable per worker, so callers can key per-worker scratch off it.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(Cell::get)
+}
 
-impl HelperTicket {
-    fn try_acquire() -> Option<Self> {
-        let cap = hardware_threads().saturating_sub(1);
-        let prev = LIVE_JOIN_HELPERS.fetch_add(1, Ordering::Relaxed);
-        if prev >= cap {
-            LIVE_JOIN_HELPERS.fetch_sub(1, Ordering::Relaxed);
-            None
+fn current_region_ticket() -> (Arc<Region>, bool) {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|x| (x.region.clone(), x.holds_ticket))
+    })
+    .unwrap_or_else(|| (default_region(), false))
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// A published parallel operation: `n_pieces` chunks claimed via an atomic
+/// cursor, a completion latch, and a type-erased pointer to the body on
+/// the submitter's stack.
+struct Job {
+    body: *const (dyn Fn(usize) + Sync),
+    n_pieces: usize,
+    /// Installed worker count at submission — the max threads (submitter
+    /// included) that may run this job, and the `current_num_threads`
+    /// value its bodies observe.
+    cap: usize,
+    region: Arc<Region>,
+    /// Next unclaimed piece.
+    cursor: AtomicUsize,
+    /// Completed pieces; the latch fires when it reaches `n_pieces`.
+    done: AtomicUsize,
+    /// Attached helper workers (excludes the submitter).
+    helpers: AtomicUsize,
+    /// First panic payload raised by any piece, rethrown by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+// SAFETY: `body` points into the submitting thread's stack frame. The
+// submitter never returns from `run_parallel`/`join` until the latch fires
+// (`done == n_pieces`), and every dereference of `body` happens inside
+// `run_piece` for a claimed piece, which counts toward `done` only after
+// the call returns — so the pointee outlives every access. The remaining
+// fields are ordinary sync primitives.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Erase the body's lifetime; sound per the safety argument above.
+    fn new(
+        body: &(dyn Fn(usize) + Sync),
+        n_pieces: usize,
+        cap: usize,
+        region: Arc<Region>,
+    ) -> Self {
+        let body: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<*const _, *const _>(body as *const _) };
+        Self {
+            body,
+            n_pieces,
+            cap,
+            region,
+            cursor: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            helpers: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        }
+    }
+
+    fn run_piece(&self, i: usize) {
+        let body = unsafe { &*self.body };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
+            self.panic.lock().unwrap().get_or_insert(payload);
+        }
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_pieces {
+            *self.finished.lock().unwrap() = true;
+            self.finished_cv.notify_all();
+        }
+    }
+
+    /// Claim and run pieces until the cursor is exhausted.
+    fn drain(&self) {
+        loop {
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_pieces {
+                break;
+            }
+            self.run_piece(i);
+        }
+    }
+
+    fn exhausted(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) >= self.n_pieces
+    }
+
+    /// Block until every piece has completed (claimed pieces may still be
+    /// running on helpers after the submitter's own drain returns).
+    fn wait_finished(&self) {
+        let mut fin = self.finished.lock().unwrap();
+        while !*fin {
+            fin = self.finished_cv.wait(fin).unwrap();
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared pool: job board + persistent workers
+// ---------------------------------------------------------------------------
+
+struct PoolState {
+    open: Vec<Arc<Job>>,
+    spawned: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+}
+
+/// Mirror of `PoolState::spawned` readable without the lock.
+static SPAWNED: AtomicUsize = AtomicUsize::new(0);
+
+fn pool() -> &'static PoolShared {
+    static P: OnceLock<PoolShared> = OnceLock::new();
+    P.get_or_init(|| PoolShared {
+        state: Mutex::new(PoolState {
+            open: Vec::new(),
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+/// Total pool worker OS threads ever spawned. Monotone; workers are
+/// spawned lazily and never exit, so a warm workload holds this constant —
+/// the test hook for the "zero spawns after warm-up" invariant. (Shim
+/// extension; real rayon has no equivalent.)
+pub fn pool_spawn_count() -> usize {
+    SPAWNED.load(Ordering::Relaxed)
+}
+
+/// Put a job on the board, lazily growing the worker set so up to
+/// `max_helpers` workers could attach, and wake parked workers.
+fn publish(job: &Arc<Job>, max_helpers: usize) {
+    let pool = pool();
+    let mut st = pool.state.lock().unwrap();
+    st.open.retain(|j| !j.exhausted());
+    st.open.push(job.clone());
+    let want = max_helpers.min(job.region.cap.saturating_sub(1));
+    while st.spawned < want {
+        let index = st.spawned;
+        std::thread::Builder::new()
+            .name(format!("fastbcc-pool-{index}"))
+            .spawn(move || worker_loop(index))
+            .expect("failed to spawn pool worker");
+        st.spawned += 1;
+        SPAWNED.store(st.spawned, Ordering::Relaxed);
+    }
+    drop(st);
+    pool.work_cv.notify_all();
+}
+
+/// Remove a completed job from the board.
+fn retire(job: &Arc<Job>) {
+    let pool = pool();
+    let mut st = pool.state.lock().unwrap();
+    st.open.retain(|j| !Arc::ptr_eq(j, job) && !j.exhausted());
+}
+
+/// Find an open job this worker may help: unexhausted, under its worker
+/// cap, and with a region ticket to spare.
+fn try_attach(st: &mut PoolState) -> Option<Arc<Job>> {
+    st.open.retain(|j| !j.exhausted());
+    for job in &st.open {
+        // +1 for the submitter, which is not counted in `helpers`.
+        if job.helpers.load(Ordering::Relaxed) + 1 >= job.cap {
+            continue;
+        }
+        if !job.region.try_ticket() {
+            continue;
+        }
+        job.helpers.fetch_add(1, Ordering::Relaxed);
+        return Some(job.clone());
+    }
+    None
+}
+
+fn worker_loop(index: usize) {
+    WORKER_INDEX.with(|c| c.set(Some(index)));
+    let pool = pool();
+    let mut st = pool.state.lock().unwrap();
+    loop {
+        if let Some(job) = try_attach(&mut st) {
+            drop(st);
+            {
+                let _ctx = CtxGuard::install(Ctx {
+                    threads: job.cap,
+                    region: job.region.clone(),
+                    holds_ticket: true,
+                });
+                job.drain();
+            }
+            job.helpers.fetch_sub(1, Ordering::Relaxed);
+            job.region.release_ticket();
+            // The freed ticket may unblock another open job's helpers.
+            pool.work_cv.notify_all();
+            st = pool.state.lock().unwrap();
         } else {
-            Some(Self)
+            st = pool.work_cv.wait(st).unwrap();
         }
     }
 }
 
-impl Drop for HelperTicket {
-    fn drop(&mut self) {
-        LIVE_JOIN_HELPERS.fetch_sub(1, Ordering::Relaxed);
+// ---------------------------------------------------------------------------
+// Submission entry points
+// ---------------------------------------------------------------------------
+
+/// Run `body(i)` for every `i in 0..n_pieces`, each exactly once, sharing
+/// the pieces between the calling thread and any pool workers the region
+/// budget admits. Returns after every piece has completed; panics from
+/// pieces are rethrown here.
+pub(crate) fn run_parallel(n_pieces: usize, body: &(dyn Fn(usize) + Sync)) {
+    if n_pieces == 0 {
+        return;
+    }
+    let cap = current_num_threads();
+    if cap <= 1 || n_pieces == 1 {
+        for i in 0..n_pieces {
+            body(i);
+        }
+        return;
+    }
+    let (region, holds) = current_region_ticket();
+    if holds && region.saturated() {
+        // Every budgeted thread in this region is already busy, so no
+        // helper could attach — skip the job machinery and run inline.
+        for i in 0..n_pieces {
+            body(i);
+        }
+        return;
+    }
+    if !holds {
+        region.take_ticket();
+    }
+    let job = Arc::new(Job::new(body, n_pieces, cap, region.clone()));
+    publish(&job, cap.saturating_sub(1).min(n_pieces - 1));
+    {
+        let _ctx = CtxGuard::install(Ctx {
+            threads: cap,
+            region: region.clone(),
+            holds_ticket: true,
+        });
+        job.drain();
+    }
+    job.wait_finished();
+    retire(&job);
+    if !holds {
+        region.release_ticket();
+        pool().work_cv.notify_all();
+    }
+    if let Some(payload) = job.take_panic() {
+        resume_unwind(payload);
     }
 }
 
-/// Potentially-parallel fork–join: runs `a` on the calling thread and `b`
-/// on a scoped helper thread when the pool size and the global helper
-/// budget allow, else both sequentially.
+/// Potentially-parallel fork–join: publishes the right branch to the pool,
+/// runs the left branch on the calling thread, then runs the right branch
+/// inline if no worker picked it up in the meantime.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -93,28 +455,68 @@ where
     RA: Send,
     RB: Send,
 {
-    let threads = current_num_threads();
-    if threads <= 1 {
+    let cap = current_num_threads();
+    if cap <= 1 {
         return (a(), b());
     }
-    let Some(ticket) = HelperTicket::try_acquire() else {
+    let (region, holds) = current_region_ticket();
+    if holds && region.saturated() {
         return (a(), b());
+    }
+    if !holds {
+        region.take_ticket();
+    }
+
+    let b_fn = Mutex::new(Some(b));
+    let b_out: Mutex<Option<RB>> = Mutex::new(None);
+    let body = |_: usize| {
+        let f = b_fn
+            .lock()
+            .unwrap()
+            .take()
+            .expect("join branch claimed twice");
+        let r = f();
+        *b_out.lock().unwrap() = Some(r);
     };
-    std::thread::scope(|s| {
-        let handle = s.spawn(move || {
-            let _guard = PoolSizeGuard::install(threads);
-            let r = b();
-            drop(ticket);
-            r
+    let job = Arc::new(Job::new(&body, 1, cap, region.clone()));
+    publish(&job, 1);
+    let ra = {
+        let _ctx = CtxGuard::install(Ctx {
+            threads: cap,
+            region: region.clone(),
+            holds_ticket: true,
         });
-        let ra = a();
-        let rb = match handle.join() {
-            Ok(r) => r,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (ra, rb)
-    })
+        let ra = catch_unwind(AssertUnwindSafe(a));
+        // Claims the right branch iff no worker beat us to it.
+        job.drain();
+        ra
+    };
+    job.wait_finished();
+    retire(&job);
+    if !holds {
+        region.release_ticket();
+        pool().work_cv.notify_all();
+    }
+    match ra {
+        Err(payload) => resume_unwind(payload),
+        Ok(ra) => {
+            if let Some(payload) = job.take_panic() {
+                resume_unwind(payload);
+            }
+            let rb = b_out
+                .into_inner()
+                .unwrap()
+                .expect("join branch produced no result");
+            (ra, rb)
+        }
+    }
 }
+
+// ---------------------------------------------------------------------------
+// Scopes and thread-pool handles
+// ---------------------------------------------------------------------------
+
+use std::marker::PhantomData;
 
 /// Scope handle (`rayon::scope`). Spawned closures run inline, which is a
 /// legal schedule for rayon scopes and keeps the shim simple.
@@ -165,7 +567,8 @@ impl ThreadPoolBuilder {
         Self::default()
     }
 
-    /// 0 (the default) means "use the hardware parallelism".
+    /// 0 (the default) means "use `FASTBCC_THREADS`, else the hardware
+    /// parallelism".
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
@@ -173,26 +576,41 @@ impl ThreadPoolBuilder {
 
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let threads = if self.num_threads == 0 {
-            hardware_threads()
+            default_threads()
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { threads })
+        Ok(ThreadPool {
+            threads,
+            region: Region::new(threads),
+        })
     }
 }
 
-/// A scoped worker-count handle; see the module docs.
+/// A worker-count scope over the shared persistent pool. `install` does
+/// not spawn threads; it installs this pool's concurrency [`Region`] so
+/// every operation inside runs with at most `threads` workers — reusing
+/// one `ThreadPool` across calls shares one budget. Note that a
+/// submitting thread always participates in its own operations, so
+/// entering one pool's region from `S` OS threads at once runs up to
+/// `max(S, threads)` workers; the budget caps the pool *helpers*, not
+/// the callers.
 pub struct ThreadPool {
     threads: usize,
+    region: Arc<Region>,
 }
 
 impl ThreadPool {
-    /// Run `f` with this pool's worker count installed.
+    /// Run `f` with this pool's worker count and budget installed.
     pub fn install<F, R>(&self, f: F) -> R
     where
         F: FnOnce() -> R,
     {
-        let _guard = PoolSizeGuard::install(self.threads);
+        let _guard = CtxGuard::install(Ctx {
+            threads: self.threads,
+            region: self.region.clone(),
+            holds_ticket: false,
+        });
         f()
     }
 
@@ -204,6 +622,35 @@ impl ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    /// Track the peak number of closures running at once.
+    struct Gauge {
+        active: AtomicUsize,
+        peak: AtomicUsize,
+    }
+
+    impl Gauge {
+        fn new() -> Self {
+            Self {
+                active: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
+            }
+        }
+
+        fn enter(&self) {
+            let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(now, Ordering::SeqCst);
+            // Dwell long enough that overlapping workers actually overlap.
+            std::thread::sleep(Duration::from_micros(200));
+            self.active.fetch_sub(1, Ordering::SeqCst);
+        }
+
+        fn peak(&self) -> usize {
+            self.peak.load(Ordering::SeqCst)
+        }
+    }
 
     #[test]
     fn install_scopes_thread_count() {
@@ -231,6 +678,109 @@ mod tests {
             a + b
         }
         assert_eq!(fib(16), 987);
+    }
+
+    /// Regression: the old shim budgeted join helpers on the *hardware*
+    /// thread count, so `with_threads(2)` could run on every core. The
+    /// budget must derive from the installed pool size.
+    #[test]
+    fn join_budget_respects_installed_pool_size() {
+        fn go(depth: usize, gauge: &Gauge) {
+            if depth == 0 {
+                gauge.enter();
+                return;
+            }
+            join(|| go(depth - 1, gauge), || go(depth - 1, gauge));
+        }
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let gauge = Gauge::new();
+        pool.install(|| go(6, &gauge));
+        assert!(gauge.peak() >= 1);
+        assert!(
+            gauge.peak() <= 2,
+            "join ran {} concurrent leaves under with_threads(2)",
+            gauge.peak()
+        );
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.install(|| join(|| 1, || -> usize { panic!("right branch") }))
+        }));
+        assert!(caught.is_err());
+        // The pool must stay usable after a propagated panic.
+        let (a, b) = pool.install(|| join(|| 2, || 3));
+        assert_eq!((a, b), (2, 3));
+    }
+
+    #[test]
+    fn run_parallel_covers_every_piece_once() {
+        let hits: Vec<AtomicUsize> = (0..97).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            run_parallel(hits.len(), &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_parallel_bounds_workers_for_small_caps() {
+        for k in [1usize, 2, 4] {
+            let pool = ThreadPoolBuilder::new().num_threads(k).build().unwrap();
+            let gauge = Gauge::new();
+            pool.install(|| run_parallel(4 * k.max(2), &|_| gauge.enter()));
+            assert!(gauge.peak() >= 1);
+            assert!(
+                gauge.peak() <= k,
+                "{} concurrent workers under with_threads({k})",
+                gauge.peak()
+            );
+        }
+    }
+
+    #[test]
+    fn workers_spawn_once_then_park() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let work = || {
+            pool.install(|| {
+                run_parallel(16, &|_| {
+                    std::hint::black_box(0u64);
+                })
+            })
+        };
+        work(); // warm-up may spawn
+                // Concurrently running tests may still be spawning workers (the
+                // counter is global), so allow the count a few rounds to settle.
+        let mut stable = false;
+        for _ in 0..16 {
+            let before = pool_spawn_count();
+            work();
+            work();
+            if pool_spawn_count() == before {
+                stable = true;
+                break;
+            }
+        }
+        assert!(stable, "pool kept spawning threads on warm operations");
+    }
+
+    #[test]
+    fn worker_index_is_none_outside_pool() {
+        assert_eq!(current_thread_index(), None);
+    }
+
+    #[test]
+    fn parse_threads_env_values() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("junk")), None);
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
     }
 
     #[test]

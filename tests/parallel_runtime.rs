@@ -1,0 +1,114 @@
+//! Integration tests for the persistent work-sharing pool runtime:
+//! warm solves spawn no OS threads, concurrent engines on separate OS
+//! threads coexist on the shared pool, and solve output is identical
+//! across worker budgets.
+
+use fast_bcc::baselines::hopcroft_tarjan;
+use fast_bcc::prelude::*;
+use fastbcc_primitives::pool_spawns;
+use std::sync::Mutex;
+
+/// Serializes the pool-sensitive tests: the spawn counter is global to
+/// the test process, so tests that assert on it must not interleave with
+/// other tests entering fresh worker budgets.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Acceptance: after a warm-up solve, a full `BccEngine::solve` spawns
+/// **zero** new OS threads — the pool's workers persist and park.
+#[test]
+fn warm_solve_spawns_zero_threads() {
+    let _guard = lock();
+    let g = generators::grid2d(120, 120, false);
+    let mut engine = BccEngine::new(BccOpts::default());
+    engine.solve(&g); // warm-up: may lazily spawn pool workers
+    let spawned = pool_spawns();
+    for _ in 0..3 {
+        engine.solve(&g);
+    }
+    assert_eq!(
+        pool_spawns(),
+        spawned,
+        "a warm BccEngine::solve spawned new OS threads"
+    );
+}
+
+/// Two engines solving different graphs from two OS threads share the
+/// pool: both produce correct BCCs (vs. Hopcroft–Tarjan) and the pool
+/// never grows past the default budget (no oversubscription, no panics).
+#[test]
+fn concurrent_engines_share_the_pool() {
+    let _guard = lock();
+    let ga = generators::grid2d(90, 90, false);
+    let gb = generators::web_like(12, 30_000, 0xFA57_BCC);
+    let expect_a = hopcroft_tarjan(&ga, false).num_bcc;
+    let expect_b = hopcroft_tarjan(&gb, false).num_bcc;
+
+    std::thread::scope(|s| {
+        let ta = s.spawn(|| {
+            let mut engine = BccEngine::new(BccOpts::default());
+            (0..3)
+                .map(|_| engine.solve(&ga).num_bcc)
+                .collect::<Vec<_>>()
+        });
+        let tb = s.spawn(|| {
+            let mut engine = BccEngine::new(BccOpts::default());
+            (0..3)
+                .map(|_| engine.solve(&gb).num_bcc)
+                .collect::<Vec<_>>()
+        });
+        let counts_a = ta.join().expect("engine A panicked");
+        let counts_b = tb.join().expect("engine B panicked");
+        assert!(counts_a.iter().all(|&c| c == expect_a));
+        assert!(counts_b.iter().all(|&c| c == expect_b));
+    });
+
+    // Budget check: the shared pool never spawns more workers than the
+    // default budget admits, no matter how many engines submit to it.
+    let budget = fastbcc_primitives::num_threads().max(1);
+    assert!(
+        pool_spawns() < budget.max(2),
+        "pool spawned {} workers with a default budget of {budget}",
+        pool_spawns()
+    );
+}
+
+/// Solve output is identical across worker budgets of 1, 2, and the
+/// hardware default. Parallel-iterator `collect`s have deterministic
+/// piece boundaries (input length and budget only, never timing), so the
+/// BCC *partition* must not depend on the schedule; raw label values may
+/// pick different representatives under racy Last-CC, so the partition is
+/// compared in first-occurrence normal form.
+#[test]
+fn solve_output_is_identical_across_thread_counts() {
+    let _guard = lock();
+    let g = generators::grid2d_sampled(70, 70, 0.93, 0x5EED_1DD);
+    let expect = hopcroft_tarjan(&g, false).num_bcc;
+
+    fn normalize(labels: &[u32]) -> Vec<u32> {
+        let mut rename = std::collections::HashMap::new();
+        labels
+            .iter()
+            .map(|&l| {
+                let next = rename.len() as u32;
+                *rename.entry(l).or_insert(next)
+            })
+            .collect()
+    }
+
+    let hw = fastbcc_primitives::num_threads().max(1);
+    let solve_at = |k: usize| {
+        with_threads(k, || {
+            let r = fast_bcc(&g, BccOpts::default());
+            assert_eq!(r.num_bcc, expect, "wrong BCC count at {k} threads");
+            (normalize(&r.labels), r.num_bcc, r.num_cc)
+        })
+    };
+    let base = solve_at(1);
+    for k in [2, hw] {
+        assert_eq!(solve_at(k), base, "solve diverged at {k} threads");
+    }
+}
