@@ -81,6 +81,8 @@ pub fn bfs_bcc(g: &Graph, seed: u64) -> BccResult {
         aux_peak_bytes: 4 * n * 17,
         // The baselines allocate everything fresh on every call.
         fresh_alloc_bytes: 4 * n * 17,
+        // ... and stage nothing in per-worker arenas.
+        arena_bytes: 0,
     }
 }
 

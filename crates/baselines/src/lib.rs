@@ -2,17 +2,17 @@
 //!
 //! Every algorithm the paper evaluates against, re-implemented in full:
 //!
-//! * [`hopcroft_tarjan`] — the sequential `O(n + m)` DFS algorithm
+//! * [`hopcroft_tarjan()`](hopcroft_tarjan::hopcroft_tarjan) — the sequential `O(n + m)` DFS algorithm
 //!   (**SEQ** in Tab. 2). Iterative (explicit stacks), so it survives the
 //!   10⁷-vertex chain inputs.
-//! * [`tarjan_vishkin`] — the canonical parallel algorithm with the
+//! * [`tarjan_vishkin()`](tarjan_vishkin::tarjan_vishkin) — the canonical parallel algorithm with the
 //!   **explicit `O(m)` skeleton** of Appendix A (**TV** in Tab. 3/Fig. 7);
 //!   used chiefly to measure the space blow-up FAST-BCC eliminates.
-//! * [`bfs_bcc`] — a BFS-skeleton space-efficient BCC in the style of
-//!   GBBS [DBS21] (**GBBS** in the tables): BFS spanning tree, preorder
+//! * [`bfs_bcc()`](bfs_bcc::bfs_bcc) — a BFS-skeleton space-efficient BCC in the style of
+//!   GBBS \[DBS21\] (**GBBS** in the tables): BFS spanning tree, preorder
 //!   tags by level-synchronous traversals (`O(diam · log n)` span), then
 //!   the same implicit-skeleton Last-CC as FAST-BCC.
-//! * [`sm14`] — a Slota–Madduri-style variant (**SM'14**): BFS tree plus
+//! * [`sm14()`](sm14::sm14) — a Slota–Madduri-style variant (**SM'14**): BFS tree plus
 //!   iterative label-propagation connectivity; requires a connected input
 //!   (the paper reports `n` = "no support" otherwise) and its round count
 //!   scales with the diameter, reproducing the scalability collapse the

@@ -2,7 +2,7 @@
 //!
 //! Behavioural stand-in for the better of the two SM'14 algorithms (see
 //! DESIGN.md §3): a BFS spanning tree provides the skeleton exactly as in
-//! [`crate::bfs_bcc`], but the skeleton's connected components are found by
+//! [`crate::bfs_bcc()`](crate::bfs_bcc::bfs_bcc), but the skeleton's connected components are found by
 //! **iterative min-label propagation** instead of union–find — the
 //! coloring style of SM'14's BCC-Color. Two fidelity-relevant properties
 //! are preserved:
@@ -99,6 +99,8 @@ pub fn sm14(g: &Graph) -> Result<BccResult, Sm14Unsupported> {
         aux_peak_bytes: 4 * n * 8,
         // The baselines allocate everything fresh on every call.
         fresh_alloc_bytes: 4 * n * 8,
+        // ... and stage nothing in per-worker arenas.
+        arena_bytes: 0,
     })
 }
 

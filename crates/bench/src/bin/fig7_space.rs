@@ -40,7 +40,11 @@ fn main() {
         // what a pooled repeated-query server actually allocates.
         let mut engine = BccEngine::new(BccOpts::default());
         let cold = engine.solve(&g);
-        let (ours, cold_fresh) = (cold.aux_peak_bytes, cold.fresh_alloc_bytes);
+        let (ours, cold_fresh, arena) = (
+            cold.aux_peak_bytes,
+            cold.fresh_alloc_bytes,
+            cold.arena_bytes,
+        );
         let warm_fresh = engine.solve(&g).fresh_alloc_bytes;
         let gbbs = bfs_bcc(&g, 7).aux_peak_bytes;
         let tv = tarjan_vishkin(&g, 5).aux_peak_bytes;
@@ -58,7 +62,7 @@ fn main() {
             tv as f64 / min as f64,
             warm_fresh,
         );
-        let rec = |algo: &str, peak: usize, fresh: usize| RunRecord {
+        let rec = |algo: &str, peak: usize, fresh: usize, arena: usize| RunRecord {
             graph: spec.name.to_string(),
             algo: algo.to_string(),
             n: g.n(),
@@ -68,11 +72,12 @@ fn main() {
             median_secs: 0.0,
             aux_peak_bytes: peak,
             fresh_alloc_bytes: fresh,
+            arena_bytes: arena,
         };
-        records.push(rec("fast_bcc/cold", ours, cold_fresh));
-        records.push(rec("fast_bcc/warm", ours, warm_fresh));
-        records.push(rec("bfs_bcc", gbbs, gbbs));
-        records.push(rec("tarjan_vishkin", tv, tv));
+        records.push(rec("fast_bcc/cold", ours, cold_fresh, arena));
+        records.push(rec("fast_bcc/warm", ours, warm_fresh, arena));
+        records.push(rec("bfs_bcc", gbbs, gbbs, 0));
+        records.push(rec("tarjan_vishkin", tv, tv, 0));
     }
 
     if let Some(path) = args.get("--json") {

@@ -81,6 +81,10 @@ pub struct RunRecord {
     /// Buffer capacity newly allocated during the run — 0 when a pooled
     /// `BccEngine` workspace served every major array.
     pub fresh_alloc_bytes: usize,
+    /// Bytes held in per-worker scratch arenas (`WorkerLocal`) — the
+    /// schedule-independent `O(n)`-per-worker staging the frontier phases
+    /// claim into. 0 for algorithms that stage nothing per worker.
+    pub arena_bytes: usize,
 }
 
 impl RunRecord {
@@ -90,7 +94,7 @@ impl RunRecord {
         format!(
             "{{\"graph\":{},\"algo\":{},\"n\":{},\"m\":{},\"threads\":{},\
              \"pool_workers\":{},\"median_secs\":{:.9},\"aux_peak_bytes\":{},\
-             \"fresh_alloc_bytes\":{}}}",
+             \"fresh_alloc_bytes\":{},\"arena_bytes\":{}}}",
             json_escape(&self.graph),
             json_escape(&self.algo),
             self.n,
@@ -100,6 +104,7 @@ impl RunRecord {
             self.median_secs,
             self.aux_peak_bytes,
             self.fresh_alloc_bytes,
+            self.arena_bytes,
         )
     }
 }
@@ -213,6 +218,7 @@ mod tests {
             median_secs: 0.25,
             aux_peak_bytes: 4096,
             fresh_alloc_bytes: 0,
+            arena_bytes: 2048,
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -220,6 +226,7 @@ mod tests {
         assert!(j.contains("\"pool_workers\":3"));
         assert!(j.contains("\"aux_peak_bytes\":4096"));
         assert!(j.contains("\"fresh_alloc_bytes\":0"));
+        assert!(j.contains("\"arena_bytes\":2048"));
         assert!(j.contains("\"median_secs\":0.25"));
     }
 
@@ -235,6 +242,7 @@ mod tests {
             median_secs: 0.0,
             aux_peak_bytes: 0,
             fresh_alloc_bytes: 0,
+            arena_bytes: 0,
         };
         assert!(r.to_json().contains("a\\\"b\\\\c\\nd"));
     }
@@ -254,6 +262,7 @@ mod tests {
                 median_secs: 0.5,
                 aux_peak_bytes: 100,
                 fresh_alloc_bytes: 100,
+                arena_bytes: 0,
             },
             RunRecord {
                 graph: "g2".into(),
@@ -265,6 +274,7 @@ mod tests {
                 median_secs: 1.5,
                 aux_peak_bytes: 200,
                 fresh_alloc_bytes: 0,
+                arena_bytes: 64,
             },
         ];
         write_json_lines(path.to_str().unwrap(), &recs).unwrap();

@@ -6,7 +6,7 @@
 use crate::measure::{time_median, Args, RunRecord};
 use crate::suite::{filter_suite, Category, GraphSpec};
 use fastbcc_baselines::{bfs_bcc, hopcroft_tarjan, sm14};
-use fastbcc_core::{fast_bcc, largest_bcc_size, BccOpts};
+use fastbcc_core::{fast_bcc, largest_bcc_size, BccEngine, BccOpts};
 use fastbcc_graph::stats::approx_diameter;
 use fastbcc_graph::Graph;
 use fastbcc_primitives::with_threads;
@@ -36,6 +36,14 @@ pub struct RowResult {
     pub ours_fresh_bytes: usize,
     /// Same, for the single-thread configuration.
     pub ours_seq_fresh_bytes: usize,
+    /// Warm pooled-engine re-solve time (parallel configuration).
+    pub ours_warm: Duration,
+    /// Fresh bytes of that warm re-solve — the zero-allocation acceptance
+    /// gate: a warm `BccEngine` must report 0 here even at full
+    /// parallelism (the per-worker arenas are pre-sized deterministically).
+    pub ours_warm_fresh_bytes: usize,
+    /// Bytes held in the engine's per-worker scratch arenas.
+    pub ours_arena_bytes: usize,
     /// GBBS-style baseline peak auxiliary bytes.
     pub gbbs_aux_peak_bytes: usize,
     /// GBBS-style baseline fresh bytes (it pools nothing, so this equals
@@ -63,25 +71,29 @@ impl RowResult {
     /// budget of the parallel configurations; with the persistent pool it
     /// is enforced, not merely requested (see `with_threads`).
     pub fn records(&self, threads: usize) -> Vec<RunRecord> {
-        let rec = |algo: &str, t: Duration, thr: usize, peak: usize, fresh: usize| RunRecord {
-            graph: self.name.to_string(),
-            algo: algo.to_string(),
-            n: self.n,
-            m: self.m,
-            threads: thr,
-            pool_workers: fastbcc_primitives::pool_spawns(),
-            median_secs: t.as_secs_f64(),
-            aux_peak_bytes: peak,
-            fresh_alloc_bytes: fresh,
+        let rec = |algo: &str, t: Duration, thr: usize, peak: usize, fresh: usize, arena: usize| {
+            RunRecord {
+                graph: self.name.to_string(),
+                algo: algo.to_string(),
+                n: self.n,
+                m: self.m,
+                threads: thr,
+                pool_workers: fastbcc_primitives::pool_spawns(),
+                median_secs: t.as_secs_f64(),
+                aux_peak_bytes: peak,
+                fresh_alloc_bytes: fresh,
+                arena_bytes: arena,
+            }
         };
         let mut out = vec![
-            rec("hopcroft_tarjan/seq", self.seq, 1, 0, 0),
+            rec("hopcroft_tarjan/seq", self.seq, 1, 0, 0, 0),
             rec(
                 "fast_bcc/par",
                 self.ours_par,
                 threads,
                 self.ours_aux_peak_bytes,
                 self.ours_fresh_bytes,
+                self.ours_arena_bytes,
             ),
             rec(
                 "fast_bcc/seq",
@@ -89,6 +101,15 @@ impl RowResult {
                 1,
                 self.ours_aux_peak_bytes,
                 self.ours_seq_fresh_bytes,
+                self.ours_arena_bytes,
+            ),
+            rec(
+                "fast_bcc/warm",
+                self.ours_warm,
+                threads,
+                self.ours_aux_peak_bytes,
+                self.ours_warm_fresh_bytes,
+                self.ours_arena_bytes,
             ),
             rec(
                 "bfs_bcc/par",
@@ -96,6 +117,7 @@ impl RowResult {
                 threads,
                 self.gbbs_aux_peak_bytes,
                 self.gbbs_fresh_bytes,
+                0,
             ),
             rec(
                 "bfs_bcc/seq",
@@ -103,10 +125,11 @@ impl RowResult {
                 1,
                 self.gbbs_aux_peak_bytes,
                 self.gbbs_fresh_bytes,
+                0,
             ),
         ];
         if let Some(t) = self.sm14_par {
-            out.push(rec("sm14/par", t, threads, 0, 0));
+            out.push(rec("sm14/par", t, threads, 0, 0, 0));
         }
         out
     }
@@ -157,6 +180,19 @@ pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
     let (ours_seq_r, ours_seq) =
         with_threads(1, || time_median(reps, || fast_bcc(g, BccOpts::default())));
 
+    // Warm pooled engine at full parallelism: the cold solve sizes the
+    // workspace (per-worker arenas included); every timed re-solve must
+    // then report zero fresh bytes — the bench-smoke CI job fails the
+    // build if any warm record says otherwise.
+    let ((ours_warm_fresh_bytes, ours_arena_bytes), ours_warm) = with_threads(p, || {
+        let mut engine = BccEngine::new(BccOpts::default());
+        engine.solve(g);
+        time_median(reps, || {
+            let r = engine.solve(g);
+            (r.fresh_alloc_bytes, r.arena_bytes)
+        })
+    });
+
     let (gbbs, gbbs_par) = with_threads(p, || time_median(reps, || bfs_bcc(g, 7)));
     let (_, gbbs_seq) = with_threads(1, || time_median(reps, || bfs_bcc(g, 7)));
 
@@ -203,6 +239,9 @@ pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
         ours_aux_peak_bytes: ours.aux_peak_bytes,
         ours_fresh_bytes: ours.fresh_alloc_bytes,
         ours_seq_fresh_bytes: ours_seq_r.fresh_alloc_bytes,
+        ours_warm,
+        ours_warm_fresh_bytes,
+        ours_arena_bytes,
         gbbs_aux_peak_bytes: gbbs.aux_peak_bytes,
         gbbs_fresh_bytes: gbbs.fresh_alloc_bytes,
     }
@@ -243,6 +282,13 @@ mod tests {
             assert!(recs
                 .iter()
                 .any(|r| r.algo == "fast_bcc/par" && r.threads == 2));
+            // The warm-engine acceptance gate, in miniature: a warm pooled
+            // solve allocates nothing even under a parallel schedule.
+            assert!(
+                recs.iter()
+                    .any(|r| r.algo == "fast_bcc/warm" && r.fresh_alloc_bytes == 0),
+                "warm engine re-solve allocated fresh bytes"
+            );
         }
     }
 }

@@ -6,8 +6,12 @@
 //! claim-by-CAS frontier machinery with the LDD.
 
 use fastbcc_graph::{Graph, NONE, V};
-use rayon::prelude::*;
+use fastbcc_primitives::par::{num_blocks, par_for_grain};
+use fastbcc_primitives::worker_local::WorkerLocal;
 use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Frontier vertices per expansion block (see the LDD's grain choice).
+const FRONTIER_GRAIN: usize = 64;
 
 /// A rooted BFS forest over all components.
 pub struct BfsForest {
@@ -34,6 +38,13 @@ pub fn bfs_forest(g: &Graph) -> BfsForest {
     let mut roots = Vec::new();
     let mut rounds = 0usize;
 
+    // Per-worker next-frontier arenas, shared by every component's BFS:
+    // each worker appends the vertices it claims to its own arena, and the
+    // level barrier concatenates the arenas in worker-id order — no
+    // allocation and no shared append inside the parallel region.
+    let mut next = WorkerLocal::<Vec<V>>::default();
+    let mut frontier: Vec<V> = Vec::new();
+
     for s in 0..n as V {
         if root[s as usize].load(Ordering::Relaxed) != NONE {
             continue;
@@ -41,31 +52,44 @@ pub fn bfs_forest(g: &Graph) -> BfsForest {
         roots.push(s);
         root[s as usize].store(s, Ordering::Relaxed);
         level[s as usize].store(0, Ordering::Relaxed);
-        let mut frontier = vec![s];
+        frontier.clear();
+        frontier.push(s);
         let mut depth = 0u32;
         while !frontier.is_empty() {
             rounds += 1;
             depth += 1;
-            frontier = frontier
-                .par_iter()
-                .fold(Vec::new, |mut acc: Vec<V>, &u| {
-                    for &w in g.neighbors(u) {
-                        if root[w as usize].load(Ordering::Relaxed) == NONE
-                            && root[w as usize]
-                                .compare_exchange(NONE, s, Ordering::Relaxed, Ordering::Relaxed)
-                                .is_ok()
-                        {
-                            parent[w as usize].store(u, Ordering::Relaxed);
-                            level[w as usize].store(depth, Ordering::Relaxed);
-                            acc.push(w);
+            {
+                let fr: &[V] = &frontier;
+                let arenas = &next;
+                let (parent, level, root) = (&parent, &level, &root);
+                let blocks = num_blocks(fr.len(), FRONTIER_GRAIN);
+                par_for_grain(blocks, 1, |b| {
+                    let lo = b * fr.len() / blocks;
+                    let hi = (b + 1) * fr.len() / blocks;
+                    arenas.with(|buf| {
+                        for &u in &fr[lo..hi] {
+                            for &w in g.neighbors(u) {
+                                if root[w as usize].load(Ordering::Relaxed) == NONE
+                                    && root[w as usize]
+                                        .compare_exchange(
+                                            NONE,
+                                            s,
+                                            Ordering::Relaxed,
+                                            Ordering::Relaxed,
+                                        )
+                                        .is_ok()
+                                {
+                                    parent[w as usize].store(u, Ordering::Relaxed);
+                                    level[w as usize].store(depth, Ordering::Relaxed);
+                                    buf.push(w);
+                                }
+                            }
                         }
-                    }
-                    acc
-                })
-                .reduce(Vec::new, |mut a, mut b| {
-                    a.append(&mut b);
-                    a
+                    });
                 });
+            }
+            frontier.clear();
+            next.append_to(&mut frontier);
         }
     }
 

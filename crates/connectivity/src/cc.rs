@@ -15,8 +15,12 @@ use crate::ldd::{ldd_filtered_in, LddOpts, LddScratch};
 use crate::unionfind::{ConcurrentUnionFind, SeqUnionFind};
 use fastbcc_graph::{Graph, V};
 use fastbcc_primitives::pack::pack_map;
+use fastbcc_primitives::par::{num_blocks, par_for, par_for_grain};
 use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
-use rayon::prelude::*;
+use fastbcc_primitives::worker_local::WorkerLocal;
+
+/// Edges per union block (cheap bodies; mirror the LDD expansion grain).
+const UNION_GRAIN: usize = 512;
 
 /// Options for [`ldd_uf_jtb`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,13 +44,17 @@ pub struct CcOutput {
     pub num_components: usize,
 }
 
-/// Reusable buffers for the parallel CC algorithms: the LDD scratch plus
-/// the concurrent union–find. One `CcScratch` serves both of FAST-BCC's
-/// connectivity phases (First-CC and Last-CC) across repeated solves.
+/// Reusable buffers for the parallel CC algorithms: the LDD scratch, the
+/// concurrent union–find, and the per-worker spanning-forest edge arenas
+/// (each worker records the edges whose union it won in its own arena;
+/// the barrier concatenates them in worker-id order). One `CcScratch`
+/// serves both of FAST-BCC's connectivity phases (First-CC and Last-CC)
+/// across repeated solves.
 #[derive(Default)]
 pub struct CcScratch {
     pub ldd: LddScratch,
     pub uf: ConcurrentUnionFind,
+    edges: WorkerLocal<Vec<(V, V)>>,
 }
 
 impl CcScratch {
@@ -54,9 +62,24 @@ impl CcScratch {
         Self::default()
     }
 
-    /// Heap bytes currently reserved (capacity, not length).
+    /// Pre-reserve every pooled buffer (worker arenas included) for an
+    /// `n`-vertex input.
+    pub fn reserve(&mut self, n: usize) {
+        self.ldd.reserve(n);
+        self.uf.reset(n);
+        self.edges.reserve_each(n);
+    }
+
+    /// Heap bytes currently reserved (capacity, not length), the worker
+    /// arenas included.
     pub fn heap_bytes(&self) -> usize {
-        self.ldd.heap_bytes() + self.uf.heap_bytes()
+        self.ldd.heap_bytes() + self.uf.heap_bytes() + self.edges.heap_bytes()
+    }
+
+    /// Heap bytes held by the per-worker arenas alone (LDD frontier and
+    /// stack arenas plus the union-edge arenas).
+    pub fn arena_bytes(&self) -> usize {
+        self.ldd.arena_bytes() + self.edges.heap_bytes()
     }
 }
 
@@ -112,36 +135,45 @@ where
     let n = g.n();
     let want_forest = forest_out.is_some();
     ldd_filtered_in(g, ldd_opts, filter, &mut scratch.ldd, want_forest);
-    scratch.uf.reset(n);
-    let cluster = &scratch.ldd.cluster;
-    let uf = &scratch.uf;
+    let CcScratch { ldd, uf, edges } = scratch;
+    uf.reset(n);
+    let cluster = &ldd.cluster;
+    let uf = &*uf;
 
     // Union the clusters over inter-cluster edges, remembering which edges
-    // performed a union — those join the spanning forest.
+    // performed a union — those join the spanning forest. Each worker
+    // records its union winners in its own arena (no allocation, no
+    // shared append inside the parallel region); the barrier concatenates
+    // the arenas in worker-id order.
     if let Some(forest) = forest_out {
-        let union_edges: Vec<(V, V)> = (0..n as V)
-            .into_par_iter()
-            .fold(Vec::new, |mut acc: Vec<(V, V)>, u| {
-                let cu = cluster[u as usize];
-                for &w in g.neighbors(u) {
-                    if u < w && filter(u, w) {
-                        let cw = cluster[w as usize];
-                        if cu != cw && uf.unite(cu, cw) {
-                            acc.push((u, w));
+        edges.reserve_each(n);
+        {
+            let arenas = &*edges;
+            let blocks = num_blocks(n, UNION_GRAIN);
+            par_for_grain(blocks, 1, |b| {
+                let lo = b * n / blocks;
+                let hi = (b + 1) * n / blocks;
+                arenas.with(|buf| {
+                    for u in lo as V..hi as V {
+                        let cu = cluster[u as usize];
+                        for &w in g.neighbors(u) {
+                            if u < w && filter(u, w) {
+                                let cw = cluster[w as usize];
+                                if cu != cw && uf.unite(cu, cw) {
+                                    buf.push((u, w));
+                                }
+                            }
                         }
                     }
-                }
-                acc
-            })
-            .reduce(Vec::new, |mut a, mut b| {
-                a.append(&mut b);
-                a
+                });
             });
+        }
         forest.clear();
-        forest.extend_from_slice(&scratch.ldd.tree_edges);
-        forest.extend_from_slice(&union_edges);
+        forest.extend_from_slice(&ldd.tree_edges);
+        edges.append_to(forest);
     } else {
-        (0..n as V).into_par_iter().for_each(|u| {
+        par_for_grain(n, UNION_GRAIN, |u| {
+            let u = u as V;
             let cu = cluster[u as usize];
             for &w in g.neighbors(u) {
                 if u < w && filter(u, w) {
@@ -159,7 +191,7 @@ where
     unsafe { reuse_uninit(labels_out, n) };
     {
         let view = UnsafeSlice::new(labels_out.as_mut_slice());
-        fastbcc_primitives::par::par_for(n, |v| {
+        par_for(n, |v| {
             // SAFETY: disjoint writes.
             unsafe { view.write(v, uf.find(cluster[v])) };
         });
@@ -177,10 +209,11 @@ pub fn uf_async_filtered<F>(g: &Graph, want_forest: bool, filter: &F) -> CcOutpu
 where
     F: Fn(V, V) -> bool + Sync,
 {
-    let mut uf = ConcurrentUnionFind::default();
+    let mut scratch = CcScratch::new();
     let mut labels = Vec::new();
     let mut forest = want_forest.then(Vec::new);
-    let num_components = uf_async_filtered_in(g, filter, &mut uf, &mut labels, forest.as_mut());
+    let num_components =
+        uf_async_filtered_in(g, filter, &mut scratch, &mut labels, forest.as_mut());
     CcOutput {
         labels,
         forest,
@@ -189,11 +222,12 @@ where
 }
 
 /// [`uf_async_filtered`] writing into caller-owned buffers (the engine's
-/// repeated-solve path). Returns the component count.
+/// repeated-solve path; only the union–find and the per-worker edge
+/// arenas of the scratch are touched). Returns the component count.
 pub fn uf_async_filtered_in<F>(
     g: &Graph,
     filter: &F,
-    uf: &mut ConcurrentUnionFind,
+    scratch: &mut CcScratch,
     labels_out: &mut Vec<u32>,
     forest_out: Option<&mut Vec<(V, V)>>,
 ) -> usize
@@ -201,27 +235,33 @@ where
     F: Fn(V, V) -> bool + Sync,
 {
     let n = g.n();
+    let CcScratch { uf, edges, .. } = scratch;
     uf.reset(n);
     let uf_ref = &*uf;
     if let Some(forest) = forest_out {
-        let forest_edges: Vec<(V, V)> = (0..n as V)
-            .into_par_iter()
-            .fold(Vec::new, |mut acc: Vec<(V, V)>, u| {
-                for &w in g.neighbors(u) {
-                    if u < w && filter(u, w) && uf_ref.unite(u, w) {
-                        acc.push((u, w));
+        edges.reserve_each(n);
+        {
+            let arenas = &*edges;
+            let blocks = num_blocks(n, UNION_GRAIN);
+            par_for_grain(blocks, 1, |b| {
+                let lo = b * n / blocks;
+                let hi = (b + 1) * n / blocks;
+                arenas.with(|buf| {
+                    for u in lo as V..hi as V {
+                        for &w in g.neighbors(u) {
+                            if u < w && filter(u, w) && uf_ref.unite(u, w) {
+                                buf.push((u, w));
+                            }
+                        }
                     }
-                }
-                acc
-            })
-            .reduce(Vec::new, |mut a, mut b| {
-                a.append(&mut b);
-                a
+                });
             });
+        }
         forest.clear();
-        forest.extend_from_slice(&forest_edges);
+        edges.append_to(forest);
     } else {
-        (0..n as V).into_par_iter().for_each(|u| {
+        par_for_grain(n, UNION_GRAIN, |u| {
+            let u = u as V;
             for &w in g.neighbors(u) {
                 if u < w && filter(u, w) {
                     uf_ref.unite(u, w);

@@ -24,12 +24,13 @@
 use fastbcc_graph::{Graph, NONE, V};
 use fastbcc_primitives::atomics::as_atomic_u32;
 use fastbcc_primitives::hashbag::HashBag;
-use fastbcc_primitives::pack::{pack_map, pack_map_into};
+use fastbcc_primitives::pack::pack_map_into;
+use fastbcc_primitives::par::{num_blocks, par_for, par_for_grain};
 use fastbcc_primitives::rng::{exponential, hash64_pair};
-use fastbcc_primitives::semisort::semisort_by_small_key;
+use fastbcc_primitives::semisort::semisort_by_small_key_into;
 use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
-use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+use fastbcc_primitives::worker_local::WorkerLocal;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Options controlling the decomposition.
 #[derive(Clone, Copy, Debug)]
@@ -64,9 +65,17 @@ pub struct LddResult {
 }
 
 /// Reusable per-solve buffers for the decomposition: the `O(n)`
-/// cluster/parent arrays, the cluster-forest arc buffer, and the lazily
-/// created local-search hash bag. Sized on first use and reused verbatim
-/// by subsequent calls of any size.
+/// cluster/parent arrays, the cluster-forest arc buffer, the frontier and
+/// start-round grouping buffers, the per-worker expansion arenas, and the
+/// lazily created local-search hash bag. Sized on first use and reused
+/// verbatim by subsequent calls of any size.
+///
+/// Every buffer is reserved to a *deterministic* bound (a function of `n`
+/// and the options, never of the parallel schedule), so
+/// [`heap_bytes`](Self::heap_bytes) is identical across repeated solves of
+/// the same input even though which worker claims which vertex is
+/// timing-dependent — the property the engine's warm-solve
+/// `fresh_alloc_bytes == 0` guarantee rests on.
 #[derive(Default)]
 pub struct LddScratch {
     /// Cluster id per vertex (output; valid after a `ldd_filtered_in` call).
@@ -81,43 +90,82 @@ pub struct LddScratch {
     /// when the vertex count changes.
     ids: Vec<V>,
     bag: Option<HashBag>,
+    /// Current frontier, double-buffered against the `next` arenas.
+    frontier: Vec<V>,
+    /// Surviving (not already swallowed) centers of the current round.
+    centers: Vec<V>,
+    /// Vertices grouped by start round, with group offsets (the pooled
+    /// output of the start-round semisort).
+    by_round: Vec<V>,
+    round_offsets: Vec<usize>,
+    /// Per-worker next-frontier arenas: each worker appends the vertices
+    /// it claims to its own arena; the round barrier concatenates the
+    /// arenas in worker-id order.
+    next: WorkerLocal<Vec<V>>,
+    /// Per-worker DFS stacks for the multi-hop local search.
+    stacks: WorkerLocal<Vec<V>>,
 }
+
+/// Upper bound on a local-search DFS stack: the seed vertex plus at most
+/// [`LOCAL_SEARCH_BUDGET`] claimed-and-pushed vertices.
+const LOCAL_SEARCH_STACK: usize = 1 + LOCAL_SEARCH_BUDGET;
 
 impl LddScratch {
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Pre-reserve the per-vertex buffers for `n` vertices.
+    /// Pre-reserve the per-vertex buffers (worker arenas included) for `n`
+    /// vertices.
     pub fn reserve(&mut self, n: usize) {
         self.cluster.reserve(n);
         self.parent.reserve(n);
         self.tree_edges.reserve(n);
         self.start_round.reserve(n);
         self.ids.reserve(n);
+        self.frontier.reserve(n);
+        self.centers.reserve(n);
+        self.by_round.reserve(n);
+        self.next.reserve_each(n);
+        self.stacks.reserve_each(LOCAL_SEARCH_STACK);
     }
 
     /// Heap bytes currently reserved by the scratch buffers (capacity, not
-    /// length) — the engine's fresh-allocation accounting reads this.
+    /// length), the per-worker arenas included — the engine's
+    /// fresh-allocation accounting reads this.
     pub fn heap_bytes(&self) -> usize {
         4 * (self.cluster.capacity()
             + self.parent.capacity()
             + self.start_round.capacity()
-            + self.ids.capacity())
+            + self.ids.capacity()
+            + self.frontier.capacity()
+            + self.centers.capacity()
+            + self.by_round.capacity())
+            + 8 * self.round_offsets.capacity()
             + std::mem::size_of::<(V, V)>() * self.tree_edges.capacity()
             + self.bag.as_ref().map_or(0, HashBag::bytes)
+            + self.arena_bytes()
+    }
+
+    /// Heap bytes held by the per-worker arenas alone (one next-frontier
+    /// buffer and one local-search stack per possible worker identity).
+    pub fn arena_bytes(&self) -> usize {
+        self.next.heap_bytes() + self.stacks.heap_bytes()
     }
 }
 
 /// Frontier size below which local search kicks in. The optimization is a
 /// granularity control ("saturate all threads with sufficient work", §5),
 /// so the threshold scales with the worker count: large frontiers already
-/// saturate the machine and go through the low-overhead fold path.
+/// saturate the machine and go through the per-worker-arena hop path.
 fn local_search_threshold() -> usize {
     (256 * fastbcc_primitives::par::num_threads()).max(512)
 }
 /// Max vertices a single frontier vertex may claim in one local search.
 const LOCAL_SEARCH_BUDGET: usize = 64;
+/// Frontier vertices per expansion block: small enough that high-degree
+/// stragglers rebalance, large enough to amortize the block claim.
+const FRONTIER_GRAIN: usize = 64;
 
 /// Compute the decomposition of `g`.
 pub fn ldd(g: &Graph, opts: LddOpts) -> LddResult {
@@ -181,34 +229,81 @@ where
             unsafe { view.write(v, (e as usize).min(cap) as u32) };
         });
     }
-    let start_round = &scratch.start_round;
     // Group vertices by start round for O(1) center injection per round.
     // The identity array only needs rebuilding when `n` changes.
     if scratch.ids.len() != n {
         // SAFETY: fully written below.
         unsafe { reuse_uninit(&mut scratch.ids, n) };
         let view = UnsafeSlice::new(scratch.ids.as_mut_slice());
-        fastbcc_primitives::par::par_for(n, |v| {
+        par_for(n, |v| {
             // SAFETY: disjoint writes.
             unsafe { view.write(v, v as V) };
         });
     }
-    let (by_round, round_offsets) =
-        semisort_by_small_key(&scratch.ids, cap + 1, |&v| start_round[v as usize] as usize);
+    {
+        let LddScratch {
+            ids,
+            start_round,
+            by_round,
+            round_offsets,
+            ..
+        } = &mut *scratch;
+        semisort_by_small_key_into(
+            ids,
+            cap + 1,
+            |&v| start_round[v as usize] as usize,
+            by_round,
+            round_offsets,
+        );
+    }
 
-    let cluster: &[AtomicU32] = as_atomic_u32(&mut scratch.cluster);
-    let parent: &[AtomicU32] = as_atomic_u32(&mut scratch.parent);
+    // Pre-size the frontier machinery to its deterministic envelope: a
+    // vertex enters the frontier at most once ever (entering requires
+    // winning its claim), so every buffer is bounded by `n` — and by the
+    // (deterministic) largest start-round group for the center pack. The
+    // per-worker arenas get the full `n` bound each: *which* worker claims
+    // how much is scheduling-dependent, and a capacity that never moves is
+    // what keeps `heap_bytes()` reproducible and warm solves
+    // allocation-free.
+    reserve_to(&mut scratch.frontier, n);
+    let max_group = scratch
+        .round_offsets
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .max()
+        .unwrap_or(0);
+    reserve_to(&mut scratch.centers, max_group);
+    scratch.next.reserve_each(n);
+    scratch.stacks.reserve_each(LOCAL_SEARCH_STACK);
+    if collect_tree_edges {
+        reserve_to(&mut scratch.tree_edges, n);
+    }
+
+    let LddScratch {
+        cluster,
+        parent,
+        tree_edges,
+        bag: bag_slot,
+        frontier,
+        centers,
+        by_round,
+        round_offsets,
+        next,
+        stacks,
+        ..
+    } = &mut *scratch;
+    let cluster: &[AtomicU32] = as_atomic_u32(cluster);
+    let parent_a: &[AtomicU32] = as_atomic_u32(parent);
     // Coverage is tallied once per round at the (sequential) round barrier,
     // not with a shared per-claim atomic — one fetch_add per claimed vertex
     // would serialize the frontier expansion on the counter's cache line.
     let mut covered = 0usize;
 
-    let mut frontier: Vec<V> = Vec::new();
+    frontier.clear();
     // The bag lives in the scratch so repeat solves reuse its chunks; it is
     // allocated lazily on first use and sized for the boundary of a small
     // frontier only — when local search never engages (low diameter
     // graphs), its cost is zero.
-    let bag_slot = &mut scratch.bag;
     let bag_capacity = (local_search_threshold() * LOCAL_SEARCH_BUDGET).min(n.max(16));
     let mut rounds = 0usize;
     let mut r = 0usize;
@@ -219,17 +314,18 @@ where
         // suffice here.
         if r <= cap {
             let group = &by_round[round_offsets[r]..round_offsets[r + 1]];
-            let centers = pack_map(
+            pack_map_into(
                 group.len(),
                 |i| cluster[group[i] as usize].load(Ordering::Relaxed) == NONE,
                 |i| group[i],
+                centers,
             );
-            fastbcc_primitives::par::par_for(centers.len(), |i| {
+            par_for(centers.len(), |i| {
                 let v = centers[i];
                 cluster[v as usize].store(v, Ordering::Relaxed);
             });
             covered += centers.len();
-            frontier.extend_from_slice(&centers);
+            frontier.extend_from_slice(centers);
         }
         r += 1;
 
@@ -239,7 +335,7 @@ where
         }
         rounds += 1;
 
-        // Expand. Large frontiers go through the low-overhead fold path
+        // Expand. Large frontiers go through the per-worker-arena path
         // (one hop); small frontiers — where per-round scheduling overhead
         // dominates — use multi-hop local search with the hash bag
         // collecting the new boundary. The `rounds > 32` gate restricts the
@@ -252,62 +348,98 @@ where
             // capacity this call computed; `HashBag` cannot grow after
             // construction (insert panics when every chunk is exhausted), so
             // rebuild it whenever it no longer fits. The bag is empty
-            // between rounds (`extract_all` drains it), so replacement never
-            // loses entries.
+            // between rounds (`extract_all_into` drains it), so replacement
+            // never loses entries.
             let too_small = !matches!(&*bag_slot, Some(b) if b.fits(bag_capacity));
             if too_small {
                 *bag_slot = Some(HashBag::with_capacity(bag_capacity));
             }
             let bag = bag_slot.as_mut().expect("bag ensured above");
-            let bag_ref = &*bag;
-            let claims: usize = frontier
-                .par_iter()
-                .map(|&u| expand_local(g, u, cluster, parent, bag_ref, filter))
-                .sum();
-            covered += claims;
-            frontier = bag.extract_all();
-        } else {
-            frontier = frontier
-                .par_iter()
-                .fold(Vec::new, |mut acc: Vec<V>, &u| {
-                    let cu = cluster[u as usize].load(Ordering::Relaxed);
-                    for &w in g.neighbors(u) {
-                        if filter(u, w)
-                            && cluster[w as usize].load(Ordering::Relaxed) == NONE
-                            && cluster[w as usize]
-                                .compare_exchange(NONE, cu, Ordering::Relaxed, Ordering::Relaxed)
-                                .is_ok()
-                        {
-                            parent[w as usize].store(u, Ordering::Relaxed);
-                            acc.push(w);
-                        }
-                    }
-                    acc
-                })
-                .reduce(Vec::new, |mut a, mut b| {
-                    a.append(&mut b);
-                    a
+            {
+                let bag_ref = &*bag;
+                let fr: &[V] = frontier;
+                let stacks_ref = &*stacks;
+                // One piece per seed: a local search runs a whole bounded
+                // DFS, so per-index scheduling is already coarse enough.
+                // Claims are tallied per *search* (not per claim), and the
+                // DFS stack comes from the worker's arena.
+                let claimed = &AtomicUsize::new(0);
+                par_for_grain(fr.len(), 1, |i| {
+                    let c = stacks_ref.with(|stack| {
+                        expand_local(g, fr[i], cluster, parent_a, bag_ref, filter, stack)
+                    });
+                    claimed.fetch_add(c, Ordering::Relaxed);
                 });
+                covered += claimed.load(Ordering::Relaxed);
+            }
+            bag.extract_all_into(frontier);
+        } else {
+            // Per-worker frontier generation: each worker claims vertices
+            // by CAS and appends them to its own arena — no allocation and
+            // no shared append inside the parallel region. The round
+            // barrier then concatenates the arenas in worker-id order.
+            {
+                let fr: &[V] = frontier;
+                let arenas = &*next;
+                let blocks = num_blocks(fr.len(), FRONTIER_GRAIN);
+                par_for_grain(blocks, 1, |b| {
+                    let lo = b * fr.len() / blocks;
+                    let hi = (b + 1) * fr.len() / blocks;
+                    arenas.with(|buf| {
+                        for &u in &fr[lo..hi] {
+                            let cu = cluster[u as usize].load(Ordering::Relaxed);
+                            for &w in g.neighbors(u) {
+                                if filter(u, w)
+                                    && cluster[w as usize].load(Ordering::Relaxed) == NONE
+                                    && cluster[w as usize]
+                                        .compare_exchange(
+                                            NONE,
+                                            cu,
+                                            Ordering::Relaxed,
+                                            Ordering::Relaxed,
+                                        )
+                                        .is_ok()
+                                {
+                                    parent_a[w as usize].store(u, Ordering::Relaxed);
+                                    buf.push(w);
+                                }
+                            }
+                        }
+                    });
+                });
+            }
+            frontier.clear();
+            next.append_to(frontier);
             covered += frontier.len();
         }
     }
 
     // Quiescent now: read the plain arrays back from the scratch.
     if collect_tree_edges {
-        let parent_now = &scratch.parent;
+        let parent_now: &[u32] = parent;
         pack_map_into(
             n,
             |v| parent_now[v] != NONE,
             |v| (parent_now[v], v as V),
-            &mut scratch.tree_edges,
+            tree_edges,
         );
     }
     rounds
 }
 
+/// Grow `v`'s capacity to at least `cap` (exactly, so repeated solves see
+/// a reproducible `heap_bytes`).
+fn reserve_to<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() < cap {
+        v.reserve_exact(cap - v.len());
+    }
+}
+
 /// Bounded multi-hop local search from `u`: claims up to
 /// [`LOCAL_SEARCH_BUDGET`] vertices for `u`'s cluster, pushing the
-/// unexplored boundary into `bag`.
+/// unexplored boundary into `bag`. The DFS `stack` is the calling
+/// worker's arena-owned buffer (entered empty, left empty), so repeated
+/// searches never touch the allocator.
 fn expand_local<F: Fn(V, V) -> bool + Sync>(
     g: &Graph,
     u: V,
@@ -315,9 +447,11 @@ fn expand_local<F: Fn(V, V) -> bool + Sync>(
     parent: &[AtomicU32],
     bag: &HashBag,
     filter: &F,
+    stack: &mut Vec<V>,
 ) -> usize {
     let cu = cluster[u as usize].load(Ordering::Relaxed);
-    let mut stack: Vec<V> = vec![u];
+    debug_assert!(stack.is_empty());
+    stack.push(u);
     let mut budget = LOCAL_SEARCH_BUDGET;
     let mut claims = 0;
     while let Some(x) = stack.pop() {

@@ -1,0 +1,113 @@
+//! Property tests for schedule independence with the per-worker
+//! (`WorkerLocal`) frontier arenas in play: LDD, BFS, and CC must produce
+//! the same answers under worker budgets of 1, 2, and 8, and the
+//! single-thread configuration must be bit-for-bit reproducible.
+//!
+//! What "the same" means per algorithm: BFS levels, component roots, and
+//! round counts are schedule-independent facts of the graph, so they must
+//! match *exactly*; CC labels pick racy representatives, so the induced
+//! partition is compared in first-occurrence normal form; LDD cluster
+//! ownership is decided by CAS races by design, so every budget must
+//! yield a *valid* decomposition (full coverage, self-owned centers, one
+//! tree arc per non-center, clusters within components).
+
+use fastbcc_connectivity::bfs::bfs_forest;
+use fastbcc_connectivity::cc::{ldd_uf_jtb, CcOpts};
+use fastbcc_connectivity::ldd::{ldd, LddOpts};
+use fastbcc_graph::builder::from_edges;
+use fastbcc_graph::stats::cc_labels_seq;
+use fastbcc_graph::{Graph, NONE, V};
+use fastbcc_primitives::with_threads;
+use proptest::prelude::*;
+
+const BUDGETS: [usize; 3] = [1, 2, 8];
+
+fn arb_graph(nmax: usize, mmax: usize) -> impl Strategy<Value = Graph> {
+    (1..nmax).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as V, 0..n as V), 0..mmax)
+            .prop_map(move |edges| from_edges(n, &edges))
+    })
+}
+
+/// Rename labels by first occurrence so racy representative choices
+/// cancel out; two labelings normalize equal iff they induce the same
+/// partition.
+fn normalize(labels: &[u32]) -> Vec<u32> {
+    let mut rename = std::collections::HashMap::new();
+    labels
+        .iter()
+        .map(|&l| {
+            let next = rename.len() as u32;
+            *rename.entry(l).or_insert(next)
+        })
+        .collect()
+}
+
+fn check_ldd_valid(g: &Graph, cluster: &[u32], tree_edges: &[(V, V)]) {
+    let n = g.n();
+    assert!(cluster.iter().all(|&c| c != NONE), "vertex left uncovered");
+    for v in 0..n {
+        let c = cluster[v];
+        assert_eq!(cluster[c as usize], c, "center of {v} not self-owned");
+    }
+    for &(p, c) in tree_edges {
+        assert!(g.has_edge(p, c));
+        assert_eq!(cluster[p as usize], cluster[c as usize]);
+    }
+    let centers = (0..n).filter(|&v| cluster[v] == v as u32).count();
+    assert_eq!(tree_edges.len(), n - centers);
+    let cc = cc_labels_seq(g);
+    for v in 0..n {
+        assert_eq!(cc[v], cc[cluster[v] as usize], "cluster spans components");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn cc_partition_identical_across_thread_budgets(g in arb_graph(64, 200)) {
+        let runs: Vec<(Vec<u32>, usize)> = BUDGETS
+            .iter()
+            .map(|&k| {
+                with_threads(k, || {
+                    let out = ldd_uf_jtb(&g, CcOpts { want_forest: true, ..Default::default() });
+                    let forest = out.forest.as_ref().unwrap();
+                    prop_assert_eq!(forest.len(), g.n() - out.num_components);
+                    Ok((normalize(&out.labels), out.num_components))
+                })
+            })
+            .collect::<Result<_, TestCaseError>>()?;
+        for (k, run) in BUDGETS.iter().zip(&runs) {
+            prop_assert_eq!(run, &runs[0], "CC diverged at {} threads", k);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_roots_and_rounds_are_schedule_independent(g in arb_graph(64, 200)) {
+        let runs: Vec<_> = BUDGETS
+            .iter()
+            .map(|&k| with_threads(k, || {
+                let f = bfs_forest(&g);
+                (f.level, f.root, f.roots, f.rounds)
+            }))
+            .collect();
+        for (k, run) in BUDGETS.iter().zip(&runs) {
+            prop_assert_eq!(run, &runs[0], "BFS diverged at {} threads", k);
+        }
+    }
+
+    #[test]
+    fn ldd_is_valid_at_every_budget_and_reproducible_at_one(g in arb_graph(64, 200)) {
+        for &k in &BUDGETS {
+            let res = with_threads(k, || ldd(&g, LddOpts::default()));
+            check_ldd_valid(&g, &res.cluster, &res.tree_edges);
+        }
+        // One worker runs fully inline: bit-identical across repeats.
+        let a = with_threads(1, || ldd(&g, LddOpts::default()));
+        let b = with_threads(1, || ldd(&g, LddOpts::default()));
+        prop_assert_eq!(a.cluster, b.cluster);
+        prop_assert_eq!(a.tree_edges, b.tree_edges);
+        prop_assert_eq!(a.rounds, b.rounds);
+    }
+}

@@ -95,6 +95,12 @@ pub struct BccResult {
     /// [`crate::engine::BccEngine::solve`] on a same-shaped input reports 0
     /// here (all major arrays served from the pooled [`crate::engine::Workspace`]).
     pub fresh_alloc_bytes: usize,
+    /// Bytes held by the per-worker scratch arenas
+    /// (`fastbcc_primitives::WorkerLocal`: LDD frontier buffers,
+    /// local-search stacks, union-edge staging). Grows with the worker
+    /// ceiling, not the schedule — `O(n)` per possible worker — and is
+    /// included in [`aux_peak_bytes`](Self::aux_peak_bytes).
+    pub arena_bytes: usize,
 }
 
 impl BccResult {

@@ -25,13 +25,19 @@
 //!
 //! Transient allocations remain by design, and `fresh()` deliberately
 //! does **not** count them: the tagging sparse tables (freed before
-//! Last-CC, exactly as the one-shot flow accounts them), the LDD's
-//! semisort grouping arrays and per-round frontier vectors, the
-//! forest-adjacency atomic cursor array, and per-thread fold buffers
-//! inside the parallel runtime. These are short-lived `O(n)` churn within
-//! a solve — candidates for future pooling — whereas `fresh()` answers
-//! the narrower question the acceptance criterion poses: did any *pooled*
-//! buffer (the major arrays listed above) have to grow this solve.
+//! Last-CC, exactly as the one-shot flow accounts them), the
+//! forest-adjacency atomic cursor array, the counting-sort
+//! histogram/cursor tables and pack offset vectors inside the
+//! primitives, and the radix-sort ping-pong passes on huge key spaces.
+//! These are short-lived churn within a solve — candidates for future
+//! pooling — whereas `fresh()` answers the narrower question the
+//! acceptance criterion poses: did any *pooled* buffer (the major arrays
+//! listed above) have to grow this solve. The LDD's frontier machinery
+//! (per-round frontier, start-round grouping, per-worker
+//! `WorkerLocal` arenas) *is* pooled as of the per-worker-scratch
+//! refactor: those buffers live in the scratches, are reserved to
+//! deterministic bounds, and are counted by `heap_bytes()` — which is
+//! why `fresh() == 0` holds on warm solves at any thread budget.
 
 use crate::algo::{assign_heads_in, BccOpts, BccResult, Breakdown, CcScheme};
 use crate::space::SpaceTracker;
@@ -82,8 +88,7 @@ impl Workspace {
     /// `O(√n)` list-ranking sample tables size themselves on first use.
     pub fn with_capacity(n: usize, _m: usize) -> Self {
         let mut ws = Self::new();
-        ws.cc.ldd.reserve(n);
-        ws.cc.uf.reset(n);
+        ws.cc.reserve(n);
         ws.first_labels.reserve(n);
         ws.forest.reserve(n);
         ws.tree_offsets.reserve(n + 1);
@@ -153,6 +158,7 @@ fn empty_result() -> BccResult {
         breakdown: Breakdown::default(),
         aux_peak_bytes: 0,
         fresh_alloc_bytes: 0,
+        arena_bytes: 0,
     }
 }
 
@@ -230,6 +236,7 @@ impl BccEngine {
             res.breakdown = Breakdown::default();
             res.aux_peak_bytes = 0;
             res.fresh_alloc_bytes = 0;
+            res.arena_bytes = ws.cc.arena_bytes();
             return &self.result;
         }
 
@@ -254,15 +261,17 @@ impl BccEngine {
             CcScheme::UfAsync => uf_async_filtered_in(
                 g,
                 &all_edges,
-                &mut ws.cc.uf,
+                &mut ws.cc,
                 &mut ws.first_labels,
                 Some(&mut ws.forest),
             ),
         };
         let first_cc = t0.elapsed();
         debug_assert_eq!(ws.forest.len(), n - num_cc);
-        // LDD cluster/parent arrays + UF + labels + forest edges.
-        ws.space.alloc(4 * n * 3 + 4 * n + 8 * ws.forest.len());
+        // LDD cluster/parent arrays + UF + labels + forest edges, plus the
+        // per-worker arenas the connectivity phases stage claims in.
+        ws.space
+            .alloc(4 * n * 3 + 4 * n + 8 * ws.forest.len() + ws.cc.arena_bytes());
 
         // ---- Step 2: Rooting (ETT) --------------------------------------
         let t1 = Instant::now();
@@ -309,7 +318,7 @@ impl BccEngine {
                 None,
             ),
             CcScheme::UfAsync => {
-                uf_async_filtered_in(g, &skeleton_filter, &mut ws.cc.uf, &mut res.labels, None)
+                uf_async_filtered_in(g, &skeleton_filter, &mut ws.cc, &mut res.labels, None)
             }
         };
         ws.space.alloc(4 * n * 3);
@@ -331,6 +340,7 @@ impl BccEngine {
         };
         res.aux_peak_bytes = ws.space.peak();
         res.fresh_alloc_bytes = ws.space.fresh();
+        res.arena_bytes = ws.cc.arena_bytes();
         &self.result
     }
 }

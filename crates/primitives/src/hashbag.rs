@@ -14,7 +14,7 @@
 //! the total capacity adapts to the actual frontier size without
 //! preallocating `O(n)` per round.
 
-use crate::pack::pack_map;
+use crate::pack::pack_map_extend;
 use crate::rng::hash64;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
@@ -141,19 +141,29 @@ impl HashBag {
     /// Drain all contents into a dense vector and clear the bag.
     /// Parallel `O(slots scanned)` work.
     pub fn extract_all(&mut self) -> Vec<u32> {
-        let used_chunks = (self.active.load(Ordering::Relaxed) + 1).min(self.chunks.len());
         let mut out = Vec::new();
+        self.extract_all_into(&mut out);
+        out
+    }
+
+    /// [`HashBag::extract_all`] into a caller-owned buffer: `out` is
+    /// cleared, then each used chunk is parallel-packed directly onto its
+    /// end — no per-chunk staging vector. Repeated drains into a pooled
+    /// buffer (the LDD's per-round frontier) touch the allocator only
+    /// when the buffer has never been this full before.
+    pub fn extract_all_into(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        let used_chunks = (self.active.load(Ordering::Relaxed) + 1).min(self.chunks.len());
         for ci in 0..used_chunks {
             let chunk = &self.chunks[ci];
-            let part = pack_map(
+            pack_map_extend(
                 chunk.len(),
                 |i| chunk[i].load(Ordering::Relaxed) != EMPTY,
                 |i| chunk[i].load(Ordering::Relaxed),
+                out,
             );
-            out.extend_from_slice(&part);
         }
         self.reset();
-        out
     }
 
     /// Clear the bag for reuse (parallel).
@@ -229,6 +239,23 @@ mod tests {
     fn empty_extract() {
         let mut bag = HashBag::with_capacity(100);
         assert!(bag.extract_all().is_empty());
+    }
+
+    #[test]
+    fn extract_into_reuses_the_buffer() {
+        let mut bag = HashBag::with_capacity(4000);
+        let mut out = Vec::new();
+        for round in 0..4u32 {
+            par_for(2000, |i| bag.insert(i as u32));
+            bag.extract_all_into(&mut out);
+            out.sort_unstable();
+            assert_eq!(out, (0..2000u32).collect::<Vec<_>>(), "round {round}");
+            assert!(bag.is_empty());
+        }
+        let cap = out.capacity();
+        par_for(2000, |i| bag.insert(i as u32));
+        bag.extract_all_into(&mut out);
+        assert_eq!(out.capacity(), cap, "warm drain must not reallocate");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`semisort`] | group-equal-keys | `O(n)` expected | `O(log n)` |
 //! | [`rmq`] | sparse table build | `O(n log n)` | `O(log n)` |
 //! | [`hashbag`] | concurrent bag insert | `O(1)` amortized | — |
+//! | [`worker_local`] | per-worker scratch arenas | `O(1)` access | — |
 //!
 //! Spans are quoted under the usual assumption of unit-cost atomics
 //! (compare-and-swap), as in Section 2 of the paper.
@@ -39,6 +40,8 @@ pub mod scan;
 pub mod semisort;
 pub mod slice;
 pub mod sort;
+pub mod worker_local;
 
-pub use par::{num_threads, pool_spawns, with_threads, worker_index};
+pub use par::{max_workers, num_threads, pool_spawns, with_threads, worker_index};
 pub use slice::UnsafeSlice;
+pub use worker_local::WorkerLocal;

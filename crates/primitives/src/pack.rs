@@ -90,6 +90,43 @@ where
     });
 }
 
+/// [`pack_map`] *appending* the survivors to `out` (existing contents are
+/// kept). Lets callers compact several sources into one buffer — the
+/// hash-bag drain packs each chunk in turn — without a staging vector per
+/// source.
+pub fn pack_map_extend<T, K, F>(n: usize, keep: K, f: F, out: &mut Vec<T>)
+where
+    T: Copy + Send + Sync,
+    K: Fn(usize) -> bool + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    let bounds = block_bounds(n, blocks);
+    let mut offsets: Vec<usize> = bounds
+        .par_windows(2)
+        .map(|w| (w[0]..w[1]).filter(|&i| keep(i)).count())
+        .collect();
+    let total = prefix_sums(&mut offsets);
+    let base = out.len();
+    // SAFETY: every appended slot in base..base+total is written exactly
+    // once by the scatter below.
+    unsafe { crate::slice::extend_uninit(out, total) };
+    let view = UnsafeSlice::new(&mut out[base..]);
+    bounds.par_windows(2).enumerate().for_each(|(b, w)| {
+        let mut pos = offsets[b];
+        for i in w[0]..w[1] {
+            if keep(i) {
+                // SAFETY: disjoint slots by the scan (see pack_map).
+                unsafe { view.write(pos, f(i)) };
+                pos += 1;
+            }
+        }
+    });
+}
+
 /// Indices in `0..n` satisfying `keep`, in increasing order.
 pub fn pack_index<K: Fn(usize) -> bool + Sync>(n: usize, keep: K) -> Vec<u32> {
     debug_assert!(n <= u32::MAX as usize);
@@ -153,6 +190,18 @@ mod tests {
         assert!(all.iter().enumerate().all(|(i, &x)| x == i as u32));
         let none = pack_index(1000, |_| false);
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn pack_map_extend_appends_in_order() {
+        let mut out: Vec<u32> = vec![999];
+        pack_map_extend(10_000, |i| i % 3 == 0, |i| i as u32, &mut out);
+        pack_map_extend(0, |_| true, |i| i as u32, &mut out);
+        pack_map_extend(100, |i| i >= 98, |i| i as u32, &mut out);
+        let mut want = vec![999u32];
+        want.extend((0..10_000u32).filter(|i| i % 3 == 0));
+        want.extend([98, 99]);
+        assert_eq!(out, want);
     }
 
     #[test]

@@ -40,10 +40,22 @@ pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
 }
 
 /// Stable index of the current pool worker (`0..`), or `None` on threads
-/// outside the pool — the key for future per-worker scratch arrays.
+/// outside the pool — the key for per-worker scratch arrays
+/// ([`crate::worker_local::WorkerLocal`]).
 #[inline]
 pub fn worker_index() -> Option<usize> {
     rayon::current_thread_index()
+}
+
+/// Hard ceiling on pool worker identities: every [`worker_index`] the
+/// runtime will ever report is `< max_workers()`, for the lifetime of the
+/// process (the pool clamps spawning at the hardware parallelism or the
+/// `FASTBCC_THREADS` budget, whichever is larger). Per-worker scratch
+/// arrays are sized off this constant — one slot per possible worker plus
+/// one for non-pool (submitter) threads.
+#[inline]
+pub fn max_workers() -> usize {
+    rayon::pool_max_workers()
 }
 
 /// Total pool worker OS threads spawned so far (monotone). A warm

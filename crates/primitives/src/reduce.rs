@@ -2,7 +2,7 @@
 //!
 //! Implemented by blocked divide-and-conquer over `rayon::join` so the
 //! recursion tree is the balanced binary tree the work–span analysis
-//! assumes, with leaves coarsened to [`par::DEFAULT_GRAIN`].
+//! assumes, with leaves coarsened to [`par::DEFAULT_GRAIN`](crate::par::DEFAULT_GRAIN).
 
 use crate::par::DEFAULT_GRAIN;
 

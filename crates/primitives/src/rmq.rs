@@ -3,7 +3,7 @@
 //! FAST-BCC's *Tagging* step (paper §4.1, §5 "Computing Tags") computes
 //! `low[v]`/`high[v]` as a range-min/-max of the `w1`/`w2` arrays over the
 //! Euler-tour interval `[first[v], last[v]]`. A sparse table gives `O(1)`
-//! queries after an `O(n log n)`-work, `O(log n)`-span build [BFGS20]:
+//! queries after an `O(n log n)`-work, `O(log n)`-span build \[BFGS20\]:
 //! level `k` stores the reduction of every length-`2^k` window, and level
 //! `k+1` is computed from level `k` with one parallel pass.
 

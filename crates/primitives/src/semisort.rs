@@ -1,4 +1,4 @@
-//! Parallel semisort [GSSB15]: group equal keys contiguously.
+//! Parallel semisort \[GSSB15\]: group equal keys contiguously.
 //!
 //! A semisort does **not** promise a total order — only that equal keys end
 //! up adjacent. The Euler tour construction (paper §5, "we replicate each
@@ -15,7 +15,7 @@
 //!   size) hash-collision runs with local sorts. Expected `O(n)` work.
 
 use crate::rng::hash64;
-use crate::sort::{counting_sort_by, offsets_from_sorted, radix_sort_by};
+use crate::sort::{counting_sort_by, counting_sort_by_into, offsets_from_sorted, radix_sort_by};
 
 /// Bound on direct counting sort: a single pass pays `O(K·B)` for its
 /// per-block histograms, so it only wins while the bucket count stays
@@ -43,6 +43,33 @@ where
     let sorted = radix_sort_by(items, num_keys.saturating_sub(1) as u64, |t| key(t) as u64);
     let offsets = offsets_from_sorted(&sorted, num_keys, &key);
     (sorted, offsets)
+}
+
+/// [`semisort_by_small_key`] writing the grouped items and the group
+/// offsets into caller-owned buffers, reusing their capacity.
+///
+/// The `O(n)` grouped output and the `O(K)` offsets — the buffers whose
+/// capacity warm callers pool — are served from the caller's vectors, so
+/// the LDD's per-solve start-round bucketing no longer churns them. The
+/// sort's internal `O(K·B)` histogram/cursor tables (and, on the
+/// huge-key radix fallback, the ping-pong passes) remain per-call
+/// transients.
+pub fn semisort_by_small_key_into<T, F>(
+    items: &[T],
+    num_keys: usize,
+    key: F,
+    out: &mut Vec<T>,
+    offsets_out: &mut Vec<usize>,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
+    if use_direct_counting(num_keys, items.len()) {
+        counting_sort_by_into(items, num_keys, &key, out, offsets_out);
+        return;
+    }
+    *out = radix_sort_by(items, num_keys.saturating_sub(1) as u64, |t| key(t) as u64);
+    *offsets_out = offsets_from_sorted(out, num_keys, &key);
 }
 
 /// Semisort by an arbitrary `u64` key. Equal keys become contiguous;
@@ -122,6 +149,26 @@ mod tests {
                     assert!(w[0].1 < w[1].1);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn into_variant_matches_owned_and_reuses_capacity() {
+        let mut r = Rng::new(5);
+        let mut out: Vec<(u32, u32)> = Vec::new();
+        let mut offs: Vec<usize> = Vec::new();
+        // Cover both the direct-counting and radix paths.
+        for &k in &[64usize, 300_000] {
+            let n = 20_000;
+            let items: Vec<(u32, u32)> = (0..n).map(|i| (r.index(k) as u32, i as u32)).collect();
+            let (want, want_offs) = semisort_by_small_key(&items, k, |&(a, _)| a as usize);
+            semisort_by_small_key_into(&items, k, |&(a, _)| a as usize, &mut out, &mut offs);
+            assert_eq!(out, want);
+            assert_eq!(offs, want_offs);
+            // A second identical call must be served from capacity.
+            let (cap_o, cap_f) = (out.capacity(), offs.capacity());
+            semisort_by_small_key_into(&items, k, |&(a, _)| a as usize, &mut out, &mut offs);
+            assert_eq!((out.capacity(), offs.capacity()), (cap_o, cap_f));
         }
     }
 

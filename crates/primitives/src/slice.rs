@@ -131,6 +131,21 @@ pub unsafe fn reuse_uninit<T: Copy>(v: &mut Vec<T>, n: usize) {
     v.set_len(n);
 }
 
+/// Grow `v` by `extra` uninitialized slots (existing contents untouched),
+/// for *append*-scatter targets ([`crate::pack::pack_map_extend`]).
+///
+/// # Safety
+/// Same contract as [`uninit_vec`], applied to the appended tail: every
+/// new index must be written before it is read. `T: Copy` keeps
+/// stale/uninitialized contents drop-free.
+#[allow(clippy::uninit_vec)] // deliberate: Copy-only scatter targets, see contract above
+pub unsafe fn extend_uninit<T: Copy>(v: &mut Vec<T>, extra: usize) {
+    v.reserve(extra);
+    // SAFETY: capacity reserved above; contents are POD per the T: Copy
+    // bound and the caller's contract to overwrite before reading.
+    v.set_len(v.len() + extra);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

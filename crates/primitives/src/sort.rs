@@ -8,7 +8,8 @@
 
 use crate::par::{block_bounds, num_blocks, DEFAULT_GRAIN};
 use crate::scan::prefix_sums;
-use crate::slice::{uninit_vec, UnsafeSlice};
+use crate::slice::{reuse_uninit, UnsafeSlice};
+use crate::worker_local::WorkerLocal;
 use rayon::prelude::*;
 
 /// Upper bound on `K·B` so per-block histograms stay cache-friendly.
@@ -24,10 +25,32 @@ where
     T: Copy + Send + Sync,
     F: Fn(&T) -> usize + Sync,
 {
+    let mut out = Vec::new();
+    let mut offsets = Vec::new();
+    counting_sort_by_into(items, num_buckets, key, &mut out, &mut offsets);
+    (out, offsets)
+}
+
+/// [`counting_sort_by`] writing the sorted items and the bucket offsets
+/// into caller-owned buffers, reusing their capacity — the repeated-solve
+/// path behind [`crate::semisort::semisort_by_small_key_into`].
+pub fn counting_sort_by_into<T, F>(
+    items: &[T],
+    num_buckets: usize,
+    key: F,
+    out: &mut Vec<T>,
+    offsets_out: &mut Vec<usize>,
+) where
+    T: Copy + Send + Sync,
+    F: Fn(&T) -> usize + Sync,
+{
     let n = items.len();
     let k = num_buckets.max(1);
+    offsets_out.clear();
     if n == 0 {
-        return (Vec::new(), vec![0; k + 1]);
+        out.clear();
+        offsets_out.resize(k + 1, 0);
+        return;
     }
 
     // Bound histogram memory: shrink block count for huge bucket counts.
@@ -72,30 +95,37 @@ where
     debug_assert_eq!(total, n);
 
     // Bucket boundary offsets for the caller.
-    let mut offsets = Vec::with_capacity(k + 1);
+    offsets_out.reserve(k + 1);
     for j in 0..k {
-        offsets.push(cursors[j * blocks]);
+        offsets_out.push(cursors[j * blocks]);
     }
-    offsets.push(n);
+    offsets_out.push(n);
 
     // Scatter, stably: each block walks its range in order, bumping local
-    // copies of its cursors.
-    let mut out: Vec<T> = unsafe { uninit_vec(n) };
+    // copies of its cursors. The cursor copies live in per-worker arenas:
+    // a worker typically scatters many blocks, so reusing one `O(k)`
+    // buffer per *worker* replaces the old `O(k)` allocation per *block*
+    // inside the parallel region.
+    // SAFETY: every slot in 0..n is written exactly once by the scatter.
+    unsafe { reuse_uninit(out, n) };
     {
-        let oview = UnsafeSlice::new(&mut out);
+        let oview = UnsafeSlice::new(out.as_mut_slice());
         let cursors_ref = &cursors;
+        let local_cursors = WorkerLocal::<Vec<usize>>::default();
         bounds.par_windows(2).enumerate().for_each(|(b, w)| {
-            let mut local: Vec<usize> = (0..k).map(|j| cursors_ref[j * blocks + b]).collect();
-            for item in &items[w[0]..w[1]] {
-                let j = key(item);
-                // SAFETY: the scanned cursors give every (block, bucket)
-                // pair a disjoint output range.
-                unsafe { oview.write(local[j], *item) };
-                local[j] += 1;
-            }
+            local_cursors.with(|local| {
+                local.clear();
+                local.extend((0..k).map(|j| cursors_ref[j * blocks + b]));
+                for item in &items[w[0]..w[1]] {
+                    let j = key(item);
+                    // SAFETY: the scanned cursors give every (block,
+                    // bucket) pair a disjoint output range.
+                    unsafe { oview.write(local[j], *item) };
+                    local[j] += 1;
+                }
+            });
         });
     }
-    (out, offsets)
 }
 
 /// Stable LSD radix sort by a `u64` key.

@@ -1,0 +1,297 @@
+//! Per-worker scratch arenas keyed by the pool's stable worker identity.
+//!
+//! The frontier-style hot loops in this workspace (LDD expansion, BFS
+//! levels, union–find edge sampling, counting-sort scatter cursors) all
+//! share a shape: a parallel pass where every participating thread
+//! accumulates a private partial output, and the partials are merged at a
+//! (sequential) barrier. The classic implementations either allocate a
+//! fresh buffer per task inside the parallel region (churn the allocator
+//! on every round) or funnel everything through one shared structure
+//! (serialize on a cache line). ParlayLib solves this with *worker-local
+//! storage*; [`WorkerLocal`] is the same idea on top of the persistent
+//! pool's stable [`worker_index`]:
+//!
+//! * one cache-line-padded slot per possible worker identity, plus one
+//!   slot for non-pool (submitting) threads — sized once from
+//!   [`max_workers`], which the pool guarantees
+//!   is a lifetime bound on every index it will ever hand out, however
+//!   deeply parallel operations nest;
+//! * [`WorkerLocal::with`] hands the calling thread exclusive `&mut`
+//!   access to *its* slot (a non-atomic structure — the per-slot guard
+//!   flag exists only to turn accidental aliasing into a panic instead of
+//!   UB);
+//! * merge APIs ([`iter_mut`](WorkerLocal::iter_mut),
+//!   [`fold`](WorkerLocal::fold), [`append_to`](WorkerLocal::append_to))
+//!   take `&mut self` at quiescence and visit slots in worker-id order,
+//!   so merging per-worker partials is deterministic given deterministic
+//!   slot contents;
+//! * [`heap_bytes_by`](WorkerLocal::heap_bytes_by) reports held capacity
+//!   so scratch owners (`LddScratch`, `CcScratch`) keep the engine's
+//!   fresh-allocation accounting honest.
+//!
+//! A single solve's arenas stay warm across rounds and across solves: the
+//! owning scratch clears slot *lengths*, never capacities.
+
+use crate::par::{max_workers, worker_index};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// One worker's slot, padded to its own cache lines so two workers
+/// appending to adjacent slots never false-share.
+#[repr(align(128))]
+struct Slot<T> {
+    /// Misuse guard, not a lock: set while a thread is inside `with` so a
+    /// second (aliasing) entry panics instead of handing out two `&mut`.
+    busy: AtomicBool,
+    value: UnsafeCell<T>,
+}
+
+impl<T> Slot<T> {
+    fn new(value: T) -> Self {
+        Self {
+            busy: AtomicBool::new(false),
+            value: UnsafeCell::new(value),
+        }
+    }
+}
+
+/// A `T` per possible pool worker (plus one for non-pool threads).
+///
+/// Shareable across a parallel operation (`&self`); each participating
+/// thread mutates only its own slot through [`with`](Self::with), and the
+/// owner merges the partials afterwards through the `&mut self` APIs.
+///
+/// # Aliasing contract
+///
+/// A slot belongs to exactly one thread at a time: pool worker `i` owns
+/// slot `i + 1`, and the (single) submitting thread outside the pool owns
+/// slot `0`. The pool runs one job body per worker at a time, so this
+/// holds for any `WorkerLocal` used by one logical operation. Sharing one
+/// `WorkerLocal` between *multiple non-pool threads at once* would alias
+/// slot 0 — the guard flag turns that (and re-entrant `with` from nested
+/// code) into a panic.
+pub struct WorkerLocal<T> {
+    slots: Box<[Slot<T>]>,
+}
+
+// SAFETY: slots are only mutated through `with` (exclusive per thread by
+// the contract above, enforced by the guard flag) or through `&mut self`.
+unsafe impl<T: Send> Sync for WorkerLocal<T> {}
+unsafe impl<T: Send> Send for WorkerLocal<T> {}
+
+impl<T: Default> Default for WorkerLocal<T> {
+    fn default() -> Self {
+        Self::new(T::default)
+    }
+}
+
+/// Resets a slot's guard flag even if the user closure panics, so a
+/// caught panic (the pool rethrows on the submitter) cannot wedge a slot.
+struct BusyGuard<'a>(&'a AtomicBool);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+impl<T> WorkerLocal<T> {
+    /// One slot per possible worker identity (see [`max_workers`])
+    /// plus slot 0 for non-pool
+    /// threads, each initialized with `init()`.
+    pub fn new(mut init: impl FnMut() -> T) -> Self {
+        let slots = (0..max_workers() + 1).map(|_| Slot::new(init())).collect();
+        Self { slots }
+    }
+
+    /// Number of slots (worker ceiling + 1).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Slot index of the calling thread: `0` outside the pool, worker
+    /// index + 1 inside it.
+    #[inline]
+    fn slot_index(&self) -> usize {
+        let i = worker_index().map_or(0, |w| w + 1);
+        assert!(
+            i < self.slots.len(),
+            "worker index {} outside the WorkerLocal bound {} — the pool \
+             exceeded its max_workers() ceiling",
+            i - 1,
+            self.slots.len() - 1,
+        );
+        i
+    }
+
+    /// Run `f` with exclusive access to the calling thread's slot.
+    ///
+    /// Panics if the slot is already borrowed (re-entrant `with` from the
+    /// same thread, or two non-pool threads sharing one `WorkerLocal`).
+    #[inline]
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let slot = &self.slots[self.slot_index()];
+        assert!(
+            !slot.busy.swap(true, Ordering::Acquire),
+            "WorkerLocal slot already borrowed (re-entrant `with`, or two \
+             non-pool threads sharing one WorkerLocal)"
+        );
+        let _guard = BusyGuard(&slot.busy);
+        // SAFETY: the guard flag just established exclusive access, and
+        // per the aliasing contract no other thread targets this slot.
+        f(unsafe { &mut *slot.value.get() })
+    }
+
+    /// Exclusive iteration over every slot in worker-id order (slot 0 —
+    /// the non-pool submitter — first). The backbone of the deterministic
+    /// merge APIs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.slots.iter_mut().map(|s| s.value.get_mut())
+    }
+
+    /// Fold every slot in worker-id order into an accumulator.
+    pub fn fold<A>(&mut self, init: A, mut f: impl FnMut(A, &mut T) -> A) -> A {
+        let mut acc = init;
+        for v in self.iter_mut() {
+            acc = f(acc, v);
+        }
+        acc
+    }
+
+    /// Sum `per(slot)` over all slots from a shared reference — the
+    /// `heap_bytes()` hook for scratch owners whose accessors take
+    /// `&self`. Briefly takes each slot's guard, so it panics (rather
+    /// than race) if called while a parallel operation is still using the
+    /// arena.
+    pub fn heap_bytes_by(&self, per: impl Fn(&T) -> usize) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                assert!(
+                    !s.busy.swap(true, Ordering::Acquire),
+                    "WorkerLocal accounting ran while a slot was borrowed"
+                );
+                let _guard = BusyGuard(&s.busy);
+                // SAFETY: guard flag held; no concurrent slot access.
+                per(unsafe { &*s.value.get() })
+            })
+            .sum()
+    }
+}
+
+impl<T: Copy> WorkerLocal<Vec<T>> {
+    /// Append every worker's buffer to `out` in worker-id order, clearing
+    /// each buffer (capacity retained). The copy is one `memcpy` per slot
+    /// — `O(P)` slots — while the parallel work stays in the claim phase
+    /// that filled the buffers.
+    pub fn append_to(&mut self, out: &mut Vec<T>) {
+        for buf in self.iter_mut() {
+            out.extend_from_slice(buf);
+            buf.clear();
+        }
+    }
+
+    /// Total elements currently buffered across all slots.
+    pub fn total_len(&mut self) -> usize {
+        self.fold(0, |acc, v| acc + v.len())
+    }
+
+    /// Give every slot capacity for at least `cap` elements.
+    ///
+    /// Capacity only ever grows, and grows to the same value for the same
+    /// `cap` — so arenas reserved to a deterministic bound (`n` vertices)
+    /// keep [`heap_bytes`](Self::heap_bytes) identical across runs even
+    /// though *which* worker claims how much is scheduling-dependent.
+    /// That determinism is what lets the engine's warm-solve
+    /// `fresh_alloc_bytes == 0` guarantee survive per-worker buffering.
+    pub fn reserve_each(&mut self, cap: usize) {
+        for buf in self.iter_mut() {
+            if buf.capacity() < cap {
+                buf.reserve_exact(cap - buf.len());
+            }
+        }
+    }
+
+    /// Heap bytes held by every slot's capacity.
+    pub fn heap_bytes(&self) -> usize {
+        self.heap_bytes_by(|v| v.capacity() * std::mem::size_of::<T>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::par::{par_for_grain, with_threads};
+
+    #[test]
+    fn sized_for_every_worker_identity() {
+        let wl = WorkerLocal::<u32>::default();
+        assert_eq!(wl.num_slots(), max_workers() + 1);
+    }
+
+    #[test]
+    fn with_mutates_the_calling_threads_slot() {
+        let mut wl = WorkerLocal::<Vec<u32>>::default();
+        wl.with(|v| v.push(7));
+        wl.with(|v| v.push(8));
+        // Outside the pool we are slot 0.
+        assert_eq!(wl.iter_mut().next().unwrap(), &[7, 8]);
+    }
+
+    #[test]
+    fn parallel_pushes_are_all_collected() {
+        let n = 40_000;
+        let mut wl = WorkerLocal::<Vec<u32>>::default();
+        par_for_grain(n, 64, |i| wl.with(|v| v.push(i as u32)));
+        assert_eq!(wl.total_len(), n);
+        let mut out = Vec::new();
+        wl.append_to(&mut out);
+        out.sort_unstable();
+        assert_eq!(out, (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(wl.total_len(), 0, "append_to must clear the slots");
+    }
+
+    #[test]
+    fn append_to_preserves_worker_id_order_and_capacity() {
+        let mut wl = WorkerLocal::<Vec<u32>>::default();
+        wl.reserve_each(100);
+        let bytes = wl.heap_bytes();
+        assert!(bytes >= 100 * 4 * wl.num_slots());
+        wl.with(|v| v.extend_from_slice(&[1, 2, 3]));
+        let mut out = vec![0u32];
+        wl.append_to(&mut out);
+        assert_eq!(out, [0, 1, 2, 3], "append_to must append, not replace");
+        assert_eq!(wl.heap_bytes(), bytes, "draining must keep capacity");
+        // Re-reserving an already-satisfied bound must not grow anything.
+        wl.reserve_each(100);
+        assert_eq!(wl.heap_bytes(), bytes);
+    }
+
+    #[test]
+    fn fold_visits_slots_in_order() {
+        let mut wl = WorkerLocal::<usize>::default();
+        with_threads(2, || {
+            par_for_grain(1000, 1, |_| wl.with(|c| *c += 1));
+        });
+        assert_eq!(wl.fold(0, |a, c| a + *c), 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "already borrowed")]
+    fn reentrant_with_panics_instead_of_aliasing() {
+        let wl = WorkerLocal::<u32>::default();
+        wl.with(|_| wl.with(|_| {}));
+    }
+
+    #[test]
+    fn slot_guard_recovers_after_panic() {
+        let wl = WorkerLocal::<u32>::default();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wl.with(|_| panic!("user closure panics"))
+        }));
+        assert!(caught.is_err());
+        // The guard must have been released on unwind.
+        wl.with(|v| *v = 5);
+        assert_eq!(wl.heap_bytes_by(|&v| v as usize), 5);
+    }
+}

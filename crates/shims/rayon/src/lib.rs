@@ -31,16 +31,18 @@
 //! parallelism.
 //!
 //! Swap this shim for the real crate by pointing the workspace `rayon`
-//! dependency at crates.io; the only shim-specific extension is
-//! [`pool_spawn_count`] (a test hook), used nowhere in the algorithm
-//! crates' hot paths.
+//! dependency at crates.io; the shim-specific extensions are
+//! [`pool_spawn_count`] (a test hook) and [`pool_max_workers`] (the
+//! ceiling on worker identities that per-worker scratch arrays are sized
+//! for — with real rayon, the pool's configured thread count plays this
+//! role), used nowhere in the algorithm crates' hot paths.
 
 mod iter;
 mod pool;
 
 pub use pool::{
-    current_num_threads, current_thread_index, join, pool_spawn_count, scope, Scope, ThreadPool,
-    ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, current_thread_index, join, pool_max_workers, pool_spawn_count, scope,
+    Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
 };
 
 pub mod prelude {

@@ -72,6 +72,24 @@ fn default_threads() -> usize {
     })
 }
 
+/// Process-wide ceiling on pool-worker OS threads — the hardware
+/// parallelism or the `FASTBCC_THREADS` budget, whichever is larger.
+///
+/// Worker indices ([`current_thread_index`]) are assigned in spawn order
+/// and workers never exit, so this is also a hard upper bound on every
+/// index the pool will ever hand out: `current_thread_index() <
+/// pool_max_workers()` on any pool worker, forever. Callers building
+/// per-worker scratch arrays (one slot per possible worker identity) size
+/// them off this constant. An installed budget larger than the ceiling —
+/// `with_threads(4 * cores)` — still gets a faithful *at most k* region
+/// budget; it simply cannot recruit more distinct worker identities than
+/// the machine has cores, which costs nothing (extra workers beyond the
+/// core count would time-slice, not add parallelism).
+pub fn pool_max_workers() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| hardware_threads().max(default_threads()))
+}
+
 // ---------------------------------------------------------------------------
 // Regions: the concurrency budget of one installed pool scope
 // ---------------------------------------------------------------------------
@@ -328,7 +346,11 @@ fn publish(job: &Arc<Job>, max_helpers: usize) {
     let mut st = pool.state.lock().unwrap();
     st.open.retain(|j| !j.exhausted());
     st.open.push(job.clone());
-    let want = max_helpers.min(job.region.cap.saturating_sub(1));
+    // The `pool_max_workers` clamp keeps worker indices inside the bound
+    // per-worker scratch arrays are sized for (see `pool_max_workers`).
+    let want = max_helpers
+        .min(job.region.cap.saturating_sub(1))
+        .min(pool_max_workers());
     while st.spawned < want {
         let index = st.spawned;
         std::thread::Builder::new()
@@ -588,7 +610,7 @@ impl ThreadPoolBuilder {
 }
 
 /// A worker-count scope over the shared persistent pool. `install` does
-/// not spawn threads; it installs this pool's concurrency [`Region`] so
+/// not spawn threads; it installs this pool's concurrency `Region` so
 /// every operation inside runs with at most `threads` workers — reusing
 /// one `ThreadPool` across calls shares one budget. Note that a
 /// submitting thread always participates in its own operations, so
@@ -771,6 +793,31 @@ mod tests {
     #[test]
     fn worker_index_is_none_outside_pool() {
         assert_eq!(current_thread_index(), None);
+    }
+
+    /// Worker identities never escape the `pool_max_workers` ceiling, even
+    /// when the installed budget asks for far more workers than the
+    /// machine has cores — the invariant per-worker scratch arrays rely on.
+    #[test]
+    fn worker_indices_stay_under_ceiling_for_oversized_budgets() {
+        let cap = pool_max_workers();
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(4 * cap)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            run_parallel(64 * cap, &|_| {
+                if let Some(w) = current_thread_index() {
+                    assert!(w < cap, "worker index {w} >= ceiling {cap}");
+                }
+                std::hint::black_box(0u64);
+            });
+        });
+        assert!(
+            pool_spawn_count() <= cap,
+            "pool spawned {} workers past the ceiling {cap}",
+            pool_spawn_count()
+        );
     }
 
     #[test]

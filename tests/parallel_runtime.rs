@@ -5,7 +5,8 @@
 
 use fast_bcc::baselines::hopcroft_tarjan;
 use fast_bcc::prelude::*;
-use fastbcc_primitives::pool_spawns;
+use fastbcc_primitives::worker_local::WorkerLocal;
+use fastbcc_primitives::{max_workers, pool_spawns, worker_index};
 use std::sync::Mutex;
 
 /// Serializes the pool-sensitive tests: the spawn counter is global to
@@ -74,6 +75,37 @@ fn concurrent_engines_share_the_pool() {
         "pool spawned {} workers with a default budget of {budget}",
         pool_spawns()
     );
+}
+
+/// Nested parallel operations never observe a worker identity outside
+/// the `max_workers()` ceiling, so `WorkerLocal` indexing stays in bounds
+/// even under a worker budget far beyond the hardware — the invariant the
+/// per-worker frontier arenas rely on. Every leaf writes through its
+/// slot and the total must balance (no slot lost, none double-counted).
+#[test]
+fn nested_ops_never_index_worker_local_out_of_bounds() {
+    let _guard = lock();
+    let arenas = WorkerLocal::<Vec<u32>>::default();
+    let outer = 8usize;
+    let inner = 512usize;
+    // A budget well past the ceiling: the pool must clamp identities, not
+    // mint new ones.
+    with_threads(4 * max_workers().max(2), || {
+        fastbcc_primitives::par::par_for_grain(outer, 1, |o| {
+            fastbcc_primitives::par::par_for_grain(inner, 16, |i| {
+                if let Some(w) = worker_index() {
+                    assert!(w < max_workers(), "worker index {w} escaped the ceiling");
+                }
+                arenas.with(|buf| buf.push((o * inner + i) as u32));
+            });
+        });
+    });
+    let mut arenas = arenas;
+    let mut all = Vec::new();
+    arenas.append_to(&mut all);
+    assert_eq!(all.len(), outer * inner);
+    all.sort_unstable();
+    assert!(all.iter().enumerate().all(|(i, &x)| x == i as u32));
 }
 
 /// Solve output is identical across worker budgets of 1, 2, and the
