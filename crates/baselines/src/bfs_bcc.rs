@@ -17,15 +17,27 @@
 //! the predicates are shared with FAST-BCC for exact output compatibility.
 
 use crate::bfs_tags::bfs_tags;
-use fastbcc_connectivity::bfs::bfs_forest;
+use fastbcc_connectivity::bfs::{bfs_forest_in, BfsScratch};
 use fastbcc_connectivity::cc::{ldd_uf_jtb, uf_async_filtered, CcOpts};
 use fastbcc_connectivity::ldd::LddOpts;
 use fastbcc_core::algo::{assign_heads, BccResult, Breakdown};
 use fastbcc_graph::{Graph, V};
+use fastbcc_primitives::edgemap::EdgeMapMode;
 use std::time::Instant;
 
-/// Run the BFS-skeleton BCC algorithm.
+/// Run the BFS-skeleton BCC algorithm (one-shot; see [`bfs_bcc_in`] for
+/// the warm-rooting variant).
 pub fn bfs_bcc(g: &Graph, seed: u64) -> BccResult {
+    let mut scratch = BfsScratch::new();
+    bfs_bcc_in(g, seed, &mut scratch)
+}
+
+/// [`bfs_bcc`] with a caller-owned [`BfsScratch`]: the rooting phase's
+/// three `O(n)` forest arrays and its frontier staging are reused across
+/// calls, so a warm repeated-query loop pays no rooting allocations (the
+/// tagging and CC phases still allocate — the baseline pools nothing
+/// else, as the paper's GBBS configuration doesn't either).
+pub fn bfs_bcc_in(g: &Graph, seed: u64, scratch: &mut BfsScratch) -> BccResult {
     let n = g.n();
 
     // ---- First-CC: labels only ------------------------------------------
@@ -44,12 +56,13 @@ pub fn bfs_bcc(g: &Graph, seed: u64) -> BccResult {
 
     // ---- Rooting: BFS forest (the diameter-bound phase) -------------------
     let t1 = Instant::now();
-    let forest = bfs_forest(g);
+    bfs_forest_in(g, EdgeMapMode::Auto, scratch);
+    let forest = &scratch.forest;
     let rooting = t1.elapsed();
 
     // ---- Tagging: level-synchronous sweeps -------------------------------
     let t2 = Instant::now();
-    let tags = bfs_tags(g, &forest);
+    let tags = bfs_tags(g, forest);
     let tagging = t2.elapsed();
 
     // ---- Last-CC: implicit skeleton + heads -------------------------------
@@ -127,6 +140,27 @@ mod tests {
         check(&rmat(9, 2500, 3));
         check(&knn(500, 4, 21));
         check(&random_geometric(700, 0.05, 5));
+    }
+
+    #[test]
+    fn warm_scratch_reuse_matches_and_stays_allocation_free() {
+        let g = grid2d(20, 20, true);
+        let mut scratch = BfsScratch::new();
+        let first = canonical_bccs(&bfs_bcc_in(&g, 11, &mut scratch));
+        let bytes = scratch.heap_bytes();
+        assert!(bytes > 0);
+        for _ in 0..2 {
+            let again = canonical_bccs(&bfs_bcc_in(&g, 11, &mut scratch));
+            assert_eq!(again, first);
+            assert_eq!(
+                scratch.heap_bytes(),
+                bytes,
+                "warm rooting grew the BFS scratch"
+            );
+        }
+        // The same scratch serves the SM'14 baseline too.
+        let r = crate::sm14::sm14_in(&g, &mut scratch).expect("grid is connected");
+        assert_eq!(canonical_bccs(&r), first);
     }
 
     #[test]

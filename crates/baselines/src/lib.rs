@@ -28,7 +28,7 @@ pub mod hopcroft_tarjan;
 pub mod sm14;
 pub mod tarjan_vishkin;
 
-pub use bfs_bcc::bfs_bcc;
+pub use bfs_bcc::{bfs_bcc, bfs_bcc_in};
 pub use hopcroft_tarjan::{hopcroft_tarjan, HtResult};
-pub use sm14::sm14;
+pub use sm14::{sm14, sm14_in};
 pub use tarjan_vishkin::{tarjan_vishkin, TvResult};

@@ -16,10 +16,11 @@
 //!    Tab. 2 (red entries) and Fig. 4.
 
 use crate::bfs_tags::bfs_tags;
-use fastbcc_connectivity::bfs::bfs_forest;
+use fastbcc_connectivity::bfs::{bfs_forest_in, BfsScratch};
 use fastbcc_core::algo::{assign_heads, BccResult, Breakdown};
 use fastbcc_graph::{Graph, V};
 use fastbcc_primitives::atomics::{as_atomic_u32, write_min_u32};
+use fastbcc_primitives::edgemap::EdgeMapMode;
 use fastbcc_primitives::par::par_for;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -38,6 +39,14 @@ impl std::error::Error for Sm14Unsupported {}
 
 /// Run the SM'14-style BCC algorithm. Errors on disconnected inputs.
 pub fn sm14(g: &Graph) -> Result<BccResult, Sm14Unsupported> {
+    let mut scratch = BfsScratch::new();
+    sm14_in(g, &mut scratch)
+}
+
+/// [`sm14`] with a caller-owned [`BfsScratch`] for the rooting phase
+/// (warm repeated calls reuse the BFS forest arrays and frontier
+/// staging).
+pub fn sm14_in(g: &Graph, scratch: &mut BfsScratch) -> Result<BccResult, Sm14Unsupported> {
     let n = g.n();
     if n == 0 {
         return Err(Sm14Unsupported);
@@ -45,7 +54,8 @@ pub fn sm14(g: &Graph) -> Result<BccResult, Sm14Unsupported> {
 
     // ---- Rooting: BFS tree (also detects disconnectedness) ---------------
     let t1 = Instant::now();
-    let forest = bfs_forest(g);
+    bfs_forest_in(g, EdgeMapMode::Auto, scratch);
+    let forest = &scratch.forest;
     if forest.roots.len() != 1 {
         return Err(Sm14Unsupported);
     }
@@ -53,7 +63,7 @@ pub fn sm14(g: &Graph) -> Result<BccResult, Sm14Unsupported> {
 
     // ---- Tagging ----------------------------------------------------------
     let t2 = Instant::now();
-    let tags = bfs_tags(g, &forest);
+    let tags = bfs_tags(g, forest);
     let tagging = t2.elapsed();
 
     // ---- Last-CC: min-label propagation over the implicit skeleton -------

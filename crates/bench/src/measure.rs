@@ -81,10 +81,19 @@ pub struct RunRecord {
     /// Buffer capacity newly allocated during the run — 0 when a pooled
     /// `BccEngine` workspace served every major array.
     pub fresh_alloc_bytes: usize,
-    /// Bytes held in per-worker scratch arenas (`WorkerLocal`) — the
-    /// schedule-independent `O(n)`-per-worker staging the frontier phases
-    /// claim into. 0 for algorithms that stage nothing per worker.
+    /// Bytes held in the frontier-staging buffers (the shared edgeMap
+    /// claim slots and dense bitmaps, plus the bounded per-worker
+    /// local-search stacks). 0 for algorithms that stage nothing.
     pub arena_bytes: usize,
+    /// Total reserved bytes of the pooled engine workspace (capacity of
+    /// every scratch buffer) — the `O(n + m)` space-regression gate reads
+    /// this. 0 for algorithms without a pooled workspace.
+    pub scratch_bytes: usize,
+    /// The linear budget `scratch_bytes` must fit
+    /// (`fastbcc_core::space::workspace_budget_bytes`), emitted alongside
+    /// the measurement so the CI gate compares two fields instead of
+    /// duplicating the formula. 0 when no budget applies.
+    pub scratch_budget_bytes: usize,
 }
 
 impl RunRecord {
@@ -94,7 +103,8 @@ impl RunRecord {
         format!(
             "{{\"graph\":{},\"algo\":{},\"n\":{},\"m\":{},\"threads\":{},\
              \"pool_workers\":{},\"median_secs\":{:.9},\"aux_peak_bytes\":{},\
-             \"fresh_alloc_bytes\":{},\"arena_bytes\":{}}}",
+             \"fresh_alloc_bytes\":{},\"arena_bytes\":{},\"scratch_bytes\":{},\
+             \"scratch_budget_bytes\":{}}}",
             json_escape(&self.graph),
             json_escape(&self.algo),
             self.n,
@@ -105,6 +115,8 @@ impl RunRecord {
             self.aux_peak_bytes,
             self.fresh_alloc_bytes,
             self.arena_bytes,
+            self.scratch_bytes,
+            self.scratch_budget_bytes,
         )
     }
 }
@@ -219,6 +231,8 @@ mod tests {
             aux_peak_bytes: 4096,
             fresh_alloc_bytes: 0,
             arena_bytes: 2048,
+            scratch_bytes: 65536,
+            scratch_budget_bytes: 131072,
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -227,6 +241,8 @@ mod tests {
         assert!(j.contains("\"aux_peak_bytes\":4096"));
         assert!(j.contains("\"fresh_alloc_bytes\":0"));
         assert!(j.contains("\"arena_bytes\":2048"));
+        assert!(j.contains("\"scratch_bytes\":65536"));
+        assert!(j.contains("\"scratch_budget_bytes\":131072"));
         assert!(j.contains("\"median_secs\":0.25"));
     }
 
@@ -243,6 +259,8 @@ mod tests {
             aux_peak_bytes: 0,
             fresh_alloc_bytes: 0,
             arena_bytes: 0,
+            scratch_bytes: 0,
+            scratch_budget_bytes: 0,
         };
         assert!(r.to_json().contains("a\\\"b\\\\c\\nd"));
     }
@@ -263,6 +281,8 @@ mod tests {
                 aux_peak_bytes: 100,
                 fresh_alloc_bytes: 100,
                 arena_bytes: 0,
+                scratch_bytes: 0,
+                scratch_budget_bytes: 0,
             },
             RunRecord {
                 graph: "g2".into(),
@@ -275,6 +295,8 @@ mod tests {
                 aux_peak_bytes: 200,
                 fresh_alloc_bytes: 0,
                 arena_bytes: 64,
+                scratch_bytes: 4096,
+                scratch_budget_bytes: 8192,
             },
         ];
         write_json_lines(path.to_str().unwrap(), &recs).unwrap();

@@ -42,8 +42,12 @@ pub struct RowResult {
     /// gate: a warm `BccEngine` must report 0 here even at full
     /// parallelism (the per-worker arenas are pre-sized deterministically).
     pub ours_warm_fresh_bytes: usize,
-    /// Bytes held in the engine's per-worker scratch arenas.
+    /// Bytes held in the engine's frontier-staging buffers (edgeMap
+    /// claim slots + dense bitmaps + local-search stacks).
     pub ours_arena_bytes: usize,
+    /// Total reserved bytes of the warm engine's pooled workspace — the
+    /// `c · (n + m)` space-regression gate in CI reads this.
+    pub ours_scratch_bytes: usize,
     /// GBBS-style baseline peak auxiliary bytes.
     pub gbbs_aux_peak_bytes: usize,
     /// GBBS-style baseline fresh bytes (it pools nothing, so this equals
@@ -83,7 +87,22 @@ impl RowResult {
                 aux_peak_bytes: peak,
                 fresh_alloc_bytes: fresh,
                 arena_bytes: arena,
+                scratch_bytes: 0,
+                scratch_budget_bytes: 0,
             }
+        };
+        let warm_rec = {
+            let mut r = rec(
+                "fast_bcc/warm",
+                self.ours_warm,
+                threads,
+                self.ours_aux_peak_bytes,
+                self.ours_warm_fresh_bytes,
+                self.ours_arena_bytes,
+            );
+            r.scratch_bytes = self.ours_scratch_bytes;
+            r.scratch_budget_bytes = fastbcc_core::space::workspace_budget_bytes(self.n, self.m);
+            r
         };
         let mut out = vec![
             rec("hopcroft_tarjan/seq", self.seq, 1, 0, 0, 0),
@@ -103,14 +122,7 @@ impl RowResult {
                 self.ours_seq_fresh_bytes,
                 self.ours_arena_bytes,
             ),
-            rec(
-                "fast_bcc/warm",
-                self.ours_warm,
-                threads,
-                self.ours_aux_peak_bytes,
-                self.ours_warm_fresh_bytes,
-                self.ours_arena_bytes,
-            ),
+            warm_rec,
             rec(
                 "bfs_bcc/par",
                 self.gbbs_par,
@@ -184,14 +196,16 @@ pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
     // workspace (per-worker arenas included); every timed re-solve must
     // then report zero fresh bytes — the bench-smoke CI job fails the
     // build if any warm record says otherwise.
-    let ((ours_warm_fresh_bytes, ours_arena_bytes), ours_warm) = with_threads(p, || {
-        let mut engine = BccEngine::new(BccOpts::default());
-        engine.solve(g);
-        time_median(reps, || {
-            let r = engine.solve(g);
-            (r.fresh_alloc_bytes, r.arena_bytes)
-        })
-    });
+    let ((ours_warm_fresh_bytes, ours_arena_bytes, ours_scratch_bytes), ours_warm) =
+        with_threads(p, || {
+            let mut engine = BccEngine::new(BccOpts::default());
+            engine.solve(g);
+            let ((fresh, arena), t) = time_median(reps, || {
+                let r = engine.solve(g);
+                (r.fresh_alloc_bytes, r.arena_bytes)
+            });
+            ((fresh, arena, engine.workspace().heap_bytes()), t)
+        });
 
     let (gbbs, gbbs_par) = with_threads(p, || time_median(reps, || bfs_bcc(g, 7)));
     let (_, gbbs_seq) = with_threads(1, || time_median(reps, || bfs_bcc(g, 7)));
@@ -242,6 +256,7 @@ pub fn run_one(spec: &GraphSpec, g: &Graph, opts: &RunOpts) -> RowResult {
         ours_warm,
         ours_warm_fresh_bytes,
         ours_arena_bytes,
+        ours_scratch_bytes,
         gbbs_aux_peak_bytes: gbbs.aux_peak_bytes,
         gbbs_fresh_bytes: gbbs.fresh_alloc_bytes,
     }
@@ -282,12 +297,26 @@ mod tests {
             assert!(recs
                 .iter()
                 .any(|r| r.algo == "fast_bcc/par" && r.threads == 2));
-            // The warm-engine acceptance gate, in miniature: a warm pooled
-            // solve allocates nothing even under a parallel schedule.
-            assert!(
-                recs.iter()
-                    .any(|r| r.algo == "fast_bcc/warm" && r.fresh_alloc_bytes == 0),
+            // The warm-engine acceptance gates, in miniature: a warm
+            // pooled solve allocates nothing even under a parallel
+            // schedule, and its reserved workspace fits the linear
+            // `c · (n + m)` budget (no hidden `O(n · P)` staging).
+            let warm = recs
+                .iter()
+                .find(|r| r.algo == "fast_bcc/warm")
+                .expect("warm record missing");
+            assert_eq!(
+                warm.fresh_alloc_bytes, 0,
                 "warm engine re-solve allocated fresh bytes"
+            );
+            let budget = warm.scratch_budget_bytes;
+            assert!(
+                warm.scratch_bytes > 0 && warm.scratch_bytes <= budget,
+                "warm workspace {} bytes outside (0, {}] for n={} m={}",
+                warm.scratch_bytes,
+                budget,
+                warm.n,
+                warm.m
             );
         }
     }

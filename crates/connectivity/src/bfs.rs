@@ -3,17 +3,26 @@
 //! Not used by FAST-BCC itself (that is the whole point of the paper), but
 //! required by the BFS-skeleton baselines (GBBS-style, SM'14-style) whose
 //! span is `O(diam(G) · log n)`. Exposed here because it shares the
-//! claim-by-CAS frontier machinery with the LDD.
+//! claim-by-CAS frontier machinery with the LDD: both run on the shared
+//! [`fastbcc_primitives::edgemap`] layer, so level expansion is
+//! pre-counted (one shared `O(frontier degree)` claim buffer,
+//! degree-balanced blocks) and switches to a bottom-up bitmap sweep on
+//! dense frontiers.
+//!
+//! Two entry points: [`bfs_forest`] allocates its outputs (one-shot
+//! callers), while [`bfs_forest_in`] writes into a caller-owned
+//! [`BfsScratch`], so repeated solves (warm baseline engines, benchmark
+//! loops) reuse the three `O(n)` output arrays and the frontier staging
+//! instead of reallocating them every call.
 
 use fastbcc_graph::{Graph, NONE, V};
-use fastbcc_primitives::par::{num_blocks, par_for_grain};
-use fastbcc_primitives::worker_local::WorkerLocal;
+use fastbcc_primitives::atomics::as_atomic_u32;
+use fastbcc_primitives::edgemap::{edge_map, EdgeMapMode, EdgeMapScratch, FrontierOp};
+use fastbcc_primitives::slice::reserve_to;
 use std::sync::atomic::{AtomicU32, Ordering};
 
-/// Frontier vertices per expansion block (see the LDD's grain choice).
-const FRONTIER_GRAIN: usize = 64;
-
 /// A rooted BFS forest over all components.
+#[derive(Default)]
 pub struct BfsForest {
     /// Parent of each vertex in its BFS tree; `NONE` for roots.
     pub parent: Vec<V>,
@@ -27,79 +36,170 @@ pub struct BfsForest {
     pub rounds: usize,
 }
 
+/// Reusable buffers for [`bfs_forest_in`]: the forest's three `O(n)`
+/// output arrays, the frontier double-buffer, and the shared edgeMap
+/// expansion scratch. Capacities are deterministic in `(n, m)`, so warm
+/// re-solves of one input never touch the allocator.
+#[derive(Default)]
+pub struct BfsScratch {
+    /// The forest of the most recent [`bfs_forest_in`] call.
+    pub forest: BfsForest,
+    frontier: Vec<V>,
+    next_frontier: Vec<V>,
+    em: EdgeMapScratch,
+}
+
+impl BfsScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-reserve for an `n`-vertex / `m_arcs`-arc input.
+    pub fn reserve(&mut self, n: usize, m_arcs: usize) {
+        self.forest.parent.reserve(n);
+        self.forest.level.reserve(n);
+        self.forest.root.reserve(n);
+        self.frontier.reserve(n);
+        self.next_frontier.reserve(n);
+        self.em.reserve(n, m_arcs);
+    }
+
+    /// Heap bytes currently reserved (capacity, not length).
+    pub fn heap_bytes(&self) -> usize {
+        4 * (self.forest.parent.capacity()
+            + self.forest.level.capacity()
+            + self.forest.root.capacity()
+            + self.forest.roots.capacity()
+            + self.frontier.capacity()
+            + self.next_frontier.capacity())
+            + self.em.heap_bytes()
+    }
+
+    /// Dense (bottom-up) rounds run by the most recent solve.
+    pub fn dense_rounds(&self) -> usize {
+        self.em.dense_rounds()
+    }
+}
+
+/// The BFS claim protocol: first visit wins `root`/`parent`/`level`.
+struct BfsClaim<'a> {
+    parent: &'a [AtomicU32],
+    level: &'a [AtomicU32],
+    root: &'a [AtomicU32],
+    src: V,
+    depth: u32,
+}
+
+impl FrontierOp for BfsClaim<'_> {
+    fn try_claim(&self, u: V, w: V) -> bool {
+        if self.root[w as usize].load(Ordering::Relaxed) != NONE {
+            return false;
+        }
+        if self.root[w as usize]
+            .compare_exchange(NONE, self.src, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.parent[w as usize].store(u, Ordering::Relaxed);
+            self.level[w as usize].store(self.depth, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn claim_unique(&self, u: V, w: V) -> bool {
+        // Dense rounds own each vertex exclusively: plain stores suffice.
+        if self.root[w as usize].load(Ordering::Relaxed) != NONE {
+            return false;
+        }
+        self.root[w as usize].store(self.src, Ordering::Relaxed);
+        self.parent[w as usize].store(u, Ordering::Relaxed);
+        self.level[w as usize].store(self.depth, Ordering::Relaxed);
+        true
+    }
+
+    fn wants(&self, w: V) -> bool {
+        self.root[w as usize].load(Ordering::Relaxed) == NONE
+    }
+}
+
 /// Build a BFS forest covering every vertex. Each component's BFS is
-/// frontier-parallel; components are processed one after another (as in the
-/// BFS-based BCC implementations the paper compares against).
+/// frontier-parallel; components are processed one after another (as in
+/// the BFS-based BCC implementations the paper compares against). One-shot
+/// wrapper over [`bfs_forest_in`].
 pub fn bfs_forest(g: &Graph) -> BfsForest {
+    let mut scratch = BfsScratch::new();
+    bfs_forest_in(g, EdgeMapMode::Auto, &mut scratch);
+    std::mem::take(&mut scratch.forest)
+}
+
+/// [`bfs_forest`] writing into caller-owned scratch (`scratch.forest`
+/// holds the result afterwards). `mode` forces a traversal direction;
+/// [`EdgeMapMode::Auto`] applies the density threshold per round.
+pub fn bfs_forest_in(g: &Graph, mode: EdgeMapMode, scratch: &mut BfsScratch) {
     let n = g.n();
-    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
-    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
-    let root: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NONE)).collect();
-    let mut roots = Vec::new();
+    scratch.em.reserve(n, g.m());
+    scratch.em.reset_stats();
+    reserve_to(&mut scratch.frontier, n);
+    reserve_to(&mut scratch.next_frontier, n);
+    let BfsScratch {
+        forest,
+        frontier,
+        next_frontier,
+        em,
+    } = scratch;
+    forest.parent.clear();
+    forest.parent.resize(n, NONE);
+    forest.level.clear();
+    forest.level.resize(n, NONE);
+    forest.root.clear();
+    forest.root.resize(n, NONE);
+    forest.roots.clear();
     let mut rounds = 0usize;
-
-    // Per-worker next-frontier arenas, shared by every component's BFS:
-    // each worker appends the vertices it claims to its own arena, and the
-    // level barrier concatenates the arenas in worker-id order — no
-    // allocation and no shared append inside the parallel region.
-    let mut next = WorkerLocal::<Vec<V>>::default();
-    let mut frontier: Vec<V> = Vec::new();
-
-    for s in 0..n as V {
-        if root[s as usize].load(Ordering::Relaxed) != NONE {
-            continue;
-        }
-        roots.push(s);
-        root[s as usize].store(s, Ordering::Relaxed);
-        level[s as usize].store(0, Ordering::Relaxed);
-        frontier.clear();
-        frontier.push(s);
-        let mut depth = 0u32;
-        while !frontier.is_empty() {
-            rounds += 1;
-            depth += 1;
-            {
-                let fr: &[V] = &frontier;
-                let arenas = &next;
-                let (parent, level, root) = (&parent, &level, &root);
-                let blocks = num_blocks(fr.len(), FRONTIER_GRAIN);
-                par_for_grain(blocks, 1, |b| {
-                    let lo = b * fr.len() / blocks;
-                    let hi = (b + 1) * fr.len() / blocks;
-                    arenas.with(|buf| {
-                        for &u in &fr[lo..hi] {
-                            for &w in g.neighbors(u) {
-                                if root[w as usize].load(Ordering::Relaxed) == NONE
-                                    && root[w as usize]
-                                        .compare_exchange(
-                                            NONE,
-                                            s,
-                                            Ordering::Relaxed,
-                                            Ordering::Relaxed,
-                                        )
-                                        .is_ok()
-                                {
-                                    parent[w as usize].store(u, Ordering::Relaxed);
-                                    level[w as usize].store(depth, Ordering::Relaxed);
-                                    buf.push(w);
-                                }
-                            }
-                        }
-                    });
-                });
+    // Vertices claimed so far across every component — the direction
+    // switch's `remaining` hint.
+    let mut visited = 0usize;
+    {
+        let parent = as_atomic_u32(&mut forest.parent);
+        let level = as_atomic_u32(&mut forest.level);
+        let root = as_atomic_u32(&mut forest.root);
+        for s in 0..n as V {
+            if root[s as usize].load(Ordering::Relaxed) != NONE {
+                continue;
             }
+            forest.roots.push(s);
+            root[s as usize].store(s, Ordering::Relaxed);
+            level[s as usize].store(0, Ordering::Relaxed);
+            visited += 1;
             frontier.clear();
-            next.append_to(&mut frontier);
+            frontier.push(s);
+            let mut depth = 0u32;
+            while !frontier.is_empty() {
+                rounds += 1;
+                depth += 1;
+                let op = BfsClaim {
+                    parent,
+                    level,
+                    root,
+                    src: s,
+                    depth,
+                };
+                edge_map(
+                    g.offsets(),
+                    g.arcs(),
+                    frontier,
+                    n - visited,
+                    &op,
+                    mode,
+                    em,
+                    next_frontier,
+                );
+                std::mem::swap(frontier, next_frontier);
+                visited += frontier.len();
+            }
         }
     }
-
-    BfsForest {
-        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
-        level: level.into_iter().map(AtomicU32::into_inner).collect(),
-        root: root.into_iter().map(AtomicU32::into_inner).collect(),
-        roots,
-        rounds,
-    }
+    forest.rounds = rounds;
 }
 
 #[cfg(test)]
@@ -153,5 +253,52 @@ mod tests {
         assert_eq!(f.root[0], f.root[3]);
         assert_eq!(f.root[4], f.root[7]);
         assert_ne!(f.root[0], f.root[4]);
+    }
+
+    #[test]
+    fn forced_modes_agree_on_levels_and_roots() {
+        for g in [
+            path(400),
+            cycle(64),
+            star(60),
+            complete(30),
+            windmill(8),
+            disjoint_union(&[&cycle(9), &star(15), &path(6)]),
+        ] {
+            let mut scratch = BfsScratch::new();
+            let mut runs = Vec::new();
+            for mode in [EdgeMapMode::Sparse, EdgeMapMode::Dense, EdgeMapMode::Auto] {
+                bfs_forest_in(&g, mode, &mut scratch);
+                let f = &scratch.forest;
+                runs.push((f.level.clone(), f.root.clone(), f.roots.clone(), f.rounds));
+            }
+            assert_eq!(runs[0], runs[1], "sparse vs dense diverged, n={}", g.n());
+            assert_eq!(runs[0], runs[2], "sparse vs auto diverged, n={}", g.n());
+        }
+    }
+
+    #[test]
+    fn dense_engages_on_hub_frontiers() {
+        let g = star(4_000);
+        let mut scratch = BfsScratch::new();
+        bfs_forest_in(&g, EdgeMapMode::Auto, &mut scratch);
+        assert!(scratch.dense_rounds() > 0, "hub expansion stayed top-down");
+        let g = path(4_000);
+        bfs_forest_in(&g, EdgeMapMode::Auto, &mut scratch);
+        assert_eq!(scratch.dense_rounds(), 0, "path expansion went bottom-up");
+    }
+
+    #[test]
+    fn warm_scratch_resolve_allocates_nothing() {
+        let g = fastbcc_graph::generators::grid2d(40, 40, true);
+        let mut scratch = BfsScratch::new();
+        bfs_forest_in(&g, EdgeMapMode::Auto, &mut scratch);
+        let bytes = scratch.heap_bytes();
+        let rounds = scratch.forest.rounds;
+        for _ in 0..3 {
+            bfs_forest_in(&g, EdgeMapMode::Auto, &mut scratch);
+            assert_eq!(scratch.heap_bytes(), bytes, "warm BFS grew the scratch");
+            assert_eq!(scratch.forest.rounds, rounds);
+        }
     }
 }

@@ -14,12 +14,14 @@ use crate::bfs::bfs_forest;
 use crate::ldd::{ldd_filtered_in, LddOpts, LddScratch};
 use crate::unionfind::{ConcurrentUnionFind, SeqUnionFind};
 use fastbcc_graph::{Graph, V};
+use fastbcc_primitives::edgemap::for_arcs_balanced;
 use fastbcc_primitives::pack::pack_map;
-use fastbcc_primitives::par::{num_blocks, par_for, par_for_grain};
-use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
-use fastbcc_primitives::worker_local::WorkerLocal;
+use fastbcc_primitives::par::par_for;
+use fastbcc_primitives::slice::{extend_uninit, reserve_to, reuse_uninit, UnsafeSlice};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Edges per union block (cheap bodies; mirror the LDD expansion grain).
+/// Minimum arcs per union block (cheap bodies; blocks are balanced by
+/// arc count, splitting inside a high-degree vertex's neighbor list).
 const UNION_GRAIN: usize = 512;
 
 /// Options for [`ldd_uf_jtb`].
@@ -44,17 +46,16 @@ pub struct CcOutput {
     pub num_components: usize,
 }
 
-/// Reusable buffers for the parallel CC algorithms: the LDD scratch, the
-/// concurrent union–find, and the per-worker spanning-forest edge arenas
-/// (each worker records the edges whose union it won in its own arena;
-/// the barrier concatenates them in worker-id order). One `CcScratch`
-/// serves both of FAST-BCC's connectivity phases (First-CC and Last-CC)
-/// across repeated solves.
+/// Reusable buffers for the parallel CC algorithms: the LDD scratch and
+/// the concurrent union–find. Union winners are staged directly into the
+/// caller's forest buffer through pre-reserved slots and an atomic
+/// cursor (at most `n - 1` winners ever exist), so no per-worker edge
+/// arenas remain. One `CcScratch` serves both of FAST-BCC's connectivity
+/// phases (First-CC and Last-CC) across repeated solves.
 #[derive(Default)]
 pub struct CcScratch {
     pub ldd: LddScratch,
     pub uf: ConcurrentUnionFind,
-    edges: WorkerLocal<Vec<(V, V)>>,
 }
 
 impl CcScratch {
@@ -62,24 +63,22 @@ impl CcScratch {
         Self::default()
     }
 
-    /// Pre-reserve every pooled buffer (worker arenas included) for an
-    /// `n`-vertex input.
-    pub fn reserve(&mut self, n: usize) {
-        self.ldd.reserve(n);
+    /// Pre-reserve every pooled buffer for an `n`-vertex, `m_arcs`-arc
+    /// input.
+    pub fn reserve(&mut self, n: usize, m_arcs: usize) {
+        self.ldd.reserve(n, m_arcs);
         self.uf.reset(n);
-        self.edges.reserve_each(n);
     }
 
-    /// Heap bytes currently reserved (capacity, not length), the worker
-    /// arenas included.
+    /// Heap bytes currently reserved (capacity, not length).
     pub fn heap_bytes(&self) -> usize {
-        self.ldd.heap_bytes() + self.uf.heap_bytes() + self.edges.heap_bytes()
+        self.ldd.heap_bytes() + self.uf.heap_bytes()
     }
 
-    /// Heap bytes held by the per-worker arenas alone (LDD frontier and
-    /// stack arenas plus the union-edge arenas).
+    /// Heap bytes held by the frontier-staging buffers alone (the shared
+    /// edgeMap scratch plus the bounded per-worker local-search stacks).
     pub fn arena_bytes(&self) -> usize {
-        self.ldd.arena_bytes() + self.edges.heap_bytes()
+        self.ldd.arena_bytes()
     }
 }
 
@@ -135,52 +134,34 @@ where
     let n = g.n();
     let want_forest = forest_out.is_some();
     ldd_filtered_in(g, ldd_opts, filter, &mut scratch.ldd, want_forest);
-    let CcScratch { ldd, uf, edges } = scratch;
+    let CcScratch { ldd, uf } = scratch;
     uf.reset(n);
     let cluster = &ldd.cluster;
     let uf = &*uf;
 
-    // Union the clusters over inter-cluster edges, remembering which edges
-    // performed a union — those join the spanning forest. Each worker
-    // records its union winners in its own arena (no allocation, no
-    // shared append inside the parallel region); the barrier concatenates
-    // the arenas in worker-id order.
+    // Union the clusters over inter-cluster edges, remembering which
+    // edges performed a union — those join the spanning forest. Arcs are
+    // visited in degree-balanced blocks; winners go straight into
+    // pre-reserved forest slots through an atomic cursor (successful
+    // unions are rare — at most `#clusters - #components` across the
+    // whole scan — so the cursor never becomes a serialization point).
     if let Some(forest) = forest_out {
-        edges.reserve_each(n);
-        {
-            let arenas = &*edges;
-            let blocks = num_blocks(n, UNION_GRAIN);
-            par_for_grain(blocks, 1, |b| {
-                let lo = b * n / blocks;
-                let hi = (b + 1) * n / blocks;
-                arenas.with(|buf| {
-                    for u in lo as V..hi as V {
-                        let cu = cluster[u as usize];
-                        for &w in g.neighbors(u) {
-                            if u < w && filter(u, w) {
-                                let cw = cluster[w as usize];
-                                if cu != cw && uf.unite(cu, cw) {
-                                    buf.push((u, w));
-                                }
-                            }
-                        }
-                    }
-                });
-            });
-        }
         forest.clear();
         forest.extend_from_slice(&ldd.tree_edges);
-        edges.append_to(forest);
+        stage_union_winners(g, forest, |u, w| {
+            if u < w && filter(u, w) {
+                let (cu, cw) = (cluster[u as usize], cluster[w as usize]);
+                cu != cw && uf.unite(cu, cw)
+            } else {
+                false
+            }
+        });
     } else {
-        par_for_grain(n, UNION_GRAIN, |u| {
-            let u = u as V;
-            let cu = cluster[u as usize];
-            for &w in g.neighbors(u) {
-                if u < w && filter(u, w) {
-                    let cw = cluster[w as usize];
-                    if cu != cw {
-                        uf.unite(cu, cw);
-                    }
+        for_arcs_balanced(g.offsets(), g.arcs(), UNION_GRAIN, |u, w| {
+            if u < w && filter(u, w) {
+                let (cu, cw) = (cluster[u as usize], cluster[w as usize]);
+                if cu != cw {
+                    uf.unite(cu, cw);
                 }
             }
         });
@@ -235,42 +216,61 @@ where
     F: Fn(V, V) -> bool + Sync,
 {
     let n = g.n();
-    let CcScratch { uf, edges, .. } = scratch;
+    let CcScratch { uf, .. } = scratch;
     uf.reset(n);
     let uf_ref = &*uf;
     if let Some(forest) = forest_out {
-        edges.reserve_each(n);
-        {
-            let arenas = &*edges;
-            let blocks = num_blocks(n, UNION_GRAIN);
-            par_for_grain(blocks, 1, |b| {
-                let lo = b * n / blocks;
-                let hi = (b + 1) * n / blocks;
-                arenas.with(|buf| {
-                    for u in lo as V..hi as V {
-                        for &w in g.neighbors(u) {
-                            if u < w && filter(u, w) && uf_ref.unite(u, w) {
-                                buf.push((u, w));
-                            }
-                        }
-                    }
-                });
-            });
-        }
         forest.clear();
-        edges.append_to(forest);
+        stage_union_winners(g, forest, |u, w| {
+            u < w && filter(u, w) && uf_ref.unite(u, w)
+        });
     } else {
-        par_for_grain(n, UNION_GRAIN, |u| {
-            let u = u as V;
-            for &w in g.neighbors(u) {
-                if u < w && filter(u, w) {
-                    uf_ref.unite(u, w);
-                }
+        for_arcs_balanced(g.offsets(), g.arcs(), UNION_GRAIN, |u, w| {
+            if u < w && filter(u, w) {
+                uf_ref.unite(u, w);
             }
         });
     }
     uf_ref.labels_into(labels_out);
     count_components(labels_out)
+}
+
+/// Scan every arc of `g` in degree-balanced blocks, appending `(u, w)` to
+/// `forest` for each arc on which `win(u, w)` returns `true` (a
+/// successful union). Winners land in pre-reserved slots claimed by an
+/// atomic cursor: a spanning structure admits at most `n - len` winners
+/// on top of the `len` entries already present, so the buffer's `n`-slot
+/// reserve is a deterministic envelope and the parallel region performs
+/// no allocation. Winner order between blocks follows claim order (at a
+/// worker budget of 1 this is ascending arc order, keeping single-thread
+/// solves bit-reproducible).
+fn stage_union_winners<W>(g: &Graph, forest: &mut Vec<(V, V)>, win: W)
+where
+    W: Fn(V, V) -> bool + Sync,
+{
+    let n = g.n();
+    let base = forest.len();
+    debug_assert!(base <= n);
+    reserve_to(forest, n);
+    // SAFETY: the appended slots are written only through the cursor
+    // below, and `win` admits at most `n - base - 1` winners when n > 0:
+    // the `base` entries plus the winners together stay acyclic over `n`
+    // vertices (tree edges + successful unions), so their total is below
+    // `n`. Every slot up to the final cursor value is written exactly
+    // once, and `truncate` discards the rest.
+    unsafe { extend_uninit(forest, n - base) };
+    let cursor = AtomicUsize::new(0);
+    {
+        let view = UnsafeSlice::new(&mut forest[base..]);
+        for_arcs_balanced(g.offsets(), g.arcs(), UNION_GRAIN, |u, w| {
+            if win(u, w) {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: `i` is uniquely claimed and in bounds (see above).
+                unsafe { view.write(i, (u, w)) };
+            }
+        });
+    }
+    forest.truncate(base + cursor.into_inner());
 }
 
 /// BFS-based CC (diameter-bound span); forest = BFS tree arcs.

@@ -23,12 +23,13 @@
 
 use fastbcc_graph::{Graph, NONE, V};
 use fastbcc_primitives::atomics::as_atomic_u32;
+use fastbcc_primitives::edgemap::{edge_map, EdgeMapMode, EdgeMapScratch, FrontierOp};
 use fastbcc_primitives::hashbag::HashBag;
 use fastbcc_primitives::pack::pack_map_into;
-use fastbcc_primitives::par::{num_blocks, par_for, par_for_grain};
+use fastbcc_primitives::par::{par_for, par_for_grain};
 use fastbcc_primitives::rng::{exponential, hash64_pair};
 use fastbcc_primitives::semisort::semisort_by_small_key_into;
-use fastbcc_primitives::slice::{reuse_uninit, UnsafeSlice};
+use fastbcc_primitives::slice::{reserve_to, reuse_uninit, UnsafeSlice};
 use fastbcc_primitives::worker_local::WorkerLocal;
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
@@ -41,6 +42,9 @@ pub struct LddOpts {
     pub local_search: bool,
     /// Randomness seed for the exponential shifts.
     pub seed: u64,
+    /// Frontier traversal direction; [`EdgeMapMode::Auto`] switches
+    /// between pre-counted sparse expansion and bottom-up dense rounds.
+    pub frontier_mode: EdgeMapMode,
 }
 
 impl Default for LddOpts {
@@ -49,6 +53,7 @@ impl Default for LddOpts {
             beta: None,
             local_search: true,
             seed: 0x5EED_1DD,
+            frontier_mode: EdgeMapMode::Auto,
         }
     }
 }
@@ -65,17 +70,20 @@ pub struct LddResult {
 }
 
 /// Reusable per-solve buffers for the decomposition: the `O(n)`
-/// cluster/parent arrays, the cluster-forest arc buffer, the frontier and
-/// start-round grouping buffers, the per-worker expansion arenas, and the
-/// lazily created local-search hash bag. Sized on first use and reused
-/// verbatim by subsequent calls of any size.
+/// cluster/parent arrays, the cluster-forest arc buffer, the frontier
+/// double-buffer and start-round grouping buffers, the shared edgeMap
+/// expansion scratch, and the lazily created local-search hash bag. Sized
+/// on first use and reused verbatim by subsequent calls of any size.
 ///
-/// Every buffer is reserved to a *deterministic* bound (a function of `n`
-/// and the options, never of the parallel schedule), so
-/// [`heap_bytes`](Self::heap_bytes) is identical across repeated solves of
-/// the same input even though which worker claims which vertex is
-/// timing-dependent — the property the engine's warm-solve
-/// `fresh_alloc_bytes == 0` guarantee rests on.
+/// Every buffer is reserved to a *deterministic* bound (a function of
+/// `n`, `m`, and the options — never of the parallel schedule or the
+/// worker ceiling), so [`heap_bytes`](Self::heap_bytes) is identical
+/// across repeated solves of the same input even though which worker
+/// claims which vertex is timing-dependent — the property the engine's
+/// warm-solve `fresh_alloc_bytes == 0` guarantee rests on. Unlike the
+/// per-worker-arena layout this replaced, nothing here scales with
+/// [`fastbcc_primitives::max_workers`] except the constant-size
+/// (65-entry) local-search DFS stacks.
 #[derive(Default)]
 pub struct LddScratch {
     /// Cluster id per vertex (output; valid after a `ldd_filtered_in` call).
@@ -90,19 +98,22 @@ pub struct LddScratch {
     /// when the vertex count changes.
     ids: Vec<V>,
     bag: Option<HashBag>,
-    /// Current frontier, double-buffered against the `next` arenas.
+    /// Current frontier, double-buffered against `next_frontier`.
     frontier: Vec<V>,
+    /// The edgeMap output frontier, swapped with `frontier` per round.
+    next_frontier: Vec<V>,
     /// Surviving (not already swallowed) centers of the current round.
     centers: Vec<V>,
     /// Vertices grouped by start round, with group offsets (the pooled
     /// output of the start-round semisort).
     by_round: Vec<V>,
     round_offsets: Vec<usize>,
-    /// Per-worker next-frontier arenas: each worker appends the vertices
-    /// it claims to its own arena; the round barrier concatenates the
-    /// arenas in worker-id order.
-    next: WorkerLocal<Vec<V>>,
-    /// Per-worker DFS stacks for the multi-hop local search.
+    /// Degree prefix sums, shared claim slots, and dense bitmaps of the
+    /// pre-counted frontier expansion.
+    em: EdgeMapScratch,
+    /// Per-worker DFS stacks for the multi-hop local search (bounded to
+    /// [`LOCAL_SEARCH_STACK`] entries each — the one deliberately
+    /// per-worker buffer left in the frontier machinery).
     stacks: WorkerLocal<Vec<V>>,
 }
 
@@ -115,23 +126,24 @@ impl LddScratch {
         Self::default()
     }
 
-    /// Pre-reserve the per-vertex buffers (worker arenas included) for `n`
-    /// vertices.
-    pub fn reserve(&mut self, n: usize) {
+    /// Pre-reserve the per-vertex and frontier-layer buffers for an
+    /// `n`-vertex, `m_arcs`-arc input.
+    pub fn reserve(&mut self, n: usize, m_arcs: usize) {
         self.cluster.reserve(n);
         self.parent.reserve(n);
         self.tree_edges.reserve(n);
         self.start_round.reserve(n);
         self.ids.reserve(n);
         self.frontier.reserve(n);
+        self.next_frontier.reserve(n);
         self.centers.reserve(n);
         self.by_round.reserve(n);
-        self.next.reserve_each(n);
+        self.em.reserve(n, m_arcs);
         self.stacks.reserve_each(LOCAL_SEARCH_STACK);
     }
 
     /// Heap bytes currently reserved by the scratch buffers (capacity, not
-    /// length), the per-worker arenas included — the engine's
+    /// length), the frontier-layer staging included — the engine's
     /// fresh-allocation accounting reads this.
     pub fn heap_bytes(&self) -> usize {
         4 * (self.cluster.capacity()
@@ -139,6 +151,7 @@ impl LddScratch {
             + self.start_round.capacity()
             + self.ids.capacity()
             + self.frontier.capacity()
+            + self.next_frontier.capacity()
             + self.centers.capacity()
             + self.by_round.capacity())
             + 8 * self.round_offsets.capacity()
@@ -147,10 +160,16 @@ impl LddScratch {
             + self.arena_bytes()
     }
 
-    /// Heap bytes held by the per-worker arenas alone (one next-frontier
-    /// buffer and one local-search stack per possible worker identity).
+    /// Heap bytes held by the frontier-staging buffers alone: the shared
+    /// edgeMap scratch (degree prefix sums, claim slots, dense bitmaps)
+    /// plus the bounded per-worker local-search stacks.
     pub fn arena_bytes(&self) -> usize {
-        self.next.heap_bytes() + self.stacks.heap_bytes()
+        self.em.heap_bytes() + self.stacks.heap_bytes()
+    }
+
+    /// Dense (bottom-up) frontier rounds run since the last solve started.
+    pub fn dense_rounds(&self) -> usize {
+        self.em.dense_rounds()
     }
 }
 
@@ -163,9 +182,6 @@ fn local_search_threshold() -> usize {
 }
 /// Max vertices a single frontier vertex may claim in one local search.
 const LOCAL_SEARCH_BUDGET: usize = 64;
-/// Frontier vertices per expansion block: small enough that high-degree
-/// stragglers rebalance, large enough to amortize the block claim.
-const FRONTIER_GRAIN: usize = 64;
 
 /// Compute the decomposition of `g`.
 pub fn ldd(g: &Graph, opts: LddOpts) -> LddResult {
@@ -259,13 +275,14 @@ where
 
     // Pre-size the frontier machinery to its deterministic envelope: a
     // vertex enters the frontier at most once ever (entering requires
-    // winning its claim), so every buffer is bounded by `n` — and by the
-    // (deterministic) largest start-round group for the center pack. The
-    // per-worker arenas get the full `n` bound each: *which* worker claims
-    // how much is scheduling-dependent, and a capacity that never moves is
-    // what keeps `heap_bytes()` reproducible and warm solves
-    // allocation-free.
+    // winning its claim), so the frontier double-buffer is bounded by `n`
+    // — and by the (deterministic) largest start-round group for the
+    // center pack. The edgeMap scratch is bounded by `(n, m)` alone (the
+    // shared claim-slot buffer never exceeds the dense-switch threshold
+    // in `Auto` mode), which is what keeps `heap_bytes()` reproducible
+    // and warm solves allocation-free at any worker budget.
     reserve_to(&mut scratch.frontier, n);
+    reserve_to(&mut scratch.next_frontier, n);
     let max_group = scratch
         .round_offsets
         .windows(2)
@@ -273,7 +290,8 @@ where
         .max()
         .unwrap_or(0);
     reserve_to(&mut scratch.centers, max_group);
-    scratch.next.reserve_each(n);
+    scratch.em.reserve(n, g.m());
+    scratch.em.reset_stats();
     scratch.stacks.reserve_each(LOCAL_SEARCH_STACK);
     if collect_tree_edges {
         reserve_to(&mut scratch.tree_edges, n);
@@ -285,10 +303,11 @@ where
         tree_edges,
         bag: bag_slot,
         frontier,
+        next_frontier,
         centers,
         by_round,
         round_offsets,
-        next,
+        em,
         stacks,
         ..
     } = &mut *scratch;
@@ -374,42 +393,27 @@ where
             }
             bag.extract_all_into(frontier);
         } else {
-            // Per-worker frontier generation: each worker claims vertices
-            // by CAS and appends them to its own arena — no allocation and
-            // no shared append inside the parallel region. The round
-            // barrier then concatenates the arenas in worker-id order.
-            {
-                let fr: &[V] = frontier;
-                let arenas = &*next;
-                let blocks = num_blocks(fr.len(), FRONTIER_GRAIN);
-                par_for_grain(blocks, 1, |b| {
-                    let lo = b * fr.len() / blocks;
-                    let hi = (b + 1) * fr.len() / blocks;
-                    arenas.with(|buf| {
-                        for &u in &fr[lo..hi] {
-                            let cu = cluster[u as usize].load(Ordering::Relaxed);
-                            for &w in g.neighbors(u) {
-                                if filter(u, w)
-                                    && cluster[w as usize].load(Ordering::Relaxed) == NONE
-                                    && cluster[w as usize]
-                                        .compare_exchange(
-                                            NONE,
-                                            cu,
-                                            Ordering::Relaxed,
-                                            Ordering::Relaxed,
-                                        )
-                                        .is_ok()
-                                {
-                                    parent_a[w as usize].store(u, Ordering::Relaxed);
-                                    buf.push(w);
-                                }
-                            }
-                        }
-                    });
-                });
-            }
-            frontier.clear();
-            next.append_to(frontier);
+            // Pre-counted edgeMap expansion: claims land in prefix-summed
+            // slots of one shared buffer (degree-balanced blocks), or —
+            // when the frontier's degree sum crosses the density
+            // threshold — in a CAS-free bottom-up sweep over a bitmap
+            // frontier. No per-worker staging, no worker-id merge.
+            let op = LddClaim {
+                cluster,
+                parent: parent_a,
+                filter,
+            };
+            edge_map(
+                g.offsets(),
+                g.arcs(),
+                frontier,
+                n - covered,
+                &op,
+                opts.frontier_mode,
+                em,
+                next_frontier,
+            );
+            std::mem::swap(frontier, next_frontier);
             covered += frontier.len();
         }
     }
@@ -427,11 +431,45 @@ where
     rounds
 }
 
-/// Grow `v`'s capacity to at least `cap` (exactly, so repeated solves see
-/// a reproducible `heap_bytes`).
-fn reserve_to<T>(v: &mut Vec<T>, cap: usize) {
-    if v.capacity() < cap {
-        v.reserve_exact(cap - v.len());
+/// The LDD claim protocol over the shared `cluster`/`parent` atomics:
+/// a vertex joins the claiming endpoint's cluster.
+struct LddClaim<'a, F> {
+    cluster: &'a [AtomicU32],
+    parent: &'a [AtomicU32],
+    filter: &'a F,
+}
+
+impl<F: Fn(V, V) -> bool + Sync> FrontierOp for LddClaim<'_, F> {
+    fn try_claim(&self, u: V, w: V) -> bool {
+        if !(self.filter)(u, w) || self.cluster[w as usize].load(Ordering::Relaxed) != NONE {
+            return false;
+        }
+        let cu = self.cluster[u as usize].load(Ordering::Relaxed);
+        if self.cluster[w as usize]
+            .compare_exchange(NONE, cu, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.parent[w as usize].store(u, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn claim_unique(&self, u: V, w: V) -> bool {
+        // Dense rounds hand each vertex to exactly one task, so the claim
+        // needs no CAS — the direction optimization's second win.
+        if !(self.filter)(u, w) || self.cluster[w as usize].load(Ordering::Relaxed) != NONE {
+            return false;
+        }
+        let cu = self.cluster[u as usize].load(Ordering::Relaxed);
+        self.cluster[w as usize].store(cu, Ordering::Relaxed);
+        self.parent[w as usize].store(u, Ordering::Relaxed);
+        true
+    }
+
+    fn wants(&self, w: V) -> bool {
+        self.cluster[w as usize].load(Ordering::Relaxed) == NONE
     }
 }
 
@@ -554,6 +592,7 @@ mod tests {
                 beta: Some(0.02),
                 seed: 1,
                 local_search: false,
+                ..Default::default()
             },
         );
         let high = ldd(
@@ -562,6 +601,7 @@ mod tests {
                 beta: Some(0.9),
                 seed: 1,
                 local_search: false,
+                ..Default::default()
             },
         );
         let count = |r: &LddResult| (0..g.n()).filter(|&v| r.cluster[v] == v as u32).count();
@@ -585,6 +625,7 @@ mod tests {
                 beta: Some(0.01),
                 local_search: false,
                 seed: 2,
+                ..Default::default()
             },
         );
         let opt = ldd(
@@ -593,6 +634,7 @@ mod tests {
                 beta: Some(0.01),
                 local_search: true,
                 seed: 2,
+                ..Default::default()
             },
         );
         check_valid_decomposition(&g, &plain);
@@ -652,6 +694,7 @@ mod tests {
             beta: Some(0.01),
             local_search: true,
             seed: 2,
+            ..Default::default()
         };
         ldd_filtered_in(&path(5_000), small_opts, &|_, _| true, &mut scratch, true);
         let big = path(150_000);
@@ -659,6 +702,7 @@ mod tests {
             beta: Some(0.005),
             local_search: true,
             seed: 2,
+            ..Default::default()
         };
         let rounds = ldd_filtered_in(&big, big_opts, &|_, _| true, &mut scratch, true);
         assert!(rounds > 32, "test premise: local search must engage");
@@ -681,5 +725,63 @@ mod tests {
             ldd_filtered_in(&g, LddOpts::default(), &|_, _| true, &mut scratch, true);
             assert_eq!(scratch.heap_bytes(), bytes, "scratch buffers reallocated");
         }
+    }
+
+    #[test]
+    fn forced_sparse_and_dense_agree_on_zoo() {
+        // With local search off, the per-round frontier *sets* are a
+        // schedule-independent fact of the graph, so the round count must
+        // match between top-down and bottom-up traversal; cluster
+        // ownership may differ (different claim winners) but both must be
+        // valid decompositions.
+        for g in [
+            path(300),
+            cycle(64),
+            star(40),
+            complete(20),
+            windmill(7),
+            grid2d(25, 25, true),
+            rmat(9, 2_000, 13),
+        ] {
+            let run = |mode| {
+                let res = ldd(
+                    &g,
+                    LddOpts {
+                        local_search: false,
+                        frontier_mode: mode,
+                        ..Default::default()
+                    },
+                );
+                check_valid_decomposition(&g, &res);
+                res.rounds
+            };
+            let sparse = run(EdgeMapMode::Sparse);
+            let dense = run(EdgeMapMode::Dense);
+            let auto = run(EdgeMapMode::Auto);
+            assert_eq!(sparse, dense, "round counts diverged on n={}", g.n());
+            assert_eq!(sparse, auto, "auto diverged on n={}", g.n());
+        }
+    }
+
+    #[test]
+    fn auto_mode_runs_dense_rounds_on_dense_graphs() {
+        // A clique's first expansion already exceeds the m/20 threshold.
+        let g = complete(60);
+        let mut scratch = LddScratch::new();
+        ldd_filtered_in(&g, LddOpts::default(), &|_, _| true, &mut scratch, true);
+        assert!(
+            scratch.dense_rounds() > 0,
+            "clique expansion stayed top-down"
+        );
+        // The counter resets per solve, and a trivial solve runs no dense
+        // rounds at all.
+        ldd_filtered_in(
+            &Graph::empty(64),
+            LddOpts::default(),
+            &|_, _| true,
+            &mut scratch,
+            true,
+        );
+        assert_eq!(scratch.dense_rounds(), 0, "counter must reset per solve");
     }
 }

@@ -28,6 +28,7 @@ pub mod ldd;
 pub mod spanning_forest;
 pub mod unionfind;
 
+pub use bfs::{bfs_forest, bfs_forest_in, BfsForest, BfsScratch};
 pub use cc::{bfs_cc, cc_seq, ldd_uf_jtb, uf_async, CcOpts, CcOutput, CcScratch};
 pub use ldd::LddScratch;
 pub use unionfind::{ConcurrentUnionFind, SeqUnionFind};

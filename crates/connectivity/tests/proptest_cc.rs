@@ -68,7 +68,7 @@ proptest! {
 
     #[test]
     fn ldd_is_valid_decomposition(g in arb_graph(48, 150), seed in any::<u64>(), local in any::<bool>()) {
-        let res = ldd(&g, LddOpts { beta: None, local_search: local, seed });
+        let res = ldd(&g, LddOpts { beta: None, local_search: local, seed, ..Default::default() });
         let n = g.n();
         let cc = cc_labels_seq(&g);
         for v in 0..n {

@@ -11,16 +11,18 @@
 //! yield a *valid* decomposition (full coverage, self-owned centers, one
 //! tree arc per non-center, clusters within components).
 
-use fastbcc_connectivity::bfs::bfs_forest;
+use fastbcc_connectivity::bfs::{bfs_forest, bfs_forest_in, BfsScratch};
 use fastbcc_connectivity::cc::{ldd_uf_jtb, CcOpts};
 use fastbcc_connectivity::ldd::{ldd, LddOpts};
 use fastbcc_graph::builder::from_edges;
 use fastbcc_graph::stats::cc_labels_seq;
 use fastbcc_graph::{Graph, NONE, V};
+use fastbcc_primitives::edgemap::EdgeMapMode;
 use fastbcc_primitives::with_threads;
 use proptest::prelude::*;
 
 const BUDGETS: [usize; 3] = [1, 2, 8];
+const MODES: [EdgeMapMode; 3] = [EdgeMapMode::Sparse, EdgeMapMode::Dense, EdgeMapMode::Auto];
 
 fn arb_graph(nmax: usize, mmax: usize) -> impl Strategy<Value = Graph> {
     (1..nmax).prop_flat_map(move |n| {
@@ -94,6 +96,50 @@ proptest! {
             .collect();
         for (k, run) in BUDGETS.iter().zip(&runs) {
             prop_assert_eq!(run, &runs[0], "BFS diverged at {} threads", k);
+        }
+    }
+
+    #[test]
+    fn cc_partition_identical_across_edgemap_modes_and_budgets(g in arb_graph(64, 200)) {
+        // The CC partition is a fact of the graph: forcing the frontier
+        // layer top-down or bottom-up at any worker budget must not
+        // change it (and the forest stays spanning-sized).
+        let mut runs: Vec<(Vec<u32>, usize)> = Vec::new();
+        for &k in &BUDGETS {
+            for mode in MODES {
+                let run = with_threads(k, || {
+                    let opts = CcOpts {
+                        ldd: LddOpts { frontier_mode: mode, ..Default::default() },
+                        want_forest: true,
+                    };
+                    let out = ldd_uf_jtb(&g, opts);
+                    let forest = out.forest.as_ref().unwrap();
+                    prop_assert_eq!(forest.len(), g.n() - out.num_components);
+                    Ok((normalize(&out.labels), out.num_components))
+                })?;
+                runs.push(run);
+            }
+        }
+        for run in &runs {
+            prop_assert_eq!(run, &runs[0], "CC diverged across modes/budgets");
+        }
+    }
+
+    #[test]
+    fn bfs_levels_identical_across_edgemap_modes_and_budgets(g in arb_graph(64, 200)) {
+        let mut runs = Vec::new();
+        for &k in &BUDGETS {
+            for mode in MODES {
+                runs.push(with_threads(k, || {
+                    let mut scratch = BfsScratch::new();
+                    bfs_forest_in(&g, mode, &mut scratch);
+                    let f = &scratch.forest;
+                    (f.level.clone(), f.root.clone(), f.roots.clone(), f.rounds)
+                }));
+            }
+        }
+        for run in &runs {
+            prop_assert_eq!(run, &runs[0], "BFS diverged across modes/budgets");
         }
     }
 

@@ -32,12 +32,13 @@
 //! These are short-lived churn within a solve — candidates for future
 //! pooling — whereas `fresh()` answers the narrower question the
 //! acceptance criterion poses: did any *pooled* buffer (the major arrays
-//! listed above) have to grow this solve. The LDD's frontier machinery
-//! (per-round frontier, start-round grouping, per-worker
-//! `WorkerLocal` arenas) *is* pooled as of the per-worker-scratch
-//! refactor: those buffers live in the scratches, are reserved to
-//! deterministic bounds, and are counted by `heap_bytes()` — which is
-//! why `fresh() == 0` holds on warm solves at any thread budget.
+//! listed above) have to grow this solve. The frontier machinery
+//! (per-round frontier double-buffer, start-round grouping, and the
+//! shared pre-counted edgeMap claim buffer with its dense bitmaps) *is*
+//! pooled: those buffers live in the scratches, are reserved to bounds
+//! deterministic in `(n, m)` alone — nothing scales with the worker
+//! ceiling anymore — and are counted by `heap_bytes()`, which is why
+//! `fresh() == 0` holds on warm solves at any thread budget.
 
 use crate::algo::{assign_heads_in, BccOpts, BccResult, Breakdown, CcScheme};
 use crate::space::SpaceTracker;
@@ -81,14 +82,16 @@ impl Workspace {
     /// Pre-reserve the pooled buffers for an `n`-vertex graph, so even the
     /// first solve avoids most growth.
     ///
-    /// `m` (undirected edge count) is accepted for API symmetry with graph
-    /// constructors but no pooled buffer scales with it: the input CSR is
-    /// borrowed, and every per-edge pass writes only `O(n)` outputs (the
-    /// spanning forest and ETT arc arrays are bounded by `2(n-1)`). The
-    /// `O(√n)` list-ranking sample tables size themselves on first use.
-    pub fn with_capacity(n: usize, _m: usize) -> Self {
+    /// `m` (undirected edge count) sizes only the edgeMap frontier layer's
+    /// shared claim-slot buffer, which is bounded by the sparse↔dense
+    /// switch threshold (`max(n, arcs/20)` slots). Everything else is
+    /// `O(n)`: the input CSR is borrowed, and every per-edge pass writes
+    /// only `O(n)` outputs (the spanning forest and ETT arc arrays are
+    /// bounded by `2(n-1)`). The `O(√n)` list-ranking sample tables size
+    /// themselves on first use.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
         let mut ws = Self::new();
-        ws.cc.reserve(n);
+        ws.cc.reserve(n, 2 * m);
         ws.first_labels.reserve(n);
         ws.forest.reserve(n);
         ws.tree_offsets.reserve(n + 1);
@@ -244,6 +247,7 @@ impl BccEngine {
             beta: None,
             local_search: opts.local_search,
             seed: opts.seed,
+            ..Default::default()
         };
 
         // ---- Step 1: First-CC (spanning forest) -------------------------
@@ -269,7 +273,8 @@ impl BccEngine {
         let first_cc = t0.elapsed();
         debug_assert_eq!(ws.forest.len(), n - num_cc);
         // LDD cluster/parent arrays + UF + labels + forest edges, plus the
-        // per-worker arenas the connectivity phases stage claims in.
+        // shared frontier-staging buffers the connectivity phases claim
+        // through (edgeMap slots, dense bitmaps, local-search stacks).
         ws.space
             .alloc(4 * n * 3 + 4 * n + 8 * ws.forest.len() + ws.cc.arena_bytes());
 

@@ -13,6 +13,18 @@
 //! repeated solve on a same-shaped input reports `fresh() == 0`: every
 //! major array was served from the pooled buffers.
 
+/// The linear budget a warm engine's reserved workspace must fit:
+/// ~170 bytes/vertex of `O(n)` phase arrays plus the `O(m/20)` edgeMap
+/// claim-slot buffer, with headroom (observed suite maximum ≈ 208·n
+/// with m ≈ n). `m_undirected` is the undirected edge count. This is
+/// the single source of truth for the space-regression gate: the
+/// `bench-smoke` runner assertion and `tests/frontier_space.rs` call
+/// it, and the CI python gate in `.github/workflows/ci.yml` mirrors it
+/// by hand (keep the three in sync through this function).
+pub fn workspace_budget_bytes(n: usize, m_undirected: usize) -> usize {
+    200 * n + 8 * m_undirected + (1 << 16)
+}
+
 /// Running/peak byte counter for auxiliary allocations, plus a per-solve
 /// fresh-allocation counter for buffer-reuse verification.
 #[derive(Debug, Default, Clone)]

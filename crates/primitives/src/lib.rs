@@ -24,11 +24,13 @@
 //! | [`rmq`] | sparse table build | `O(n log n)` | `O(log n)` |
 //! | [`hashbag`] | concurrent bag insert | `O(1)` amortized | — |
 //! | [`worker_local`] | per-worker scratch arenas | `O(1)` access | — |
+//! | [`edgemap`] | sparse/dense frontier expansion | `O(frontier degree)` | `O(log n)` |
 //!
 //! Spans are quoted under the usual assumption of unit-cost atomics
 //! (compare-and-swap), as in Section 2 of the paper.
 
 pub mod atomics;
+pub mod edgemap;
 pub mod hashbag;
 pub mod mergesort;
 pub mod pack;
@@ -42,6 +44,7 @@ pub mod slice;
 pub mod sort;
 pub mod worker_local;
 
+pub use edgemap::{EdgeMapMode, EdgeMapScratch, FrontierOp};
 pub use par::{max_workers, num_threads, pool_spawns, with_threads, worker_index};
 pub use slice::UnsafeSlice;
 pub use worker_local::WorkerLocal;

@@ -146,10 +146,32 @@ pub unsafe fn extend_uninit<T: Copy>(v: &mut Vec<T>, extra: usize) {
     v.set_len(v.len() + extra);
 }
 
+/// Grow `v`'s capacity to at least `cap` with `reserve_exact`, so equal
+/// requests produce equal capacities — the scratch-pooling convention
+/// that keeps `heap_bytes()` reproducible across repeated solves.
+pub fn reserve_to<T>(v: &mut Vec<T>, cap: usize) {
+    if v.capacity() < cap {
+        v.reserve_exact(cap - v.len());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::par::par_for;
+
+    #[test]
+    fn reserve_to_is_exact_and_monotone() {
+        let mut v: Vec<u32> = Vec::new();
+        reserve_to(&mut v, 100);
+        assert_eq!(v.capacity(), 100);
+        reserve_to(&mut v, 50);
+        assert_eq!(v.capacity(), 100, "smaller requests must not shrink");
+        v.extend([1, 2, 3]);
+        reserve_to(&mut v, 200);
+        assert_eq!(v.capacity(), 200);
+        assert_eq!(v, [1, 2, 3]);
+    }
 
     #[test]
     fn disjoint_parallel_writes_land() {
