@@ -32,12 +32,43 @@ pub struct BlockCutTree {
     pub cuts: Vec<V>,
     /// Edges `(block label, articulation vertex)`; sorted.
     pub edges: Vec<(u32, V)>,
+    /// CSR offsets of the cut-side adjacency: the blocks containing the cut
+    /// vertex `cuts[i]` are `cut_adj[cut_offsets[i] .. cut_offsets[i + 1]]`.
+    /// Length `cuts.len() + 1`. The query index
+    /// ([`crate::query::BccIndex`]) consumes the same arrays when it builds
+    /// the full forest CSR.
+    pub cut_offsets: Vec<u32>,
+    /// Block labels grouped by cut vertex (the arcs of the cut-side CSR),
+    /// ascending within each group.
+    pub cut_adj: Vec<u32>,
 }
 
 impl BlockCutTree {
+    /// Rank of `v` in the (ascending) cut-vertex list, or `None` when `v`
+    /// is not an articulation point. `O(log #cuts)`.
+    #[inline]
+    pub fn cut_rank(&self, v: V) -> Option<usize> {
+        self.cuts.binary_search(&v).ok()
+    }
+
     /// Degree of a cut vertex in the tree = number of blocks it belongs to.
+    /// `O(log #cuts)` via the cut-side CSR offsets (0 for non-cut vertices).
     pub fn cut_degree(&self, v: V) -> usize {
-        self.edges.iter().filter(|&&(_, c)| c == v).count()
+        match self.cut_rank(v) {
+            Some(i) => (self.cut_offsets[i + 1] - self.cut_offsets[i]) as usize,
+            None => 0,
+        }
+    }
+
+    /// The labels of every block containing the cut vertex `v` (empty for
+    /// non-cut vertices). `O(log #cuts)`.
+    pub fn blocks_of_cut(&self, v: V) -> &[u32] {
+        match self.cut_rank(v) {
+            Some(i) => {
+                &self.cut_adj[self.cut_offsets[i] as usize..self.cut_offsets[i + 1] as usize]
+            }
+            None => &[],
+        }
     }
 
     /// Number of tree nodes.
@@ -98,10 +129,32 @@ pub fn block_cut_tree(r: &BccResult) -> BlockCutTree {
     }
     edges.sort_unstable();
     edges.dedup();
+
+    // Cut-side CSR: group the edges by cut rank with the shared parallel
+    // counting sort (one binary-search rank per edge, computed up front).
+    // Keeps `cut_degree` a two-load offset difference instead of an
+    // `O(#edges)` scan per call.
+    let by_rank: Vec<(usize, u32)> = edges
+        .iter()
+        .map(|&(b, c)| (cuts.binary_search(&c).expect("edge endpoint not a cut"), b))
+        .collect();
+    let (grouped, offsets) =
+        fastbcc_primitives::sort::counting_sort_by(&by_rank, cuts.len(), |&(r, _)| r);
+    // (The sort clamps its bucket count to >= 1; with no cuts the CSR is
+    // the single sentinel offset.)
+    let cut_offsets: Vec<u32> = if cuts.is_empty() {
+        vec![0]
+    } else {
+        offsets.iter().map(|&o| o as u32).collect()
+    };
+    let cut_adj: Vec<u32> = grouped.iter().map(|&(_, b)| b).collect();
+
     BlockCutTree {
         blocks,
         cuts,
         edges,
+        cut_offsets,
+        cut_adj,
     }
 }
 
@@ -166,6 +219,40 @@ mod tests {
         // (4 blocks + 3 cuts), cycle (1 block), isolated vertices (none).
         assert_eq!(t.blocks.len(), 3 + 4 + 1);
         assert_eq!(t.cuts.len(), 1 + 3);
+    }
+
+    #[test]
+    fn cut_csr_mirrors_the_edge_list() {
+        for g in [
+            windmill(5),
+            barbell(4, 2),
+            clique_chain(5, 4),
+            disjoint_union(&[&windmill(3), &path(6), &cycle(4)]),
+        ] {
+            let t = tree_of(&g);
+            assert_eq!(t.cut_offsets.len(), t.cuts.len() + 1);
+            assert_eq!(*t.cut_offsets.last().unwrap() as usize, t.edges.len());
+            assert_eq!(t.cut_adj.len(), t.edges.len());
+            for (i, &c) in t.cuts.iter().enumerate() {
+                assert_eq!(t.cut_rank(c), Some(i));
+                // O(#edges) oracle the CSR replaced.
+                let want: Vec<u32> = t
+                    .edges
+                    .iter()
+                    .filter(|&&(_, x)| x == c)
+                    .map(|&(b, _)| b)
+                    .collect();
+                assert_eq!(t.blocks_of_cut(c), &want[..], "cut {c}");
+                assert_eq!(t.cut_degree(c), want.len());
+            }
+            // Non-cut vertices: degree 0, empty block list.
+            for v in 0..g.n() as V {
+                if t.cut_rank(v).is_none() {
+                    assert_eq!(t.cut_degree(v), 0);
+                    assert!(t.blocks_of_cut(v).is_empty());
+                }
+            }
+        }
     }
 
     #[test]

@@ -211,6 +211,15 @@ impl BccEngine {
         self.result
     }
 
+    /// Build a [`crate::query::BccIndex`] over the most recent solve (the
+    /// build-then-serve flow: `solve` once per graph version, `build_index`
+    /// once, answer query traffic from the index — it owns copies of the
+    /// arrays it needs, so it stays valid across later re-solves).
+    pub fn build_index(&self) -> crate::query::BccIndex {
+        let tree = crate::block_cut_tree::block_cut_tree(&self.result);
+        crate::query::BccIndex::build(&self.result, &tree)
+    }
+
     /// Run FAST-BCC on `g`, reusing every pooled buffer. The returned
     /// reference is valid until the next `solve`; clone fields out if you
     /// need them to outlive it.

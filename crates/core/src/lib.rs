@@ -29,6 +29,7 @@ pub mod algo;
 pub mod block_cut_tree;
 pub mod engine;
 pub mod postprocess;
+pub mod query;
 pub mod skeleton;
 pub mod space;
 pub mod tags;
@@ -37,4 +38,5 @@ pub use algo::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
 pub use block_cut_tree::{block_cut_tree, BcNode, BlockCutTree};
 pub use engine::{BccEngine, Workspace};
 pub use postprocess::{articulation_points, bridges, canonical_bccs, largest_bcc_size};
+pub use query::{random_mixed_batch, BccIndex, Query, QueryAnswer, QueryScratch};
 pub use tags::Tags;

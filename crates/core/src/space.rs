@@ -25,6 +25,19 @@ pub fn workspace_budget_bytes(n: usize, m_undirected: usize) -> usize {
     200 * n + 8 * m_undirected + (1 << 16)
 }
 
+/// The budget a [`crate::query::BccIndex`] over an `n`-vertex solve must
+/// fit: five `O(n)` vertex tables, the forest/tour tables (block-cut
+/// forest nodes ≤ 2n, tour length t ≤ 4n), and the blocked arg-RMQ's
+/// `O(t + (t/B) log(t/B))` summary — linear up to the summary's log
+/// factor, with headroom. The `queries` benchmark emits it next to the
+/// measured `index_bytes` so the CI gate compares two fields of one
+/// record (keep the gate and this function in sync).
+pub fn query_index_budget_bytes(n: usize) -> usize {
+    let t = 4 * n;
+    let lg = (usize::BITS - t.max(2).leading_zeros()) as usize;
+    128 * n + (t / 8) * lg + (1 << 16)
+}
+
 /// Running/peak byte counter for auxiliary allocations, plus a per-solve
 /// fresh-allocation counter for buffer-reuse verification.
 #[derive(Debug, Default, Clone)]

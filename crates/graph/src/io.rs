@@ -25,25 +25,90 @@ pub fn save_binary(g: &Graph, path: &Path) -> io::Result<()> {
     w.flush()
 }
 
+/// `InvalidData` error with a formatted message.
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
 /// Read a graph written by [`save_binary`].
+///
+/// The header and payload are **fully validated** — the loader treats the
+/// file as untrusted input. A header whose `n`/`m` does not match the file
+/// length (so an attacker-sized count can never drive a huge
+/// pre-reservation), a size computation that would overflow, non-monotone
+/// offsets, offsets not ending at `m`, or an arc id `>= n` all return
+/// [`io::ErrorKind::InvalidData`] instead of aborting on allocation
+/// failure or panicking inside [`Graph::from_raw_parts`].
 pub fn load_binary(path: &Path) -> io::Result<Graph> {
-    let mut r = BufReader::new(File::open(path)?);
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(bad("bad magic"));
     }
-    let n = read_u64(&mut r)? as usize;
-    let m = read_u64(&mut r)? as usize;
+    let n64 = read_u64(&mut r)?;
+    let m64 = read_u64(&mut r)?;
+    // Vertex ids are u32 with u32::MAX reserved as NONE.
+    if n64 >= u32::MAX as u64 {
+        return Err(bad(format!("vertex count {n64} exceeds the u32 id space")));
+    }
+    // The payload sizes implied by the header must match the actual file
+    // length exactly: this both detects truncation/corruption and caps
+    // every allocation below by what the file really holds.
+    let offsets_bytes = (n64 + 1)
+        .checked_mul(8)
+        .ok_or_else(|| bad("offset table size overflows"))?;
+    let arcs_bytes = m64
+        .checked_mul(4)
+        .ok_or_else(|| bad("arc table size overflows"))?;
+    let want_len = offsets_bytes
+        .checked_add(arcs_bytes)
+        .and_then(|b| b.checked_add(24)) // magic + n + m
+        .ok_or_else(|| bad("header sizes overflow"))?;
+    if want_len != file_len {
+        return Err(bad(format!(
+            "file length {file_len} does not match header (n={n64}, m={m64} need {want_len})"
+        )));
+    }
+    // Everything below is validated in u64 *before* any usize cast, so a
+    // 32-bit host truncating a 2^32+k value can never smuggle it past the
+    // checks (the casts are then bounded by m64, itself bounded here).
+    if m64 > usize::MAX as u64 / 4 {
+        return Err(bad(format!("arc count {m64} exceeds the address space")));
+    }
+    let (n, m) = (n64 as usize, m64 as usize);
+
     let mut offsets = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        offsets.push(read_u64(&mut r)? as usize);
+    let mut prev = 0u64;
+    for i in 0..=n {
+        let o = read_u64(&mut r)?;
+        if i == 0 && o != 0 {
+            return Err(bad(format!("first offset is {o}, expected 0")));
+        }
+        if o < prev {
+            return Err(bad(format!("offset {o} at index {i} decreases (< {prev})")));
+        }
+        if o > m64 {
+            return Err(bad(format!("offset {o} at index {i} exceeds m = {m64}")));
+        }
+        prev = o;
+        offsets.push(o as usize);
     }
+    if prev != m64 {
+        return Err(bad(format!("last offset {prev} != m = {m64}")));
+    }
+
     let mut arcs = vec![0 as V; m];
     let mut buf = vec![0u8; m * 4];
     r.read_exact(&mut buf)?;
     for (i, c) in buf.chunks_exact(4).enumerate() {
-        arcs[i] = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let a = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        if a as u64 >= n64 {
+            return Err(bad(format!("arc {a} at index {i} out of range (n = {n})")));
+        }
+        arcs[i] = a;
     }
     Ok(Graph::from_raw_parts(offsets, arcs))
 }
@@ -70,38 +135,65 @@ pub fn save_adjacency_text(g: &Graph, path: &Path) -> io::Result<()> {
 }
 
 /// Read the PBBS "AdjacencyGraph" text format.
+///
+/// Validated like [`load_binary`]: counts/offsets/arcs are parsed as full
+/// `u64` values (no silent `as u32` wrap for ids ≥ 2³²), offsets must be
+/// nondecreasing and bounded by `m`, arcs must be `< n` — violations
+/// return [`io::ErrorKind::InvalidData`] naming the offending value.
 pub fn load_adjacency_text(path: &Path) -> io::Result<Graph> {
     let r = BufReader::new(File::open(path)?);
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty file"))??;
+    let header = lines.next().ok_or_else(|| bad("empty file"))??;
     if header.trim() != "AdjacencyGraph" {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad header"));
+        return Err(bad("bad header"));
     }
-    let mut next_usize = |what: &str| -> io::Result<usize> {
+    let mut next_u64 = |what: &str| -> io::Result<u64> {
         loop {
-            let line = lines.next().ok_or_else(|| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("missing {what}"))
-            })??;
+            let line = lines
+                .next()
+                .ok_or_else(|| bad(format!("missing {what}")))??;
             let t = line.trim();
             if !t.is_empty() {
                 return t
-                    .parse::<usize>()
-                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+                    .parse::<u64>()
+                    .map_err(|e| bad(format!("{what} {t:?}: {e}")));
             }
         }
     };
-    let n = next_usize("n")?;
-    let m = next_usize("m")?;
-    let mut offsets = Vec::with_capacity(n + 1);
-    for _ in 0..n {
-        offsets.push(next_usize("offset")?);
+    let n64 = next_u64("n")?;
+    if n64 >= u32::MAX as u64 {
+        return Err(bad(format!("vertex count {n64} exceeds the u32 id space")));
+    }
+    let n = n64 as usize;
+    let m64 = next_u64("m")?;
+    if m64 > usize::MAX as u64 {
+        return Err(bad(format!("arc count {m64} exceeds the address space")));
+    }
+    let m = m64 as usize;
+    let mut offsets = Vec::new();
+    let mut prev = 0u64;
+    for i in 0..n {
+        let o = next_u64("offset")?;
+        if i == 0 && o != 0 {
+            return Err(bad(format!("first offset is {o}, expected 0")));
+        }
+        if o < prev {
+            return Err(bad(format!("offset {o} at index {i} decreases (< {prev})")));
+        }
+        if o > m64 {
+            return Err(bad(format!("offset {o} at index {i} exceeds m = {m64}")));
+        }
+        prev = o;
+        offsets.push(o as usize);
     }
     offsets.push(m);
-    let mut arcs = Vec::with_capacity(m);
-    for _ in 0..m {
-        arcs.push(next_usize("arc")? as V);
+    let mut arcs = Vec::new();
+    for i in 0..m {
+        let a = next_u64("arc")?;
+        if a >= n64 {
+            return Err(bad(format!("arc {a} at index {i} out of range (n = {n})")));
+        }
+        arcs.push(a as V);
     }
     Ok(Graph::from_raw_parts(offsets, arcs))
 }

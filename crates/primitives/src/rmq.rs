@@ -187,6 +187,159 @@ impl BlockRmq {
     }
 }
 
+/// Block-decomposed **position-returning** RMQ: like [`BlockRmq`] but
+/// [`query`](ArgRmq::query) returns the *index* of an extremal element
+/// instead of its value — the form Euler-tour LCA needs (the argmin of the
+/// depth array over a tour interval names the LCA node).
+///
+/// Space is the linear [`BlockRmq`] trade: one `u32` copy of the input plus
+/// an `O((n/B) log(n/B))` summary of per-block extremum *positions*.
+/// Queries scan the two boundary blocks (`O(B)`) and combine with one
+/// `O(1)` summary lookup. On ties, any extremal position may be returned
+/// (within one block the leftmost wins, but combining block winners keeps
+/// whichever compared first).
+pub struct ArgRmq {
+    kind: RmqKind,
+    data: Vec<u32>,
+    /// `levels[k][i]` = position (into `data`) of the extremum over blocks
+    /// `i .. i + 2^k`; level 0 holds the per-block extremum positions.
+    levels: Vec<Vec<u32>>,
+}
+
+impl ArgRmq {
+    /// Elements per block (same rationale as [`BlockRmq::BLOCK`]).
+    pub const BLOCK: usize = 32;
+
+    /// Build over `data` (copied). `O(n)` work for the block pass plus
+    /// `O((n/B) log(n/B))` for the summary, `O(log n)` span.
+    pub fn build(data: &[u32], kind: RmqKind) -> Self {
+        Self::build_from(data.to_vec(), kind)
+    }
+
+    /// [`build`](Self::build) taking ownership of the key array — the
+    /// structure keeps `data` as its scan copy, so callers with a
+    /// throwaway buffer (the query index's tour depths) avoid one `O(n)`
+    /// copy.
+    pub fn build_from(data: Vec<u32>, kind: RmqKind) -> Self {
+        let n = data.len();
+        if n == 0 {
+            return Self {
+                kind,
+                data: Vec::new(),
+                levels: Vec::new(),
+            };
+        }
+        let blocks = n.div_ceil(Self::BLOCK);
+        let mut level0: Vec<u32> = unsafe { uninit_vec(blocks) };
+        {
+            let view = UnsafeSlice::new(&mut level0);
+            par_for(blocks, |b| {
+                let lo = b * Self::BLOCK;
+                let hi = ((b + 1) * Self::BLOCK).min(n);
+                let p = arg_scan(&data, lo, hi - 1, kind);
+                // SAFETY: block index written once.
+                unsafe { view.write(b, p) };
+            });
+        }
+        let mut levels = vec![level0];
+        let mut width = 1usize;
+        while 2 * width <= blocks {
+            let prev = levels.last().unwrap();
+            let m = blocks - 2 * width + 1;
+            let mut next: Vec<u32> = unsafe { uninit_vec(m) };
+            {
+                let view = UnsafeSlice::new(&mut next);
+                let prev_ref = &prev[..];
+                par_for(m, |i| {
+                    let p = pick(&data, prev_ref[i], prev_ref[i + width], kind);
+                    // SAFETY: index i written exactly once.
+                    unsafe { view.write(i, p) };
+                });
+            }
+            levels.push(next);
+            width *= 2;
+        }
+        Self { kind, data, levels }
+    }
+
+    /// Number of elements indexed.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the structure indexes no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Position of the extremum over the **inclusive** range `[lo, hi]`.
+    /// Panics if empty or out of bounds.
+    pub fn query(&self, lo: usize, hi: usize) -> usize {
+        assert!(
+            lo <= hi && hi < self.data.len(),
+            "bad RMQ range [{lo}, {hi}] (n={})",
+            self.data.len()
+        );
+        let (bl, bh) = (lo / Self::BLOCK, hi / Self::BLOCK);
+        if bl == bh {
+            return arg_scan(&self.data, lo, hi, self.kind) as usize;
+        }
+        let left = arg_scan(&self.data, lo, (bl + 1) * Self::BLOCK - 1, self.kind);
+        let right = arg_scan(&self.data, bh * Self::BLOCK, hi, self.kind);
+        let mut best = pick(&self.data, left, right, self.kind);
+        if bl + 1 < bh {
+            // Summary lookup over the fully covered blocks [bl+1, bh-1].
+            let len = bh - 1 - bl;
+            let k = (usize::BITS - 1 - len.leading_zeros()) as usize;
+            let w = 1usize << k;
+            let a = self.levels[k][bl + 1];
+            let b = self.levels[k][bh - w];
+            best = pick(
+                &self.data,
+                pick(&self.data, a, b, self.kind),
+                best,
+                self.kind,
+            );
+        }
+        best as usize
+    }
+
+    /// Bytes of auxiliary memory held.
+    pub fn bytes(&self) -> usize {
+        4 * (self.data.len() + self.levels.iter().map(|l| l.len()).sum::<usize>())
+    }
+}
+
+/// Leftmost extremal position in `data[lo..=hi]` (inclusive, non-empty).
+#[inline]
+fn arg_scan(data: &[u32], lo: usize, hi: usize, kind: RmqKind) -> u32 {
+    let mut best = lo;
+    for i in lo + 1..=hi {
+        let better = match kind {
+            RmqKind::Min => data[i] < data[best],
+            RmqKind::Max => data[i] > data[best],
+        };
+        if better {
+            best = i;
+        }
+    }
+    best as u32
+}
+
+/// The better of two positions by the keyed comparison (`a` wins ties).
+#[inline]
+fn pick(data: &[u32], a: u32, b: u32, kind: RmqKind) -> u32 {
+    let better = match kind {
+        RmqKind::Min => data[b as usize] < data[a as usize],
+        RmqKind::Max => data[b as usize] > data[a as usize],
+    };
+    if better {
+        b
+    } else {
+        a
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -303,6 +456,63 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn arg_rmq_positions_hold_the_extremum() {
+        let n = 10_000;
+        let data: Vec<u32> = (0..n)
+            .map(|i| (hash64(i as u64 + 13) % 1_000_000) as u32)
+            .collect();
+        for kind in [RmqKind::Min, RmqKind::Max] {
+            let arg = ArgRmq::build(&data, kind);
+            let mut r = Rng::new(31);
+            for _ in 0..3000 {
+                let lo = r.index(n);
+                let hi = lo + r.index(n - lo);
+                let p = arg.query(lo, hi);
+                assert!((lo..=hi).contains(&p), "[{lo},{hi}] returned {p}");
+                assert_eq!(
+                    data[p],
+                    naive(&data, lo, hi, kind),
+                    "[{lo},{hi}] {kind:?}: position {p} not extremal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arg_rmq_exact_positions_on_distinct_data() {
+        // A permutation: every value unique, so the argmin is unique too.
+        let n = 3 * ArgRmq::BLOCK + 7;
+        let data: Vec<u32> = (0..n as u32).map(|i| (i * 37) % n as u32).collect();
+        let arg = ArgRmq::build(&data, RmqKind::Min);
+        for lo in 0..n {
+            for hi in [lo, (lo + ArgRmq::BLOCK).min(n - 1), n - 1] {
+                let want = (lo..=hi).min_by_key(|&i| data[i]).unwrap();
+                assert_eq!(arg.query(lo, hi), want, "[{lo},{hi}]");
+            }
+        }
+    }
+
+    #[test]
+    fn arg_rmq_degenerate_sizes() {
+        assert!(ArgRmq::build(&[], RmqKind::Min).is_empty());
+        let one = ArgRmq::build(&[42], RmqKind::Max);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.query(0, 0), 0);
+        // All-equal input: any position is extremal; must stay in range.
+        let flat = ArgRmq::build(&vec![5u32; 100], RmqKind::Min);
+        let p = flat.query(10, 90);
+        assert!((10..=90).contains(&p));
+        assert!(flat.bytes() >= 100 * 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad RMQ range")]
+    fn arg_rmq_out_of_bounds_panics() {
+        let t = ArgRmq::build(&[1, 2, 3], RmqKind::Min);
+        t.query(0, 3);
     }
 
     #[test]

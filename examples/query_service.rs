@@ -1,0 +1,75 @@
+//! Build-then-serve: solve BCC once, build the query index, and answer a
+//! large mixed batch of online queries — the production shape the ROADMAP
+//! targets (heavy query traffic over a periodically re-solved graph).
+//!
+//! ```text
+//! cargo run --release --example query_service -- [n] [batch]   # defaults 100000, 500000
+//! ```
+
+use fast_bcc::graph::generators::{geometric::road_like_radius, random_geometric};
+use fast_bcc::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let batch: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500_000);
+
+    println!("generating road-like network with {n} intersections…");
+    let g = random_geometric(n, road_like_radius(n), 77);
+    println!("n = {}, m = {} roads", g.n(), g.m_undirected());
+
+    // Solve once with the pooled engine, then freeze a query index.
+    let mut engine = BccEngine::new(BccOpts::default());
+    let t = Instant::now();
+    let r = engine.solve(&g);
+    let t_solve = t.elapsed();
+    println!(
+        "solved: {} BCCs, {} connected components in {:.1?}",
+        r.num_bcc, r.num_cc, t_solve
+    );
+    let t = Instant::now();
+    let index = engine.build_index();
+    let t_build = t.elapsed();
+    println!(
+        "index: {} blocks + {} cut vertices, {:.2} MB, built in {:.1?}",
+        index.num_blocks(),
+        index.num_cuts(),
+        index.bytes() as f64 / (1 << 20) as f64,
+        t_build
+    );
+
+    // A mixed workload: reachability-robustness questions a routing or
+    // reliability service would ask.
+    let queries = random_mixed_batch(g.n(), batch, 0xD15);
+
+    let mut scratch = QueryScratch::with_capacity(batch);
+    index.answer_batch(&queries, &mut scratch); // warm the pool
+    let t = Instant::now();
+    let answers = index.answer_batch(&queries, &mut scratch);
+    let t_batch = t.elapsed();
+
+    let (mut same, mut art, mut bridge, mut sep_total, mut unreachable) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (&q, &a) in queries.iter().zip(answers.iter()) {
+        match (q, a) {
+            (Query::SameBcc(..), QueryAnswer::Bool(true)) => same += 1,
+            (Query::IsArticulation(_), QueryAnswer::Bool(true)) => art += 1,
+            (Query::IsBridge(..), QueryAnswer::Bool(true)) => bridge += 1,
+            (Query::CutVerticesOnPath(..), QueryAnswer::Count(Some(c))) => sep_total += c as u64,
+            (Query::CutVerticesOnPath(..), QueryAnswer::Count(None)) => unreachable += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "served {batch} queries in {:.1?} ({:.2} Mquery/s, warm fresh bytes = {})",
+        t_batch,
+        batch as f64 / t_batch.as_secs_f64() / 1e6,
+        scratch.fresh_alloc_bytes()
+    );
+    println!("  same-BCC hits: {same}, articulation hits: {art}, bridge hits: {bridge}");
+    println!(
+        "  path queries: {sep_total} total separating cut vertices, {unreachable} unreachable pairs"
+    );
+    assert_eq!(scratch.fresh_alloc_bytes(), 0, "warm batch allocated");
+}

@@ -11,6 +11,11 @@
 //!   `Workspace` owns every per-phase array, so solving many graphs
 //!   amortizes all major allocations (the second solve of a same-shaped
 //!   input allocates nothing);
+//! * [`BccIndex`] — the batched online-query layer: built once per solve
+//!   from the block–cut forest (Euler-tour LCA over a CSR forest), it
+//!   answers `same_bcc` / `is_articulation` / `is_bridge` /
+//!   `cut_vertices_on_path` in `O(1)`–`O(log n)` and serves parallel
+//!   batches allocation-free through a pooled [`QueryScratch`];
 //! * [`graph`] — CSR graphs, parallel builders, and the synthetic
 //!   generator suite;
 //! * [`connectivity`] — LDD-UF-JTB parallel connectivity with spanning
@@ -43,7 +48,10 @@ pub use fastbcc_ett as ett;
 pub use fastbcc_graph as graph;
 pub use fastbcc_primitives as primitives;
 
-pub use fastbcc_core::{fast_bcc, BccEngine, BccOpts, BccResult, Breakdown, CcScheme, Workspace};
+pub use fastbcc_core::{
+    fast_bcc, BccEngine, BccIndex, BccOpts, BccResult, Breakdown, CcScheme, Query, QueryAnswer,
+    QueryScratch, Workspace,
+};
 
 /// Everything a typical user needs in scope.
 pub mod prelude {
@@ -51,6 +59,7 @@ pub mod prelude {
     pub use fastbcc_core::postprocess::{
         articulation_points, bcc_membership_counts, bridges, canonical_bccs, largest_bcc_size,
     };
+    pub use fastbcc_core::query::{random_mixed_batch, BccIndex, Query, QueryAnswer, QueryScratch};
     pub use fastbcc_core::{
         fast_bcc, BccEngine, BccOpts, BccResult, Breakdown, CcScheme, Workspace,
     };
