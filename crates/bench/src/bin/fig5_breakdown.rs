@@ -3,8 +3,12 @@
 //!
 //! ```text
 //! cargo run --release -p fastbcc-bench --bin fig5_breakdown -- \
-//!     [--scale 0.1] [--reps 3] [--graphs ...]
+//!     [--scale 0.1] [--reps 3] [--graphs ...] [--json PATH]
 //! ```
+//!
+//! `--json` additionally writes one JSON object per (graph, algo) with the
+//! per-phase seconds and the per-phase baseline-over-ours speedups, so the
+//! breakdown can be charted without scraping the table.
 //!
 //! The paper's headline observation should reproduce: on large-diameter
 //! graphs the baseline's *Rooting* (BFS) and *Tagging* (level-synchronous
@@ -28,6 +32,45 @@ fn row(label: &str, b: &Breakdown) {
     );
 }
 
+/// Phase seconds plus per-phase `baseline / ours` speedups as one JSON
+/// line. `speedup_*` is emitted only on the baseline row (`vs` = the
+/// breakdown it is compared against).
+fn json_row(
+    graph: &str,
+    algo: &str,
+    threads: usize,
+    b: &Breakdown,
+    vs: Option<&Breakdown>,
+) -> String {
+    let phases = format!(
+        "\"first_cc_secs\":{:.9},\"rooting_secs\":{:.9},\"tagging_secs\":{:.9},\
+         \"last_cc_secs\":{:.9},\"total_secs\":{:.9}",
+        b.first_cc.as_secs_f64(),
+        b.rooting.as_secs_f64(),
+        b.tagging.as_secs_f64(),
+        b.last_cc.as_secs_f64(),
+        b.total().as_secs_f64(),
+    );
+    let speedups = vs
+        .map(|ours| {
+            let ratio = |theirs: f64, ours: f64| theirs / ours.max(1e-9);
+            format!(
+                ",\"speedup_first_cc\":{:.4},\"speedup_rooting\":{:.4},\
+                 \"speedup_tagging\":{:.4},\"speedup_last_cc\":{:.4},\
+                 \"speedup_total\":{:.4}",
+                ratio(b.first_cc.as_secs_f64(), ours.first_cc.as_secs_f64()),
+                ratio(b.rooting.as_secs_f64(), ours.rooting.as_secs_f64()),
+                ratio(b.tagging.as_secs_f64(), ours.tagging.as_secs_f64()),
+                ratio(b.last_cc.as_secs_f64(), ours.last_cc.as_secs_f64()),
+                ratio(b.total().as_secs_f64(), ours.total().as_secs_f64()),
+            )
+        })
+        .unwrap_or_default();
+    format!(
+        "{{\"graph\":\"{graph}\",\"algo\":\"{algo}\",\"threads\":{threads},{phases}{speedups}}}"
+    )
+}
+
 fn main() {
     let args = Args::parse();
     let scale = args.get_f64("--scale", 0.1);
@@ -42,6 +85,7 @@ fn main() {
     };
 
     println!("fig5: phase breakdown in seconds ({p} threads)");
+    let mut json_lines = Vec::new();
     for spec in filter_suite(args.get("--graphs")) {
         let g = spec.build(scale);
         println!(
@@ -54,9 +98,22 @@ fn main() {
             "  {:<8} {:>9} {:>9} {:>9} {:>9} {:>9}",
             "", "First-CC", "Rooting", "Tagging", "Last-CC", "total"
         );
-        let (r, _) = with_threads(p, || time_median(reps, || fast_bcc(&g, BccOpts::default())));
-        row("Ours", &r.breakdown);
-        let (r, _) = with_threads(p, || time_median(reps, || bfs_bcc(&g, 7)));
-        row("GBBS*", &r.breakdown);
+        let (ours, _) = with_threads(p, || time_median(reps, || fast_bcc(&g, BccOpts::default())));
+        row("Ours", &ours.breakdown);
+        let (gbbs, _) = with_threads(p, || time_median(reps, || bfs_bcc(&g, 7)));
+        row("GBBS*", &gbbs.breakdown);
+        json_lines.push(json_row(spec.name, "fast_bcc", p, &ours.breakdown, None));
+        json_lines.push(json_row(
+            spec.name,
+            "bfs_bcc",
+            p,
+            &gbbs.breakdown,
+            Some(&ours.breakdown),
+        ));
+    }
+    if let Some(path) = args.get("--json") {
+        std::fs::write(path, json_lines.join("\n") + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("[json ] wrote {path}");
     }
 }

@@ -80,6 +80,8 @@ fn main() {
             } else {
                 0
             },
+            steal_count: fastbcc_primitives::steal_count() as u64,
+            deque_max_depth: fastbcc_primitives::deque_max_depth(),
         };
         // `scratch_bytes` is a warm-record column (matching table2's
         // convention): it reports what a pooled repeated-query engine

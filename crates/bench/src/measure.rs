@@ -94,6 +94,15 @@ pub struct RunRecord {
     /// the measurement so the CI gate compares two fields instead of
     /// duplicating the formula. 0 when no budget applies.
     pub scratch_budget_bytes: usize,
+    /// Cumulative successful deque steals in the worker pool when the
+    /// record was taken (process-lifetime counter; deltas between records
+    /// show how much load balancing a run needed). Always 0 under the
+    /// sequential budget or when `real-rayon` replaces the shim.
+    pub steal_count: u64,
+    /// High-water mark of any worker's deque depth (process lifetime) —
+    /// bounded by the pool's fixed deque capacity, so a value near that
+    /// cap flags ranges spilling to the shared claim cursor.
+    pub deque_max_depth: usize,
 }
 
 impl RunRecord {
@@ -104,7 +113,8 @@ impl RunRecord {
             "{{\"graph\":{},\"algo\":{},\"n\":{},\"m\":{},\"threads\":{},\
              \"pool_workers\":{},\"median_secs\":{:.9},\"aux_peak_bytes\":{},\
              \"fresh_alloc_bytes\":{},\"arena_bytes\":{},\"scratch_bytes\":{},\
-             \"scratch_budget_bytes\":{}}}",
+             \"scratch_budget_bytes\":{},\"steal_count\":{},\
+             \"deque_max_depth\":{}}}",
             json_escape(&self.graph),
             json_escape(&self.algo),
             self.n,
@@ -117,6 +127,8 @@ impl RunRecord {
             self.arena_bytes,
             self.scratch_bytes,
             self.scratch_budget_bytes,
+            self.steal_count,
+            self.deque_max_depth,
         )
     }
 }
@@ -233,6 +245,8 @@ mod tests {
             arena_bytes: 2048,
             scratch_bytes: 65536,
             scratch_budget_bytes: 131072,
+            steal_count: 17,
+            deque_max_depth: 5,
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -243,6 +257,8 @@ mod tests {
         assert!(j.contains("\"arena_bytes\":2048"));
         assert!(j.contains("\"scratch_bytes\":65536"));
         assert!(j.contains("\"scratch_budget_bytes\":131072"));
+        assert!(j.contains("\"steal_count\":17"));
+        assert!(j.contains("\"deque_max_depth\":5"));
         assert!(j.contains("\"median_secs\":0.25"));
     }
 
@@ -261,6 +277,8 @@ mod tests {
             arena_bytes: 0,
             scratch_bytes: 0,
             scratch_budget_bytes: 0,
+            steal_count: 0,
+            deque_max_depth: 0,
         };
         assert!(r.to_json().contains("a\\\"b\\\\c\\nd"));
     }
@@ -283,6 +301,8 @@ mod tests {
                 arena_bytes: 0,
                 scratch_bytes: 0,
                 scratch_budget_bytes: 0,
+                steal_count: 0,
+                deque_max_depth: 0,
             },
             RunRecord {
                 graph: "g2".into(),
@@ -297,6 +317,8 @@ mod tests {
                 arena_bytes: 64,
                 scratch_bytes: 4096,
                 scratch_budget_bytes: 8192,
+                steal_count: 3,
+                deque_max_depth: 2,
             },
         ];
         write_json_lines(path.to_str().unwrap(), &recs).unwrap();

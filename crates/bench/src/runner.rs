@@ -89,6 +89,8 @@ impl RowResult {
                 arena_bytes: arena,
                 scratch_bytes: 0,
                 scratch_budget_bytes: 0,
+                steal_count: fastbcc_primitives::steal_count() as u64,
+                deque_max_depth: fastbcc_primitives::deque_max_depth(),
             }
         };
         let warm_rec = {

@@ -24,6 +24,35 @@ use proptest::prelude::*;
 const BUDGETS: [usize; 3] = [1, 2, 8];
 const MODES: [EdgeMapMode; 3] = [EdgeMapMode::Sparse, EdgeMapMode::Dense, EdgeMapMode::Auto];
 
+/// Run `f` while the submitting lane of a `join` spins busy, forcing the
+/// pool's *steal* path to service `f`'s parallel pieces: the busy lane
+/// occupies the submitter, so `f` (the deferred branch) and everything it
+/// spawns must be picked up from the deques by other workers. The spin is
+/// released as soon as `f` completes, with a 200 ms failsafe so a
+/// schedule where no worker attaches (single-core boxes, or the worker
+/// held by a concurrently running test) degrades to a bounded delay — the
+/// deferred branch then runs inline after the spinner — not a hang.
+fn under_busy_lane<R: Send>(f: impl FnOnce() -> R + Send) -> R {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let stop = AtomicBool::new(false);
+    let (_, r) = rayon::join(
+        || {
+            let t0 = std::time::Instant::now();
+            while !stop.load(Ordering::Acquire)
+                && t0.elapsed() < std::time::Duration::from_millis(200)
+            {
+                std::hint::spin_loop();
+            }
+        },
+        || {
+            let r = f();
+            stop.store(true, Ordering::Release);
+            r
+        },
+    );
+    r
+}
+
 fn arb_graph(nmax: usize, mmax: usize) -> impl Strategy<Value = Graph> {
     (1..nmax).prop_flat_map(move |n| {
         proptest::collection::vec((0..n as V, 0..n as V), 0..mmax)
@@ -155,5 +184,32 @@ proptest! {
         prop_assert_eq!(a.cluster, b.cluster);
         prop_assert_eq!(a.tree_edges, b.tree_edges);
         prop_assert_eq!(a.rounds, b.rounds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Steal-heavy schedules: with the submitting lane pinned busy, every
+    /// parallel piece of CC and BFS is serviced through the work-stealing
+    /// deques rather than the submitter's own drain loop — and the answers
+    /// must still match the sequential budget exactly (BFS facts) or as a
+    /// partition (CC labels).
+    #[test]
+    fn cc_and_bfs_identical_under_forced_steal_schedules(g in arb_graph(64, 200)) {
+        let (base_cc, base_bfs) = with_threads(1, || {
+            let out = ldd_uf_jtb(&g, CcOpts { want_forest: true, ..Default::default() });
+            let f = bfs_forest(&g);
+            ((normalize(&out.labels), out.num_components), (f.level, f.root, f.roots, f.rounds))
+        });
+        for &k in &[2usize, 8] {
+            let (cc, bfs) = with_threads(k, || under_busy_lane(|| {
+                let out = ldd_uf_jtb(&g, CcOpts { want_forest: true, ..Default::default() });
+                let f = bfs_forest(&g);
+                ((normalize(&out.labels), out.num_components), (f.level, f.root, f.roots, f.rounds))
+            }));
+            prop_assert_eq!(&cc, &base_cc, "CC diverged under steals at {} threads", k);
+            prop_assert_eq!(&bfs, &base_bfs, "BFS diverged under steals at {} threads", k);
+        }
     }
 }

@@ -37,7 +37,7 @@
 //! allocation-free at any thread budget.
 
 use crate::atomics::as_atomic_u64;
-use crate::pack::pack_map_into;
+use crate::pack::{pack_bits_into, pack_neq_into};
 use crate::par::{num_blocks, num_threads, par_for, par_for_grain};
 use crate::scan::prefix_sums;
 use crate::slice::{reserve_to, reuse_uninit, UnsafeSlice};
@@ -342,8 +342,7 @@ fn edge_map_sparse<Op: FrontierOp>(
             }
         });
     }
-    let slots: &[u32] = &scratch.slots;
-    pack_map_into(total, |s| slots[s] != EMPTY, |s| slots[s], next);
+    pack_neq_into(&scratch.slots[..total], EMPTY, next);
 }
 
 /// Bottom-up round: every still-unclaimed vertex scans its own neighbor
@@ -397,13 +396,7 @@ fn edge_map_dense<Op: FrontierOp>(
             }
         });
     }
-    let claimed: &[u64] = &scratch.claimed;
-    pack_map_into(
-        n,
-        |v| claimed[v / 64] >> (v % 64) & 1 == 1,
-        |v| v as u32,
-        next,
-    );
+    pack_bits_into(&scratch.claimed, n, next);
 }
 
 /// Smallest `v` with `offsets[v] + v >= t` (the dense block boundary for

@@ -25,6 +25,7 @@
 //! | [`hashbag`] | concurrent bag insert | `O(1)` amortized | — |
 //! | [`worker_local`] | per-worker scratch arenas | `O(1)` access | — |
 //! | [`edgemap`] | sparse/dense frontier expansion | `O(frontier degree)` | `O(log n)` |
+//! | [`kernels`] | chunked flat loops (scan/pack/popcount) | `O(n)` | sequential building block |
 //!
 //! Spans are quoted under the usual assumption of unit-cost atomics
 //! (compare-and-swap), as in Section 2 of the paper.
@@ -32,6 +33,7 @@
 pub mod atomics;
 pub mod edgemap;
 pub mod hashbag;
+pub mod kernels;
 pub mod mergesort;
 pub mod pack;
 pub mod par;
@@ -45,6 +47,8 @@ pub mod sort;
 pub mod worker_local;
 
 pub use edgemap::{EdgeMapMode, EdgeMapScratch, FrontierOp};
-pub use par::{max_workers, num_threads, pool_spawns, with_threads, worker_index};
+pub use par::{
+    deque_max_depth, max_workers, num_threads, pool_spawns, steal_count, with_threads, worker_index,
+};
 pub use slice::UnsafeSlice;
 pub use worker_local::WorkerLocal;

@@ -127,6 +127,150 @@ where
     });
 }
 
+/// Pack the elements of `src` that differ from `sentinel` into `out`
+/// (cleared first), preserving order — the frontier-compaction shape of
+/// `edgemap`'s sparse rounds, where `sentinel` is the `EMPTY` slot marker.
+///
+/// With the `simd` feature this dispatches to [`pack_neq_into_vectorized`];
+/// outputs are byte-identical either way.
+pub fn pack_neq_into(src: &[u32], sentinel: u32, out: &mut Vec<u32>) {
+    #[cfg(feature = "simd")]
+    {
+        pack_neq_into_vectorized(src, sentinel, out)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        pack_neq_into_scalar(src, sentinel, out)
+    }
+}
+
+/// The scalar [`pack_neq_into`] path (always compiled): the generic
+/// count–scan–scatter pack with a branchy per-element predicate.
+pub fn pack_neq_into_scalar(src: &[u32], sentinel: u32, out: &mut Vec<u32>) {
+    pack_map_into(src.len(), |i| src[i] != sentinel, |i| src[i], out);
+}
+
+/// Kernelized [`pack_neq_into`] (always compiled): branchless chunked
+/// compaction via [`crate::kernels::compact_neq_u32`].
+///
+/// Sequential runs count with one branchless predicate-sum sweep, then
+/// compact in one pass — no offsets buffer, no scan machinery, and the
+/// output is sized to exactly the survivor count (byte-identical capacity
+/// behavior to the scalar path, which the workspace envelope tests pin).
+/// Parallel runs count per block, scan the offsets, then compact each
+/// block into its disjoint output range through the kernels' on-stack
+/// chunk buffer (which absorbs the predicated stores' one-slot overhang,
+/// so no block touches its neighbor's slots).
+pub fn pack_neq_into_vectorized(src: &[u32], sentinel: u32, out: &mut Vec<u32>) {
+    use crate::kernels::{compact_neq_u32, count_neq_u32};
+    let n = src.len();
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    if blocks <= 1 || crate::par::num_threads() <= 1 {
+        let kept = count_neq_u32(src, sentinel);
+        // SAFETY: `compact_neq_u32` writes exactly `kept` slots.
+        unsafe { crate::slice::reuse_uninit(out, kept) };
+        let wrote = compact_neq_u32(src, sentinel, out.as_mut_slice());
+        debug_assert_eq!(wrote, kept);
+        return;
+    }
+    let bounds = block_bounds(n, blocks);
+    let mut offsets: Vec<usize> = bounds
+        .par_windows(2)
+        .map(|w| count_neq_u32(&src[w[0]..w[1]], sentinel))
+        .collect();
+    let total = prefix_sums(&mut offsets);
+    // SAFETY: the per-block compactions below write the disjoint ranges
+    // `offsets[b]..offsets[b+1]`, which tile `0..total` exactly.
+    unsafe { crate::slice::reuse_uninit(out, total) };
+    let view = UnsafeSlice::new(out.as_mut_slice());
+    bounds.par_windows(2).enumerate().for_each(|(b, w)| {
+        let start = offsets[b];
+        let end = if b + 1 < offsets.len() {
+            offsets[b + 1]
+        } else {
+            total
+        };
+        // SAFETY: disjoint ranges by the scan; see above.
+        let dst = unsafe { view.slice_mut(start, end - start) };
+        let kept = compact_neq_u32(&src[w[0]..w[1]], sentinel, dst);
+        debug_assert_eq!(kept, end - start);
+    });
+}
+
+/// Pack the set-bit indices of a bitmap (`n` logical bits across `words`)
+/// into `out` (cleared first), ascending — the claimed-vertex sweep of
+/// `edgemap`'s dense rounds. Bits at or past `n` must be zero.
+///
+/// Dispatches like [`pack_neq_into`]; outputs are byte-identical.
+pub fn pack_bits_into(words: &[u64], n: usize, out: &mut Vec<u32>) {
+    #[cfg(feature = "simd")]
+    {
+        pack_bits_into_vectorized(words, n, out)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        pack_bits_into_scalar(words, n, out)
+    }
+}
+
+/// The scalar [`pack_bits_into`] path (always compiled): a per-index
+/// test-the-bit pack, exactly the loop `edgemap` used to inline.
+pub fn pack_bits_into_scalar(words: &[u64], n: usize, out: &mut Vec<u32>) {
+    debug_assert!(words.len() * 64 >= n);
+    pack_map_into(n, |v| words[v / 64] >> (v % 64) & 1 == 1, |v| v as u32, out);
+}
+
+/// Kernelized [`pack_bits_into`] (always compiled): per-block `popcnt`
+/// counts, an offsets scan, then `trailing_zeros` extraction — 64 bits
+/// per load instead of one, skipping zero words in a single test.
+pub fn pack_bits_into_vectorized(words: &[u64], n: usize, out: &mut Vec<u32>) {
+    use crate::kernels::{expand_bits_u32, popcount_words};
+    debug_assert!(words.len() * 64 >= n);
+    out.clear();
+    if n == 0 {
+        return;
+    }
+    let nw = n.div_ceil(64);
+    let words = &words[..nw];
+    // Blocks of whole words, so extraction never splits a word.
+    let word_grain = DEFAULT_GRAIN.div_ceil(64).max(1);
+    let blocks = num_blocks(nw, word_grain);
+    if blocks <= 1 || crate::par::num_threads() <= 1 {
+        let total = popcount_words(words);
+        // SAFETY: `expand_bits_u32` writes exactly `total` slots.
+        unsafe { crate::slice::reuse_uninit(out, total) };
+        let wrote = expand_bits_u32(words, 0, out.as_mut_slice());
+        debug_assert_eq!(wrote, total);
+        return;
+    }
+    let bounds = block_bounds(nw, blocks);
+    let mut offsets: Vec<usize> = bounds
+        .par_windows(2)
+        .map(|w| popcount_words(&words[w[0]..w[1]]))
+        .collect();
+    let total = prefix_sums(&mut offsets);
+    // SAFETY: per-block extractions write the disjoint ranges
+    // `offsets[b]..offsets[b+1]`, tiling `0..total`.
+    unsafe { crate::slice::reuse_uninit(out, total) };
+    let view = UnsafeSlice::new(out.as_mut_slice());
+    bounds.par_windows(2).enumerate().for_each(|(b, w)| {
+        let start = offsets[b];
+        let end = if b + 1 < offsets.len() {
+            offsets[b + 1]
+        } else {
+            total
+        };
+        // SAFETY: disjoint ranges by the scan; see above.
+        let dst = unsafe { view.slice_mut(start, end - start) };
+        let wrote = expand_bits_u32(&words[w[0]..w[1]], (w[0] * 64) as u32, dst);
+        debug_assert_eq!(wrote, end - start);
+    });
+}
+
 /// Indices in `0..n` satisfying `keep`, in increasing order.
 pub fn pack_index<K: Fn(usize) -> bool + Sync>(n: usize, keep: K) -> Vec<u32> {
     debug_assert!(n <= u32::MAX as usize);
@@ -218,6 +362,45 @@ mod tests {
         let got = filter_map_slice(&xs, |&x| if x % 7 == 0 { Some(x * 2) } else { None });
         let want: Vec<u32> = (0..10_000).filter(|x| x % 7 == 0).map(|x| x * 2).collect();
         assert_eq!(got, want);
+    }
+
+    /// Scalar and kernelized pack paths must be byte-identical (values
+    /// *and* resulting buffer length) on adversarial lengths at every
+    /// thread budget.
+    #[test]
+    fn vectorized_packs_match_scalar_packs() {
+        use crate::kernels::LANES;
+        let mut r = crate::rng::Rng::new(42);
+        const S: u32 = u32::MAX;
+        for n in [0, 1, LANES - 1, LANES, LANES + 1, 63, 64, 65, 50_000] {
+            let src: Vec<u32> = (0..n)
+                .map(|_| {
+                    if r.index(3) == 0 {
+                        S
+                    } else {
+                        r.index(1 << 20) as u32
+                    }
+                })
+                .collect();
+            let words = n.div_ceil(64).max(1);
+            let mut bits = vec![0u64; words];
+            for v in 0..n {
+                if r.index(2) == 0 {
+                    bits[v / 64] |= 1 << (v % 64);
+                }
+            }
+            for threads in [1usize, 2, 8] {
+                crate::par::with_threads(threads, || {
+                    let (mut a, mut b) = (Vec::new(), Vec::new());
+                    pack_neq_into_scalar(&src, S, &mut a);
+                    pack_neq_into_vectorized(&src, S, &mut b);
+                    assert_eq!(a, b, "pack_neq n={n} threads={threads}");
+                    pack_bits_into_scalar(&bits, n, &mut a);
+                    pack_bits_into_vectorized(&bits, n, &mut b);
+                    assert_eq!(a, b, "pack_bits n={n} threads={threads}");
+                });
+            }
+        }
     }
 
     #[test]

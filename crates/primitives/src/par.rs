@@ -66,6 +66,21 @@ pub fn pool_spawns() -> usize {
     rayon::pool_spawn_count()
 }
 
+/// Successful work-steals from per-worker deques so far (monotone).
+/// Benchmarks record it next to [`pool_spawns`] so scheduler behavior is
+/// observable in every JSON artifact; a budget-1 run holds it constant.
+#[inline]
+pub fn steal_count() -> usize {
+    rayon::pool_steal_count()
+}
+
+/// High-water mark of any pool worker's deque depth so far — how much
+/// splittable work the scheduler has exposed to thieves at once.
+#[inline]
+pub fn deque_max_depth() -> usize {
+    rayon::pool_deque_max_depth()
+}
+
 /// Parallel for over `0..n` with the default grain size.
 #[inline]
 pub fn par_for(n: usize, f: impl Fn(usize) + Sync + Send) {

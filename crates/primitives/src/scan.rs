@@ -111,8 +111,111 @@ where
 
 /// Exclusive prefix sums of `usize` counts — the workhorse for offsets.
 /// Returns the total.
+///
+/// With the `simd` feature this dispatches to
+/// [`prefix_sums_vectorized`]; outputs are byte-identical either way.
 pub fn prefix_sums(a: &mut [usize]) -> usize {
+    #[cfg(feature = "simd")]
+    {
+        prefix_sums_vectorized(a)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        prefix_sums_scalar(a)
+    }
+}
+
+/// The scalar [`prefix_sums`] path (always compiled, for scalar-vs-SIMD
+/// equivalence tests and the `primitives` microbench).
+pub fn prefix_sums_scalar(a: &mut [usize]) -> usize {
     scan_exclusive_inplace(a, 0usize, |x, y| x + y)
+}
+
+/// Kernelized [`prefix_sums`] (always compiled; the `simd` feature only
+/// changes which path `prefix_sums` takes).
+///
+/// Sequential runs (one worker, or one block) take a **single pass**: the
+/// [`crate::kernels::exclusive_scan_usize`] kernel forms each chunk's
+/// prefixes in registers, halving memory traffic versus the blocked
+/// two-pass scheme and skipping its block-sum allocations. Parallel runs
+/// keep the two-pass shape but use the multi-accumulator sum and chunked
+/// scan kernels inside each block.
+pub fn prefix_sums_vectorized(a: &mut [usize]) -> usize {
+    let n = a.len();
+    if n == 0 {
+        return 0;
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    if blocks <= 1 || crate::par::num_threads() <= 1 {
+        return crate::kernels::exclusive_scan_usize(a, 0);
+    }
+    let bounds = block_bounds(n, blocks);
+    let mut sums: Vec<usize> = bounds
+        .par_windows(2)
+        .map(|w| crate::kernels::sum_usize(&a[w[0]..w[1]]))
+        .collect();
+    let total = crate::kernels::exclusive_scan_usize(&mut sums, 0);
+    let sums_ref = &sums;
+    let block_slices: Vec<&mut [usize]> = split_at_bounds(a, &bounds);
+    block_slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(b, blk)| {
+            crate::kernels::exclusive_scan_usize(blk, sums_ref[b]);
+        });
+    total
+}
+
+/// Inclusive prefix sums of `u64` values — the weight-accumulation scan.
+/// Returns the total. Dispatches like [`prefix_sums`].
+pub fn scan_inclusive_u64(a: &mut [u64]) -> u64 {
+    #[cfg(feature = "simd")]
+    {
+        scan_inclusive_u64_vectorized(a)
+    }
+    #[cfg(not(feature = "simd"))]
+    {
+        scan_inclusive_u64_scalar(a)
+    }
+}
+
+/// The scalar [`scan_inclusive_u64`] path (always compiled).
+pub fn scan_inclusive_u64_scalar(a: &mut [u64]) -> u64 {
+    scan_inclusive_inplace(a, 0u64, |x, y| x + y)
+}
+
+/// Kernelized [`scan_inclusive_u64`] (always compiled): single-pass
+/// chunked scan when sequential, kernelized blocks when parallel.
+pub fn scan_inclusive_u64_vectorized(a: &mut [u64]) -> u64 {
+    let n = a.len();
+    if n == 0 {
+        return 0;
+    }
+    let blocks = num_blocks(n, DEFAULT_GRAIN);
+    if blocks <= 1 || crate::par::num_threads() <= 1 {
+        return crate::kernels::inclusive_scan_u64(a, 0);
+    }
+    let bounds = block_bounds(n, blocks);
+    let mut sums: Vec<u64> = bounds
+        .par_windows(2)
+        .map(|w| a[w[0]..w[1]].iter().copied().fold(0u64, u64::wrapping_add))
+        .collect();
+    let mut acc = 0u64;
+    for s in sums.iter_mut() {
+        let old = *s;
+        *s = acc;
+        acc = acc.wrapping_add(old);
+    }
+    let total = acc;
+    let sums_ref = &sums;
+    let block_slices: Vec<&mut [u64]> = split_at_bounds(a, &bounds);
+    block_slices
+        .into_par_iter()
+        .enumerate()
+        .for_each(|(b, blk)| {
+            crate::kernels::inclusive_scan_u64(blk, sums_ref[b]);
+        });
+    total
 }
 
 /// Split a mutable slice into the pieces delimited by `bounds`
@@ -197,6 +300,37 @@ mod tests {
         assert!(parts[1].is_empty());
         assert_eq!(parts[2], &[3, 4, 5, 6]);
         assert_eq!(parts[3], &[7, 8, 9]);
+    }
+
+    /// Scalar and kernelized paths must be byte-identical on adversarial
+    /// lengths (0, 1, lane−1, lane, lane+1, large) at every thread budget,
+    /// so the `simd` feature can ride under the determinism proptests.
+    #[test]
+    fn vectorized_paths_match_scalar_paths() {
+        use crate::kernels::LANES;
+        let mut r = crate::rng::Rng::new(9);
+        for n in [0, 1, LANES - 1, LANES, LANES + 1, 65_537] {
+            let a: Vec<usize> = (0..n).map(|_| r.index(50)).collect();
+            let b: Vec<u64> = (0..n).map(|_| r.next_u64() % 50).collect();
+            for threads in [1usize, 2, 8] {
+                crate::par::with_threads(threads, || {
+                    let (mut s, mut v) = (a.clone(), a.clone());
+                    assert_eq!(
+                        prefix_sums_scalar(&mut s),
+                        prefix_sums_vectorized(&mut v),
+                        "prefix total n={n} threads={threads}"
+                    );
+                    assert_eq!(s, v, "prefix n={n} threads={threads}");
+                    let (mut s, mut v) = (b.clone(), b.clone());
+                    assert_eq!(
+                        scan_inclusive_u64_scalar(&mut s),
+                        scan_inclusive_u64_vectorized(&mut v),
+                        "inclusive total n={n} threads={threads}"
+                    );
+                    assert_eq!(s, v, "inclusive n={n} threads={threads}");
+                });
+            }
+        }
     }
 
     #[test]

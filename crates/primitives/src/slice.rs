@@ -97,6 +97,20 @@ impl<'a, T> UnsafeSlice<'a, T> {
         debug_assert!(i < self.len);
         &mut *(*self.ptr.add(i)).get()
     }
+
+    /// Mutable subslice `start..start + len`, for block-wise scatters that
+    /// write whole disjoint ranges (e.g. `copy_from_slice` compaction).
+    ///
+    /// # Safety
+    /// Same disjointness contract as [`write`](Self::write), applied to
+    /// every index in the range: no other thread may touch it while the
+    /// returned slice lives, and the range must be in bounds.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut((*self.ptr.add(start)).get(), len)
+    }
 }
 
 /// Allocate a `Vec<T>` of length `n` without initializing its contents,

@@ -11,13 +11,17 @@
 //!   `par_windows()` on slices, and the `map` / `enumerate` / `fold` /
 //!   `reduce` / `for_each` / `sum` / `collect` adapters.
 //!
-//! Execution model: a **persistent work-sharing pool** (see `pool.rs`).
+//! Execution model: a **persistent work-stealing pool** (see `pool.rs`).
 //! Worker threads spawn lazily, once, and park on a condvar between
 //! operations; each parallel operation publishes a type-erased job whose
-//! contiguous pieces are claimed with an atomic cursor by the calling
-//! thread and by however many pool workers the installed budget admits.
-//! `join` publishes its right branch the same way and runs it inline if no
-//! worker picks it up. An installed pool size of `k` is enforced as a
+//! contiguous pieces are claimed by the calling thread and by however
+//! many pool workers the installed budget admits. Workers claim piece
+//! *ranges*, split them onto per-worker Chase–Lev deques, and steal from
+//! a random victim when idle, parking only after a bounded steal-spin
+//! finds nothing ([`pool_steal_count`] / [`pool_deque_max_depth`] expose
+//! this). `join` publishes its right branch the same way and runs it
+//! inline only if no worker attached to it. An installed pool size of `k`
+//! is enforced as a
 //! shared ticket budget across arbitrarily nested operations, so
 //! `install` regions never run more than `k` workers and a warm workload
 //! spawns zero new OS threads ([`pool_spawn_count`]). With a size of 1,
@@ -41,8 +45,9 @@ mod iter;
 mod pool;
 
 pub use pool::{
-    current_num_threads, current_thread_index, join, pool_max_workers, pool_spawn_count, scope,
-    Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+    current_num_threads, current_thread_index, join, pool_deque_max_depth, pool_max_workers,
+    pool_spawn_count, pool_steal_count, scope, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder,
 };
 
 pub mod prelude {

@@ -144,3 +144,72 @@ fn solve_output_is_identical_across_thread_counts() {
         assert_eq!(solve_at(k), base, "solve diverged at {k} threads");
     }
 }
+
+/// Same determinism, but with the submitting lane of a `join` pinned busy
+/// so the whole solve is serviced through the work-stealing deques: the
+/// BCC partition must not depend on *which* worker ran which range. The
+/// spinner releases as soon as the solve completes (200 ms failsafe when
+/// no worker attaches, e.g. every budget running inline on one core).
+#[test]
+fn solve_partition_stable_under_forced_steals() {
+    let _guard = lock();
+    let g = generators::grid2d_sampled(60, 60, 0.93, 0xFA57_BCC);
+    let expect = hopcroft_tarjan(&g, false).num_bcc;
+
+    fn normalize(labels: &[u32]) -> Vec<u32> {
+        let mut rename = std::collections::HashMap::new();
+        labels
+            .iter()
+            .map(|&l| {
+                let next = rename.len() as u32;
+                *rename.entry(l).or_insert(next)
+            })
+            .collect()
+    }
+
+    let base = with_threads(1, || {
+        let r = fast_bcc(&g, BccOpts::default());
+        (normalize(&r.labels), r.num_bcc, r.num_cc)
+    });
+    for k in [2usize, 8] {
+        let run = with_threads(k, || {
+            use std::sync::atomic::{AtomicBool, Ordering};
+            let stop = AtomicBool::new(false);
+            let (_, r) = rayon::join(
+                || {
+                    let t0 = std::time::Instant::now();
+                    while !stop.load(Ordering::Acquire)
+                        && t0.elapsed() < std::time::Duration::from_millis(200)
+                    {
+                        std::hint::spin_loop();
+                    }
+                },
+                || {
+                    let r = fast_bcc(&g, BccOpts::default());
+                    stop.store(true, Ordering::Release);
+                    (normalize(&r.labels), r.num_bcc, r.num_cc)
+                },
+            );
+            r
+        });
+        assert_eq!(run.1, expect, "wrong BCC count under steals at {k} threads");
+        assert_eq!(run, base, "solve diverged under steals at {k} threads");
+    }
+}
+
+/// The pool's steal telemetry is observable through the facade and never
+/// runs backwards: process-lifetime counters, so benchmarks can subtract
+/// adjacent readings to attribute steals to a run.
+#[test]
+fn steal_counters_observable_through_facade() {
+    let _guard = lock();
+    let before_steals = fastbcc_primitives::steal_count();
+    let before_depth = fastbcc_primitives::deque_max_depth();
+    let g = generators::grid2d(80, 80, false);
+    let r = with_threads(fastbcc_primitives::num_threads().max(2), || {
+        fast_bcc(&g, BccOpts::default())
+    });
+    assert!(r.num_bcc > 0);
+    assert!(fastbcc_primitives::steal_count() >= before_steals);
+    assert!(fastbcc_primitives::deque_max_depth() >= before_depth);
+}
