@@ -72,11 +72,15 @@ pub fn bfs_tags(g: &Graph, f: &BfsForest) -> Tags {
     let mut tree_off: Vec<usize> = f.roots.iter().map(|&r| size[r as usize] as usize).collect();
     let total = prefix_sums(&mut tree_off);
     debug_assert_eq!(total, n);
+    // SAFETY: every vertex gets a preorder number in the top-down sweep
+    // below (roots first, then each level), so all of `first` is written
+    // before it is read.
     let mut first: Vec<u32> = unsafe { uninit_vec(n) };
     {
         let fview = UnsafeSlice::new(&mut first);
         let roots_ref = &f.roots;
         let off_ref = &tree_off;
+        // SAFETY: roots are distinct vertices, so the writes are disjoint.
         par_for(roots_ref.len(), |t| unsafe {
             fview.write(roots_ref[t] as usize, off_ref[t] as u32);
         });
@@ -91,17 +95,21 @@ pub fn bfs_tags(g: &Graph, f: &BfsForest) -> Tags {
                 // (roots above, parents in the previous iteration).
                 let mut cursor = unsafe { fview.read(v) } + 1;
                 for &c in &children_ref[child_off_ref[v]..child_off_ref[v + 1]] {
+                    // SAFETY: each child has exactly one parent, so `c` is
+                    // written by exactly one iteration of this level loop.
                     unsafe { fview.write(c as usize, cursor) };
                     cursor += size_ref[c as usize];
                 }
             });
         }
     }
+    // SAFETY: the scatter below writes every index `0..n` before use.
     let mut last: Vec<u32> = unsafe { uninit_vec(n) };
     {
         let view = UnsafeSlice::new(&mut last);
         let first_ref = &first;
         let size_ref = &size;
+        // SAFETY: one write per distinct index `v` — disjoint by construction.
         par_for(n, |v| unsafe {
             view.write(v, first_ref[v] + size_ref[v] - 1)
         });
@@ -144,6 +152,8 @@ pub fn bfs_tags(g: &Graph, f: &BfsForest) -> Tags {
                 lo = lo.min(unsafe { lview.read(c as usize) });
                 hi = hi.max(unsafe { hview.read(c as usize) });
             }
+            // SAFETY: `v` appears once in this level, so no other thread
+            // touches index `v` during this round.
             unsafe {
                 lview.write(v, lo);
                 hview.write(v, hi);

@@ -110,6 +110,8 @@ pub fn tarjan_vishkin(g: &Graph, seed: u64) -> TvResult {
     let src = arc_sources(g);
     let fwd_arcs = pack_index_usize(g.m(), |a| src[a] < arcs[a]);
     let m_edges = fwd_arcs.len();
+    // SAFETY: every arc is either a forward arc or the twin of one, so the
+    // scatter below writes all of `eid_of_arc` before it is read.
     let mut eid_of_arc: Vec<u32> = unsafe { uninit_vec(g.m()) };
     {
         let view = UnsafeSlice::new(&mut eid_of_arc);
@@ -212,6 +214,8 @@ pub fn tarjan_vishkin(g: &Graph, seed: u64) -> TvResult {
 
 /// Per-arc source vertex (flat expansion of the CSR offsets).
 fn arc_sources(g: &Graph) -> Vec<V> {
+    // SAFETY: the CSR arc ranges partition `0..m`, so the scatter below
+    // writes every index before it is read.
     let mut src: Vec<V> = unsafe { uninit_vec(g.m()) };
     {
         let view = UnsafeSlice::new(&mut src);

@@ -328,9 +328,12 @@ pub fn cc_contiguous_perm(labels: &[u32]) -> Vec<V> {
     let (sorted, _) = fastbcc_primitives::semisort::semisort_by_small_key(&ids, n.max(1), |&v| {
         labels[v as usize] as usize
     });
+    // SAFETY: `sorted` is a permutation of `0..n`, so the inversion scatter
+    // below writes every index exactly once before `perm` is read.
     let mut perm: Vec<V> = unsafe { fastbcc_primitives::slice::uninit_vec(n) };
     {
         let view = fastbcc_primitives::slice::UnsafeSlice::new(&mut perm);
+        // SAFETY: disjoint writes — `sorted` is injective (a permutation).
         fastbcc_primitives::par::par_for(n, |new| unsafe {
             view.write(sorted[new] as usize, new as V);
         });

@@ -65,6 +65,9 @@ pub fn forest_adjacency_in(
     offsets_out.resize(n + 1, 0);
     let degree = offsets_out;
     {
+        // SAFETY: `AtomicUsize` has the same size/alignment as `usize`,
+        // and the exclusive borrow of `degree` is handed over wholesale to
+        // this atomic view, so no plain accesses race the fetch_adds.
         let deg: &[AtomicUsize] =
             unsafe { &*(degree.as_mut_slice() as *mut [usize] as *const [AtomicUsize]) };
         par_for(m, |i| {

@@ -213,6 +213,7 @@ impl ConcurrentUnionFind {
     /// Call after all unites are done (quiescent).
     pub fn labels(&self) -> Vec<u32> {
         let n = self.parent.len();
+        // SAFETY: the loop below writes every index `0..n` before use.
         let mut out: Vec<u32> = unsafe { fastbcc_primitives::slice::uninit_vec(n) };
         {
             let view = fastbcc_primitives::slice::UnsafeSlice::new(&mut out);

@@ -172,6 +172,7 @@ impl BccIndex {
         let nodes = nb + nc;
 
         // Vertex tables: block sizes, block/cut ranks, forest node ids.
+        // SAFETY: the scatter below writes every index `0..n` before use.
         let mut block_size: Vec<u32> = unsafe { uninit_vec(n) };
         {
             let view = UnsafeSlice::new(&mut block_size);
@@ -249,6 +250,8 @@ impl BccIndex {
         for i in 0..=nc {
             offsets[nb + i] = ne + t.cut_offsets[i] as usize;
         }
+        // SAFETY: the two scatters below cover `0..ne` and `ne..2*ne`, so
+        // every index is written before use.
         let mut arcs: Vec<V> = unsafe { uninit_vec(2 * ne) };
         {
             let view = UnsafeSlice::new(&mut arcs);
@@ -274,6 +277,7 @@ impl BccIndex {
         // from tour[p]'s root to tour[p], inclusive.
         let tlen = rf.tour_len();
         let is_cut_node = |x: V| (x as usize >= nb) as i32;
+        // SAFETY: the scatter below writes every tour position before use.
         let mut csteps: Vec<i32> = unsafe { uninit_vec(tlen) };
         {
             let view = UnsafeSlice::new(&mut csteps);

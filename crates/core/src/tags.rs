@@ -194,6 +194,7 @@ pub fn compute_tags_in(
     {
         let v1 = UnsafeSlice::new(w1_tour.as_mut_slice());
         let v2 = UnsafeSlice::new(w2_tour.as_mut_slice());
+        // SAFETY: one write per distinct tour position `p` — disjoint.
         par_for(tl, |p| unsafe {
             let v = tour[p] as usize;
             v1.write(p, w1[v]);
@@ -213,6 +214,7 @@ pub fn compute_tags_in(
     {
         let lo = UnsafeSlice::new(out.low.as_mut_slice());
         let hi = UnsafeSlice::new(out.high.as_mut_slice());
+        // SAFETY: one write per distinct vertex `v` — disjoint.
         par_for(n, |v| unsafe {
             lo.write(v, st_min.query(first[v] as usize, last[v] as usize));
             hi.write(v, st_max.query(first[v] as usize, last[v] as usize));

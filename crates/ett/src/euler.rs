@@ -151,6 +151,7 @@ pub fn root_forest_in(
     pos_of_root.resize(n, u32::MAX);
     {
         let view = UnsafeSlice::new(pos_of_root.as_mut_slice());
+        // SAFETY: roots are distinct vertices, so the writes are disjoint.
         par_for(roots.len(), |t| unsafe {
             view.write(roots[t] as usize, t as u32)
         });
@@ -295,6 +296,7 @@ pub fn root_forest_in(
 /// crate's query index consumes it exactly that way.
 pub fn tour_depths(rf: &RootedForest) -> Vec<u32> {
     let t = rf.tour_len();
+    // SAFETY: the scatter below writes every tour position before use.
     let mut steps: Vec<i32> = unsafe { uninit_vec(t) };
     {
         let view = UnsafeSlice::new(&mut steps);

@@ -112,6 +112,7 @@ pub fn rank_circular_lists_in(
     sample_of.resize(n, NOT_SAMPLE);
     {
         let view = UnsafeSlice::new(sample_of.as_mut_slice());
+        // SAFETY: sample node ids are distinct, so the writes are disjoint.
         par_for(k, |si| unsafe {
             view.write(samples[si] as usize, si as u32)
         });

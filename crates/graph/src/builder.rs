@@ -33,6 +33,8 @@ pub fn build_symmetric(el: &EdgeList) -> Graph {
     let loops =
         fastbcc_primitives::reduce::count(el.edges.len(), |i| el.edges[i].0 == el.edges[i].1);
     let keep = el.edges.len() - loops;
+    // SAFETY: the scatter below writes slots `2j` and `2j+1` for every
+    // surviving edge `j`, covering all of `0..2*keep` before use.
     let mut arcs: Vec<(V, V)> = unsafe { uninit_vec(2 * keep) };
     {
         // Compute destinations for survivors via pack of indices, then scatter
@@ -75,9 +77,11 @@ pub fn from_arcs_dedup(n: usize, arcs: Vec<(V, V)>) -> Graph {
 
     // 5: offsets + flat arc targets.
     let offsets = offsets_from_sorted(&deduped, n, |&(u, _)| u as usize);
+    // SAFETY: the copy below writes every index before use.
     let mut flat: Vec<V> = unsafe { uninit_vec(deduped.len()) };
     {
         let view = UnsafeSlice::new(&mut flat);
+        // SAFETY: one write per distinct index `i` — disjoint.
         par_for(deduped.len(), |i| unsafe { view.write(i, deduped[i].1) });
     }
     Graph::from_raw_parts(offsets, flat)

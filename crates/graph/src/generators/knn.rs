@@ -26,6 +26,8 @@ pub fn knn(n: usize, k: usize, seed: u64) -> Graph {
 
     // arcs[i*k .. (i+1)*k] = the k nearest neighbors of i (NONE-padded never
     // happens since k < n, but keep the guard for safety).
+    // SAFETY: the scatter below writes all of row `i*k..(i+1)*k` for every
+    // point (real neighbors, then NONE padding), covering every index.
     let mut arcs: Vec<(V, V)> = unsafe { uninit_vec(n * k) };
     {
         let view = UnsafeSlice::new(&mut arcs);

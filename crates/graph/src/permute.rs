@@ -19,17 +19,23 @@ pub fn relabel(g: &Graph, perm: &[V]) -> Graph {
     debug_assert!(is_permutation(perm));
 
     // inverse permutation: old id at each new position.
+    // SAFETY: `perm` is a bijection, so the scatter below writes every
+    // index exactly once before `inv` is read.
     let mut inv: Vec<V> = unsafe { uninit_vec(n) };
     {
         let view = UnsafeSlice::new(&mut inv);
+        // SAFETY: disjoint writes — `perm` is injective.
         par_for(n, |old| unsafe { view.write(perm[old] as usize, old as V) });
     }
 
     // new offsets = scanned degrees in new order.
+    // SAFETY: the loop plus the tail write below cover all of `0..=n`.
     let mut offsets: Vec<usize> = unsafe { uninit_vec(n + 1) };
     {
         let view = UnsafeSlice::new(&mut offsets);
+        // SAFETY: one write per distinct index `new` — disjoint.
         par_for(n, |new| unsafe { view.write(new, g.degree(inv[new])) });
+        // SAFETY: index `n` is written by no other thread.
         unsafe { view.write(n, 0) };
     }
     let m = prefix_sums(&mut offsets[..]);
@@ -37,6 +43,8 @@ pub fn relabel(g: &Graph, perm: &[V]) -> Graph {
     // prefix_sums over n+1 entries leaves offsets[n] = total already:
     // entry n contributed 0, so its exclusive prefix is the full sum.
 
+    // SAFETY: the per-vertex arc ranges partition `0..m`, so the scatter
+    // below writes every index before use.
     let mut arcs: Vec<V> = unsafe { uninit_vec(m) };
     {
         let view = UnsafeSlice::new(&mut arcs);

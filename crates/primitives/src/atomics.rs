@@ -84,12 +84,15 @@ pub fn try_claim(flag: &AtomicBool) -> bool {
 /// exclusive borrow guarantees no non-atomic aliases exist for the duration.
 #[inline]
 pub fn as_atomic_u32(xs: &mut [u32]) -> &[AtomicU32] {
+    // SAFETY: same layout, and the exclusive borrow rules out non-atomic
+    // aliases for the returned reference's lifetime (see doc above).
     unsafe { &*(xs as *mut [u32] as *const [AtomicU32]) }
 }
 
 /// View a `&mut [u64]` as `&[AtomicU64]` for a concurrent phase.
 #[inline]
 pub fn as_atomic_u64(xs: &mut [u64]) -> &[AtomicU64] {
+    // SAFETY: same argument as `as_atomic_u32` above.
     unsafe { &*(xs as *mut [u64] as *const [AtomicU64]) }
 }
 

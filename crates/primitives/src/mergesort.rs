@@ -35,6 +35,8 @@ where
     if n <= 1 {
         return;
     }
+    // SAFETY: `buf` is only read after `sort_rec`'s merge step copies the
+    // full slice into it, so no uninitialized slot is ever read.
     let mut buf: Vec<T> = unsafe { uninit_vec(n) };
     sort_rec(xs, &mut buf, cmp);
 }
@@ -92,11 +94,13 @@ where
             k += 1;
         }
         while i < n {
+            // SAFETY: continues the same exclusive [base, base+n+m) range.
             unsafe { out.write(k, a[i]) };
             i += 1;
             k += 1;
         }
         while j < m {
+            // SAFETY: continues the same exclusive [base, base+n+m) range.
             unsafe { out.write(k, b[j]) };
             j += 1;
             k += 1;

@@ -38,6 +38,8 @@ where
     let total = prefix_sums(&mut offsets);
 
     // Scatter.
+    // SAFETY: the per-block scatter below covers exactly `0..total` (the
+    // scanned survivor counts), so every index is written before use.
     let mut out: Vec<T> = unsafe { uninit_vec(total) };
     {
         let view = UnsafeSlice::new(&mut out);

@@ -39,6 +39,7 @@ impl SparseTable {
         while 2 * width <= n {
             let prev = levels.last().unwrap();
             let m = n - 2 * width + 1;
+            // SAFETY: the scatter below writes every index `0..m` before use.
             let mut next: Vec<u32> = unsafe { uninit_vec(m) };
             {
                 let view = UnsafeSlice::new(&mut next);
@@ -124,6 +125,7 @@ impl BlockRmq {
     pub fn build(data: &[u32], kind: RmqKind) -> Self {
         let n = data.len();
         let blocks = n.div_ceil(Self::BLOCK).max(1);
+        // SAFETY: the per-block scatter below writes every index before use.
         let mut mins: Vec<u32> = unsafe { uninit_vec(blocks) };
         {
             let view = UnsafeSlice::new(&mut mins);
@@ -230,6 +232,7 @@ impl ArgRmq {
             };
         }
         let blocks = n.div_ceil(Self::BLOCK);
+        // SAFETY: the per-block scatter below writes every index before use.
         let mut level0: Vec<u32> = unsafe { uninit_vec(blocks) };
         {
             let view = UnsafeSlice::new(&mut level0);
@@ -246,6 +249,7 @@ impl ArgRmq {
         while 2 * width <= blocks {
             let prev = levels.last().unwrap();
             let m = blocks - 2 * width + 1;
+            // SAFETY: the scatter below writes every index `0..m` before use.
             let mut next: Vec<u32> = unsafe { uninit_vec(m) };
             {
                 let view = UnsafeSlice::new(&mut next);

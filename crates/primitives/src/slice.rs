@@ -66,7 +66,10 @@ impl<'a, T> UnsafeSlice<'a, T> {
             "UnsafeSlice write out of bounds: {i} >= {}",
             self.len
         );
-        *(*self.ptr.add(i)).get() = value;
+        // SAFETY: `i < len` keeps `add` inside the original slice, and the
+        // caller's contract (no concurrent access to index `i`) makes the
+        // `UnsafeCell` write exclusive.
+        unsafe { *(*self.ptr.add(i)).get() = value };
     }
 
     /// Read the value at `i`.
@@ -84,7 +87,10 @@ impl<'a, T> UnsafeSlice<'a, T> {
             "UnsafeSlice read out of bounds: {i} >= {}",
             self.len
         );
-        *(*self.ptr.add(i)).get()
+        // SAFETY: `i < len` keeps `add` inside the original slice, and the
+        // caller's contract (no concurrent writer of index `i`) makes the
+        // read data-race-free.
+        unsafe { *(*self.ptr.add(i)).get() }
     }
 
     /// Mutable reference to the element at `i`.
@@ -95,7 +101,10 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
         debug_assert!(i < self.len);
-        &mut *(*self.ptr.add(i)).get()
+        // SAFETY: `i < len` keeps `add` inside the original slice, and the
+        // caller's disjointness contract makes this the only live
+        // reference to slot `i` while it exists.
+        unsafe { &mut *(*self.ptr.add(i)).get() }
     }
 
     /// Mutable subslice `start..start + len`, for block-wise scatters that
@@ -109,7 +118,10 @@ impl<'a, T> UnsafeSlice<'a, T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn slice_mut(&self, start: usize, len: usize) -> &mut [T] {
         debug_assert!(start + len <= self.len);
-        std::slice::from_raw_parts_mut((*self.ptr.add(start)).get(), len)
+        // SAFETY: `start + len <= self.len` keeps the range inside the
+        // original slice, and the caller's contract makes this the only
+        // live access to every index in it while the slice exists.
+        unsafe { std::slice::from_raw_parts_mut((*self.ptr.add(start)).get(), len) }
     }
 }
 
@@ -125,7 +137,7 @@ pub unsafe fn uninit_vec<T: Copy>(n: usize) -> Vec<T> {
     let mut v = Vec::with_capacity(n);
     // SAFETY: capacity reserved above; contents are POD per the T: Copy bound
     // and the caller's contract to overwrite before reading.
-    v.set_len(n);
+    unsafe { v.set_len(n) };
     v
 }
 
@@ -142,7 +154,7 @@ pub unsafe fn reuse_uninit<T: Copy>(v: &mut Vec<T>, n: usize) {
     v.reserve(n);
     // SAFETY: capacity reserved above; contents are POD per the T: Copy
     // bound and the caller's contract to overwrite before reading.
-    v.set_len(n);
+    unsafe { v.set_len(n) };
 }
 
 /// Grow `v` by `extra` uninitialized slots (existing contents untouched),
@@ -157,7 +169,7 @@ pub unsafe fn extend_uninit<T: Copy>(v: &mut Vec<T>, extra: usize) {
     v.reserve(extra);
     // SAFETY: capacity reserved above; contents are POD per the T: Copy
     // bound and the caller's contract to overwrite before reading.
-    v.set_len(v.len() + extra);
+    unsafe { v.set_len(v.len() + extra) };
 }
 
 /// Grow `v`'s capacity to at least `cap` with `reserve_exact`, so equal

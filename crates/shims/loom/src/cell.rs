@@ -1,0 +1,59 @@
+//! Race-checked shared-memory cell, mirroring `loom::cell::UnsafeCell`.
+//!
+//! Non-atomic shared state routed through [`UnsafeCell::with`] /
+//! [`UnsafeCell::with_mut`] is checked against the happens-before order
+//! the model derives from Acquire/Release pairs, mutexes, fences, and
+//! spawn/join edges: two accesses with no such edge between them, at
+//! least one a write, fail the model as a data race — exactly the state a
+//! `Relaxed`-only flag handoff leaves behind.
+
+use crate::rt;
+
+/// A checked `UnsafeCell`. Inside a model run every access is validated
+/// for data races; outside one, it behaves as a plain `std` cell.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T: ?Sized>(std::cell::UnsafeCell<T>);
+
+// SAFETY: same contract as `std::cell::UnsafeCell` shared across threads
+// guarded by external synchronization — which is precisely what the model
+// verifies: every `with`/`with_mut` pair without a happens-before edge is
+// reported as a race instead of being silently undefined.
+unsafe impl<T: ?Sized + Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    pub const fn new(t: T) -> Self {
+        Self(std::cell::UnsafeCell::new(t))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    fn addr(&self) -> usize {
+        self as *const UnsafeCell<T> as *const () as usize
+    }
+
+    /// Immutable access; recorded as a read in the race detector.
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        if let Some((ex, me)) = rt::current() {
+            ex.schedule_point(me, "UnsafeCell::with (read)");
+            ex.cell_access(self.addr(), me, false, "UnsafeCell::with (read)");
+        }
+        f(self.0.get())
+    }
+
+    /// Mutable access; recorded as a write in the race detector.
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        if let Some((ex, me)) = rt::current() {
+            ex.schedule_point(me, "UnsafeCell::with_mut (write)");
+            ex.cell_access(self.addr(), me, true, "UnsafeCell::with_mut (write)");
+        }
+        f(self.0.get())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut()
+    }
+}

@@ -1,0 +1,16 @@
+//! Model-checked `std::hint` surface.
+
+use crate::rt;
+
+/// Spin-loop hint. On a model thread this is a *yield*: a spinning thread
+/// is deprioritized until every other runnable thread has run, which is
+/// the fair-scheduling assumption that makes bounded spins terminate
+/// under the model (an unbounded spin whose exit no other thread can
+/// satisfy still fails via the step budget, as a livelock).
+pub fn spin_loop() {
+    if let Some((exec, me)) = rt::current() {
+        exec.yield_now(me);
+    } else {
+        std::hint::spin_loop();
+    }
+}

@@ -1,0 +1,967 @@
+//! The model-checking runtime: a deterministic cooperative scheduler that
+//! runs each model thread on a real OS thread but lets exactly **one** of
+//! them execute at a time, switching only at *schedule points* (every
+//! visible synchronization operation). Each iteration replays a recorded
+//! prefix of scheduling choices and extends it with default choices; after
+//! the iteration the deepest branch with an unexplored alternative is
+//! advanced (depth-first search over the interleaving tree), bounded by a
+//! configurable number of preemptions.
+//!
+//! # What the explorer checks
+//!
+//! * **Deadlocks / lost wakeups** — if no thread is runnable and at least
+//!   one is blocked (mutex, condvar wait, join), the schedule that got
+//!   there is reported. A "lost wakeup" (a `notify` that raced a park and
+//!   woke nobody) is exactly such a state, since the model `Condvar` has
+//!   no spurious wakeups.
+//! * **Data races** — `cell::UnsafeCell` accesses are checked against a
+//!   happens-before order derived from Acquire/Release edges (vector
+//!   clocks): release stores publish the writer's clock on the atomic,
+//!   acquire loads join it, mutexes publish on unlock and join on lock.
+//!   Two unordered accesses (at least one a write) fail the model.
+//! * **Livelocks** — an iteration that exceeds the per-run step budget
+//!   (e.g. a spin loop whose exit condition no other thread can satisfy).
+//! * **Assertion failures** — a panic in model code fails the model with
+//!   the schedule that produced it.
+//!
+//! Failures carry the full scheduling choice list; replaying it
+//! (`Builder::replay`, or the `FASTBCC_LOOM_REPLAY` environment variable)
+//! deterministically reproduces the failing execution.
+//!
+//! # Model limits
+//!
+//! Value semantics are sequentially consistent: a load observes the most
+//! recent store in the explored interleaving. Acquire/Release orderings
+//! affect the *happens-before* relation used for race detection, not the
+//! values loads can return — so store-buffering (weak-memory) executions
+//! are not explored, the same trade-off the real loom makes. `yield_now`
+//! and `spin_loop` deprioritize the calling thread until every other
+//! runnable thread has had a chance to run (the standard fair-scheduling
+//! assumption for spin loops).
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+pub(crate) type Tid = usize;
+
+/// Hard ceiling on model threads per execution; keeps `VClock`s and the
+/// branch `enabled` sets small.
+pub(crate) const MAX_THREADS: usize = 16;
+
+/// Sentinel panic payload used to unwind model threads out of a failed or
+/// abandoned execution. Never reported as a model panic.
+pub(crate) struct ModelAbort;
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over model-thread ids; the happens-before backbone.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    fn get(&self, t: Tid) -> u64 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn set(&mut self, t: Tid, v: u64) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] = v;
+    }
+
+    fn tick(&mut self, t: Tid) {
+        let v = self.get(t) + 1;
+        self.set(t, v);
+    }
+
+    fn join(&mut self, o: &VClock) {
+        if self.0.len() < o.0.len() {
+            self.0.resize(o.0.len(), 0);
+        }
+        for (i, &v) in o.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.0.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public failure report types
+// ---------------------------------------------------------------------------
+
+/// Why a model run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No thread is runnable and at least one is blocked — a deadlock or a
+    /// lost wakeup.
+    Deadlock,
+    /// Two `cell::UnsafeCell` accesses (one a write) with no
+    /// happens-before edge between them.
+    DataRace,
+    /// A model thread panicked (failed assertion in model code).
+    Panic,
+    /// The per-iteration step budget was exhausted (unbounded spin).
+    Livelock,
+}
+
+/// A failed execution: what went wrong, and the exact scheduling choice
+/// sequence that reproduces it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    pub message: String,
+    /// Branch choices (indices into each branch's enabled set) replaying
+    /// the failing execution: `Builder::replay(&schedule)`.
+    pub schedule: Vec<usize>,
+    /// 1-based iteration at which the failure was found.
+    pub iteration: usize,
+    /// The last few operations of the failing execution, newest last.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "model failure ({:?}) at iteration {}: {}",
+            self.kind, self.iteration, self.message
+        )?;
+        writeln!(f, "recent operations:")?;
+        for line in &self.trace {
+            writeln!(f, "  {line}")?;
+        }
+        let sched: Vec<String> = self.schedule.iter().map(|c| c.to_string()).collect();
+        write!(
+            f,
+            "replay with FASTBCC_LOOM_REPLAY={} or Builder::replay(&[{}])",
+            sched.join(","),
+            sched.join(", ")
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Blocked {
+    Mutex(usize),
+    Condvar(usize),
+    Join(Tid),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum State {
+    /// Schedulable (includes the thread currently executing).
+    Ready,
+    /// Voluntarily descheduled until no un-yielded thread is runnable.
+    Yielded,
+    Blocked(Blocked),
+    Finished,
+}
+
+/// One scheduling decision with more than one enabled thread.
+#[derive(Clone, Debug)]
+pub(crate) struct Branch {
+    enabled: Vec<Tid>,
+    chosen: usize,
+    prev: Tid,
+    preemptions_before: usize,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Config {
+    /// Per-iteration cap on scheduling steps; exceeding it is a livelock.
+    pub max_steps: usize,
+}
+
+struct AtomicObj {
+    /// Clock published by the last release store (joined by release RMWs,
+    /// cleared by relaxed stores, preserved by relaxed RMWs — the
+    /// release-sequence rule).
+    release: VClock,
+}
+
+struct MutexObj {
+    holder: Option<Tid>,
+    release: VClock,
+}
+
+struct CvObj {
+    /// FIFO park order; `notify_one` wakes the front.
+    waiters: Vec<Tid>,
+}
+
+#[derive(Default)]
+struct CellObj {
+    writer: Option<(Tid, u64)>,
+    writer_desc: String,
+    reads: VClock,
+}
+
+/// Ring capacity of the per-execution operation trace.
+const TRACE_CAP: usize = 40;
+
+struct Inner {
+    cfg: Config,
+    active: Tid,
+    states: Vec<State>,
+    clocks: Vec<VClock>,
+    final_clocks: Vec<Option<VClock>>,
+    schedule: Vec<Branch>,
+    prefix: Vec<usize>,
+    step: usize,
+    ops: usize,
+    preemptions: usize,
+    failure: Option<Failure>,
+    done: bool,
+    trace: Vec<String>,
+    atomics: HashMap<usize, AtomicObj>,
+    mutexes: HashMap<usize, MutexObj>,
+    condvars: HashMap<usize, CvObj>,
+    cells: HashMap<usize, CellObj>,
+    fence_release: VClock,
+}
+
+impl Inner {
+    fn push_trace(&mut self, me: Tid, desc: &str) {
+        if self.trace.len() == TRACE_CAP {
+            self.trace.remove(0);
+        }
+        self.trace.push(format!("[thread {me}] {desc}"));
+    }
+
+    fn fail(&mut self, kind: FailureKind, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                kind,
+                message,
+                schedule: self.schedule.iter().map(|b| b.chosen).collect(),
+                iteration: 0,
+                trace: self.trace.clone(),
+            });
+        }
+        self.done = true;
+    }
+}
+
+/// One exploration iteration: shared between the runner and every model
+/// thread of that iteration.
+pub(crate) struct Execution {
+    inner: StdMutex<Inner>,
+    /// Model threads wait here for their turn (`inner.active == tid`).
+    turn_cv: StdCondvar,
+    /// The runner waits here for `inner.done`.
+    done_cv: StdCondvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Execution>, Tid)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The executing model thread's context, or `None` when called from a
+/// thread outside any model run (the pass-through fallback path).
+///
+/// Also `None` while the thread is *unwinding*: a `ModelAbort` tearing
+/// down a failed iteration runs `Drop` impls (e.g. `MutexGuard`) that
+/// would otherwise re-enter the scheduler and abort again mid-unwind — a
+/// fatal double panic. Falling back to plain `std` behavior during any
+/// unwind is safe because a panicking iteration is abandoned either way.
+pub(crate) fn current() -> Option<(Arc<Execution>, Tid)> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+// Classify user-requested orderings for the happens-before machinery:
+// acquire-class loads join the location's release clock, release-class
+// stores publish the writer's clock.
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+impl Execution {
+    pub(crate) fn new(cfg: Config, prefix: Vec<usize>) -> Self {
+        Self {
+            inner: StdMutex::new(Inner {
+                cfg,
+                active: 0,
+                states: vec![State::Ready],
+                clocks: vec![VClock::default()],
+                final_clocks: vec![None],
+                schedule: Vec::new(),
+                prefix,
+                step: 0,
+                ops: 0,
+                preemptions: 0,
+                failure: None,
+                done: false,
+                trace: Vec::new(),
+                atomics: HashMap::new(),
+                mutexes: HashMap::new(),
+                condvars: HashMap::new(),
+                cells: HashMap::new(),
+                fence_release: VClock::default(),
+            }),
+            turn_cv: StdCondvar::new(),
+            done_cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        }
+    }
+
+    // -- scheduling core ----------------------------------------------------
+
+    /// Unwind the calling model thread out of a finished/failed execution.
+    fn abort() -> ! {
+        std::panic::panic_any(ModelAbort)
+    }
+
+    /// Pick the next thread to run. `Ready` threads are preferred over
+    /// `Yielded` ones (which only run when nothing else can, implementing
+    /// the fair-scheduling assumption spin loops need). Returns false when
+    /// the execution ended instead (all finished, or a detected deadlock).
+    fn pick_next(&self, g: &mut Inner) -> bool {
+        let mut enabled: Vec<Tid> = (0..g.states.len())
+            .filter(|&t| g.states[t] == State::Ready)
+            .collect();
+        if enabled.is_empty() {
+            // Fall back to yielded threads, clearing their yield status.
+            enabled = (0..g.states.len())
+                .filter(|&t| g.states[t] == State::Yielded)
+                .collect();
+            for &t in &enabled {
+                g.states[t] = State::Ready;
+            }
+        }
+        if enabled.is_empty() {
+            if g.states.iter().all(|s| *s == State::Finished) {
+                g.done = true;
+            } else {
+                let blocked: Vec<String> = g
+                    .states
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(t, s)| match s {
+                        State::Blocked(Blocked::Mutex(_)) => {
+                            Some(format!("thread {t} blocked locking a Mutex"))
+                        }
+                        State::Blocked(Blocked::Condvar(_)) => {
+                            Some(format!("thread {t} parked in Condvar::wait"))
+                        }
+                        State::Blocked(Blocked::Join(o)) => {
+                            Some(format!("thread {t} joining thread {o}"))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                g.fail(
+                    FailureKind::Deadlock,
+                    format!(
+                        "no runnable thread — deadlock or lost wakeup ({})",
+                        blocked.join("; ")
+                    ),
+                );
+            }
+            self.turn_cv.notify_all();
+            self.done_cv.notify_all();
+            return false;
+        }
+        let prev = g.active;
+        // Keep the default choice at index 0 by moving the previous thread
+        // (when still enabled) to the front: `next_prefix` enumerates
+        // alternatives as `chosen+1..`, so the default MUST be first or
+        // the alternatives sorting below it would never be explored. The
+        // reorder depends only on `prev`, so replays stay deterministic.
+        if let Some(p) = enabled.iter().position(|&t| t == prev) {
+            enabled.swap(0, p);
+        }
+        let idx = if enabled.len() == 1 {
+            0
+        } else {
+            let idx = if g.step < g.prefix.len() {
+                let i = g.prefix[g.step];
+                if i >= enabled.len() {
+                    g.fail(
+                        FailureKind::Panic,
+                        format!(
+                            "replay diverged: prefix chose {i} of {} enabled threads \
+                             (the model closure must be deterministic)",
+                            enabled.len()
+                        ),
+                    );
+                    self.turn_cv.notify_all();
+                    self.done_cv.notify_all();
+                    return false;
+                }
+                i
+            } else {
+                // Default: keep running the previous thread when possible
+                // (index 0 after the reorder above — costs no preemption,
+                // so bounded search prunes well).
+                0
+            };
+            let preemptive = enabled[idx] != prev && enabled.contains(&prev);
+            g.schedule.push(Branch {
+                enabled: enabled.clone(),
+                chosen: idx,
+                prev,
+                preemptions_before: g.preemptions,
+            });
+            if preemptive {
+                g.preemptions += 1;
+            }
+            g.step += 1;
+            idx
+        };
+        g.active = enabled[idx];
+        self.turn_cv.notify_all();
+        true
+    }
+
+    /// Block until it is `me`'s turn to run; aborts the thread if the
+    /// execution ended first. Consumes and re-takes the inner lock.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut g: std::sync::MutexGuard<'a, Inner>,
+        me: Tid,
+    ) -> std::sync::MutexGuard<'a, Inner> {
+        loop {
+            if g.done || g.failure.is_some() {
+                drop(g);
+                Self::abort();
+            }
+            if g.active == me && g.states[me] == State::Ready {
+                return g;
+            }
+            g = self.turn_cv.wait(g).expect("model scheduler poisoned");
+        }
+    }
+
+    /// A schedule point: the operation described by `desc` is about to
+    /// execute on thread `me`. Gives the scheduler (and the DFS) the
+    /// chance to run any other thread first. Returns with `me` active.
+    pub(crate) fn schedule_point(&self, me: Tid, desc: &str) {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        if g.done || g.failure.is_some() {
+            drop(g);
+            Self::abort();
+        }
+        g.ops += 1;
+        if g.ops > g.cfg.max_steps {
+            let max = g.cfg.max_steps;
+            g.fail(
+                FailureKind::Livelock,
+                format!("execution exceeded {max} scheduling steps — livelock or unbounded spin"),
+            );
+            self.turn_cv.notify_all();
+            self.done_cv.notify_all();
+            drop(g);
+            Self::abort();
+        }
+        g.push_trace(me, desc);
+        let t = g.clocks[me].get(me) + 1;
+        g.clocks[me].set(me, t);
+        if !self.pick_next(&mut g) {
+            drop(g);
+            Self::abort();
+        }
+        let g = self.wait_for_turn(g, me);
+        drop(g);
+    }
+
+    /// Deschedule `me` voluntarily (`yield_now` / `spin_loop`).
+    pub(crate) fn yield_now(&self, me: Tid) {
+        self.schedule_point(me, "yield");
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        // Only deprioritize when someone else could run; a lone thread
+        // yielding in a loop is a livelock the step budget will catch.
+        let others = (0..g.states.len()).any(|t| t != me && g.states[t] == State::Ready);
+        if others {
+            g.states[me] = State::Yielded;
+            if !self.pick_next(&mut g) {
+                drop(g);
+                Self::abort();
+            }
+            let g2 = self.wait_for_turn(g, me);
+            drop(g2);
+        }
+    }
+
+    // -- atomics ------------------------------------------------------------
+    //
+    // The wrappers in `sync::atomic` call `schedule_point` *before* the
+    // underlying std operation (so every pair of adjacent operations has
+    // an interleaving opportunity between them), then one of these
+    // happens-before hooks *after* it. The hooks never reschedule.
+
+    pub(crate) fn atomic_load(&self, addr: usize, me: Tid, order: Ordering) {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        if is_acquire(order) {
+            if let Some(obj) = g.atomics.get(&addr) {
+                let rel = obj.release.clone();
+                g.clocks[me].join(&rel);
+            }
+        }
+    }
+
+    pub(crate) fn atomic_store(&self, addr: usize, me: Tid, order: Ordering) {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        let clock = g.clocks[me].clone();
+        let obj = g.atomics.entry(addr).or_insert_with(|| AtomicObj {
+            release: VClock::default(),
+        });
+        if is_release(order) {
+            obj.release = clock;
+        } else {
+            // A relaxed store hides earlier release stores from later
+            // acquire loads (it starts a new, clock-less modification).
+            obj.release.clear();
+        }
+    }
+
+    /// Read-modify-write: acquire side joins the published clock, release
+    /// side publishes; a fully relaxed RMW leaves the published clock in
+    /// place (it continues the release sequence).
+    pub(crate) fn atomic_rmw(&self, addr: usize, me: Tid, order: Ordering) {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        if is_acquire(order) {
+            if let Some(obj) = g.atomics.get(&addr) {
+                let rel = obj.release.clone();
+                g.clocks[me].join(&rel);
+            }
+        }
+        if is_release(order) {
+            let clock = g.clocks[me].clone();
+            let obj = g.atomics.entry(addr).or_insert_with(|| AtomicObj {
+                release: VClock::default(),
+            });
+            obj.release.join(&clock);
+        }
+    }
+
+    pub(crate) fn fence(&self, me: Tid, order: Ordering) {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        if is_acquire(order) {
+            let rel = g.fence_release.clone();
+            g.clocks[me].join(&rel);
+        }
+        if is_release(order) {
+            let clock = g.clocks[me].clone();
+            g.fence_release.join(&clock);
+        }
+    }
+
+    // -- cells (race detection) --------------------------------------------
+
+    pub(crate) fn cell_access(&self, addr: usize, me: Tid, write: bool, desc: &str) {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        let my_clock = g.clocks[me].clone();
+        let my_time = my_clock.get(me);
+        let n_threads = g.states.len();
+        let (writer, writer_desc, reads) = {
+            let cell = g.cells.entry(addr).or_default();
+            (cell.writer, cell.writer_desc.clone(), cell.reads.clone())
+        };
+        let mut race: Option<String> = None;
+        if let Some((w, wt)) = writer {
+            if w != me && my_clock.get(w) < wt {
+                race = Some(format!(
+                    "data race: {desc} on thread {me} is concurrent with prior write \
+                     `{writer_desc}` by thread {w} (no happens-before edge)"
+                ));
+            }
+        }
+        if write && race.is_none() {
+            if let Some(u) = (0..n_threads).find(|&u| u != me && reads.get(u) > my_clock.get(u)) {
+                race = Some(format!(
+                    "data race: write {desc} on thread {me} is concurrent with a \
+                     prior read by thread {u} (no happens-before edge)"
+                ));
+            }
+        }
+        if let Some(msg) = race {
+            g.fail(FailureKind::DataRace, msg);
+            self.turn_cv.notify_all();
+            self.done_cv.notify_all();
+            drop(g);
+            Self::abort();
+        }
+        let cell = g.cells.get_mut(&addr).expect("cell entry just inserted");
+        if write {
+            cell.writer = Some((me, my_time));
+            cell.writer_desc = desc.to_string();
+            cell.reads.clear();
+        } else {
+            cell.reads.set(me, my_time);
+        }
+    }
+
+    // -- mutexes ------------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, addr: usize, me: Tid) {
+        self.schedule_point(me, "Mutex::lock");
+        loop {
+            let mut g = self.inner.lock().expect("model scheduler poisoned");
+            let obj = g.mutexes.entry(addr).or_insert_with(|| MutexObj {
+                holder: None,
+                release: VClock::default(),
+            });
+            if obj.holder.is_none() {
+                obj.holder = Some(me);
+                let rel = obj.release.clone();
+                g.clocks[me].join(&rel);
+                return;
+            }
+            g.states[me] = State::Blocked(Blocked::Mutex(addr));
+            if !self.pick_next(&mut g) {
+                drop(g);
+                Self::abort();
+            }
+            let g = self.wait_for_turn(g, me);
+            drop(g);
+            // Re-contend: another thread may have taken the lock between
+            // our wakeup and our turn.
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, addr: usize, me: Tid) {
+        self.schedule_point(me, "Mutex::unlock");
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        self.mutex_unlock_locked(&mut g, addr, me);
+    }
+
+    fn mutex_unlock_locked(&self, g: &mut Inner, addr: usize, me: Tid) {
+        let clock = g.clocks[me].clone();
+        let obj = g
+            .mutexes
+            .get_mut(&addr)
+            .expect("unlock of an untracked mutex");
+        debug_assert_eq!(obj.holder, Some(me), "unlock by non-holder");
+        obj.holder = None;
+        obj.release.join(&clock);
+        // Wake every thread contending for this mutex; the scheduler
+        // arbitrates which one wins (each re-checks the holder).
+        for t in 0..g.states.len() {
+            if g.states[t] == State::Blocked(Blocked::Mutex(addr)) {
+                g.states[t] = State::Ready;
+            }
+        }
+    }
+
+    // -- condvars ------------------------------------------------------------
+
+    /// `Condvar::wait`: atomically release the mutex and park; once
+    /// notified, re-acquire. No spurious wakeups — a wakeup that never
+    /// comes is reported as a deadlock.
+    pub(crate) fn condvar_wait(&self, cv_addr: usize, mutex_addr: usize, me: Tid) {
+        self.schedule_point(me, "Condvar::wait");
+        {
+            let mut g = self.inner.lock().expect("model scheduler poisoned");
+            g.condvars
+                .entry(cv_addr)
+                .or_insert_with(|| CvObj {
+                    waiters: Vec::new(),
+                })
+                .waiters
+                .push(me);
+            self.mutex_unlock_locked(&mut g, mutex_addr, me);
+            g.states[me] = State::Blocked(Blocked::Condvar(cv_addr));
+            if !self.pick_next(&mut g) {
+                drop(g);
+                Self::abort();
+            }
+            let g2 = self.wait_for_turn(g, me);
+            drop(g2);
+        }
+        self.mutex_relock(mutex_addr, me);
+    }
+
+    /// Re-acquire after a condvar wakeup (no schedule point of its own —
+    /// the wakeup already passed through the scheduler).
+    fn mutex_relock(&self, addr: usize, me: Tid) {
+        loop {
+            let mut g = self.inner.lock().expect("model scheduler poisoned");
+            let obj = g.mutexes.entry(addr).or_insert_with(|| MutexObj {
+                holder: None,
+                release: VClock::default(),
+            });
+            if obj.holder.is_none() {
+                obj.holder = Some(me);
+                let rel = obj.release.clone();
+                g.clocks[me].join(&rel);
+                return;
+            }
+            g.states[me] = State::Blocked(Blocked::Mutex(addr));
+            if !self.pick_next(&mut g) {
+                drop(g);
+                Self::abort();
+            }
+            let g = self.wait_for_turn(g, me);
+            drop(g);
+        }
+    }
+
+    pub(crate) fn condvar_notify(&self, cv_addr: usize, me: Tid, all: bool) {
+        let desc = if all {
+            "Condvar::notify_all"
+        } else {
+            "Condvar::notify_one"
+        };
+        self.schedule_point(me, desc);
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        let Some(obj) = g.condvars.get_mut(&cv_addr) else {
+            return;
+        };
+        let woken: Vec<Tid> = if all {
+            std::mem::take(&mut obj.waiters)
+        } else if obj.waiters.is_empty() {
+            Vec::new()
+        } else {
+            vec![obj.waiters.remove(0)]
+        };
+        for t in woken {
+            debug_assert_eq!(g.states[t], State::Blocked(Blocked::Condvar(cv_addr)));
+            g.states[t] = State::Ready;
+        }
+    }
+
+    // -- threads -------------------------------------------------------------
+
+    /// Register a new model thread (happens-before: child starts after the
+    /// spawn). Returns the new tid.
+    pub(crate) fn register_thread(&self, parent: Tid) -> Tid {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        let tid = g.states.len();
+        assert!(tid < MAX_THREADS, "model exceeded {MAX_THREADS} threads");
+        let mut clock = g.clocks[parent].clone();
+        clock.tick(tid);
+        g.states.push(State::Ready);
+        g.clocks.push(clock);
+        g.final_clocks.push(None);
+        g.push_trace(parent, &format!("spawn thread {tid}"));
+        tid
+    }
+
+    pub(crate) fn add_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .expect("model scheduler poisoned")
+            .push(h);
+    }
+
+    /// First wait of a freshly spawned model thread: block until scheduled.
+    pub(crate) fn wait_first_turn(&self, me: Tid) {
+        let g = self.inner.lock().expect("model scheduler poisoned");
+        let g = self.wait_for_turn(g, me);
+        drop(g);
+    }
+
+    /// Normal completion of a model thread's closure.
+    pub(crate) fn finish(&self, me: Tid) {
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        g.states[me] = State::Finished;
+        let clock = g.clocks[me].clone();
+        g.final_clocks[me] = Some(clock);
+        g.push_trace(me, "finish");
+        for t in 0..g.states.len() {
+            if g.states[t] == State::Blocked(Blocked::Join(me)) {
+                g.states[t] = State::Ready;
+            }
+        }
+        let _ = self.pick_next(&mut g);
+    }
+
+    /// A model thread's closure panicked: fail the whole model.
+    pub(crate) fn finish_panic(&self, me: Tid, payload: &(dyn std::any::Any + Send)) {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        g.states[me] = State::Finished;
+        g.fail(FailureKind::Panic, format!("thread {me} panicked: {msg}"));
+        self.turn_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// `JoinHandle::join`: block until the target finishes, then join its
+    /// clock (happens-before edge from everything the child did).
+    pub(crate) fn join_thread(&self, me: Tid, target: Tid) {
+        self.schedule_point(me, &format!("join thread {target}"));
+        let mut g = self.inner.lock().expect("model scheduler poisoned");
+        while g.states[target] != State::Finished {
+            g.states[me] = State::Blocked(Blocked::Join(target));
+            if !self.pick_next(&mut g) {
+                drop(g);
+                Self::abort();
+            }
+            g = self.wait_for_turn(g, me);
+        }
+        let fc = g.final_clocks[target]
+            .clone()
+            .expect("finished thread has a final clock");
+        g.clocks[me].join(&fc);
+    }
+
+    // -- runner side ---------------------------------------------------------
+
+    /// Block until the iteration completes; returns its failure (if any)
+    /// and the recorded branch schedule, then joins every OS thread the
+    /// iteration spawned.
+    pub(crate) fn wait_done(&self) -> (Option<Failure>, Vec<Branch>) {
+        let (failure, schedule) = {
+            let mut g = self.inner.lock().expect("model scheduler poisoned");
+            while !g.done {
+                g = self.done_cv.wait(g).expect("model scheduler poisoned");
+            }
+            (g.failure.clone(), std::mem::take(&mut g.schedule))
+        };
+        let handles: Vec<_> =
+            std::mem::take(&mut *self.os_handles.lock().expect("model scheduler poisoned"));
+        for h in handles {
+            // Model threads exit via normal completion or a ModelAbort
+            // unwind; both land here as Ok/Err we can ignore.
+            let _ = h.join();
+        }
+        (failure, schedule)
+    }
+}
+
+/// Spawn the OS thread backing model thread `tid`. The thread installs its
+/// model identity, waits for its first turn, runs `f`, then reports back.
+pub(crate) fn spawn_model_thread<F>(exec: &Arc<Execution>, tid: Tid, f: F)
+where
+    F: FnOnce() + Send + 'static,
+{
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), tid)));
+            let aborted = {
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    exec2.wait_first_turn(tid);
+                }));
+                r.is_err()
+            };
+            if aborted {
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(f)) {
+                Ok(()) => exec2.finish(tid),
+                Err(p) => {
+                    if p.downcast_ref::<ModelAbort>().is_none() {
+                        exec2.finish_panic(tid, p.as_ref());
+                    }
+                }
+            }
+        })
+        .expect("failed to spawn model OS thread");
+    exec.add_os_handle(handle);
+}
+
+/// Depth-first successor of an explored schedule: advance the deepest
+/// branch with an unexplored alternative whose preemption cost stays within
+/// the bound, truncating everything after it. `None` when the space is
+/// exhausted.
+pub(crate) fn next_prefix(schedule: &[Branch], bound: Option<usize>) -> Option<Vec<usize>> {
+    for i in (0..schedule.len()).rev() {
+        let b = &schedule[i];
+        for alt in b.chosen + 1..b.enabled.len() {
+            let cost = usize::from(b.enabled[alt] != b.prev && b.enabled.contains(&b.prev));
+            if bound.is_none_or(|lim| b.preemptions_before + cost <= lim) {
+                let mut prefix: Vec<usize> = schedule[..i].iter().map(|x| x.chosen).collect();
+                prefix.push(alt);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}
+
+/// Install (once) a panic hook that silences the `ModelAbort` unwinds used
+/// to tear down failed executions, delegating everything else.
+pub(crate) fn install_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ModelAbort>().is_some() {
+                return;
+            }
+            // Panics on model threads are captured into the Failure
+            // report (kind = Panic, with the failing schedule and trace);
+            // suppress the default stderr print so exploring thousands of
+            // interleavings stays readable.
+            if std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("loom-model-"))
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vclock_join_and_tick() {
+        let mut a = VClock::default();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::default();
+        b.tick(1);
+        b.join(&a);
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+        b.clear();
+        assert_eq!(b.get(0), 0);
+    }
+
+    #[test]
+    fn next_prefix_walks_alternatives_depth_first() {
+        let mk = |enabled: Vec<Tid>, chosen: usize, prev: Tid, pb: usize| Branch {
+            enabled,
+            chosen,
+            prev,
+            preemptions_before: pb,
+        };
+        // Two binary branches, defaults taken: successor flips the deeper.
+        let sched = vec![mk(vec![0, 1], 0, 0, 0), mk(vec![0, 1], 0, 0, 0)];
+        assert_eq!(next_prefix(&sched, None), Some(vec![0, 1]));
+        // Deeper branch exhausted: flip the shallower, truncate.
+        let sched = vec![mk(vec![0, 1], 0, 0, 0), mk(vec![0, 1], 1, 0, 0)];
+        assert_eq!(next_prefix(&sched, None), Some(vec![1]));
+        // Fully exhausted.
+        let sched = vec![mk(vec![0, 1], 1, 0, 0)];
+        assert_eq!(next_prefix(&sched, None), None);
+        // A preemption bound of 0 rules out the preemptive alternative
+        // (prev enabled, different thread chosen).
+        let sched = vec![mk(vec![0, 1], 0, 0, 0)];
+        assert_eq!(next_prefix(&sched, Some(0)), None);
+        assert_eq!(next_prefix(&sched, Some(1)), Some(vec![1]));
+    }
+}

@@ -1,0 +1,427 @@
+//! Model-checked drop-in replacements for `std::sync` types.
+//!
+//! Every type wraps its `std` counterpart (`#[repr(transparent)]` where
+//! possible, all `const`-constructible so statics work) and adds **zero**
+//! state of its own: the model bookkeeping lives in the active
+//! [`rt`] execution, keyed by object address. On a thread that is not
+//! part of a model run, every operation passes straight through to `std`
+//! — so code compiled against these types still behaves normally outside
+//! `loom::model`.
+//!
+//! Operation shape on a model thread: a *schedule point* first (giving
+//! the explorer the chance to run any other thread before this operation
+//! takes effect), then the real `std` operation, then the happens-before
+//! bookkeeping for that operation's `Ordering`.
+
+use crate::rt;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Model atomics. Value semantics are those of the underlying `std`
+    //! atomic under the explored (sequentially consistent) interleaving;
+    //! the `Ordering` argument additionally drives the happens-before
+    //! edges used for `cell::UnsafeCell` race detection.
+
+    use crate::rt;
+    pub use std::sync::atomic::Ordering;
+
+    /// An `atomic::fence`: a schedule point that joins/publishes the
+    /// global fence clock according to `order`.
+    pub fn fence(order: Ordering) {
+        if let Some((ex, me)) = rt::current() {
+            ex.schedule_point(me, "fence");
+            ex.fence(me, order);
+        } else {
+            std::sync::atomic::fence(order);
+        }
+    }
+
+    macro_rules! model_rmw {
+        ($name:ident, $method:ident, $val:ty) => {
+            pub fn $method(&self, v: $val, order: Ordering) -> $val {
+                if let Some((ex, me)) = rt::current() {
+                    ex.schedule_point(me, concat!(stringify!($name), "::", stringify!($method)));
+                    let out = self.0.$method(v, order);
+                    ex.atomic_rmw(self.addr(), me, order);
+                    return out;
+                }
+                self.0.$method(v, order)
+            }
+        };
+    }
+
+    macro_rules! model_atomic {
+        ($name:ident, $std:ty, $val:ty) => {
+            /// Model-checked atomic; see the module docs.
+            #[repr(transparent)]
+            #[derive(Debug, Default)]
+            pub struct $name(pub(crate) $std);
+
+            impl $name {
+                pub const fn new(v: $val) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                fn addr(&self) -> usize {
+                    self as *const _ as usize
+                }
+
+                pub fn load(&self, order: Ordering) -> $val {
+                    if let Some((ex, me)) = rt::current() {
+                        ex.schedule_point(me, concat!(stringify!($name), "::load"));
+                        let out = self.0.load(order);
+                        ex.atomic_load(self.addr(), me, order);
+                        return out;
+                    }
+                    self.0.load(order)
+                }
+
+                pub fn store(&self, v: $val, order: Ordering) {
+                    if let Some((ex, me)) = rt::current() {
+                        ex.schedule_point(me, concat!(stringify!($name), "::store"));
+                        self.0.store(v, order);
+                        ex.atomic_store(self.addr(), me, order);
+                        return;
+                    }
+                    self.0.store(v, order)
+                }
+
+                pub fn swap(&self, v: $val, order: Ordering) -> $val {
+                    if let Some((ex, me)) = rt::current() {
+                        ex.schedule_point(me, concat!(stringify!($name), "::swap"));
+                        let out = self.0.swap(v, order);
+                        ex.atomic_rmw(self.addr(), me, order);
+                        return out;
+                    }
+                    self.0.swap(v, order)
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$val, $val> {
+                    if let Some((ex, me)) = rt::current() {
+                        ex.schedule_point(me, concat!(stringify!($name), "::compare_exchange"));
+                        let out = self.0.compare_exchange(current, new, success, failure);
+                        match out {
+                            // A successful CAS is a read-modify-write; a
+                            // failed one is a pure load at the failure
+                            // ordering.
+                            Ok(_) => ex.atomic_rmw(self.addr(), me, success),
+                            Err(_) => ex.atomic_load(self.addr(), me, failure),
+                        }
+                        return out;
+                    }
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $val,
+                    new: $val,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$val, $val> {
+                    // The model never fails spuriously.
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn fetch_update<F>(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    mut f: F,
+                ) -> Result<$val, $val>
+                where
+                    F: FnMut($val) -> Option<$val>,
+                {
+                    // Expressed as the load + CAS loop `std` documents, so
+                    // the model explores interleavings inside the loop.
+                    let mut prev = self.load(fetch_order);
+                    while let Some(next) = f(prev) {
+                        match self.compare_exchange_weak(prev, next, set_order, fetch_order) {
+                            Ok(v) => return Ok(v),
+                            Err(v) => prev = v,
+                        }
+                    }
+                    Err(prev)
+                }
+
+                pub fn into_inner(self) -> $val {
+                    self.0.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_int {
+        ($name:ident, $std:ty, $val:ty) => {
+            model_atomic!($name, $std, $val);
+
+            impl $name {
+                model_rmw!($name, fetch_add, $val);
+                model_rmw!($name, fetch_sub, $val);
+                model_rmw!($name, fetch_or, $val);
+                model_rmw!($name, fetch_and, $val);
+                model_rmw!($name, fetch_xor, $val);
+                model_rmw!($name, fetch_max, $val);
+                model_rmw!($name, fetch_min, $val);
+            }
+        };
+    }
+
+    model_atomic_int!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    model_atomic_int!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    model_atomic_int!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    model_atomic_int!(AtomicI64, std::sync::atomic::AtomicI64, i64);
+
+    model_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+
+    impl AtomicBool {
+        model_rmw!(AtomicBool, fetch_or, bool);
+        model_rmw!(AtomicBool, fetch_and, bool);
+    }
+
+    /// Model-checked `AtomicPtr`; see the module docs.
+    #[repr(transparent)]
+    #[derive(Debug)]
+    pub struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+    impl<T> AtomicPtr<T> {
+        pub const fn new(p: *mut T) -> Self {
+            Self(std::sync::atomic::AtomicPtr::new(p))
+        }
+
+        fn addr(&self) -> usize {
+            self as *const _ as usize
+        }
+
+        pub fn load(&self, order: Ordering) -> *mut T {
+            if let Some((ex, me)) = rt::current() {
+                ex.schedule_point(me, "AtomicPtr::load");
+                let out = self.0.load(order);
+                ex.atomic_load(self.addr(), me, order);
+                return out;
+            }
+            self.0.load(order)
+        }
+
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            if let Some((ex, me)) = rt::current() {
+                ex.schedule_point(me, "AtomicPtr::store");
+                self.0.store(p, order);
+                ex.atomic_store(self.addr(), me, order);
+                return;
+            }
+            self.0.store(p, order)
+        }
+
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+            if let Some((ex, me)) = rt::current() {
+                ex.schedule_point(me, "AtomicPtr::swap");
+                let out = self.0.swap(p, order);
+                ex.atomic_rmw(self.addr(), me, order);
+                return out;
+            }
+            self.0.swap(p, order)
+        }
+
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            if let Some((ex, me)) = rt::current() {
+                ex.schedule_point(me, "AtomicPtr::compare_exchange");
+                let out = self.0.compare_exchange(current, new, success, failure);
+                match out {
+                    Ok(_) => ex.atomic_rmw(self.addr(), me, success),
+                    Err(_) => ex.atomic_load(self.addr(), me, failure),
+                }
+                return out;
+            }
+            self.inner_cas(current, new, success, failure)
+        }
+
+        fn inner_cas(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            self.0.compare_exchange(current, new, success, failure)
+        }
+    }
+}
+
+use std::sync::{LockResult, PoisonError};
+
+/// Model-checked `Mutex`. Lock acquisition order is a scheduling decision
+/// the explorer branches on; the data itself lives in an inner
+/// `std::sync::Mutex` that is uncontended by construction inside a model
+/// run (only one model thread executes at a time).
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases the model-level lock on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can drop and re-take the std guard.
+    std_guard: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+    model: bool,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn addr(&self) -> usize {
+        self as *const Mutex<T> as *const () as usize
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((ex, me)) = rt::current() {
+            ex.mutex_lock(self.addr(), me);
+            // The model layer granted us the lock, so the std mutex is
+            // free (model threads run one at a time under that grant).
+            let std_guard = self
+                .inner
+                .try_lock()
+                .expect("model-held std mutex contended — mixed model/non-model use");
+            return Ok(MutexGuard {
+                std_guard: Some(std_guard),
+                mutex: self,
+                model: true,
+            });
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                std_guard: Some(g),
+                mutex: self,
+                model: false,
+            }),
+            Err(poison) => Err(PoisonError::new(MutexGuard {
+                std_guard: Some(poison.into_inner()),
+                mutex: self,
+                model: false,
+            })),
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.std_guard.as_ref().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std_guard.as_mut().expect("guard already released")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.std_guard = None;
+        if self.model {
+            if let Some((ex, me)) = rt::current() {
+                ex.mutex_unlock(self.mutex.addr(), me);
+            }
+        }
+    }
+}
+
+/// Model-checked `Condvar` with **no spurious wakeups** — a notification
+/// that races past a not-yet-parked waiter is genuinely lost, so
+/// lost-wakeup bugs surface as deadlocks instead of hiding behind the
+/// spurious-wakeup safety net.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    fn addr(&self) -> usize {
+        self as *const _ as usize
+    }
+
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if guard.model {
+            if let Some((ex, me)) = rt::current() {
+                let mutex = guard.mutex;
+                // Release the std-level lock, park at the model level
+                // (which re-acquires the model lock before returning),
+                // then re-take the std-level lock under that grant.
+                guard.std_guard = None;
+                guard.model = false; // neuter the drop: rt takes over the model lock
+                drop(guard);
+                ex.condvar_wait(self.addr(), mutex.addr(), me);
+                let std_guard = mutex
+                    .inner
+                    .try_lock()
+                    .expect("model-held std mutex contended — mixed model/non-model use");
+                return Ok(MutexGuard {
+                    std_guard: Some(std_guard),
+                    mutex,
+                    model: true,
+                });
+            }
+        }
+        let mutex = guard.mutex;
+        let std_guard = guard.std_guard.take().expect("guard already released");
+        drop(guard);
+        match self.inner.wait(std_guard) {
+            Ok(g) => Ok(MutexGuard {
+                std_guard: Some(g),
+                mutex,
+                model: false,
+            }),
+            Err(poison) => Err(PoisonError::new(MutexGuard {
+                std_guard: Some(poison.into_inner()),
+                mutex,
+                model: false,
+            })),
+        }
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((ex, me)) = rt::current() {
+            ex.condvar_notify(self.addr(), me, false);
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((ex, me)) = rt::current() {
+            ex.condvar_notify(self.addr(), me, true);
+        }
+        self.inner.notify_all();
+    }
+}

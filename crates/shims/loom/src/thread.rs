@@ -1,0 +1,112 @@
+//! Model-checked `std::thread` surface: `spawn` / `Builder` / `JoinHandle`
+//! / `yield_now`. On a model thread, spawning registers a new model thread
+//! whose execution is driven by the explorer; outside a model run,
+//! everything passes through to `std::thread`.
+
+use crate::rt;
+use std::sync::{Arc, Mutex as StdMutex};
+
+pub use std::thread::Result;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<rt::Execution>,
+        tid: rt::Tid,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (model or OS) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its result. On a model
+    /// thread this is a blocking model operation (a join that can never
+    /// complete is reported as a deadlock); a panic in the target thread
+    /// fails the whole model rather than returning `Err`.
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { exec, tid, slot } => {
+                let me = rt::current()
+                    .map(|(_, me)| me)
+                    .expect("model JoinHandle joined from outside the model");
+                exec.join_thread(me, tid);
+                let v = slot
+                    .lock()
+                    .expect("model join slot poisoned")
+                    .take()
+                    .expect("model thread finished without a result");
+                Ok(v)
+            }
+        }
+    }
+}
+
+/// Spawn a thread. Inside a model run this registers a new model thread
+/// (subject to the explorer's schedule); outside, it is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((exec, me)) = rt::current() {
+        // Spawning is itself a visible operation: give the explorer a
+        // chance to interleave before the child becomes schedulable.
+        exec.schedule_point(me, "thread::spawn");
+        let tid = exec.register_thread(me);
+        let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        rt::spawn_model_thread(&exec, tid, move || {
+            let v = f();
+            *slot2.lock().expect("model join slot poisoned") = Some(v);
+        });
+        return JoinHandle(Inner::Model { exec, tid, slot });
+    }
+    JoinHandle(Inner::Std(std::thread::spawn(f)))
+}
+
+/// Yield the current thread. On a model thread this deprioritizes the
+/// caller until every other runnable thread has had a chance to run — the
+/// fair-scheduling assumption spin loops rely on.
+pub fn yield_now() {
+    if let Some((exec, me)) = rt::current() {
+        exec.yield_now(me);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Mirror of `std::thread::Builder` (the `name` is kept for OS threads and
+/// ignored by the model scheduler).
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if rt::current().is_some() {
+            return Ok(spawn(f));
+        }
+        let mut b = std::thread::Builder::new();
+        if let Some(name) = self.name {
+            b = b.name(name);
+        }
+        b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+    }
+}

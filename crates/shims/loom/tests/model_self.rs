@@ -1,0 +1,287 @@
+//! Self-tests for the model checker: deliberately buggy miniatures of the
+//! work-stealing pool's synchronization patterns that the explorer MUST
+//! catch (with a replayable schedule), next to their corrected twins that
+//! it must exhaustively pass.
+//!
+//! These are the ground truth for the `fastbcc-rayon` model tests: if the
+//! checker misses the seeded bugs here, a green pool model run means
+//! nothing.
+
+use loom::cell::UnsafeCell;
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::{Builder, FailureKind};
+
+/// Seeded bug #1: a flag handoff that publishes non-atomic data with a
+/// `Relaxed` store. Without a Release→Acquire edge the reader's access to
+/// the cell has no happens-before relation to the writer's — a data race
+/// the explorer must report even though the *values* always look fine.
+fn relaxed_flag_handoff(store_order: Ordering, load_order: Ordering) -> impl Fn() + Send + Sync {
+    move || {
+        let data = Arc::new(UnsafeCell::new(0u32));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (data2, flag2) = (Arc::clone(&data), Arc::clone(&flag));
+        let writer = loom::thread::spawn(move || {
+            data2.with_mut(|p| {
+                // SAFETY: the whole point — this write is unsynchronized
+                // iff the flag orderings below are too weak, which is
+                // what the model checks.
+                unsafe { *p = 42 };
+            });
+            flag2.store(true, store_order);
+        });
+        if flag.load(load_order) {
+            let v = data.with(|p| {
+                // SAFETY: guarded by the flag handoff under test.
+                unsafe { *p }
+            });
+            assert_eq!(v, 42);
+        }
+        writer.join().unwrap();
+    }
+}
+
+#[test]
+fn catches_relaxed_flag_handoff_race() {
+    let report =
+        Builder::default().check(relaxed_flag_handoff(Ordering::Relaxed, Ordering::Relaxed));
+    let failure = report
+        .failure
+        .expect("the Relaxed-only flag handoff must be reported as a data race");
+    assert_eq!(failure.kind, FailureKind::DataRace);
+    assert!(
+        failure.message.contains("data race"),
+        "unexpected message: {}",
+        failure.message
+    );
+    // The report must carry a non-trivial replayable schedule.
+    assert!(!failure.schedule.is_empty());
+}
+
+#[test]
+fn passes_release_acquire_flag_handoff() {
+    let report =
+        Builder::default().check(relaxed_flag_handoff(Ordering::Release, Ordering::Acquire));
+    assert!(
+        report.failure.is_none(),
+        "false positive on the Release/Acquire handoff: {}",
+        report.failure.unwrap()
+    );
+    assert!(report.complete, "exploration did not exhaust the space");
+    assert!(report.iterations > 1, "only one interleaving explored");
+}
+
+#[test]
+fn replay_reproduces_the_race() {
+    let report =
+        Builder::default().check(relaxed_flag_handoff(Ordering::Relaxed, Ordering::Relaxed));
+    let failure = report.failure.expect("race must be found");
+    let replayed = Builder::default().replay(
+        &failure.schedule,
+        relaxed_flag_handoff(Ordering::Relaxed, Ordering::Relaxed),
+    );
+    let refound = replayed
+        .failure
+        .expect("replaying the failing schedule must reproduce the failure");
+    assert_eq!(refound.kind, FailureKind::DataRace);
+    assert_eq!(replayed.iterations, 1, "replay must be a single execution");
+}
+
+/// Seeded bug #2: a sleeper that checks its wake condition, then parks —
+/// without re-checking under the lock that guards the notify. The notify
+/// can slip between the check and the park; since the model `Condvar` has
+/// no spurious wakeups, the lost wakeup shows up as a deadlock.
+fn park_without_recheck() -> impl Fn() + Send + Sync {
+    move || {
+        let ready = Arc::new(AtomicBool::new(false));
+        let lock = Arc::new(Mutex::new(()));
+        let cv = Arc::new(Condvar::new());
+        let (ready2, lock2, cv2) = (Arc::clone(&ready), Arc::clone(&lock), Arc::clone(&cv));
+        let sleeper = loom::thread::spawn(move || {
+            if !ready2.load(Ordering::Acquire) {
+                // BUG: `ready` may flip (and the notify fire) right here,
+                // before we hold the lock — we then park forever.
+                let guard = lock2.lock().unwrap();
+                let _guard = cv2.wait(guard).unwrap();
+            }
+        });
+        ready.store(true, Ordering::Release);
+        drop(lock.lock().unwrap());
+        cv.notify_one();
+        sleeper.join().unwrap();
+    }
+}
+
+#[test]
+fn catches_park_without_recheck_lost_wakeup() {
+    let report = Builder::default().check(park_without_recheck());
+    let failure = report
+        .failure
+        .expect("the park-without-recheck sleeper must deadlock in some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("Condvar::wait"),
+        "deadlock report should name the parked thread: {}",
+        failure.message
+    );
+}
+
+/// Corrected twin of [`park_without_recheck`]: the condition lives inside
+/// the mutex and is re-checked in the canonical `while`-wait loop, so the
+/// notify can never be lost.
+#[test]
+fn passes_park_with_recheck() {
+    let report = Builder::default().check(|| {
+        let state = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        let (state2, cv2) = (Arc::clone(&state), Arc::clone(&cv));
+        let sleeper = loom::thread::spawn(move || {
+            let mut ready = state2.lock().unwrap();
+            while !*ready {
+                ready = cv2.wait(ready).unwrap();
+            }
+        });
+        *state.lock().unwrap() = true;
+        cv.notify_one();
+        sleeper.join().unwrap();
+    });
+    assert!(
+        report.failure.is_none(),
+        "false positive on the correct park protocol: {}",
+        report.failure.unwrap()
+    );
+    assert!(report.complete);
+}
+
+/// A torn read-modify-write (separate load and store instead of
+/// `fetch_add`): the explorer must find the interleaving where one
+/// increment is lost, surfacing the failed assertion as a model panic.
+#[test]
+fn catches_torn_increment_lost_update() {
+    let report = Builder::default().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom::thread::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "an increment was lost");
+    });
+    let failure = report.failure.expect("the lost update must be found");
+    assert_eq!(failure.kind, FailureKind::Panic);
+    assert!(failure.message.contains("an increment was lost"));
+}
+
+/// Corrected twin: real `fetch_add` RMWs never lose updates, in any
+/// interleaving.
+#[test]
+fn passes_atomic_increment() {
+    let report = Builder::default().check(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = loom::thread::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        n.fetch_add(1, Ordering::SeqCst);
+        t.join().unwrap();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.failure.is_none());
+    assert!(report.complete);
+}
+
+/// Classic ABBA lock-ordering deadlock: the explorer must find the
+/// schedule where each thread holds one lock and wants the other.
+#[test]
+fn catches_lock_ordering_deadlock() {
+    let report = Builder::default().check(|| {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = loom::thread::spawn(move || {
+            let _b = b2.lock().unwrap();
+            let _a = a2.lock().unwrap();
+        });
+        let _a = a.lock().unwrap();
+        let _b = b.lock().unwrap();
+        drop(_b);
+        drop(_a);
+        t.join().unwrap();
+    });
+    let failure = report.failure.expect("the ABBA deadlock must be found");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(failure.message.contains("Mutex"));
+}
+
+/// A spin loop whose exit condition no other thread ever satisfies must
+/// fail via the step budget, not hang the test suite.
+#[test]
+fn catches_unbounded_spin_as_livelock() {
+    let report = Builder {
+        max_steps: 200,
+        ..Builder::default()
+    }
+    .check(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        while !flag.load(Ordering::Acquire) {
+            loom::hint::spin_loop();
+        }
+    });
+    let failure = report.failure.expect("the unbounded spin must be caught");
+    assert_eq!(failure.kind, FailureKind::Livelock);
+}
+
+/// Mutual exclusion itself: two threads bump a plain cell under a mutex —
+/// no race, no lost update, in every schedule.
+#[test]
+fn passes_mutex_protected_cell() {
+    let report = Builder::default().check(|| {
+        let cell = Arc::new((Mutex::new(()), UnsafeCell::new(0u32)));
+        let cell2 = Arc::clone(&cell);
+        let t = loom::thread::spawn(move || {
+            let _g = cell2.0.lock().unwrap();
+            cell2.1.with_mut(|p| {
+                // SAFETY: exclusive by the mutex held above.
+                unsafe { *p += 1 };
+            });
+        });
+        {
+            let _g = cell.0.lock().unwrap();
+            cell.1.with_mut(|p| {
+                // SAFETY: exclusive by the mutex held above.
+                unsafe { *p += 1 };
+            });
+        }
+        t.join().unwrap();
+        let total = {
+            let _g = cell.0.lock().unwrap();
+            cell.1.with(|p| {
+                // SAFETY: exclusive by the mutex held above.
+                unsafe { *p }
+            })
+        };
+        assert_eq!(total, 2);
+    });
+    assert!(
+        report.failure.is_none(),
+        "false positive on mutex-protected access: {}",
+        report.failure.unwrap()
+    );
+    assert!(report.complete);
+}
+
+/// The failure display must include the replay recipe verbatim, so a CI
+/// log line is enough to reproduce locally.
+#[test]
+fn failure_display_carries_replay_recipe() {
+    let report =
+        Builder::default().check(relaxed_flag_handoff(Ordering::Relaxed, Ordering::Relaxed));
+    let failure = report.failure.expect("race must be found");
+    let text = failure.to_string();
+    assert!(text.contains("FASTBCC_LOOM_REPLAY="), "display: {text}");
+    assert!(text.contains("Builder::replay"), "display: {text}");
+    assert!(text.contains("recent operations:"), "display: {text}");
+}

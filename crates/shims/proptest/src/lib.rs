@@ -62,7 +62,15 @@ macro_rules! __proptest_impl {
                 stringify!($name)
             ));
             let __strategies = ($($strat,)+);
-            for __case in 0..__config.cases {
+            // Clamp under Miri even when a proptest_config block asks for
+            // more: interpreted cases are orders of magnitude slower, and
+            // UB detection doesn't need the full statistical budget.
+            let __cases = if cfg!(miri) {
+                __config.cases.min(8)
+            } else {
+                __config.cases
+            };
+            for __case in 0..__cases {
                 let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                     let ($($arg,)+) =
                         $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
@@ -74,7 +82,7 @@ macro_rules! __proptest_impl {
                         "proptest '{}' failed at case {}/{}: {}",
                         stringify!($name),
                         __case,
-                        __config.cases,
+                        __cases,
                         __e
                     );
                 }

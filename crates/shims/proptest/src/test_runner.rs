@@ -13,7 +13,11 @@ pub struct Config {
 impl Default for Config {
     fn default() -> Self {
         Self {
-            cases: 256,
+            // Under Miri every case runs on the interpreter (~100-1000x
+            // slower), so a handful of cases keeps property tests useful
+            // without blowing the CI budget; mirrors real proptest's
+            // documented Miri guidance.
+            cases: if cfg!(miri) { 8 } else { 256 },
             max_shrink_iters: 0,
         }
     }

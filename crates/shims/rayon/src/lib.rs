@@ -43,6 +43,7 @@
 
 mod iter;
 mod pool;
+mod sync;
 
 pub use pool::{
     current_num_threads, current_thread_index, join, pool_deque_max_depth, pool_max_workers,

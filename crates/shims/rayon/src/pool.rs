@@ -53,12 +53,49 @@
 //! on pieces that some thread is actively running, will pop from its own
 //! deque, or has handed back, so progress is guaranteed even when every
 //! worker is busy and nested operations run inline.
+//!
+//! # Memory-ordering protocols
+//!
+//! Every atomic in this module belongs to one of four protocols. The
+//! model tests (`model_tests`, `--features model`) exhaustively check the
+//! first three on the in-repo loom explorer; the `xtask` lint keeps each
+//! `Ordering::` site annotated with the protocol it implements.
+//!
+//! * **Chase–Lev deque** (`Deque::{top, bottom}`, the `Slot` words) — the
+//!   Le et al. weak-memory formulation. `top` is CASed SeqCst by thieves
+//!   and the owner's last-element pop; `bottom` is plain for the owner
+//!   except the SeqCst publish in `push`; the owner's pop interposes a
+//!   SeqCst fence between its `bottom` decrement and its `top` read so it
+//!   cannot miss a concurrent steal. Slot words are Relaxed: a slot in
+//!   `[top, bottom)` is never overwritten, and a thief uses its reads
+//!   only after winning the `top` CAS that proves membership.
+//! * **Park/wake handshake (Dekker)** (`PARKED`, `Deque::bottom`, the
+//!   pool lock) — a parking worker raises `PARKED` (SeqCst) *before*
+//!   scanning deques; a pusher stores `bottom` (SeqCst) before loading
+//!   `PARKED`. At least one of the two therefore sees the other; the
+//!   pusher serializes on the pool lock before notifying, closing the
+//!   scan-to-`wait` window of a worker that holds that lock.
+//! * **Region tickets** (`Region::active`) — a Relaxed
+//!   `fetch_add`-then-check with a compensating `fetch_sub` on rejection.
+//!   Only the *count* matters (no data is published along this edge), so
+//!   Relaxed suffices; the invariant is that successful `try_ticket`s
+//!   never exceed `cap`.
+//! * **Latch and counters** (`Job::{cursor, done, helpers}`, the stat
+//!   counters) — `done` is AcqRel so the finishing increment orders the
+//!   bodies' writes before the latch flip; the rest are Relaxed cursors
+//!   and monotone statistics whose readers tolerate staleness. The latch
+//!   handoff itself rides the `wait` mutex + condvar.
+//!
+//! All of the above goes through [`crate::sync`] — `std` by default, the
+//! loom model types under `--features model` — and never names
+//! `std::sync` directly (enforced by `cargo run -p xtask -- lint`).
 
+use crate::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use crate::sync::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 fn hardware_threads() -> usize {
     static N: OnceLock<usize> = OnceLock::new();
@@ -125,9 +162,16 @@ impl Region {
     }
 
     /// Helper-side acquisition: backs off when the region is at capacity.
+    ///
+    /// Relaxed is enough for the whole ticket protocol: `active` is a pure
+    /// counter whose add/sub pairs on each thread keep the *sum* exact
+    /// (the RMWs are atomic, so overshoot from a failed attempt is always
+    /// undone); tickets guard a budget, not data, so no happens-before
+    /// edge is needed.
     fn try_ticket(&self) -> bool {
         let prev = self.active.fetch_add(1, Ordering::Relaxed);
         if prev >= self.cap {
+            // Relaxed: undoes our own optimistic add (see above).
             self.active.fetch_sub(1, Ordering::Relaxed);
             false
         } else {
@@ -138,14 +182,18 @@ impl Region {
     /// Submitter-side acquisition: a submitter always participates in its
     /// own job, so it takes a ticket unconditionally.
     fn take_ticket(&self) {
+        // Relaxed: pure budget counter, see `try_ticket`.
         self.active.fetch_add(1, Ordering::Relaxed);
     }
 
     fn release_ticket(&self) {
+        // Relaxed: pure budget counter, see `try_ticket`.
         self.active.fetch_sub(1, Ordering::Relaxed);
     }
 
     fn saturated(&self) -> bool {
+        // Relaxed: an advisory check — a stale read only costs one futile
+        // publish or skipped attach, never a budget violation.
         self.active.load(Ordering::Relaxed) >= self.cap
     }
 }
@@ -289,7 +337,11 @@ impl Deque {
         slot.job.store(task.job as usize as u64, Ordering::Relaxed);
         slot.bounds
             .store(((task.lo as u64) << 32) | task.hi as u64, Ordering::Relaxed);
+        // SeqCst publish: orders this store against the parking workers'
+        // PARKED handshake (Dekker, see `worker_loop`); also releases the
+        // slot writes above to thieves that acquire-load `bottom`.
         self.bottom.store(b + 1, Ordering::SeqCst);
+        // Relaxed: monotone statistics counter, no ordering needed.
         DEQUE_MAX_DEPTH.fetch_max((b + 1 - t) as usize, Ordering::Relaxed);
         Ok(())
     }
@@ -322,6 +374,10 @@ impl Deque {
     /// still inside `[top, bottom)` at the read — and such slots are
     /// never overwritten.
     fn steal(&self) -> Option<Task> {
+        // Acquire `top` then a SeqCst fence then acquire `bottom`: the
+        // fence pairs with the owner's SeqCst fence in `pop`, so a thief
+        // and the popping owner cannot both observe pre-race values and
+        // take the same last element.
         let t = self.top.load(Ordering::Acquire);
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
@@ -329,6 +385,9 @@ impl Deque {
             return None;
         }
         let task = self.read_slot(t);
+        // SeqCst CAS on `top`: the single linearization point thieves and
+        // the owner's last-element pop race on; failure is Relaxed because
+        // a loser discards everything it read.
         if self
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -336,12 +395,16 @@ impl Deque {
         {
             return None;
         }
+        // Relaxed: monotone statistics counter, no ordering needed.
         STEAL_COUNT.fetch_add(1, Ordering::Relaxed);
         Some(task)
     }
 
     fn read_slot(&self, i: i64) -> Task {
         let slot = &self.slots[(i as usize) & (DEQUE_CAP - 1)];
+        // Relaxed slot loads: publication order comes from `push`'s
+        // release of `bottom`, and validity from winning the `top` CAS
+        // afterwards — a loser never uses these values.
         let job = slot.job.load(Ordering::Relaxed) as usize as *const Job;
         let bounds = slot.bounds.load(Ordering::Relaxed);
         Task {
@@ -385,6 +448,7 @@ pub fn pool_steal_count() -> usize {
 /// how much splittable work the pool has exposed to thieves at once.
 /// (Shim extension; real rayon has no equivalent.)
 pub fn pool_deque_max_depth() -> usize {
+    // Relaxed: monotone statistics counter, no ordering needed.
     DEQUE_MAX_DEPTH.load(Ordering::Relaxed)
 }
 
@@ -435,6 +499,8 @@ struct WaitState {
 // the call returns — so the pointee outlives every access. The remaining
 // fields are ordinary sync primitives.
 unsafe impl Send for Job {}
+// SAFETY: same lifetime argument as `Send` directly above; shared access
+// is fine because `body` is `Sync` and only ever called, never mutated.
 unsafe impl Sync for Job {}
 
 impl Job {
@@ -445,6 +511,9 @@ impl Job {
         cap: usize,
         region: Arc<Region>,
     ) -> Self {
+        // SAFETY: a pointer-to-pointer transmute that only erases the
+        // lifetime; the pointee outlives every dereference per the
+        // `Send`/`Sync` impl argument above.
         let body: *const (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<*const _, *const _>(body as *const _) };
         Self {
@@ -466,10 +535,17 @@ impl Job {
     }
 
     fn run_piece(&self, i: usize) {
+        // SAFETY: piece `i` is claimed but uncounted, so the submitter is
+        // still blocked in `wait_and_drain` and the stack `body` is alive
+        // (the `Send`/`Sync` impl argument above).
         let body = unsafe { &*self.body };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(i))) {
             self.panic.lock().unwrap().get_or_insert(payload);
         }
+        // AcqRel latch: the Release publishes this piece's writes to
+        // whoever observes the final count; the Acquire makes the thread
+        // that trips the latch see every other piece's writes before it
+        // reports completion.
         if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n_pieces {
             self.wait.lock().unwrap().finished = true;
             self.wait_cv.notify_all();
@@ -481,6 +557,8 @@ impl Job {
     /// deque for thieves. Mixes safely with `drain`'s single-piece
     /// `fetch_add` claims.
     fn claim_range(&self) -> Option<(u32, u32)> {
+        // Relaxed: the cursor only partitions piece indices (RMW atomicity
+        // gives exactly-once); data visibility rides the `done` latch.
         self.cursor
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |c| {
                 (c < self.n_pieces).then(|| c + ((self.n_pieces - c) / 2).max(1))
@@ -505,7 +583,7 @@ impl Job {
                     return;
                 }
             }
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         }
     }
 
@@ -544,6 +622,8 @@ impl Job {
     }
 
     fn exhausted(&self) -> bool {
+        // Relaxed: advisory — a stale cursor read only delays retiring
+        // the job from the board by one scan.
         self.cursor.load(Ordering::Relaxed) >= self.n_pieces
     }
 
@@ -602,11 +682,13 @@ fn publish(job: &Arc<Job>, max_helpers: usize) {
         .min(pool_max_workers());
     while st.spawned < want {
         let index = st.spawned;
-        std::thread::Builder::new()
+        crate::sync::thread::Builder::new()
             .name(format!("fastbcc-pool-{index}"))
             .spawn(move || worker_loop(index))
             .expect("failed to spawn pool worker");
         st.spawned += 1;
+        // Relaxed: lock-free mirror of a counter written under the pool
+        // lock; readers only need an eventually-fresh statistic.
         SPAWNED.store(st.spawned, Ordering::Relaxed);
     }
     drop(st);
@@ -626,12 +708,15 @@ fn try_attach(st: &mut PoolState) -> Option<Arc<Job>> {
     st.open.retain(|j| !j.exhausted());
     for job in &st.open {
         // +1 for the submitter, which is not counted in `helpers`.
+        // Relaxed: `helpers` is a soft per-job cap checked under the pool
+        // lock on this path; a stale read can only under-attach.
         if job.helpers.load(Ordering::Relaxed) + 1 >= job.cap {
             continue;
         }
         if !job.region.try_ticket() {
             continue;
         }
+        // Relaxed: pure counter, decremented by the same worker on detach.
         job.helpers.fetch_add(1, Ordering::Relaxed);
         return Some(job.clone());
     }
@@ -666,6 +751,8 @@ fn worker_loop(index: usize) {
             continue;
         }
         st = pool.work_cv.wait(st).unwrap();
+        // SeqCst: the Dekker counterpart of the raise above — we are no
+        // longer parked, so pushers stop paying the wake cost for us.
         PARKED.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -692,6 +779,7 @@ fn work_attached(job: &Arc<Job>, deque: &Deque) {
             }
         }
     }
+    // Relaxed: pure counter, pairs with the attach-side fetch_add.
     job.helpers.fetch_sub(1, Ordering::Relaxed);
     job.region.release_ticket();
 }
@@ -712,6 +800,9 @@ fn execute_range(job: &Job, lo: u32, mut hi: u32, deque: Option<&Deque>) {
             {
                 break;
             }
+            // SeqCst: Dekker pairing with the worker's SeqCst PARKED
+            // raise — our `push` stored `bottom` SeqCst before this load,
+            // so either we see the parker or the parker sees the task.
             if PARKED.load(Ordering::SeqCst) > 0 {
                 // Serialize on the pool lock so a worker between its
                 // deque scan and `wait` cannot miss this wakeup.
@@ -741,9 +832,9 @@ fn steal_spin(index: usize, deque: &Deque) {
         if steal_and_run(index, deque) || !any_stealable(index) {
             return;
         }
-        std::hint::spin_loop();
+        crate::sync::hint::spin_loop();
         if round & 7 == 7 {
-            std::thread::yield_now();
+            crate::sync::thread::yield_now();
         }
     }
 }
@@ -805,6 +896,8 @@ fn run_stolen(task: Task, my_deque: &Deque) {
         execute_range(job, task.lo, task.hi, Some(my_deque));
         // Drain our own splits (same job, same ticket) before releasing.
         while let Some(t) = my_deque.pop() {
+            // SAFETY: same argument as the steal above — popped splits
+            // are unexecuted pieces of a job whose submitter still waits.
             let j = unsafe { &*t.job };
             execute_range(j, t.lo, t.hi, Some(my_deque));
         }
@@ -1046,6 +1139,9 @@ impl ThreadPool {
         self.threads
     }
 }
+
+#[cfg(all(test, feature = "model"))]
+mod model_tests;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,58 @@
+//! Synchronization facade for the pool: one import surface, two backends.
+//!
+//! Everything in `pool.rs` that synchronizes — atomics, fences, `Mutex` /
+//! `Condvar`, thread spawning, yields, spin hints — goes through this
+//! module instead of naming `std::sync` / `std::thread` directly (the
+//! `xtask` lint enforces that containment workspace-wide). The backend is
+//! chosen at compile time:
+//!
+//! * **default** — re-exports of the plain `std` types; zero overhead,
+//!   identical to importing them directly.
+//! * **`--features model`** (or `--cfg fastbcc_model` in `RUSTFLAGS`) —
+//!   the in-repo `loom` model checker's drop-in types. Outside
+//!   `loom::model(..)` they pass through to `std` (so the regular unit
+//!   tests still run); inside it, every operation becomes a schedule
+//!   point of the interleaving explorer and every `Ordering` feeds its
+//!   happens-before race detector. The model tests in
+//!   `pool/model_tests.rs` use this to *prove* the deque / handshake /
+//!   region protocols rather than stress-sample them:
+//!
+//!   ```text
+//!   cargo test -p fastbcc-rayon --features model
+//!   ```
+
+#[cfg(not(any(feature = "model", fastbcc_model)))]
+mod imp {
+    pub mod atomic {
+        pub use std::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    pub use std::sync::{Condvar, Mutex};
+
+    pub mod thread {
+        pub use std::thread::{yield_now, Builder};
+    }
+
+    pub mod hint {
+        pub use std::hint::spin_loop;
+    }
+}
+
+#[cfg(any(feature = "model", fastbcc_model))]
+mod imp {
+    pub mod atomic {
+        pub use loom::sync::atomic::{fence, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+    }
+
+    pub use loom::sync::{Condvar, Mutex};
+
+    pub mod thread {
+        pub use loom::thread::{yield_now, Builder};
+    }
+
+    pub mod hint {
+        pub use loom::hint::spin_loop;
+    }
+}
+
+pub(crate) use imp::*;

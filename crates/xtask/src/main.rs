@@ -1,0 +1,679 @@
+//! Workspace task runner. One subcommand so far:
+//!
+//! ```text
+//! cargo run -p xtask -- lint            # audit + (re)write ANALYSIS_unsafe.json
+//! cargo run -p xtask -- lint --check    # audit + fail if the inventory drifted
+//! ```
+//!
+//! The `lint` pass enforces the workspace's concurrency-hygiene rules,
+//! which rustc/clippy cannot express:
+//!
+//! 1. **SAFETY adjacency** — every `unsafe` site (block, fn, impl, trait)
+//!    in non-test code must have a `// SAFETY:` comment within the
+//!    preceding lines, or a `# Safety` doc section on the declaration.
+//! 2. **Ordering protocol comments** — inside `crates/shims/` (the only
+//!    code allowed to synchronize by hand), every `Ordering::` call site
+//!    must sit near a comment describing the protocol it implements
+//!    (which fence it pairs with, what it publishes, why Relaxed is
+//!    enough, ...).
+//! 3. **std-sync containment** — outside `crates/shims/rayon` and
+//!    `crates/shims/loom`, non-test code must not use
+//!    `std::thread::spawn` or `std::sync::{Mutex, Condvar}` directly:
+//!    parallelism goes through the rayon shim so the model checker and
+//!    the worker-budget machinery see every synchronization point.
+//! 4. **Unsafe inventory** — the per-crate count of unsafe sites is
+//!    written to `ANALYSIS_unsafe.json`; CI runs `--check`, so adding an
+//!    unsafe site without regenerating the inventory (an auditable,
+//!    reviewable diff) fails the build.
+//!
+//! Everything is plain line scanning over comment/string-stripped source —
+//! deliberately dependency-free (no syn, no network) and fast enough to
+//! run on every CI push.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// How many lines above an `unsafe` site a `// SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 6;
+/// How many lines above an `unsafe fn`/`unsafe impl` declaration a
+/// `# Safety` doc section may sit (doc sections are longer than one line).
+const SAFETY_DOC_WINDOW: usize = 14;
+/// How many lines above an `Ordering::` site its protocol comment may sit.
+const ORDERING_WINDOW: usize = 10;
+
+/// Crates allowed to synchronize by hand (rule 3's allowlist).
+const SYNC_ALLOWLIST: &[&str] = &["crates/shims/rayon", "crates/shims/loom"];
+
+/// Words that qualify a nearby comment as a memory-ordering protocol
+/// comment (rule 2). Deliberately generous: the rule's job is to force
+/// *a* stated rationale next to every ordering choice, not to grade it.
+const PROTOCOL_WORDS: &[&str] = &[
+    "order",
+    "pair",
+    "fence",
+    "protocol",
+    "handshake",
+    "happens-before",
+    "seqcst",
+    "acquire",
+    "release",
+    "relaxed",
+    "monotone",
+    "publish",
+    "race",
+    "dekker",
+    "latch",
+    "cursor",
+    "counter",
+    "stale",
+    "hint",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let check = args.iter().any(|a| a == "--check");
+            std::process::exit(run_lint(&workspace_root(), check));
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint [--check]");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask always runs via `cargo run -p xtask`, so the manifest dir is
+    // <root>/crates/xtask.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask manifest has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn run_lint(root: &Path, check: bool) -> i32 {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files);
+    files.sort();
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut inventory: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+
+    for rel in &files {
+        let text = match std::fs::read_to_string(root.join(rel)) {
+            Ok(t) => t,
+            Err(e) => {
+                violations.push(format!("{}: unreadable: {e}", rel.display()));
+                continue;
+            }
+        };
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let report = lint_file(&rel_str, &text);
+        violations.extend(report.violations);
+        if report.unsafe_sites > 0 {
+            inventory
+                .entry(crate_of(&rel_str))
+                .or_default()
+                .insert(rel_str, report.unsafe_sites);
+        }
+    }
+
+    let json = render_inventory(&inventory);
+    let json_path = root.join("ANALYSIS_unsafe.json");
+    if check {
+        let on_disk = std::fs::read_to_string(&json_path).unwrap_or_default();
+        if on_disk != json {
+            violations.push(
+                "ANALYSIS_unsafe.json is out of date — run `cargo run -p xtask -- lint` \
+                 and commit the result"
+                    .to_string(),
+            );
+        }
+    } else if std::fs::write(&json_path, &json).is_err() {
+        violations.push("failed to write ANALYSIS_unsafe.json".to_string());
+    }
+
+    if violations.is_empty() {
+        let total: usize = inventory.values().flat_map(|f| f.values()).sum();
+        println!(
+            "xtask lint: OK ({} files, {} unsafe sites across {} crates)",
+            files.len(),
+            total,
+            inventory.len()
+        );
+        0
+    } else {
+        for v in &violations {
+            eprintln!("xtask lint: {v}");
+        }
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        1
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out);
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+}
+
+/// Map a workspace-relative path to its crate name (directory convention:
+/// `crates/<x>/…` and `crates/shims/<x>/…` are crate `<x>`'s; everything
+/// else belongs to the root facade).
+fn crate_of(rel: &str) -> String {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", "shims", name, ..] => format!("shims/{name}"),
+        ["crates", name, ..] => (*name).to_string(),
+        _ => "fast-bcc (root)".to_string(),
+    }
+}
+
+struct FileReport {
+    violations: Vec<String>,
+    unsafe_sites: usize,
+}
+
+/// Is this file test-only by location? Either it lives under a test-only
+/// directory, or it is a test module file (`tests.rs` / `*_tests.rs`,
+/// which the workspace only includes behind `#[cfg(test)]` in the parent).
+fn is_test_path(rel: &str) -> bool {
+    if rel
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "examples" || seg == "benches" || seg == "fixtures")
+    {
+        return true;
+    }
+    let file = rel.rsplit('/').next().unwrap_or(rel);
+    file == "tests.rs" || file.ends_with("_tests.rs")
+}
+
+fn lint_file(rel: &str, text: &str) -> FileReport {
+    let mut violations = Vec::new();
+    let mut unsafe_sites = 0usize;
+
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let stripped = strip_comments_and_strings(text);
+    let code_lines: Vec<&str> = stripped.lines().collect();
+
+    let path_is_test = is_test_path(rel);
+    let in_shims = rel.starts_with("crates/shims/");
+    let sync_allowed = SYNC_ALLOWLIST.iter().any(|p| rel.starts_with(p));
+
+    // Everything from the first `#[cfg(test)]`/`#[cfg(all(test…))]` on is
+    // test code (the workspace convention keeps test modules at the end
+    // of the file).
+    let first_test_line = raw_lines
+        .iter()
+        .position(|l| {
+            let t = l.trim_start();
+            t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test")
+        })
+        .unwrap_or(raw_lines.len());
+
+    for (i, code) in code_lines.iter().enumerate() {
+        let in_test = path_is_test || i >= first_test_line;
+        if in_test {
+            continue;
+        }
+
+        if has_word(code, "unsafe") {
+            unsafe_sites += 1;
+            let is_decl = {
+                let after = code.split("unsafe").nth(1).unwrap_or("").trim_start();
+                after.starts_with("fn")
+                    || after.starts_with("impl")
+                    || after.starts_with("trait")
+                    || code.contains("pub unsafe fn")
+                    || code.contains("unsafe extern")
+            };
+            let ok = has_safety_comment(&raw_lines, i, SAFETY_WINDOW)
+                || (is_decl && has_safety_doc(&raw_lines, i, SAFETY_DOC_WINDOW));
+            if !ok {
+                violations.push(format!(
+                    "{rel}:{}: `unsafe` without an adjacent `// SAFETY:` comment \
+                     (or `# Safety` doc section on the declaration)",
+                    i + 1
+                ));
+            }
+        }
+
+        if in_shims && code.contains("Ordering::") && !code.trim_start().starts_with("use ") {
+            let ok = has_protocol_comment(&raw_lines, i, ORDERING_WINDOW);
+            if !ok {
+                violations.push(format!(
+                    "{rel}:{}: `Ordering::` without a nearby memory-ordering \
+                     protocol comment",
+                    i + 1
+                ));
+            }
+        }
+
+        if !sync_allowed {
+            for needle in [
+                "std::thread::spawn",
+                "std::sync::Mutex",
+                "std::sync::Condvar",
+            ] {
+                if code.contains(needle) {
+                    violations.push(format!(
+                        "{rel}:{}: `{needle}` outside the sync-allowlisted shims — \
+                         route through the rayon shim (`rayon::*` / `crate::sync`)",
+                        i + 1
+                    ));
+                }
+            }
+            if code.trim_start().starts_with("use std::sync::")
+                && (code.contains("Mutex") || code.contains("Condvar"))
+            {
+                violations.push(format!(
+                    "{rel}:{}: importing Mutex/Condvar from `std::sync` outside the \
+                     sync-allowlisted shims",
+                    i + 1
+                ));
+            }
+        }
+    }
+
+    FileReport {
+        violations,
+        unsafe_sites,
+    }
+}
+
+/// Does `code` contain `word` as a standalone token (not a fragment of a
+/// longer identifier, e.g. `unsafe` vs `unsafe_op_in_unsafe_fn`)?
+fn has_word(code: &str, word: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_char(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_char(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + word.len();
+    }
+    false
+}
+
+fn is_ident_char(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn has_safety_comment(raw_lines: &[&str], i: usize, window: usize) -> bool {
+    let lo = i.saturating_sub(window);
+    raw_lines[lo..=i.min(raw_lines.len() - 1)]
+        .iter()
+        .any(|l| l.contains("SAFETY:"))
+}
+
+fn has_safety_doc(raw_lines: &[&str], i: usize, window: usize) -> bool {
+    let lo = i.saturating_sub(window);
+    raw_lines[lo..=i.min(raw_lines.len() - 1)].iter().any(|l| {
+        let t = l.trim_start();
+        (t.starts_with("///") || t.starts_with("//!")) && t.contains("# Safety")
+    })
+}
+
+/// A comment (line, doc, or trailing) within the window that mentions any
+/// protocol word.
+fn has_protocol_comment(raw_lines: &[&str], i: usize, window: usize) -> bool {
+    let lo = i.saturating_sub(window);
+    raw_lines[lo..=i.min(raw_lines.len() - 1)].iter().any(|l| {
+        let Some(pos) = l.find("//") else {
+            return false;
+        };
+        let comment = l[pos..].to_ascii_lowercase();
+        PROTOCOL_WORDS.iter().any(|w| comment.contains(w))
+    })
+}
+
+/// Replace comments and string-literal contents with spaces, preserving
+/// line structure, so token scans don't trip on prose. Handles `//`
+/// comments, nested `/* */` comments, `"…"` strings with escapes, and
+/// (single-line or multi-line) raw strings `r"…"` / `r#"…"#`.
+fn strip_comments_and_strings(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Code;
+    let mut out = String::with_capacity(text.len());
+    let b: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        let next = b.get(i + 1).copied();
+        match st {
+            St::Code => match c {
+                '/' if next == Some('/') => {
+                    st = St::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    st = St::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    st = St::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if next == Some('"') || next == Some('#') => {
+                    // Possible raw string: r"…" or r#+"…"#+ .
+                    let mut j = i + 1;
+                    let mut hashes = 0;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        st = St::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    // Keep line structure through `\`-newline continuations.
+                    out.push(' ');
+                    out.push(if b.get(i + 1) == Some(&'\n') {
+                        '\n'
+                    } else {
+                        ' '
+                    });
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && b.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        st = St::Code;
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Deterministic, dependency-free JSON rendering of the inventory
+/// (BTreeMap iteration order is the sort order, so equal trees produce
+/// byte-identical files — the property `--check` gates on).
+fn render_inventory(inv: &BTreeMap<String, BTreeMap<String, usize>>) -> String {
+    let total: usize = inv.values().flat_map(|f| f.values()).sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"generated_by\": \"cargo run -p xtask -- lint\",\n");
+    s.push_str(
+        "  \"note\": \"unsafe sites in non-test code, per crate and file; \
+         regenerate with the lint, never by hand\",\n",
+    );
+    let _ = writeln!(s, "  \"total_unsafe_sites\": {total},");
+    s.push_str("  \"crates\": {\n");
+    let n_crates = inv.len();
+    for (ci, (krate, files)) in inv.iter().enumerate() {
+        let subtotal: usize = files.values().sum();
+        let _ = writeln!(s, "    \"{krate}\": {{");
+        let _ = writeln!(s, "      \"unsafe_sites\": {subtotal},");
+        s.push_str("      \"files\": {\n");
+        let n_files = files.len();
+        for (fi, (file, count)) in files.iter().enumerate() {
+            let comma = if fi + 1 == n_files { "" } else { "," };
+            let _ = writeln!(s, "        \"{file}\": {count}{comma}");
+        }
+        s.push_str("      }\n");
+        let comma = if ci + 1 == n_crates { "" } else { "," };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"unsafe\"; // unsafe in comment\nunsafe { go() } /* unsafe\nstill comment */ let y = 1;\n";
+        let out = strip_comments_and_strings(src);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(!lines[0].contains("unsafe"), "line 0: {:?}", lines[0]);
+        assert!(lines[1].contains("unsafe { go() }"));
+        assert!(!lines[2].contains("unsafe"));
+        assert!(lines[2].contains("let y = 1;"));
+        assert_eq!(out.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        let src = "let s = \"first \\\n    second\";\nunsafe { go() }\n";
+        let out = strip_comments_and_strings(src);
+        assert_eq!(out.lines().count(), src.lines().count());
+        assert!(out.lines().nth(2).unwrap().contains("unsafe"));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let src =
+            "let p = r#\"unsafe \"quoted\" text\"#; call();\nlet q = r\"std::sync::Mutex\";\n";
+        let out = strip_comments_and_strings(src);
+        assert!(!out.contains("unsafe"));
+        assert!(!out.contains("Mutex"));
+        assert!(out.contains("call();"));
+    }
+
+    #[test]
+    fn unsafe_word_boundaries() {
+        assert!(has_word("unsafe {", "unsafe"));
+        assert!(has_word("pub unsafe fn f()", "unsafe"));
+        assert!(!has_word("deny(unsafe_op_in_unsafe_fn)", "unsafe"));
+        assert!(!has_word("my_unsafe_thing", "unsafe"));
+    }
+
+    #[test]
+    fn flags_unsafe_without_safety_comment() {
+        let report = lint_file(
+            "crates/core/src/x.rs",
+            "fn f() {\n    unsafe { std::hint::unreachable_unchecked() }\n}\n",
+        );
+        assert_eq!(report.unsafe_sites, 1);
+        assert_eq!(report.violations.len(), 1, "{:?}", report.violations);
+        assert!(report.violations[0].contains("SAFETY"));
+    }
+
+    #[test]
+    fn accepts_unsafe_with_safety_comment() {
+        let report = lint_file(
+            "crates/core/src/x.rs",
+            "fn f() {\n    // SAFETY: n < len checked above.\n    unsafe { go() }\n}\n",
+        );
+        assert_eq!(report.unsafe_sites, 1);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn accepts_unsafe_fn_with_safety_doc_section() {
+        let src = "\
+/// Does a thing.\n\
+///\n\
+/// # Safety\n\
+/// Caller must uphold the contract.\n\
+pub unsafe fn f() {}\n";
+        let report = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(report.unsafe_sites, 1);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn unsafe_in_test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() {\n        unsafe { go() }\n    }\n}\n";
+        let report = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(report.unsafe_sites, 0);
+        assert!(report.violations.is_empty());
+        let report = lint_file("tests/integration.rs", "unsafe { go() }\n");
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn flags_uncommented_ordering_in_shims_only() {
+        let src = "fn f(a: &AtomicUsize) {\n    a.load(Ordering::Relaxed);\n}\n";
+        let in_shim = lint_file("crates/shims/rayon/src/pool.rs", src);
+        assert_eq!(in_shim.violations.len(), 1, "{:?}", in_shim.violations);
+        assert!(in_shim.violations[0].contains("Ordering"));
+        let outside = lint_file("crates/core/src/x.rs", src);
+        assert!(outside.violations.is_empty(), "{:?}", outside.violations);
+    }
+
+    #[test]
+    fn accepts_ordering_with_protocol_comment() {
+        let src = "fn f(a: &AtomicUsize) {\n    // Monotone counter: readers tolerate staleness.\n    a.load(Ordering::Relaxed);\n}\n";
+        let report = lint_file("crates/shims/rayon/src/pool.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn ordering_import_lines_are_exempt() {
+        let src = "use std::sync::atomic::Ordering;\nfn f() {}\n";
+        let report = lint_file("crates/shims/rayon/src/sync.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn flags_std_sync_outside_allowlist() {
+        let src = "use std::sync::{Arc, Mutex};\nfn f() {\n    std::thread::spawn(|| {});\n}\n";
+        let report = lint_file("crates/core/src/x.rs", src);
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        let allowed = lint_file("crates/shims/rayon/src/pool.rs", src);
+        assert!(allowed.violations.is_empty(), "{:?}", allowed.violations);
+    }
+
+    #[test]
+    fn test_module_files_are_exempt() {
+        let src = "fn f() {\n    unsafe { go() }\n    a.load(Ordering::Relaxed);\n}\n";
+        let report = lint_file("crates/shims/rayon/src/pool/model_tests.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+        assert_eq!(report.unsafe_sites, 0);
+        let report = lint_file("crates/core/src/tests.rs", src);
+        assert!(report.violations.is_empty());
+    }
+
+    #[test]
+    fn std_sync_in_integration_tests_is_exempt() {
+        let src = "use std::sync::Mutex;\n";
+        let report = lint_file("tests/parallel_runtime.rs", src);
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn inventory_is_deterministic_json() {
+        let mut inv: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+        inv.entry("primitives".into())
+            .or_default()
+            .insert("crates/primitives/src/slice.rs".into(), 7);
+        inv.entry("ett".into())
+            .or_default()
+            .insert("crates/ett/src/euler.rs".into(), 3);
+        let a = render_inventory(&inv);
+        let b = render_inventory(&inv);
+        assert_eq!(a, b);
+        // Sorted: "ett" precedes "primitives".
+        assert!(a.find("\"ett\"").unwrap() < a.find("\"primitives\"").unwrap());
+        assert!(a.contains("\"total_unsafe_sites\": 10"));
+        // Well-formed enough for serde consumers: balanced braces.
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn crate_mapping() {
+        assert_eq!(crate_of("crates/primitives/src/slice.rs"), "primitives");
+        assert_eq!(crate_of("crates/shims/rayon/src/pool.rs"), "shims/rayon");
+        assert_eq!(crate_of("src/lib.rs"), "fast-bcc (root)");
+        assert_eq!(crate_of("tests/x.rs"), "fast-bcc (root)");
+    }
+}

@@ -21,6 +21,7 @@ fn lock() -> std::sync::MutexGuard<'static, ()> {
 /// Acceptance: after a warm-up solve, a full `BccEngine::solve` spawns
 /// **zero** new OS threads — the pool's workers persist and park.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads, spin loops, and wall-clock timing")]
 fn warm_solve_spawns_zero_threads() {
     let _guard = lock();
     let g = generators::grid2d(120, 120, false);
@@ -41,6 +42,7 @@ fn warm_solve_spawns_zero_threads() {
 /// pool: both produce correct BCCs (vs. Hopcroft–Tarjan) and the pool
 /// never grows past the default budget (no oversubscription, no panics).
 #[test]
+#[cfg_attr(miri, ignore = "OS threads, spin loops, and wall-clock timing")]
 fn concurrent_engines_share_the_pool() {
     let _guard = lock();
     let ga = generators::grid2d(90, 90, false);
@@ -83,6 +85,7 @@ fn concurrent_engines_share_the_pool() {
 /// per-worker frontier arenas rely on. Every leaf writes through its
 /// slot and the total must balance (no slot lost, none double-counted).
 #[test]
+#[cfg_attr(miri, ignore = "OS threads, spin loops, and wall-clock timing")]
 fn nested_ops_never_index_worker_local_out_of_bounds() {
     let _guard = lock();
     let arenas = WorkerLocal::<Vec<u32>>::default();
@@ -115,6 +118,7 @@ fn nested_ops_never_index_worker_local_out_of_bounds() {
 /// pick different representatives under racy Last-CC, so the partition is
 /// compared in first-occurrence normal form.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads, spin loops, and wall-clock timing")]
 fn solve_output_is_identical_across_thread_counts() {
     let _guard = lock();
     let g = generators::grid2d_sampled(70, 70, 0.93, 0x5EED_1DD);
@@ -151,6 +155,7 @@ fn solve_output_is_identical_across_thread_counts() {
 /// spinner releases as soon as the solve completes (200 ms failsafe when
 /// no worker attaches, e.g. every budget running inline on one core).
 #[test]
+#[cfg_attr(miri, ignore = "OS threads, spin loops, and wall-clock timing")]
 fn solve_partition_stable_under_forced_steals() {
     let _guard = lock();
     let g = generators::grid2d_sampled(60, 60, 0.93, 0xFA57_BCC);
@@ -201,6 +206,7 @@ fn solve_partition_stable_under_forced_steals() {
 /// runs backwards: process-lifetime counters, so benchmarks can subtract
 /// adjacent readings to attribute steals to a run.
 #[test]
+#[cfg_attr(miri, ignore = "OS threads, spin loops, and wall-clock timing")]
 fn steal_counters_observable_through_facade() {
     let _guard = lock();
     let before_steals = fastbcc_primitives::steal_count();
