@@ -1,0 +1,310 @@
+//! **Serving under churn**: read throughput and tail latency of the
+//! [`fastbcc_serve`] epoch-swapped query service *while the graph is being
+//! rebuilt underneath the readers*.
+//!
+//! ```text
+//! cargo run --release -p fastbcc-bench --bin serve -- \
+//!     [--scale 0.1] [--threads 0] [--readers 0] [--batch 10000] \
+//!     [--rebuilds 6] [--graphs SQR,Chn6] [--json BENCH_serve.json]
+//! ```
+//!
+//! Per suite row: start a service on the graph, then run one *rebuilder*
+//! task (publishes `--rebuilds` fresh snapshots back-to-back, then raises
+//! the stop flag) concurrently with `--readers` reader tasks, each serving
+//! warm mixed batches through its own pooled reader and timing every
+//! batch. Batches that overlap a rebuild window are classified separately,
+//! so the artifact answers the operational question directly: *what do
+//! p50/p99/p999 look like during a rebuild, not just between rebuilds?*
+//!
+//! Reported per graph: aggregate queries/sec over the wall of the mixed
+//! phase, overall and during-rebuild batch-latency percentiles, snapshot
+//! lifecycle counters (published / retired / dropped / backlog), and the
+//! readers' maximum warm `fresh_alloc_bytes` — which the `bench-smoke` CI
+//! gate requires to be 0 (pre-sized scratch, zero allocation on the read
+//! path).
+//!
+//! Concurrency note: the fan-out runs on the workspace runtime via
+//! [`fastbcc_serve::run_concurrent`]; the rebuilder is the driver (listed
+//! first), and readers serve at least two batches even if the whole
+//! schedule degenerates to sequential under `FASTBCC_THREADS=1` — the
+//! during-rebuild columns are then empty (count 0), never missing.
+
+use fastbcc_bench::measure::{fmt_secs, geomean, Args};
+use fastbcc_bench::runner::RunOpts;
+use fastbcc_bench::suite::filter_suite;
+use fastbcc_core::query::random_mixed_batch;
+use fastbcc_core::BccOpts;
+use fastbcc_primitives::with_threads;
+use fastbcc_serve::{run_concurrent, start, ServeOpts};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+/// One reader task's measurements: (batch wall ns, overlapped a rebuild)
+/// per batch, plus the worst warm fresh-allocation observation.
+struct ReaderSample {
+    latencies: Vec<(u64, bool)>,
+    fresh_alloc_bytes_max: usize,
+    queries: u64,
+}
+
+struct ServeRecord {
+    graph: String,
+    n: usize,
+    m: usize,
+    threads: usize,
+    readers: usize,
+    batch: usize,
+    rebuilds: u64,
+    wall_secs: f64,
+    queries_per_sec: f64,
+    batches_total: usize,
+    batches_during_rebuild: usize,
+    p50_us: f64,
+    p99_us: f64,
+    p999_us: f64,
+    rebuild_p50_us: f64,
+    rebuild_p99_us: f64,
+    rebuild_p999_us: f64,
+    rebuild_secs_mean: f64,
+    snapshots_published: u64,
+    snapshots_retired: u64,
+    snapshots_dropped: u64,
+    retire_backlog: u64,
+    reader_warm_fresh_alloc_bytes: usize,
+}
+
+impl ServeRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
+             \"readers\":{},\"batch\":{},\"rebuilds\":{},\
+             \"wall_secs\":{:.9},\"queries_per_sec\":{:.3},\
+             \"batches_total\":{},\"batches_during_rebuild\":{},\
+             \"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\
+             \"rebuild_p50_us\":{:.3},\"rebuild_p99_us\":{:.3},\
+             \"rebuild_p999_us\":{:.3},\"rebuild_secs_mean\":{:.9},\
+             \"snapshots_published\":{},\"snapshots_retired\":{},\
+             \"snapshots_dropped\":{},\"retire_backlog\":{},\
+             \"reader_warm_fresh_alloc_bytes\":{}}}",
+            self.graph.replace('"', "\\\""),
+            self.n,
+            self.m,
+            self.threads,
+            self.readers,
+            self.batch,
+            self.rebuilds,
+            self.wall_secs,
+            self.queries_per_sec,
+            self.batches_total,
+            self.batches_during_rebuild,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.rebuild_p50_us,
+            self.rebuild_p99_us,
+            self.rebuild_p999_us,
+            self.rebuild_secs_mean,
+            self.snapshots_published,
+            self.snapshots_retired,
+            self.snapshots_dropped,
+            self.retire_backlog,
+            self.reader_warm_fresh_alloc_bytes,
+        )
+    }
+}
+
+/// Percentile over sorted nanosecond samples, in microseconds (0.0 when
+/// empty — "no samples", distinguishable via the count columns).
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1e3
+}
+
+fn main() {
+    let args = Args::parse();
+    let opts = RunOpts::from_args(&args);
+    let batch = args.get_usize("--batch", 10_000);
+    let rebuilds = args.get_usize("--rebuilds", 6) as u64;
+    let p = opts.effective_threads();
+    let readers = match args.get_usize("--readers", 0) {
+        0 => p.saturating_sub(1).max(1),
+        r => r,
+    };
+    eprintln!(
+        "serve: scale={} threads={p} readers={readers} batch={batch} rebuilds={rebuilds}",
+        opts.scale
+    );
+
+    println!(
+        "{:<6} {:>9} {:>10} | {:>9} {:>9} {:>9} {:>9} | {:>9} {:>9} {:>7} {:>5}",
+        "graph",
+        "n",
+        "m",
+        "Mquery/s",
+        "p50 us",
+        "p99 us",
+        "p999 us",
+        "reb p99",
+        "rebuild",
+        "batches",
+        "fresh"
+    );
+
+    let mut records: Vec<ServeRecord> = Vec::new();
+    for spec in filter_suite(opts.names.as_deref()) {
+        eprintln!("[build] {} (scale {})", spec.name, opts.scale);
+        let g = spec.build(opts.scale);
+        let rec = with_threads(p, || {
+            let serve_opts = ServeOpts {
+                batch_capacity: batch,
+                max_readers: readers + 1,
+                bcc: BccOpts::default(),
+            };
+            let (handle, mut rebuilder) = start(&g, serve_opts);
+            let stop = Arc::new(AtomicBool::new(false));
+            let (tx, rx) = mpsc::channel::<ReaderSample>();
+            let g = Arc::new(g);
+
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(readers + 1);
+            // Driver first: publishes `rebuilds` snapshots back-to-back,
+            // then stops the readers. Runs inline on the calling thread,
+            // so a sequential schedule terminates (module docs of
+            // `fastbcc_serve::harness`).
+            {
+                let stop = stop.clone();
+                let g = g.clone();
+                tasks.push(Box::new(move || {
+                    for _ in 0..rebuilds {
+                        rebuilder.rebuild(&g);
+                    }
+                    rebuilder.reclaim();
+                    stop.store(true, Ordering::Release);
+                }));
+            }
+            for r in 0..readers {
+                let stop = stop.clone();
+                let tx = tx.clone();
+                let handle = handle.clone();
+                let g = g.clone();
+                tasks.push(Box::new(move || {
+                    let mut reader = handle.reader();
+                    let queries = random_mixed_batch(g.n(), batch, 0x5E17E ^ r as u64);
+                    let stats = handle.stats();
+                    let mut sample = ReaderSample {
+                        latencies: Vec::with_capacity(1024),
+                        fresh_alloc_bytes_max: 0,
+                        queries: 0,
+                    };
+                    // Serve until the driver stops us, but always at
+                    // least two batches so the sequential fallback (all
+                    // rebuilds already done) still measures warm serving.
+                    while !stop.load(Ordering::Acquire) || sample.latencies.len() < 2 {
+                        let before = stats.rebuild_in_flight();
+                        let t = Instant::now();
+                        let served = reader.answer_batch(&queries);
+                        let ns = t.elapsed().as_nanos() as u64;
+                        debug_assert!(served.version >= 1);
+                        let during = before || stats.rebuild_in_flight();
+                        sample.latencies.push((ns, during));
+                        sample.queries += batch as u64;
+                        sample.fresh_alloc_bytes_max =
+                            sample.fresh_alloc_bytes_max.max(reader.fresh_alloc_bytes());
+                    }
+                    tx.send(sample).expect("collector alive");
+                }));
+            }
+            drop(tx);
+
+            let wall_t = Instant::now();
+            run_concurrent(tasks);
+            let wall = wall_t.elapsed();
+
+            let mut all_ns: Vec<u64> = Vec::new();
+            let mut rebuild_ns: Vec<u64> = Vec::new();
+            let mut queries_total = 0u64;
+            let mut fresh_max = 0usize;
+            for sample in rx.iter() {
+                queries_total += sample.queries;
+                fresh_max = fresh_max.max(sample.fresh_alloc_bytes_max);
+                for (ns, during) in sample.latencies {
+                    all_ns.push(ns);
+                    if during {
+                        rebuild_ns.push(ns);
+                    }
+                }
+            }
+            all_ns.sort_unstable();
+            rebuild_ns.sort_unstable();
+
+            let rep = handle.stats_report();
+            assert_eq!(
+                rep.published_version,
+                rebuilds + 1,
+                "every rebuild published"
+            );
+            ServeRecord {
+                graph: spec.name.to_string(),
+                n: g.n(),
+                m: g.m_undirected(),
+                threads: p,
+                readers,
+                batch,
+                rebuilds,
+                wall_secs: wall.as_secs_f64(),
+                queries_per_sec: queries_total as f64 / wall.as_secs_f64().max(1e-12),
+                batches_total: all_ns.len(),
+                batches_during_rebuild: rebuild_ns.len(),
+                p50_us: percentile_us(&all_ns, 0.50),
+                p99_us: percentile_us(&all_ns, 0.99),
+                p999_us: percentile_us(&all_ns, 0.999),
+                rebuild_p50_us: percentile_us(&rebuild_ns, 0.50),
+                rebuild_p99_us: percentile_us(&rebuild_ns, 0.99),
+                rebuild_p999_us: percentile_us(&rebuild_ns, 0.999),
+                rebuild_secs_mean: rep.rebuild_secs_total / rep.rebuilds.max(1) as f64,
+                snapshots_published: rep.snapshots_published,
+                snapshots_retired: rep.snapshots_retired,
+                snapshots_dropped: rep.snapshots_dropped,
+                retire_backlog: rep.retire_backlog,
+                reader_warm_fresh_alloc_bytes: fresh_max,
+            }
+        });
+        println!(
+            "{:<6} {:>9} {:>10} | {:>9.2} {:>9.1} {:>9.1} {:>9.1} | {:>9.1} {:>9} {:>7} {:>5}",
+            rec.graph,
+            rec.n,
+            rec.m,
+            rec.queries_per_sec / 1e6,
+            rec.p50_us,
+            rec.p99_us,
+            rec.p999_us,
+            rec.rebuild_p99_us,
+            fmt_secs(std::time::Duration::from_secs_f64(rec.rebuild_secs_mean)),
+            rec.batches_total,
+            rec.reader_warm_fresh_alloc_bytes,
+        );
+        records.push(rec);
+    }
+
+    let qps: Vec<f64> = records.iter().map(|r| r.queries_per_sec).collect();
+    println!(
+        "--- geomean over {} graphs: {:.2} Mquery/s served under churn ({readers} readers, {p} threads) ---",
+        records.len(),
+        geomean(&qps) / 1e6
+    );
+
+    if let Some(path) = args.get("--json") {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}")),
+        );
+        for r in &records {
+            writeln!(f, "{}", r.to_json()).expect("write record");
+        }
+        f.flush().expect("flush json");
+        eprintln!("wrote {} records to {path}", records.len());
+    }
+}

@@ -220,6 +220,16 @@ impl BccEngine {
         crate::query::BccIndex::build(&self.result, &tree)
     }
 
+    /// [`build_index`](Self::build_index) with a graph-version tag stamped
+    /// on the result — the handoff a snapshot host (`fastbcc-serve`) uses:
+    /// solve the next graph version, build its index, publish it with the
+    /// version every answer batch will carry.
+    pub fn build_index_versioned(&self, version: u64) -> crate::query::BccIndex {
+        let mut ix = self.build_index();
+        ix.set_version(version);
+        ix
+    }
+
     /// Run FAST-BCC on `g`, reusing every pooled buffer. The returned
     /// reference is valid until the next `solve`; clone fields out if you
     /// need them to outlive it.

@@ -157,6 +157,11 @@ pub struct BccIndex {
     /// `argmin(tour depth)` over tour intervals — Euler-tour LCA. Owns its
     /// copy of the depth key array, so the depths are not stored twice.
     lca: ArgRmq,
+    /// Caller-assigned graph-version tag (0 until
+    /// [`set_version`](Self::set_version)). A snapshot host such as
+    /// `fastbcc-serve` stamps this into every answer batch so consumers can
+    /// tell which graph version produced an answer.
+    version: u64,
 }
 
 impl BccIndex {
@@ -323,7 +328,22 @@ impl BccIndex {
             tour_node: rf.tour_vertex,
             cuts_to_root,
             lca,
+            version: 0,
         }
+    }
+
+    /// The caller-assigned graph-version tag (0 if never set).
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamp a graph-version tag onto this index. The tag is inert for the
+    /// queries themselves; it exists so a snapshot host can hand out
+    /// `Arc<BccIndex>` snapshots and tag every answer with the version of
+    /// the graph that produced it.
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// Vertex count of the indexed graph.

@@ -1,0 +1,84 @@
+//! A tiny fork/join fan-out for running a driver task alongside reader
+//! loops on the workspace runtime shim — the serving layer's substitute
+//! for spawning OS threads (which the xtask lint reserves for the shims).
+//!
+//! [`run_concurrent`] fans a list of closures out as nested
+//! `rayon::join`s. On the workspace shim, `join(a, b)` runs `a` inline
+//! and offers `b` to pool workers, so **the first task is the one
+//! guaranteed to run on the calling thread** — and under a sequential
+//! budget (`FASTBCC_THREADS=1`, or a pool of one) the tasks simply run
+//! in order, first to last.
+//!
+//! Convention for callers: put the *driver* (the task that eventually
+//! sets the stop flag — e.g. the rebuild loop) **first**, and write the
+//! other tasks to terminate once they observe the flag even if they run
+//! entirely after it was set. That way the same task list is correct
+//! both concurrently and under the sequential fallback.
+
+/// Run every task to completion, potentially in parallel; returns when
+/// all have finished. See the module docs for the ordering convention.
+pub fn run_concurrent(tasks: Vec<Box<dyn FnOnce() + Send>>) {
+    fan_out(tasks);
+}
+
+fn fan_out(mut tasks: Vec<Box<dyn FnOnce() + Send>>) {
+    match tasks.len() {
+        0 => {}
+        1 => (tasks.pop().expect("len checked"))(),
+        _ => {
+            let first = tasks.remove(0);
+            rayon::join(first, move || fan_out(tasks));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn runs_every_task_once() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..7)
+            .map(|_| {
+                let hits = hits.clone();
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        run_concurrent(tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        run_concurrent(Vec::new());
+    }
+
+    #[test]
+    fn driver_first_convention_terminates_sequentially() {
+        // A driver that sets a stop flag plus a follower that loops until
+        // it sees it: must terminate even when everything runs in order
+        // on one thread.
+        fastbcc_primitives::par::with_threads(1, || {
+            let stop = Arc::new(AtomicBool::new(false));
+            let driver_stop = stop.clone();
+            let follower_stop = stop.clone();
+            let follower_ran = Arc::new(AtomicBool::new(false));
+            let follower_flag = follower_ran.clone();
+            run_concurrent(vec![
+                Box::new(move || driver_stop.store(true, Ordering::Release)),
+                Box::new(move || {
+                    while !follower_stop.load(Ordering::Acquire) {
+                        std::hint::spin_loop();
+                    }
+                    follower_flag.store(true, Ordering::Relaxed);
+                }),
+            ]);
+            assert!(follower_ran.load(Ordering::Relaxed));
+        });
+    }
+}

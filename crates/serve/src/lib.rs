@@ -1,0 +1,58 @@
+//! `fastbcc-serve` — an always-on biconnectivity query service over
+//! epoch-swapped immutable [`BccIndex`](fastbcc_core::BccIndex)
+//! snapshots.
+//!
+//! The solver crates answer "given a graph, what are its BCCs?"; this
+//! crate answers the operational question that follows: **how do you keep
+//! serving queries while the graph changes?** The design is RCU-style
+//! publication over a hazard-pointer epoch cell:
+//!
+//! * **Readers are wait-free.** A [`ServiceReader`] adopts the current
+//!   snapshot with two atomic loads and a hazard-pointer store — no locks,
+//!   no waiting on the rebuilder — then answers a whole query batch
+//!   against that one immutable index. Warm batches allocate nothing.
+//! * **The rebuilder never stops the world.** The single [`Rebuilder`]
+//!   owns a pooled [`BccEngine`](fastbcc_core::BccEngine); it solves the
+//!   next graph version off to the side and publishes the finished index
+//!   with one atomic pointer swap.
+//! * **Every answer is version-tagged.** A [`ServedBatch`] carries the
+//!   version of the snapshot that produced it, so consumers can reason
+//!   about exactly which graph they were told about — and tests can prove
+//!   no batch mixes two versions.
+//! * **Memory is reclaimed, observably.** Replaced snapshots are retired
+//!   through the hazard roster and freed when their last reader drops
+//!   them; [`ServeStats`] counts published / retired / dropped snapshots,
+//!   rebuild durations, and per-batch serving totals as one JSON record.
+//!
+//! ```
+//! use fastbcc_serve::{start, ServeOpts};
+//! use fastbcc_core::query::Query;
+//! use fastbcc_graph::generators::classic::{cycle, path};
+//!
+//! // Start serving version 1 (a path: interior vertices are cuts).
+//! let (handle, mut rebuilder) = start(&path(8), ServeOpts::default());
+//! let mut reader = handle.reader();
+//! let batch = reader.answer_batch(&[Query::IsArticulation(3)]);
+//! assert_eq!(batch.version, 1);
+//!
+//! // Publish version 2 (a cycle: no cuts). Readers pick it up on their
+//! // next batch; in-flight batches keep using the version they adopted.
+//! rebuilder.rebuild(&cycle(8));
+//! let batch = reader.answer_batch(&[Query::IsArticulation(3)]);
+//! assert_eq!(batch.version, 2);
+//! ```
+//!
+//! The operator's guide — lifecycle diagrams, guarantees, tuning knobs,
+//! and how to read the `serve` benchmark's output — lives in
+//! `docs/serving.md` at the workspace root.
+
+pub mod epoch;
+pub mod harness;
+pub mod service;
+pub mod stats;
+
+pub use harness::run_concurrent;
+pub use service::{
+    start, RebuildReport, Rebuilder, ServeOpts, ServedBatch, ServiceHandle, ServiceReader, Snapshot,
+};
+pub use stats::{ServeStats, StatsReport};

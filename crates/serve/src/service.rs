@@ -1,0 +1,501 @@
+//! The always-on serving surface: [`start`] a service on an initial graph,
+//! hand the [`Rebuilder`] to a background thread, and let any number of
+//! [`ServiceReader`]s answer query batches against the current snapshot
+//! while the next graph version is being solved.
+//!
+//! ```text
+//!          readers (wait-free snapshot loads, batched admission)
+//!   ──────▶ ServiceReader::answer_batch / submit ──▶ ServedBatch{version, answers}
+//!                          │ epoch::Reader::load (hazard-pointer adopt)
+//!                          ▼
+//!                 Arc<Snapshot { version, BccIndex }>
+//!                          ▲
+//!                          │ epoch::Publisher::publish (atomic swap + retire)
+//!   ──────▶ Rebuilder::rebuild(next graph) — pooled BccEngine solve,
+//!           build_index_versioned, publish; old snapshot freed when its
+//!           last reader drops
+//! ```
+//!
+//! Guarantees (gated by `tests/serve_stress.rs` in the facade crate):
+//!
+//! * **Readers never block on a rebuild.** A batch adopts one snapshot via
+//!   a hazard-pointer load (no locks anywhere on the read path) and runs
+//!   entirely against it.
+//! * **No torn or mixed batches.** Every answer in a [`ServedBatch`] comes
+//!   from the single immutable snapshot whose version tags the batch.
+//! * **Bounded staleness.** A batch's version is never older than the
+//!   version [`ServeStats::current_version`] returned before the load.
+//! * **Retirement.** A replaced snapshot's memory is released when its
+//!   last reader drops it; the service counts published/retired/dropped
+//!   snapshots so leaks are observable.
+
+use crate::epoch;
+use crate::stats::ServeStats;
+use fastbcc_core::query::{Query, QueryAnswer, QueryScratch};
+use fastbcc_core::{BccEngine, BccIndex, BccOpts};
+use fastbcc_graph::Graph;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeOpts {
+    /// Hazard-slot roster size: the maximum number of concurrently
+    /// registered [`ServiceReader`]s.
+    pub max_readers: usize,
+    /// Batched-admission flush threshold: [`ServiceReader::submit`] groups
+    /// queries until this many are pending, then answers them in one
+    /// `answer_batch` call. Also pre-sizes each reader's scratch so even
+    /// its first batch allocates nothing.
+    pub batch_capacity: usize,
+    /// Solver options for every rebuild.
+    pub bcc: BccOpts,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self {
+            max_readers: 64,
+            batch_capacity: 4096,
+            bcc: BccOpts::default(),
+        }
+    }
+}
+
+/// One immutable graph version: the query index plus identifying metadata.
+/// Always handled as `Arc<Snapshot>`; dropping the last `Arc` is what the
+/// `snapshots_dropped` counter observes.
+pub struct Snapshot {
+    /// Graph-version tag (also stamped on `index`): 1 for the initial
+    /// snapshot, +1 per publish.
+    pub version: u64,
+    /// Vertex count of the snapshot's graph.
+    pub n: usize,
+    /// Undirected edge count of the snapshot's graph.
+    pub m: usize,
+    /// The read-only query index.
+    pub index: BccIndex,
+    stats: Arc<ServeStats>,
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        // Relaxed counter: observability only.
+        self.stats.snapshots_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Cloneable entry point: registers readers and exposes the service's
+/// observability counters.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    cell: epoch::Handle<Snapshot>,
+    stats: Arc<ServeStats>,
+    batch_capacity: usize,
+}
+
+impl ServiceHandle {
+    /// Register a reader (claims one hazard slot; released on drop). Its
+    /// scratch and admission buffer are pre-sized to `batch_capacity`, so
+    /// batches up to that size never allocate — not even the first.
+    pub fn reader(&self) -> ServiceReader {
+        ServiceReader {
+            reader: self.cell.reader(),
+            scratch: QueryScratch::with_capacity(self.batch_capacity),
+            pending: Vec::with_capacity(self.batch_capacity),
+            serving: Vec::with_capacity(self.batch_capacity),
+            batch_capacity: self.batch_capacity,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// The service's shared counters.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// An owned reference to the counters that outlives the service —
+    /// e.g. for asserting final retirement accounting after every handle,
+    /// reader, and the rebuilder have been dropped.
+    pub fn stats_handle(&self) -> Arc<ServeStats> {
+        self.stats.clone()
+    }
+
+    /// Snapshot the counters (JSON-serializable).
+    pub fn stats_report(&self) -> crate::stats::StatsReport {
+        self.stats.report()
+    }
+
+    /// Version of the latest published snapshot (see
+    /// [`ServeStats::current_version`] for the ordering guarantee).
+    pub fn current_version(&self) -> u64 {
+        self.stats.current_version()
+    }
+
+    /// Readers currently registered / the roster capacity.
+    pub fn reader_occupancy(&self) -> (usize, usize) {
+        (self.cell.registered_readers(), self.cell.max_readers())
+    }
+}
+
+/// Per-version answer batch: every answer was computed against the single
+/// snapshot identified by `version`.
+pub struct ServedBatch<'a> {
+    /// Version of the snapshot that answered the batch.
+    pub version: u64,
+    /// Answers, positionally matching the submitted queries.
+    pub answers: &'a [QueryAnswer],
+}
+
+/// A registered reader: wait-free snapshot adoption plus a pooled scratch
+/// and an admission buffer. One per serving thread (not `Sync`; cheap to
+/// create via [`ServiceHandle::reader`]).
+pub struct ServiceReader {
+    reader: epoch::Reader<Snapshot>,
+    scratch: QueryScratch,
+    pending: Vec<Query>,
+    serving: Vec<Query>,
+    batch_capacity: usize,
+    stats: Arc<ServeStats>,
+}
+
+impl ServiceReader {
+    /// Adopt the current snapshot and answer `queries` against it in one
+    /// parallel batch. Never blocks on a rebuild; the returned batch is
+    /// tagged with the adopted snapshot's version and is internally
+    /// consistent with exactly that graph version.
+    pub fn answer_batch(&mut self, queries: &[Query]) -> ServedBatch<'_> {
+        let snap = self.reader.load();
+        self.note_served(queries.len());
+        let answers = snap.index.answer_batch(queries, &mut self.scratch);
+        ServedBatch {
+            version: snap.version,
+            answers,
+        }
+    }
+
+    /// Adopt the current snapshot without answering anything — for callers
+    /// that want direct [`BccIndex`] access pinned to one version.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.reader.load()
+    }
+
+    /// Batched admission: enqueue one query; when `batch_capacity` are
+    /// pending, answer them all in one batch and return it. Queries keep
+    /// their submission order within the flushed batch.
+    pub fn submit(&mut self, q: Query) -> Option<ServedBatch<'_>> {
+        self.pending.push(q);
+        if self.pending.len() >= self.batch_capacity {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Answer every pending submitted query now (e.g. at the end of an
+    /// admission tick); `None` when nothing is pending.
+    pub fn flush(&mut self) -> Option<ServedBatch<'_>> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        // Swap the pending queries into the serving buffer so the borrow
+        // of `self.serving` (queries) and `self.scratch` (answers) are
+        // disjoint fields; both keep their capacity across flushes.
+        std::mem::swap(&mut self.pending, &mut self.serving);
+        self.pending.clear();
+        let snap = self.reader.load();
+        self.note_served(self.serving.len());
+        let answers = snap.index.answer_batch(&self.serving, &mut self.scratch);
+        Some(ServedBatch {
+            version: snap.version,
+            answers,
+        })
+    }
+
+    /// Queries admitted but not yet flushed.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Scratch capacity newly allocated by the most recent batch — 0 for
+    /// every batch no larger than the reader's `batch_capacity` (and for
+    /// any batch no larger than the largest served so far).
+    pub fn fresh_alloc_bytes(&self) -> usize {
+        self.scratch.fresh_alloc_bytes()
+    }
+
+    fn note_served(&self, len: usize) {
+        // Relaxed counters: observability only.
+        self.stats
+            .queries_served
+            .fetch_add(len as u64, Ordering::Relaxed);
+        self.stats.batches_served.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .batch_size_max
+            .fetch_max(len as u64, Ordering::Relaxed);
+    }
+}
+
+/// What one [`Rebuilder::rebuild`] did.
+#[derive(Clone, Copy, Debug)]
+pub struct RebuildReport {
+    /// Version tag of the snapshot this rebuild published.
+    pub version: u64,
+    /// Wall time of the whole rebuild (solve + index build + publish).
+    pub total: Duration,
+    /// Wall time of the BCC solve alone.
+    pub solve: Duration,
+    /// Heap bytes of the published index.
+    pub index_bytes: usize,
+    /// Retired snapshots whose publisher reference this publish released.
+    pub retired_now: usize,
+}
+
+/// The service's single background solver: owns the pooled [`BccEngine`]
+/// and the epoch cell's [`epoch::Publisher`]. Run it wherever you like —
+/// it is `Send`, and nothing it does blocks the readers.
+pub struct Rebuilder {
+    publisher: epoch::Publisher<Snapshot>,
+    engine: BccEngine,
+    stats: Arc<ServeStats>,
+    next_version: u64,
+}
+
+impl Rebuilder {
+    /// Solve `g`, build its index, and atomically publish it as the next
+    /// snapshot version. Warm rebuilds reuse every pooled engine buffer
+    /// (same zero-fresh-allocation discipline as `BccEngine` itself).
+    pub fn rebuild(&mut self, g: &Graph) -> RebuildReport {
+        // Relaxed flag: advisory "rebuild window" marker for latency
+        // classification, not synchronization.
+        self.stats.rebuild_in_flight.store(true, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let version = self.next_version;
+        self.engine.solve(g);
+        let solve = t0.elapsed();
+        let index = self.engine.build_index_versioned(version);
+        let index_bytes = index.bytes();
+        let snapshot = Snapshot {
+            version,
+            n: g.n(),
+            m: g.m_undirected(),
+            index,
+            stats: self.stats.clone(),
+        };
+        let retired_now = self.publisher.publish(Arc::new(snapshot));
+        let total = t0.elapsed();
+        self.next_version += 1;
+
+        let stats = &self.stats;
+        stats.snapshots_published.fetch_add(1, Ordering::Relaxed);
+        stats
+            .snapshots_retired
+            .fetch_add(retired_now as u64, Ordering::Relaxed);
+        stats
+            .retire_backlog
+            .store(self.publisher.retire_backlog() as u64, Ordering::Relaxed);
+        stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+        stats
+            .rebuild_ns_last
+            .store(total.as_nanos() as u64, Ordering::Relaxed);
+        stats
+            .rebuild_ns_total
+            .fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        stats.rebuild_in_flight.store(false, Ordering::Relaxed);
+        // Release store: pairs with the Acquire in
+        // `ServeStats::current_version` — a reader that observes version
+        // `v` there is ordered after this publish, so its next snapshot
+        // load returns version ≥ v (the staleness bound).
+        stats.published_version.store(version, Ordering::Release);
+
+        RebuildReport {
+            version,
+            total,
+            solve,
+            index_bytes,
+            retired_now,
+        }
+    }
+
+    /// Release retired snapshots that have become hazard-free since the
+    /// last publish; returns how many. Useful during long publish-free
+    /// stretches; otherwise every `rebuild` drains as it publishes.
+    pub fn reclaim(&mut self) -> usize {
+        let freed = self.publisher.try_drain();
+        let stats = &self.stats;
+        stats
+            .snapshots_retired
+            .fetch_add(freed as u64, Ordering::Relaxed);
+        stats
+            .retire_backlog
+            .store(self.publisher.retire_backlog() as u64, Ordering::Relaxed);
+        freed
+    }
+
+    /// The pooled engine (e.g. for workspace space inspection).
+    pub fn engine(&self) -> &BccEngine {
+        &self.engine
+    }
+}
+
+/// Solve `g` once, publish it as snapshot version 1, and return the
+/// service's two halves: the cloneable [`ServiceHandle`] (readers,
+/// observability) and the single [`Rebuilder`] (background publishes).
+pub fn start(g: &Graph, opts: ServeOpts) -> (ServiceHandle, Rebuilder) {
+    let stats = Arc::new(ServeStats::default());
+    let mut engine = BccEngine::new(opts.bcc);
+    engine.solve(g);
+    let index = engine.build_index_versioned(1);
+    let snapshot = Snapshot {
+        version: 1,
+        n: g.n(),
+        m: g.m_undirected(),
+        index,
+        stats: stats.clone(),
+    };
+    let (publisher, cell) = epoch::new(Arc::new(snapshot), opts.max_readers);
+    stats.snapshots_published.store(1, Ordering::Relaxed);
+    // Release: same published_version protocol as `Rebuilder::rebuild`.
+    stats.published_version.store(1, Ordering::Release);
+    (
+        ServiceHandle {
+            cell,
+            stats: stats.clone(),
+            batch_capacity: opts.batch_capacity.max(1),
+        },
+        Rebuilder {
+            publisher,
+            engine,
+            stats,
+            next_version: 2,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastbcc_core::query::random_mixed_batch;
+    use fastbcc_graph::generators::classic::{cycle, path, windmill};
+
+    #[test]
+    fn serves_and_swaps_versions() {
+        let (handle, mut rebuilder) = start(&path(9), ServeOpts::default());
+        let mut reader = handle.reader();
+        // path(9): every interior vertex is an articulation point.
+        let b = reader.answer_batch(&[Query::IsArticulation(4), Query::SameBcc(0, 1)]);
+        assert_eq!(b.version, 1);
+        assert_eq!(
+            b.answers,
+            &[QueryAnswer::Bool(true), QueryAnswer::Bool(true)]
+        );
+
+        let rep = rebuilder.rebuild(&cycle(9));
+        assert_eq!(rep.version, 2);
+        // cycle(9): no articulation points, everything one BCC.
+        let b = reader.answer_batch(&[Query::IsArticulation(4), Query::SameBcc(0, 5)]);
+        assert_eq!(b.version, 2);
+        assert_eq!(
+            b.answers,
+            &[QueryAnswer::Bool(false), QueryAnswer::Bool(true)]
+        );
+        assert_eq!(handle.current_version(), 2);
+    }
+
+    #[test]
+    fn pinned_snapshot_survives_publishes() {
+        let (handle, mut rebuilder) = start(&windmill(4), ServeOpts::default());
+        let reader = handle.reader();
+        let pinned = reader.snapshot();
+        assert_eq!(pinned.version, 1);
+        assert!(pinned.index.is_articulation(0));
+        for _ in 0..3 {
+            rebuilder.rebuild(&cycle(9));
+        }
+        // The pinned snapshot still answers as version 1's graph.
+        assert!(pinned.index.is_articulation(0));
+        assert_eq!(handle.current_version(), 4);
+        let rep = handle.stats_report();
+        assert_eq!(rep.snapshots_published, 4);
+        // Versions 2 and 3 are fully gone; version 1 is pinned.
+        assert_eq!(rep.snapshots_dropped, 2);
+        drop(pinned);
+        drop(reader);
+        rebuilder.reclaim();
+        assert_eq!(handle.stats_report().snapshots_dropped, 3);
+    }
+
+    #[test]
+    fn batched_admission_flushes_at_capacity() {
+        let opts = ServeOpts {
+            batch_capacity: 4,
+            ..Default::default()
+        };
+        let (handle, _rebuilder) = start(&path(6), opts);
+        let mut reader = handle.reader();
+        assert!(reader.submit(Query::SameBcc(0, 1)).is_none());
+        assert!(reader.submit(Query::IsArticulation(1)).is_none());
+        assert!(reader.submit(Query::IsBridge(2, 3)).is_none());
+        let b = reader
+            .submit(Query::CutVerticesOnPath(0, 5))
+            .expect("flush at capacity");
+        assert_eq!(b.version, 1);
+        assert_eq!(
+            b.answers,
+            &[
+                QueryAnswer::Bool(true),
+                QueryAnswer::Bool(true),
+                QueryAnswer::Bool(true),
+                QueryAnswer::Count(Some(4)),
+            ]
+        );
+        assert_eq!(reader.pending(), 0);
+        assert!(reader.flush().is_none());
+        // Partial fill flushes on demand.
+        reader.submit(Query::SameBcc(0, 5));
+        let b = reader.flush().expect("partial flush");
+        assert_eq!(b.answers, &[QueryAnswer::Bool(false)]);
+    }
+
+    #[test]
+    fn warm_batches_allocate_nothing() {
+        let opts = ServeOpts {
+            batch_capacity: 512,
+            ..Default::default()
+        };
+        let (handle, mut rebuilder) = start(&windmill(16), opts);
+        let mut reader = handle.reader();
+        let queries = random_mixed_batch(33, 512, 0xEB0C);
+        for round in 0..4 {
+            reader.answer_batch(&queries);
+            assert_eq!(
+                reader.fresh_alloc_bytes(),
+                0,
+                "batch in round {round} allocated (pre-sized scratch)"
+            );
+            rebuilder.rebuild(&windmill(16));
+        }
+        let rep = handle.stats_report();
+        assert_eq!(rep.queries_served, 4 * 512);
+        assert_eq!(rep.batches_served, 4);
+        assert_eq!(rep.batch_size_max, 512);
+        assert!(rep.rebuild_secs_total >= rep.rebuild_secs_last);
+    }
+
+    #[test]
+    fn stats_track_retirement() {
+        let (handle, mut rebuilder) = start(&path(5), ServeOpts::default());
+        for _ in 0..5 {
+            rebuilder.rebuild(&path(5));
+        }
+        let rep = handle.stats_report();
+        assert_eq!(rep.published_version, 6);
+        assert_eq!(rep.snapshots_published, 6);
+        // No readers: every replaced snapshot drains immediately.
+        assert_eq!(rep.snapshots_retired, 5);
+        assert_eq!(rep.snapshots_dropped, 5);
+        assert_eq!(rep.retire_backlog, 0);
+        assert_eq!(rep.rebuilds, 5);
+    }
+}

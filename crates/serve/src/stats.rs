@@ -1,0 +1,154 @@
+//! Service observability: lock-free counters every reader and the
+//! rebuilder update in place, snapshotted into a [`StatsReport`] that
+//! serializes in the workspace's `RunRecord` JSON-lines style (no deps,
+//! fixed keys) so the `serve` bench and operators read one format.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Shared atomic counters of one [`crate::service`] instance. All updates
+/// are `Relaxed` — these are statistics, not synchronization; the one
+/// exception is `published_version`, whose release/acquire pairing lets
+/// tests assert the staleness bound (see `current_version`).
+#[derive(Default)]
+pub struct ServeStats {
+    /// Version tag of the most recently published snapshot.
+    pub(crate) published_version: AtomicU64,
+    /// Snapshots published, initial snapshot included.
+    pub(crate) snapshots_published: AtomicU64,
+    /// Retired snapshots whose publisher reference has been released
+    /// (hazard-free at some drain scan).
+    pub(crate) snapshots_retired: AtomicU64,
+    /// Snapshots actually dropped (its last `Arc` — publisher's or a
+    /// reader's — went away). Trails `snapshots_retired` while readers
+    /// still hold a retired epoch.
+    pub(crate) snapshots_dropped: AtomicU64,
+    /// Retired snapshots still awaiting a hazard-free scan.
+    pub(crate) retire_backlog: AtomicU64,
+    /// Completed rebuilds (solve + index build + publish).
+    pub(crate) rebuilds: AtomicU64,
+    /// Wall nanoseconds of the most recent rebuild.
+    pub(crate) rebuild_ns_last: AtomicU64,
+    /// Cumulative wall nanoseconds across all rebuilds.
+    pub(crate) rebuild_ns_total: AtomicU64,
+    /// True while the rebuilder is between starting a solve and
+    /// publishing its snapshot — the window the `serve` bench uses to
+    /// classify "during rebuild" latency samples.
+    pub(crate) rebuild_in_flight: AtomicBool,
+    /// Queries answered across all readers and batches.
+    pub(crate) queries_served: AtomicU64,
+    /// `answer_batch` calls across all readers.
+    pub(crate) batches_served: AtomicU64,
+    /// Largest single batch answered.
+    pub(crate) batch_size_max: AtomicU64,
+}
+
+impl ServeStats {
+    /// Version of the latest published snapshot. Acquire pairs with the
+    /// release store in the rebuilder's publish path: a reader that
+    /// observes version `v` here is guaranteed that a subsequent
+    /// [`crate::service::ServiceReader`] load returns a snapshot of
+    /// version ≥ `v` — the "never stale beyond the epoch current at load
+    /// time" bound the stress test pins down.
+    pub fn current_version(&self) -> u64 {
+        self.published_version.load(Ordering::Acquire)
+    }
+
+    /// Is a rebuild currently in flight?
+    pub fn rebuild_in_flight(&self) -> bool {
+        self.rebuild_in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every counter.
+    pub fn report(&self) -> StatsReport {
+        StatsReport {
+            published_version: self.published_version.load(Ordering::Relaxed),
+            snapshots_published: self.snapshots_published.load(Ordering::Relaxed),
+            snapshots_retired: self.snapshots_retired.load(Ordering::Relaxed),
+            snapshots_dropped: self.snapshots_dropped.load(Ordering::Relaxed),
+            retire_backlog: self.retire_backlog.load(Ordering::Relaxed),
+            rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            rebuild_secs_last: self.rebuild_ns_last.load(Ordering::Relaxed) as f64 * 1e-9,
+            rebuild_secs_total: self.rebuild_ns_total.load(Ordering::Relaxed) as f64 * 1e-9,
+            queries_served: self.queries_served.load(Ordering::Relaxed),
+            batches_served: self.batches_served.load(Ordering::Relaxed),
+            batch_size_max: self.batch_size_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServeStats`], serializable as one JSON
+/// object (the per-epoch observability record of the serving layer).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReport {
+    pub published_version: u64,
+    pub snapshots_published: u64,
+    pub snapshots_retired: u64,
+    pub snapshots_dropped: u64,
+    pub retire_backlog: u64,
+    pub rebuilds: u64,
+    pub rebuild_secs_last: f64,
+    pub rebuild_secs_total: f64,
+    pub queries_served: u64,
+    pub batches_served: u64,
+    pub batch_size_max: u64,
+}
+
+impl StatsReport {
+    /// Mean batch size served so far (0.0 before the first batch).
+    pub fn batch_size_mean(&self) -> f64 {
+        if self.batches_served == 0 {
+            0.0
+        } else {
+            self.queries_served as f64 / self.batches_served as f64
+        }
+    }
+
+    /// Serialize as a single JSON object, `RunRecord`-style: fixed keys,
+    /// no external dependencies.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"published_version\":{},\"snapshots_published\":{},\
+             \"snapshots_retired\":{},\"snapshots_dropped\":{},\
+             \"retire_backlog\":{},\"rebuilds\":{},\
+             \"rebuild_secs_last\":{:.9},\"rebuild_secs_total\":{:.9},\
+             \"queries_served\":{},\"batches_served\":{},\
+             \"batch_size_max\":{}}}",
+            self.published_version,
+            self.snapshots_published,
+            self.snapshots_retired,
+            self.snapshots_dropped,
+            self.retire_backlog,
+            self.rebuilds,
+            self.rebuild_secs_last,
+            self.rebuild_secs_total,
+            self.queries_served,
+            self.batches_served,
+            self.batch_size_max,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_shape() {
+        let stats = ServeStats::default();
+        stats.published_version.store(3, Ordering::Relaxed);
+        stats.queries_served.store(1000, Ordering::Relaxed);
+        stats.batches_served.store(4, Ordering::Relaxed);
+        let rep = stats.report();
+        assert_eq!(rep.batch_size_mean(), 250.0);
+        let j = rep.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"published_version\":3"));
+        assert!(j.contains("\"queries_served\":1000"));
+        assert!(j.contains("\"rebuild_secs_total\":0.000000000"));
+    }
+
+    #[test]
+    fn mean_of_zero_batches_is_zero() {
+        assert_eq!(ServeStats::default().report().batch_size_mean(), 0.0);
+    }
+}

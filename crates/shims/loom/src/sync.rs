@@ -3,7 +3,7 @@
 //! Every type wraps its `std` counterpart (`#[repr(transparent)]` where
 //! possible, all `const`-constructible so statics work) and adds **zero**
 //! state of its own: the model bookkeeping lives in the active
-//! [`rt`] execution, keyed by object address. On a thread that is not
+//! `rt` execution, keyed by object address. On a thread that is not
 //! part of a model run, every operation passes straight through to `std`
 //! — so code compiled against these types still behaves normally outside
 //! `loom::model`.

@@ -1,75 +1,102 @@
-//! Build-then-serve: solve BCC once, build the query index, and answer a
-//! large mixed batch of online queries — the production shape the ROADMAP
-//! targets (heavy query traffic over a periodically re-solved graph).
+//! Always-on query service: serve biconnectivity queries *while the graph
+//! is re-solved underneath* — the production shape the ROADMAP targets
+//! (heavy query traffic over a periodically rebuilt graph), now driven by
+//! the `fastbcc-serve` crate. A reader thread streams warm mixed batches
+//! nonstop; the main thread plays the role of the ingestion pipeline,
+//! publishing a fresh snapshot of an evolving road-like network every
+//! round. Readers never block on a rebuild, every batch is tagged with the
+//! snapshot version that answered it, and the final line prints the
+//! service's JSON stats record (see `docs/serving.md` for how to read it).
 //!
 //! ```text
-//! cargo run --release --example query_service -- [n] [batch]   # defaults 100000, 500000
+//! cargo run --release --example query_service -- [n] [batch] [rounds]
+//!                                       # defaults 100000, 200000, 5
 //! ```
 
 use fast_bcc::graph::generators::{geometric::road_like_radius, random_geometric};
 use fast_bcc::prelude::*;
+use fast_bcc::serve::{start, ServeOpts};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
-    let batch: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(500_000);
+    let batch: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let rounds: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
 
     println!("generating road-like network with {n} intersections…");
     let g = random_geometric(n, road_like_radius(n), 77);
     println!("n = {}, m = {} roads", g.n(), g.m_undirected());
 
-    // Solve once with the pooled engine, then freeze a query index.
-    let mut engine = BccEngine::new(BccOpts::default());
+    // Solve once and start serving it as snapshot version 1.
     let t = Instant::now();
-    let r = engine.solve(&g);
-    let t_solve = t.elapsed();
-    println!(
-        "solved: {} BCCs, {} connected components in {:.1?}",
-        r.num_bcc, r.num_cc, t_solve
+    let (handle, mut rebuilder) = start(
+        &g,
+        ServeOpts {
+            batch_capacity: batch,
+            ..Default::default()
+        },
     );
-    let t = Instant::now();
-    let index = engine.build_index();
-    let t_build = t.elapsed();
-    println!(
-        "index: {} blocks + {} cut vertices, {:.2} MB, built in {:.1?}",
-        index.num_blocks(),
-        index.num_cuts(),
-        index.bytes() as f64 / (1 << 20) as f64,
-        t_build
-    );
+    println!("service up (version 1) in {:.1?}", t.elapsed());
 
-    // A mixed workload: reachability-robustness questions a routing or
-    // reliability service would ask.
-    let queries = random_mixed_batch(g.n(), batch, 0xD15);
+    // The serving side: one dedicated reader streaming mixed batches — a
+    // routing/reliability frontend asking same-BCC / articulation /
+    // bridge / separating-cut-count questions. It stops when told, never
+    // earlier and never because a rebuild got in the way.
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let handle = handle.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let mut reader = handle.reader();
+            let queries = random_mixed_batch(n, batch, 0xD15);
+            let mut batches = 0u64;
+            let mut hits = 0u64; // same-BCC true answers, as a liveness signal
+            let mut last_version = 0;
+            while !stop.load(Ordering::Acquire) || batches == 0 {
+                let served = reader.answer_batch(&queries);
+                if served.version != last_version {
+                    println!("  [reader] now serving snapshot version {}", served.version);
+                    last_version = served.version;
+                }
+                hits += served
+                    .answers
+                    .iter()
+                    .filter(|a| matches!(a, QueryAnswer::Bool(true)))
+                    .count() as u64;
+                batches += 1;
+                assert_eq!(reader.fresh_alloc_bytes(), 0, "warm batch allocated");
+            }
+            (batches, hits)
+        })
+    };
 
-    let mut scratch = QueryScratch::with_capacity(batch);
-    index.answer_batch(&queries, &mut scratch); // warm the pool
-    let t = Instant::now();
-    let answers = index.answer_batch(&queries, &mut scratch);
-    let t_batch = t.elapsed();
-
-    let (mut same, mut art, mut bridge, mut sep_total, mut unreachable) =
-        (0u64, 0u64, 0u64, 0u64, 0u64);
-    for (&q, &a) in queries.iter().zip(answers.iter()) {
-        match (q, a) {
-            (Query::SameBcc(..), QueryAnswer::Bool(true)) => same += 1,
-            (Query::IsArticulation(_), QueryAnswer::Bool(true)) => art += 1,
-            (Query::IsBridge(..), QueryAnswer::Bool(true)) => bridge += 1,
-            (Query::CutVerticesOnPath(..), QueryAnswer::Count(Some(c))) => sep_total += c as u64,
-            (Query::CutVerticesOnPath(..), QueryAnswer::Count(None)) => unreachable += 1,
-            _ => {}
-        }
+    // The ingestion side: every round the road network evolves (here:
+    // regenerated with a new seed) and the rebuilder publishes it. The
+    // reader above keeps serving the previous version until the atomic
+    // swap, then picks up the new one on its next batch.
+    for round in 0..rounds {
+        let g = random_geometric(n, road_like_radius(n), 78 + round as u64);
+        let rep = rebuilder.rebuild(&g);
+        println!(
+            "published version {} in {:.1?} (solve {:.1?}, index {:.2} MB, {} snapshot(s) retired)",
+            rep.version,
+            rep.total,
+            rep.solve,
+            rep.index_bytes as f64 / (1 << 20) as f64,
+            rep.retired_now,
+        );
     }
+    stop.store(true, Ordering::Release);
+    let (batches, hits) = server.join().expect("reader panicked");
+
+    let rep = handle.stats_report();
     println!(
-        "served {batch} queries in {:.1?} ({:.2} Mquery/s, warm fresh bytes = {})",
-        t_batch,
-        batch as f64 / t_batch.as_secs_f64() / 1e6,
-        scratch.fresh_alloc_bytes()
+        "served {} queries in {batches} batches across {} snapshot versions ({hits} positive answers)",
+        rep.queries_served, rep.published_version,
     );
-    println!("  same-BCC hits: {same}, articulation hits: {art}, bridge hits: {bridge}");
-    println!(
-        "  path queries: {sep_total} total separating cut vertices, {unreachable} unreachable pairs"
-    );
-    assert_eq!(scratch.fresh_alloc_bytes(), 0, "warm batch allocated");
+    println!("stats: {}", rep.to_json());
+    assert_eq!(rep.snapshots_published, rounds as u64 + 1);
 }

@@ -1,5 +1,13 @@
 //! Quickstart: build a small graph, run FAST-BCC, inspect the output.
 //!
+//! The 60-second tour of the core API — construct a 10-vertex network
+//! with visible biconnectivity structure (a chorded block, a chain of
+//! bridges, a cycle, a leaf), solve it with `fast_bcc`, and walk the
+//! result: BCC count, articulation points, bridges, and the per-vertex
+//! component labels of the paper's `O(n)` representation. Start here,
+//! then graduate to the repeated-solve engine (`road_network.rs`) and
+//! the always-on query service (`query_service.rs`).
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```

@@ -21,6 +21,9 @@
 //! * [`connectivity`] — LDD-UF-JTB parallel connectivity with spanning
 //!   forests;
 //! * [`ett`] — Euler tour technique and parallel list ranking;
+//! * [`serve`] — the always-on query service: epoch-swapped immutable
+//!   index snapshots, wait-free readers, a background rebuilder, and
+//!   version-tagged batched answers (see `docs/serving.md`);
 //! * [`baselines`] — Hopcroft–Tarjan, Tarjan–Vishkin, and the BFS-skeleton
 //!   algorithms the paper compares against;
 //! * [`primitives`] — the ParlayLib-equivalent parallel primitive layer.
@@ -47,6 +50,7 @@ pub use fastbcc_core as core;
 pub use fastbcc_ett as ett;
 pub use fastbcc_graph as graph;
 pub use fastbcc_primitives as primitives;
+pub use fastbcc_serve as serve;
 
 pub use fastbcc_core::{
     fast_bcc, BccEngine, BccIndex, BccOpts, BccResult, Breakdown, CcScheme, Query, QueryAnswer,
@@ -65,6 +69,7 @@ pub mod prelude {
     };
     pub use fastbcc_graph::{builder, generators, stats, EdgeList, Graph, NONE, V};
     pub use fastbcc_primitives::with_threads;
+    pub use fastbcc_serve::{ServeOpts, ServedBatch, ServiceHandle, ServiceReader};
 }
 
 #[cfg(test)]

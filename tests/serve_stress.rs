@@ -1,0 +1,223 @@
+//! Stress and property tests for the `fastbcc-serve` epoch-swapped query
+//! service: real OS reader threads hammer `answer_batch` while the
+//! rebuilder publishes snapshot after snapshot, and every served batch is
+//! checked against a per-version oracle. The invariants pinned here are
+//! the ones `docs/serving.md` promises operators:
+//!
+//! 1. **No reader ever blocks or errors during a swap** — every reader
+//!    thread serves batches continuously until told to stop and joins
+//!    cleanly.
+//! 2. **No torn or mixed batches** — a batch tagged version `v` matches,
+//!    answer for answer, a from-scratch solve of version `v`'s graph.
+//! 3. **Bounded staleness** — a batch is never older than the version
+//!    `current_version()` returned before the load, and a single reader's
+//!    versions never move backwards.
+//! 4. **Retirement accounting** — after every handle, reader, and the
+//!    rebuilder are gone, every published snapshot has been dropped:
+//!    nothing leaks, nothing is freed twice.
+
+use fast_bcc::core::query::{random_mixed_batch, Query, QueryAnswer, QueryScratch};
+use fast_bcc::core::{BccEngine, BccOpts};
+use fast_bcc::graph::generators::classic::{cycle, path, windmill};
+use fast_bcc::graph::{builder, Graph, V};
+use fast_bcc::serve::{start, ServeOpts};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Answer `queries` against a from-scratch solve of `g` — the per-version
+/// ground truth a served batch must match exactly.
+fn oracle(g: &Graph, queries: &[Query]) -> Vec<QueryAnswer> {
+    let mut engine = BccEngine::new(BccOpts::default());
+    engine.solve(g);
+    let index = engine.build_index();
+    let mut scratch = QueryScratch::new();
+    index.answer_batch(queries, &mut scratch).to_vec()
+}
+
+/// Three same-`n` graphs with very different BCC structure, so a torn
+/// index (mixing two versions' tables) cannot accidentally produce a
+/// consistent batch.
+fn version_graphs(n: usize) -> Vec<Graph> {
+    assert!(n >= 5 && n % 2 == 1, "windmill needs odd n");
+    vec![path(n), cycle(n), windmill((n - 1) / 2)]
+}
+
+#[test]
+fn readers_never_stale_never_torn_across_swaps() {
+    const N: usize = 401;
+    const READERS: usize = 4;
+    const ROUNDS: u64 = 24;
+    const BATCH: usize = 1_000;
+
+    let graphs = Arc::new(version_graphs(N));
+    let queries = Arc::new(random_mixed_batch(N, BATCH, 0x5712E55));
+    // Version v (1-based) serves graphs[(v - 1) % 3].
+    let expected: Arc<Vec<Vec<QueryAnswer>>> =
+        Arc::new(graphs.iter().map(|g| oracle(g, &queries)).collect());
+
+    let (handle, mut rebuilder) = start(&graphs[0], ServeOpts::default());
+    let stats = handle.stats_handle();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let workers: Vec<_> = (0..READERS)
+        .map(|_| {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            let queries = queries.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut reader = handle.reader();
+                let mut batches = 0u64;
+                let mut last_version = 0u64;
+                while !stop.load(Ordering::Acquire) || batches == 0 {
+                    // Invariant 3 (staleness floor): observe the published
+                    // version first; the adopted snapshot may be newer but
+                    // never older.
+                    let floor = handle.current_version();
+                    let served = reader.answer_batch(&queries);
+                    assert!(
+                        served.version >= floor,
+                        "stale beyond the current epoch: served v{} after observing v{floor}",
+                        served.version
+                    );
+                    assert!(
+                        served.version >= last_version,
+                        "reader went backwards: v{} after v{last_version}",
+                        served.version
+                    );
+                    last_version = served.version;
+                    // Invariant 2 (no torn batches): the whole batch must
+                    // equal the oracle for exactly this version's graph.
+                    let want = &expected[((served.version - 1) % 3) as usize];
+                    assert_eq!(
+                        served.answers,
+                        want.as_slice(),
+                        "torn/mixed batch at version {}",
+                        served.version
+                    );
+                    assert_eq!(reader.fresh_alloc_bytes(), 0, "warm reader allocated");
+                    batches += 1;
+                }
+                batches
+            })
+        })
+        .collect();
+
+    for r in 0..ROUNDS {
+        rebuilder.rebuild(&graphs[((r + 1) % 3) as usize]);
+    }
+    stop.store(true, Ordering::Release);
+
+    // Invariant 1: every reader joins cleanly, having served batches the
+    // whole time.
+    let total_batches: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("reader panicked"))
+        .sum();
+    assert!(total_batches >= READERS as u64);
+    assert_eq!(handle.current_version(), ROUNDS + 1);
+
+    let rep = handle.stats_report();
+    assert_eq!(rep.snapshots_published, ROUNDS + 1);
+    assert_eq!(rep.batches_served, total_batches);
+    assert_eq!(rep.queries_served, total_batches * BATCH as u64);
+
+    // Invariant 4: full teardown drops every snapshot exactly once.
+    drop(handle);
+    drop(rebuilder); // drains the retire list (readers are joined, so no hazards)
+    let rep = stats.report();
+    assert_eq!(
+        rep.snapshots_dropped, rep.snapshots_published,
+        "snapshot leak: {} published, {} dropped",
+        rep.snapshots_published, rep.snapshots_dropped
+    );
+    assert_eq!(rep.retire_backlog, 0);
+}
+
+#[test]
+fn pinned_snapshot_is_immutable_under_churn() {
+    const N: usize = 201;
+    let graphs = version_graphs(N);
+    let queries = random_mixed_batch(N, 500, 0xF407);
+    let expected_v1 = oracle(&graphs[0], &queries);
+
+    let (handle, mut rebuilder) = start(&graphs[0], ServeOpts::default());
+    let reader = handle.reader();
+    let pinned = reader.snapshot();
+    for r in 0..6 {
+        rebuilder.rebuild(&graphs[(r + 1) % 3]);
+        // The pinned version-1 snapshot keeps answering as version 1's
+        // graph no matter how many epochs have passed.
+        let mut scratch = QueryScratch::new();
+        assert_eq!(pinned.version, 1);
+        assert_eq!(
+            pinned.index.answer_batch(&queries, &mut scratch),
+            expected_v1.as_slice()
+        );
+    }
+    // It is only reclaimed once released.
+    let stats = handle.stats_handle();
+    let before = stats.report().snapshots_dropped;
+    drop(pinned);
+    drop(reader);
+    rebuilder.reclaim();
+    assert!(stats.report().snapshots_dropped > before);
+}
+
+/// Two arbitrary same-`n` graphs (duplicate edges, self-loops, and
+/// disconnected pieces included — the builder sanitizes).
+fn arb_graph_pair(nmax: usize, mmax: usize) -> impl Strategy<Value = (Graph, Graph)> {
+    (5..nmax).prop_flat_map(move |n| {
+        (
+            proptest::collection::vec((0..n as V, 0..n as V), 0..mmax),
+            proptest::collection::vec((0..n as V, 0..n as V), 0..mmax),
+        )
+            .prop_map(move |(e1, e2)| (builder::from_edges(n, &e1), builder::from_edges(n, &e2)))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Property form of the torn-batch invariant: alternate publishes of
+    /// two arbitrary graphs under a concurrent reader; every batch the
+    /// reader serves must match one of the two versions' oracles — the
+    /// one its version tag names — never a blend.
+    #[test]
+    fn served_batches_match_exactly_one_version((ga, gb) in arb_graph_pair(40, 90)) {
+        let n = ga.n();
+        let queries = Arc::new(random_mixed_batch(n, 200, 0xAB0DE));
+        // Even versions serve `gb`, odd versions serve `ga`.
+        let expected = Arc::new([oracle(&ga, &queries), oracle(&gb, &queries)]);
+
+        let (handle, mut rebuilder) = start(&ga, ServeOpts::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let checker = {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            let queries = queries.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut reader = handle.reader();
+                let mut batches = 0u64;
+                while !stop.load(Ordering::Acquire) || batches == 0 {
+                    let served = reader.answer_batch(&queries);
+                    let want = &expected[(1 - served.version % 2) as usize];
+                    if served.answers != want.as_slice() {
+                        return Err(format!("batch at v{} is not v{}'s oracle", served.version, served.version));
+                    }
+                    batches += 1;
+                }
+                Ok(batches)
+            })
+        };
+        for r in 0..8u64 {
+            rebuilder.rebuild(if r % 2 == 0 { &gb } else { &ga });
+        }
+        stop.store(true, Ordering::Release);
+        let served = checker.join().expect("reader panicked");
+        prop_assert!(served.is_ok(), "{}", served.unwrap_err());
+        prop_assert_eq!(handle.current_version(), 9);
+    }
+}
