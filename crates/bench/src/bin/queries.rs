@@ -15,7 +15,7 @@
 //! the warm batches' `fresh_alloc_bytes` — which the `bench-smoke` CI gate
 //! requires to be 0, the same discipline as the solver's warm path.
 
-use fastbcc_bench::measure::{fmt_secs, geomean, time, time_median, Args};
+use fastbcc_bench::measure::{fmt_secs, geomean, json_escape, time, time_median, Args};
 use fastbcc_bench::runner::RunOpts;
 use fastbcc_bench::suite::filter_suite;
 use fastbcc_core::query::{random_mixed_batch, QueryScratch};
@@ -43,11 +43,11 @@ struct QueryRecord {
 impl QueryRecord {
     fn to_json(&self) -> String {
         format!(
-            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"nodes\":{},\"blocks\":{},\
+            "{{\"graph\":{},\"n\":{},\"m\":{},\"nodes\":{},\"blocks\":{},\
              \"cuts\":{},\"threads\":{},\"batch\":{},\"build_secs\":{:.9},\
              \"queries_per_sec\":{:.3},\"index_bytes\":{},\
              \"index_budget_bytes\":{},\"warm_fresh_alloc_bytes\":{}}}",
-            self.graph.replace('"', "\\\""),
+            json_escape(&self.graph),
             self.n,
             self.m,
             self.nodes,

@@ -29,7 +29,7 @@
 //! schedule degenerates to sequential under `FASTBCC_THREADS=1` — the
 //! during-rebuild columns are then empty (count 0), never missing.
 
-use fastbcc_bench::measure::{fmt_secs, geomean, Args};
+use fastbcc_bench::measure::{fmt_secs, geomean, json_escape, Args};
 use fastbcc_bench::runner::RunOpts;
 use fastbcc_bench::suite::filter_suite;
 use fastbcc_core::query::random_mixed_batch;
@@ -78,7 +78,7 @@ struct ServeRecord {
 impl ServeRecord {
     fn to_json(&self) -> String {
         format!(
-            "{{\"graph\":\"{}\",\"n\":{},\"m\":{},\"threads\":{},\
+            "{{\"graph\":{},\"n\":{},\"m\":{},\"threads\":{},\
              \"readers\":{},\"batch\":{},\"rebuilds\":{},\
              \"wall_secs\":{:.9},\"queries_per_sec\":{:.3},\
              \"batches_total\":{},\"batches_during_rebuild\":{},\
@@ -88,7 +88,7 @@ impl ServeRecord {
              \"snapshots_published\":{},\"snapshots_retired\":{},\
              \"snapshots_dropped\":{},\"retire_backlog\":{},\
              \"reader_warm_fresh_alloc_bytes\":{}}}",
-            self.graph.replace('"', "\\\""),
+            json_escape(&self.graph),
             self.n,
             self.m,
             self.threads,

@@ -133,8 +133,10 @@ impl RunRecord {
     }
 }
 
-/// Quote and escape a string for JSON embedding.
-fn json_escape(s: &str) -> String {
+/// Quote and escape a string for JSON embedding (quotes, backslashes, and
+/// control characters) — shared by every bench bin that formats records by
+/// hand, so no artifact can emit invalid JSON for an exotic graph name.
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

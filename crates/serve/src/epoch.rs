@@ -32,6 +32,7 @@
 //! (`into_raw`/`from_raw`/`increment_strong_count`), audited like the rest
 //! of the workspace by `cargo run -p xtask -- lint`.
 
+use std::marker::PhantomData;
 use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 use std::sync::Arc;
 
@@ -109,6 +110,7 @@ impl<T> Handle<T> {
                 return Some(Reader {
                     inner: self.inner.clone(),
                     slot: i,
+                    _not_sync: PhantomData,
                 });
             }
         }
@@ -141,11 +143,18 @@ impl<T> Handle<T> {
 }
 
 /// A registered reader: one claimed hazard slot, one wait-free-in-practice
-/// [`load`](Self::load). Not `Clone` (a slot admits one announcing thread);
-/// not `Sync` by construction — create one `Reader` per serving thread.
+/// [`load`](Self::load). Not `Clone` (a slot admits one announcing thread)
+/// and not `Sync` (the `PhantomData<Cell<()>>` marker suppresses the auto
+/// impl while keeping `Send`) — a slot admits one announcing thread at a
+/// time, and two threads racing `load` through a shared `&Reader` could
+/// overwrite each other's hazard announce between validate and the strong
+/// count bump, defeating the retirement scan. Create one `Reader` per
+/// serving thread instead; they are cheap.
 pub struct Reader<T> {
     inner: Arc<Inner<T>>,
     slot: usize,
+    /// `Cell` is `Send + !Sync`, so this marker removes only `Sync`.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
 impl<T> Reader<T> {
@@ -185,6 +194,27 @@ impl<T> Reader<T> {
         unsafe { Arc::from_raw(p) }
     }
 }
+
+// Compile-time guard for the `Reader` thread-safety contract: `Send` (a
+// reader may migrate to its serving thread) but NOT `Sync` (a slot admits
+// one announcing thread — see the field doc on `_not_sync`). The second
+// closure compiles only while `Reader<u64>: Sync` does NOT hold: if the
+// marker were ever removed, both `AmbiguousIfSync` impls would apply and
+// the method resolution below turns into a compile error.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Reader<u64>>();
+};
+const _: fn() = || {
+    trait AmbiguousIfSync<A> {
+        fn some_item() {}
+    }
+    impl<T: ?Sized> AmbiguousIfSync<()> for T {}
+    #[allow(dead_code)]
+    struct IsSync;
+    impl<T: ?Sized + Sync> AmbiguousIfSync<IsSync> for T {}
+    let _ = <Reader<u64> as AmbiguousIfSync<_>>::some_item;
+};
 
 impl<T> Drop for Reader<T> {
     fn drop(&mut self) {
@@ -268,7 +298,11 @@ impl<T> Drop for Publisher<T> {
     fn drop(&mut self) {
         // Drain the backlog before the retire list disappears. A hazard
         // window (announce→validate→bump) is a handful of instructions
-        // with no blocking inside, so this terminates promptly.
+        // with no blocking inside, so this usually terminates within a
+        // few spins — but the announcing thread can be descheduled
+        // mid-adoption, so after a short spin burst yield the core back
+        // to the scheduler instead of burning it until the reader runs.
+        let mut rounds = 0u32;
         while !self.retired.is_empty() {
             let inner = &self.inner;
             self.retired.retain(|&p| {
@@ -285,7 +319,15 @@ impl<T> Drop for Publisher<T> {
                 unsafe { drop(Arc::from_raw(p)) };
                 false
             });
-            std::hint::spin_loop();
+            if self.retired.is_empty() {
+                break;
+            }
+            rounds += 1;
+            if rounds < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
         }
     }
 }

@@ -149,8 +149,11 @@ pub struct ServedBatch<'a> {
 }
 
 /// A registered reader: wait-free snapshot adoption plus a pooled scratch
-/// and an admission buffer. One per serving thread (not `Sync`; cheap to
-/// create via [`ServiceHandle::reader`]).
+/// and an admission buffer. `Send` but not `Sync` (inherited from
+/// [`epoch::Reader`]: a hazard slot admits one announcing thread, so even
+/// the `&self` [`snapshot`](Self::snapshot) must not race from two
+/// threads) — create one per serving thread via
+/// [`ServiceHandle::reader`]; they are cheap.
 pub struct ServiceReader {
     reader: epoch::Reader<Snapshot>,
     scratch: QueryScratch,
@@ -159,6 +162,25 @@ pub struct ServiceReader {
     batch_capacity: usize,
     stats: Arc<ServeStats>,
 }
+
+// Compile-time guard mirroring `epoch::Reader`'s: the hazard-slot
+// single-announcer contract must hold through the high-level API too, so
+// `ServiceReader` is `Send` (move it to its serving thread) but must never
+// become `Sync` (the second closure stops compiling if it does).
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ServiceReader>();
+};
+const _: fn() = || {
+    trait AmbiguousIfSync<A> {
+        fn some_item() {}
+    }
+    impl<T: ?Sized> AmbiguousIfSync<()> for T {}
+    #[allow(dead_code)]
+    struct IsSync;
+    impl<T: ?Sized + Sync> AmbiguousIfSync<IsSync> for T {}
+    let _ = <ServiceReader as AmbiguousIfSync<_>>::some_item;
+};
 
 impl ServiceReader {
     /// Adopt the current snapshot and answer `queries` against it in one
