@@ -1,0 +1,256 @@
+//! **Batch-dynamic updates**: incremental `BccEngine::apply_batch`
+//! throughput versus a warm full re-solve, across churn rates.
+//!
+//! ```text
+//! cargo run --release -p fastbcc-bench --bin batch_dynamic -- \
+//!     [--scale 0.1] [--threads 0] [--rounds 8] \
+//!     [--fracs 0.001,0.01,0.1] [--graphs YT,GG] [--json BENCH_batch_dynamic.json]
+//! ```
+//!
+//! Per graph × churn fraction: build the graph, attach the incremental
+//! engine, and generate a [`fastbcc_bench::churn`] perturbed-graph
+//! schedule (`--rounds` batches, each swapping `frac · m` edges). Every
+//! round applies the batch twice — once through `apply_batch` on the
+//! attached engine, once as a warm full solve of the already-evolved
+//! graph on a second pooled engine — and cross-checks the two results
+//! (`num_cc` / `num_bcc` every round, canonical BCCs on the last).
+//!
+//! Reported per row: mean per-round seconds for both paths, the speedup,
+//! update throughput in edges/s (batch edges over incremental seconds),
+//! how many rounds stayed incremental vs fell back (with the last
+//! fallback reason), and the maximum warm `fresh_alloc_bytes` over
+//! incremental rounds — which the `bench-smoke` CI gate requires to be 0
+//! (the incremental path must run entirely out of pooled memory).
+//! Fallback rounds are *kept* in the incremental column: the speedup is
+//! what an operator gets, not what the best case gets.
+
+use fastbcc_bench::churn::perturbed_sequence;
+use fastbcc_bench::measure::{fmt_secs, geomean, json_escape, Args};
+use fastbcc_bench::runner::RunOpts;
+use fastbcc_bench::suite::filter_suite;
+use fastbcc_core::{canonical_bccs, BccEngine, BccOpts};
+use fastbcc_primitives::with_threads;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+struct DynRecord {
+    graph: String,
+    n: usize,
+    m: usize,
+    threads: usize,
+    frac: f64,
+    rounds: usize,
+    batch_edges_mean: f64,
+    inc_secs_mean: f64,
+    full_secs_mean: f64,
+    speedup: f64,
+    inc_update_eps: f64,
+    full_update_eps: f64,
+    rounds_incremental: usize,
+    rounds_fallback: usize,
+    last_fallback: Option<&'static str>,
+    warm_fresh_alloc_bytes_max: usize,
+    equal: bool,
+}
+
+impl DynRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"graph\":{},\"n\":{},\"m\":{},\"threads\":{},\
+             \"frac\":{},\"rounds\":{},\"batch_edges_mean\":{:.3},\
+             \"inc_secs_mean\":{:.9},\"full_secs_mean\":{:.9},\
+             \"speedup\":{:.3},\
+             \"inc_update_eps\":{:.3},\"full_update_eps\":{:.3},\
+             \"rounds_incremental\":{},\"rounds_fallback\":{},\
+             \"last_fallback\":{},\
+             \"warm_fresh_alloc_bytes_max\":{},\"equal\":{}}}",
+            json_escape(&self.graph),
+            self.n,
+            self.m,
+            self.threads,
+            self.frac,
+            self.rounds,
+            self.batch_edges_mean,
+            self.inc_secs_mean,
+            self.full_secs_mean,
+            self.speedup,
+            self.inc_update_eps,
+            self.full_update_eps,
+            self.rounds_incremental,
+            self.rounds_fallback,
+            self.last_fallback.map_or("null".to_string(), json_escape),
+            self.warm_fresh_alloc_bytes_max,
+            self.equal,
+        )
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let opts = RunOpts::from_args(&args);
+    let rounds = args.get_usize("--rounds", 8);
+    let fracs: Vec<f64> = args
+        .get("--fracs")
+        .unwrap_or("0.001,0.01,0.1")
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .unwrap_or_else(|e| panic!("bad --fracs entry {s:?}: {e}"))
+        })
+        .collect();
+    let p = opts.effective_threads();
+    eprintln!(
+        "batch_dynamic: scale={} threads={p} rounds={rounds} fracs={fracs:?}",
+        opts.scale
+    );
+
+    println!(
+        "{:<6} {:>9} {:>10} {:>7} | {:>10} {:>10} {:>8} | {:>12} | {:>5} {:>5} {:>5}",
+        "graph",
+        "n",
+        "m",
+        "frac",
+        "inc/batch",
+        "full/batch",
+        "speedup",
+        "upd edges/s",
+        "inc",
+        "fall",
+        "fresh"
+    );
+
+    let mut records: Vec<DynRecord> = Vec::new();
+    for spec in filter_suite(opts.names.as_deref()) {
+        eprintln!("[build] {} (scale {})", spec.name, opts.scale);
+        let g0 = spec.build(opts.scale);
+        for (fi, &frac) in fracs.iter().enumerate() {
+            let rec = with_threads(p, || {
+                let schedule = perturbed_sequence(&g0, rounds, frac, 0xD17A ^ (fi as u64) << 8);
+                let mut inc = BccEngine::new(BccOpts::default());
+                inc.attach(&g0);
+                let mut full = BccEngine::new(BccOpts::default());
+                full.solve(&g0); // warm the baseline's pools
+
+                let mut inc_total = Duration::ZERO;
+                let mut full_total = Duration::ZERO;
+                let mut batch_edges = 0usize;
+                let mut rounds_incremental = 0usize;
+                let mut rounds_fallback = 0usize;
+                let mut last_fallback = None;
+                let mut warm_fresh_max = 0usize;
+                let mut equal = true;
+
+                for (round, (delta, g_round)) in schedule.iter().enumerate() {
+                    batch_edges += delta.len();
+
+                    let t = Instant::now();
+                    inc.apply_batch(&delta.adds, &delta.dels);
+                    inc_total += t.elapsed();
+                    let (inc_cc, inc_bcc) = (inc.result().num_cc, inc.result().num_bcc);
+                    let rep = inc.last_apply_report().expect("apply_batch ran");
+                    if std::env::var_os("BD_DEBUG").is_some() {
+                        eprintln!(
+                            "[round {round}] fresh={} {rep:?}",
+                            inc.result().fresh_alloc_bytes
+                        );
+                    }
+                    if rep.incremental {
+                        rounds_incremental += 1;
+                    } else {
+                        rounds_fallback += 1;
+                        last_fallback = rep.fallback;
+                    }
+
+                    let t = Instant::now();
+                    full.solve(g_round);
+                    full_total += t.elapsed();
+
+                    equal &= inc_cc == full.result().num_cc && inc_bcc == full.result().num_bcc;
+                    // Warm-fresh accounting: the first two rounds settle
+                    // pooled capacities; later incremental rounds must not
+                    // allocate at all.
+                    if rep.incremental && round >= 2 {
+                        warm_fresh_max = warm_fresh_max.max(inc.result().fresh_alloc_bytes);
+                    }
+                    if round + 1 == schedule.len() {
+                        equal &= canonical_bccs(inc.result()) == canonical_bccs(full.result());
+                    }
+                }
+
+                let rounds_done = schedule.len().max(1);
+                let inc_secs = inc_total.as_secs_f64();
+                let full_secs = full_total.as_secs_f64();
+                DynRecord {
+                    graph: spec.name.to_string(),
+                    n: g0.n(),
+                    m: g0.m_undirected(),
+                    threads: p,
+                    frac,
+                    rounds: schedule.len(),
+                    batch_edges_mean: batch_edges as f64 / rounds_done as f64,
+                    inc_secs_mean: inc_secs / rounds_done as f64,
+                    full_secs_mean: full_secs / rounds_done as f64,
+                    speedup: full_secs / inc_secs.max(1e-12),
+                    inc_update_eps: batch_edges as f64 / inc_secs.max(1e-12),
+                    full_update_eps: batch_edges as f64 / full_secs.max(1e-12),
+                    rounds_incremental,
+                    rounds_fallback,
+                    last_fallback,
+                    warm_fresh_alloc_bytes_max: warm_fresh_max,
+                    equal,
+                }
+            });
+            println!(
+                "{:<6} {:>9} {:>10} {:>7} | {:>10} {:>10} {:>7.1}x | {:>12.0} | {:>5} {:>5} {:>5}",
+                rec.graph,
+                rec.n,
+                rec.m,
+                rec.frac,
+                fmt_secs(Duration::from_secs_f64(rec.inc_secs_mean)),
+                fmt_secs(Duration::from_secs_f64(rec.full_secs_mean)),
+                rec.speedup,
+                rec.inc_update_eps,
+                rec.rounds_incremental,
+                rec.rounds_fallback,
+                rec.warm_fresh_alloc_bytes_max,
+            );
+            assert!(
+                rec.equal,
+                "{} frac {}: incremental != fresh",
+                rec.graph, rec.frac
+            );
+            records.push(rec);
+        }
+    }
+
+    for &frac in &fracs {
+        let speedups: Vec<f64> = records
+            .iter()
+            .filter(|r| r.frac == frac)
+            .map(|r| r.speedup)
+            .collect();
+        let eps: Vec<f64> = records
+            .iter()
+            .filter(|r| r.frac == frac)
+            .map(|r| r.inc_update_eps)
+            .collect();
+        println!(
+            "--- frac {frac}: geomean speedup {:.2}x, geomean {:.0} update edges/s over {} graphs ---",
+            geomean(&speedups),
+            geomean(&eps),
+            speedups.len()
+        );
+    }
+
+    if let Some(path) = args.get("--json") {
+        let mut f = std::io::BufWriter::new(
+            std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {path}: {e}")),
+        );
+        for r in &records {
+            writeln!(f, "{}", r.to_json()).expect("write record");
+        }
+        f.flush().expect("flush json");
+        eprintln!("wrote {} records to {path}", records.len());
+    }
+}

@@ -5,16 +5,20 @@
 //! ```text
 //! cargo run --release -p fastbcc-bench --bin serve -- \
 //!     [--scale 0.1] [--threads 0] [--readers 0] [--batch 10000] \
-//!     [--rebuilds 6] [--graphs SQR,Chn6] [--json BENCH_serve.json]
+//!     [--rebuilds 6] [--frac 0.01] [--graphs SQR,Chn6] [--json BENCH_serve.json]
 //! ```
 //!
 //! Per suite row: start a service on the graph, then run one *rebuilder*
-//! task (publishes `--rebuilds` fresh snapshots back-to-back, then raises
-//! the stop flag) concurrently with `--readers` reader tasks, each serving
-//! warm mixed batches through its own pooled reader and timing every
-//! batch. Batches that overlap a rebuild window are classified separately,
-//! so the artifact answers the operational question directly: *what do
-//! p50/p99/p999 look like during a rebuild, not just between rebuilds?*
+//! task concurrently with `--readers` reader tasks, each serving warm
+//! mixed batches through its own pooled reader and timing every batch.
+//! The rebuilder drives the service through a [`fastbcc_bench::churn`]
+//! perturbed-graph schedule (`--rebuilds` batches, each swapping
+//! `--frac · m` edges, the same generator the `batch_dynamic` bench
+//! uses), publishing one snapshot per batch through the incremental
+//! delta path, then raises the stop flag. Batches that overlap a rebuild
+//! window are classified separately, so the artifact answers the
+//! operational question directly: *what do p50/p99/p999 look like during
+//! a rebuild, not just between rebuilds?*
 //!
 //! Reported per graph: aggregate queries/sec over the wall of the mixed
 //! phase, overall and during-rebuild batch-latency percentiles, snapshot
@@ -29,6 +33,7 @@
 //! schedule degenerates to sequential under `FASTBCC_THREADS=1` — the
 //! during-rebuild columns are then empty (count 0), never missing.
 
+use fastbcc_bench::churn::perturbed_sequence;
 use fastbcc_bench::measure::{fmt_secs, geomean, json_escape, Args};
 use fastbcc_bench::runner::RunOpts;
 use fastbcc_bench::suite::filter_suite;
@@ -57,6 +62,9 @@ struct ServeRecord {
     readers: usize,
     batch: usize,
     rebuilds: u64,
+    frac: f64,
+    rebuilds_incremental: u64,
+    rebuilds_full: u64,
     wall_secs: f64,
     queries_per_sec: f64,
     batches_total: usize,
@@ -79,7 +87,8 @@ impl ServeRecord {
     fn to_json(&self) -> String {
         format!(
             "{{\"graph\":{},\"n\":{},\"m\":{},\"threads\":{},\
-             \"readers\":{},\"batch\":{},\"rebuilds\":{},\
+             \"readers\":{},\"batch\":{},\"rebuilds\":{},\"frac\":{},\
+             \"rebuilds_incremental\":{},\"rebuilds_full\":{},\
              \"wall_secs\":{:.9},\"queries_per_sec\":{:.3},\
              \"batches_total\":{},\"batches_during_rebuild\":{},\
              \"p50_us\":{:.3},\"p99_us\":{:.3},\"p999_us\":{:.3},\
@@ -95,6 +104,9 @@ impl ServeRecord {
             self.readers,
             self.batch,
             self.rebuilds,
+            self.frac,
+            self.rebuilds_incremental,
+            self.rebuilds_full,
             self.wall_secs,
             self.queries_per_sec,
             self.batches_total,
@@ -130,13 +142,14 @@ fn main() {
     let opts = RunOpts::from_args(&args);
     let batch = args.get_usize("--batch", 10_000);
     let rebuilds = args.get_usize("--rebuilds", 6) as u64;
+    let frac = args.get_f64("--frac", 0.01);
     let p = opts.effective_threads();
     let readers = match args.get_usize("--readers", 0) {
         0 => p.saturating_sub(1).max(1),
         r => r,
     };
     eprintln!(
-        "serve: scale={} threads={p} readers={readers} batch={batch} rebuilds={rebuilds}",
+        "serve: scale={} threads={p} readers={readers} batch={batch} rebuilds={rebuilds} frac={frac}",
         opts.scale
     );
 
@@ -168,19 +181,23 @@ fn main() {
             let (handle, mut rebuilder) = start(&g, serve_opts);
             let stop = Arc::new(AtomicBool::new(false));
             let (tx, rx) = mpsc::channel::<ReaderSample>();
+            // The churn schedule the service is pushed through: one delta
+            // per rebuild, shared with the `batch_dynamic` bench so both
+            // artifacts measure the same update stream.
+            let schedule = perturbed_sequence(&g, rebuilds as usize, frac, 0x5EE5);
             let g = Arc::new(g);
 
             let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(readers + 1);
-            // Driver first: publishes `rebuilds` snapshots back-to-back,
-            // then stops the readers. Runs inline on the calling thread,
-            // so a sequential schedule terminates (module docs of
+            // Driver first: publishes one snapshot per churn batch
+            // back-to-back through the incremental delta path, then stops
+            // the readers. Runs inline on the calling thread, so a
+            // sequential schedule terminates (module docs of
             // `fastbcc_serve::harness`).
             {
                 let stop = stop.clone();
-                let g = g.clone();
                 tasks.push(Box::new(move || {
-                    for _ in 0..rebuilds {
-                        rebuilder.rebuild(&g);
+                    for (delta, _) in &schedule {
+                        rebuilder.rebuild_delta(&delta.adds, &delta.dels);
                     }
                     rebuilder.reclaim();
                     stop.store(true, Ordering::Release);
@@ -255,6 +272,9 @@ fn main() {
                 readers,
                 batch,
                 rebuilds,
+                frac,
+                rebuilds_incremental: rep.rebuilds_incremental,
+                rebuilds_full: rep.rebuilds_full,
                 wall_secs: wall.as_secs_f64(),
                 queries_per_sec: queries_total as f64 / wall.as_secs_f64().max(1e-12),
                 batches_total: all_ns.len(),

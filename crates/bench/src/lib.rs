@@ -8,7 +8,9 @@
 //! * [`measure`] — timing helpers (median-of-k, scoped thread pools,
 //!   geometric means — the paper's aggregate of choice);
 //! * [`runner`] — the shared per-graph measurement loop behind the
-//!   `table2` and `fig1_heatmap` binaries.
+//!   `table2` and `fig1_heatmap` binaries;
+//! * [`churn`] — churn-batch / perturbed-graph generation shared by the
+//!   `serve` and `batch_dynamic` binaries.
 //!
 //! Binaries (one per experiment):
 //!
@@ -22,6 +24,7 @@
 //! | `fig7_space` | Fig. 7 — auxiliary space comparison |
 //! | `table3_tv` | Tab. 3 — Tarjan–Vishkin runtimes |
 
+pub mod churn;
 pub mod measure;
 pub mod runner;
 pub mod suite;

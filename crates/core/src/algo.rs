@@ -107,12 +107,22 @@ impl BccResult {
     /// The BCC id of an edge: the label of the endpoint farther from the
     /// root (for a tree edge this is the child; for a non-tree edge the
     /// descendant-most endpoint, which Thm. 4.2 places in the right BCC).
+    ///
+    /// Decided from `labels`/`head` alone (no tags, so it stays valid
+    /// after [`crate::engine::BccEngine::apply_batch`]): co-labeled
+    /// endpoints share the edge's BCC outright; otherwise exactly one
+    /// endpoint is the head of the other's label class — a tree edge's
+    /// child and a back edge's descendant both carry the block's label
+    /// while the far endpoint heads it.
     #[inline]
     pub fn bcc_of_edge(&self, u: V, v: V) -> u32 {
-        if self.tags.first[u as usize] >= self.tags.first[v as usize] {
-            self.labels[u as usize]
+        let lu = self.labels[u as usize];
+        let lv = self.labels[v as usize];
+        if lu == lv || self.head[lu as usize] == v {
+            lu
         } else {
-            self.labels[v as usize]
+            debug_assert_eq!(self.head[lv as usize], u);
+            lv
         }
     }
 

@@ -1,0 +1,1676 @@
+//! Batch-dynamic BCC maintenance: [`BccEngine::apply_batch`].
+//!
+//! A full [`BccEngine::solve`] re-derives the spanning forest, Euler tour,
+//! tags, and skeleton connectivity from scratch. When consecutive graph
+//! versions differ by a small edge batch, almost all of that work re-derives
+//! what is already known. `apply_batch` instead maintains the engine's
+//! `O(n)` BCC representation (`labels` / `head` / `label_count` plus the
+//! spanning-tree `parent` orientation) directly under the batch:
+//!
+//! * **Graph delta** — the CSR is updated in one pooled
+//!   [`fastbcc_graph::delta::apply_delta`] pass; the superseded CSR is kept
+//!   for the duration of the batch (deleted-but-unprocessed edges are still
+//!   structurally present mid-batch) and then recycled.
+//! * **Deletions** — a bridge deletion is `O(1)` (the child class becomes a
+//!   new root). A deletion inside a larger block first tries a *two
+//!   vertex-disjoint paths* certificate (Menger, `k = 2`, decided exactly by
+//!   one augmenting BFS over the vertex-split residual graph): if the block
+//!   minus the edge still carries two internally disjoint paths between the
+//!   endpoints it remains biconnected and **no label changes at all** — for
+//!   a tree edge only the stale `parent` pointer is left for the batch-end
+//!   re-hang. If the certificate fails (the block splits) the block's
+//!   members are collected by a bounded BFS and re-solved locally, anchored
+//!   at the block head so the result splices into the global orientation.
+//! * **Insertions** — an edge inside one block is a no-op. Otherwise the
+//!   two head chains are walked up to their first common block and every
+//!   block strictly between merges (the classic block-cut-path contraction),
+//!   implemented with a label DSU so a batch of insertions is near-linear.
+//! * **Re-hang** — after certificate-passed tree deletions the `parent`
+//!   array is rebuilt by one multi-source BFS from the existing roots over
+//!   the new graph. Any BFS parent edge of `c` lies in the block of `c`'s
+//!   old parent edge (the block's vertices other than its head are all
+//!   strictly below the head, so a search from the roots must enter through
+//!   the head side), hence `labels`/`head` stay exactly valid.
+//! * **Finalize** — three `O(n)` passes compress the DSU into `labels`,
+//!   clear heads of retired classes (so downstream full-array scans like
+//!   `BccIndex::build` never see ghost blocks), recount the label histogram
+//!   and the BCC/CC census.
+//!
+//! Anything outside the fast paths — churn above [`DynOpts::max_churn_frac`],
+//! a cross-component insertion, a budget overrun, or a re-hang that fails to
+//! reach every vertex — falls back to a full warm `solve` on the already
+//! updated graph, so `apply_batch` is *always* exact; the fallback reason is
+//! reported in [`ApplyReport`] for operator visibility.
+//!
+//! **Tag staleness contract**: after an incremental batch the result's
+//! `tags.parent` is maintained, but `first`/`last`/`low`/`high` are stale.
+//! Every shipped consumer (`bcc_of_edge`, `same_bcc`, `canonical_bccs`,
+//! `articulation_points`, `bridges`, `block_cut_tree`, `BccIndex::build`)
+//! reads only `labels`/`head`/`label_count`/`parent`.
+
+use crate::algo::BccResult;
+use crate::engine::{result_heap_bytes, BccEngine};
+use fastbcc_graph::delta::{apply_delta, DeltaScratch, GraphDelta};
+use fastbcc_graph::{Graph, NONE, V};
+
+/// Tuning knobs for [`BccEngine::apply_batch`].
+#[derive(Clone, Copy, Debug)]
+pub struct DynOpts {
+    /// Batches larger than this fraction of the current edge count fall
+    /// back to a full solve (the crossover where re-deriving everything is
+    /// cheaper than per-event maintenance).
+    pub max_churn_frac: f64,
+    /// Vertex-visit budget for each disjoint-paths certificate BFS. The
+    /// whole batch additionally shares an aggregate visit budget of
+    /// `max(cert_cap, m / 4)`, so a run of expensive certificates (long
+    /// thin blocks) degrades into a fallback instead of outspending the
+    /// full solve it is meant to avoid.
+    pub cert_cap: usize,
+    /// Maximum block size (vertices) a local region re-solve may handle.
+    pub sub_cap: usize,
+    /// Arc-scan budget while collecting a region (guards high-degree
+    /// block heads).
+    pub sub_arc_cap: usize,
+    /// Maximum combined head-chain length walked per insertion.
+    pub chain_cap: usize,
+}
+
+impl Default for DynOpts {
+    fn default() -> Self {
+        Self {
+            max_churn_frac: 0.05,
+            cert_cap: 65536,
+            sub_cap: 4096,
+            sub_arc_cap: 65536,
+            chain_cap: 512,
+        }
+    }
+}
+
+/// What the last [`BccEngine::apply_batch`] did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ApplyReport {
+    /// True when the batch was absorbed incrementally; false when it fell
+    /// back to a full solve.
+    pub incremental: bool,
+    /// Why the batch fell back (`None` on the incremental path).
+    pub fallback: Option<&'static str>,
+    /// Normalized insertions / deletions actually applied to the graph.
+    pub adds: usize,
+    /// Normalized deletions applied.
+    pub dels: usize,
+    /// Deletions absorbed in `O(1)` as bridge cuts.
+    pub dels_bridge: usize,
+    /// Deletions proven label-preserving by the disjoint-paths certificate.
+    pub dels_cert_pass: usize,
+    /// Deletions resolved by an anchored region re-solve.
+    pub dels_sub_solve: usize,
+    /// Deletions that were already covered by an earlier region re-solve.
+    pub dels_skipped: usize,
+    /// Insertions that landed inside an existing block.
+    pub adds_noop: usize,
+    /// Insertions that merged blocks along a block-cut path.
+    pub adds_merged: usize,
+    /// Insertions that linked two trees in `O(1)` (one endpoint was a
+    /// tree root — e.g. an isolated vertex — hung under the other).
+    pub adds_linked: usize,
+    /// Cross-tree insertions absorbed by re-rooting one tree along an
+    /// all-bridge root path (no label changes; `head`/`parent` flips only).
+    pub adds_rerooted: usize,
+    /// Whether the batch ended with a parent re-hang BFS.
+    pub rehang: bool,
+}
+
+/// Per-engine batch-dynamic state. Everything is pooled and era-stamped so
+/// a warm batch performs no clearing passes and no allocations.
+#[derive(Default)]
+pub struct DynState {
+    /// Tuning knobs (see [`DynOpts`]).
+    pub opts: DynOpts,
+    graph: Option<Graph>,
+    delta: GraphDelta,
+    delta_scratch: DeltaScratch,
+    report: Option<ApplyReport>,
+    // Label DSU (identity outside a batch; `touched` undoes unions).
+    dsu: Vec<u32>,
+    touched: Vec<u32>,
+    // Era-stamped scratch shared by the BFS passes.
+    era: u32,
+    mark: Vec<u32>,       // n: member / re-hang visitation
+    queue: Vec<V>,        // vertex queue
+    bfs_mark: Vec<u32>,   // n: certificate BFS1
+    bfs_parent: Vec<V>,   // n
+    state_mark: Vec<u32>, // 2n: residual-BFS states
+    state_queue: Vec<u32>,
+    p1_era: Vec<u32>, // n: membership of the first path
+    p1_next: Vec<V>,
+    p1_prev: Vec<V>,
+    cert_era: u32,
+    // Remaining aggregate incremental work (certificate visits, region
+    // vertices/arcs) for the current batch; exhaustion => FB_BUDGET.
+    work_budget: usize,
+    // Chain-walk scratch (label -> side/pos/entry, era-stamped).
+    chain_era: u32,
+    seen_era: Vec<u32>,
+    seen_side: Vec<u8>,
+    seen_pos: Vec<u32>,
+    seen_entry: Vec<V>,
+    chain_a: Vec<(u32, V)>,
+    chain_b: Vec<(u32, V)>,
+    // Region re-solve scratch.
+    members: Vec<V>,
+    local_id: Vec<u32>,
+    sub_pairs: Vec<(u32, u32)>,
+    sub_offsets: Vec<usize>,
+    sub_cursor: Vec<usize>,
+    sub_arcs: Vec<V>,
+    sub: Option<Box<BccEngine>>,
+}
+
+/// [`ApplyReport::fallback`] reason: the batch exceeded
+/// [`DynOpts::max_churn_frac`].
+pub const FB_CHURN: &str = "churn";
+/// [`ApplyReport::fallback`] reason: an insertion joined two connected
+/// components (the block-cut chain walk found no common block).
+pub const FB_CROSS: &str = "cross_component";
+/// [`ApplyReport::fallback`] reason: a block-cut chain walk exceeded
+/// [`DynOpts::chain_cap`].
+pub const FB_CHAIN: &str = "chain_cap";
+/// [`ApplyReport::fallback`] reason: an affected region exceeded
+/// [`DynOpts::sub_cap`] / [`DynOpts::sub_arc_cap`] (or had no anchor).
+pub const FB_REGION: &str = "region_cap";
+/// [`ApplyReport::fallback`] reason: the post-deletion re-hang BFS did not
+/// reach every vertex (a certificate raced a same-batch disconnection).
+pub const FB_REHANG: &str = "rehang_incomplete";
+/// [`ApplyReport::fallback`] reason: the batch's aggregate incremental
+/// work (certificates, region re-solves, component re-roots) exhausted the
+/// per-batch work budget — a round this expensive cannot beat the full
+/// solve it is racing, so it stops paying twice and takes it directly.
+pub const FB_BUDGET: &str = "work_budget";
+
+/// Every [`ApplyReport::fallback`] reason, for exhaustive stats mapping.
+pub const FALLBACK_REASONS: [&str; 6] = [
+    FB_CHURN, FB_CROSS, FB_CHAIN, FB_REGION, FB_REHANG, FB_BUDGET,
+];
+
+/// Outcome of one [`BccEngine::try_region_reroot`] probe.
+enum RegionReroot {
+    /// Region spliced; the insertion is fully absorbed.
+    Done,
+    /// The flood exceeded the current vertex/arc cap — retry at a larger
+    /// cap or on the other side.
+    TooBig,
+    /// The flood completed but the region has a second tie to the anchor;
+    /// no cap level can change this, so the side is dead for this edge.
+    Invalid,
+}
+
+impl DynState {
+    fn reset_for(&mut self, n: usize) {
+        self.dsu.clear();
+        self.dsu.extend(0..n as u32);
+        self.touched.clear();
+        self.touched.reserve(n);
+        self.era = 0;
+        self.cert_era = 0;
+        self.chain_era = 0;
+        self.mark.clear();
+        self.mark.resize(n, 0);
+        self.bfs_mark.clear();
+        self.bfs_mark.resize(n, 0);
+        self.bfs_parent.clear();
+        self.bfs_parent.resize(n, NONE);
+        self.state_mark.clear();
+        self.state_mark.resize(2 * n, 0);
+        self.p1_era.clear();
+        self.p1_era.resize(n, 0);
+        self.p1_next.clear();
+        self.p1_next.resize(n, NONE);
+        self.p1_prev.clear();
+        self.p1_prev.resize(n, NONE);
+        self.seen_era.clear();
+        self.seen_era.resize(n, 0);
+        self.seen_side.clear();
+        self.seen_side.resize(n, 0);
+        self.seen_pos.clear();
+        self.seen_pos.resize(n, 0);
+        self.seen_entry.clear();
+        self.seen_entry.resize(n, NONE);
+        self.queue.clear();
+        self.queue.reserve(n);
+        self.state_queue.clear();
+        self.state_queue.reserve(2 * n);
+        self.members.clear();
+        self.members.reserve(self.opts.sub_cap.min(n) + 1);
+        self.local_id.clear();
+        self.local_id.resize(n, 0);
+        self.chain_a.clear();
+        self.chain_a.reserve(self.opts.chain_cap + 1);
+        self.chain_b.clear();
+        self.chain_b.reserve(self.opts.chain_cap + 1);
+        self.sub_pairs.clear();
+        self.sub_pairs.reserve(self.opts.sub_arc_cap);
+        self.sub_offsets.clear();
+        self.sub_offsets.reserve(self.opts.sub_cap.min(n) + 2);
+        self.sub_cursor.clear();
+        self.sub_cursor.reserve(self.opts.sub_cap.min(n) + 2);
+        self.sub_arcs.clear();
+        self.sub_arcs.reserve(self.opts.sub_arc_cap);
+        self.report = None;
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.dsu[x as usize] != x {
+            let gp = self.dsu[self.dsu[x as usize] as usize];
+            self.dsu[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    fn heap_bytes(&self) -> usize {
+        let vb = |c: usize| c * 4;
+        self.graph.as_ref().map_or(0, |g| g.capacity_bytes())
+            + (self.delta.adds.capacity() + self.delta.dels.capacity()) * 8
+            + self.delta_scratch.heap_bytes()
+            + vb(self.dsu.capacity())
+            + vb(self.touched.capacity())
+            + vb(self.mark.capacity())
+            + vb(self.queue.capacity())
+            + vb(self.bfs_mark.capacity())
+            + vb(self.bfs_parent.capacity())
+            + vb(self.state_mark.capacity())
+            + vb(self.state_queue.capacity())
+            + vb(self.p1_era.capacity())
+            + vb(self.p1_next.capacity())
+            + vb(self.p1_prev.capacity())
+            + vb(self.seen_era.capacity())
+            + self.seen_side.capacity()
+            + vb(self.seen_pos.capacity())
+            + vb(self.seen_entry.capacity())
+            + (self.chain_a.capacity() + self.chain_b.capacity()) * 8
+            + vb(self.members.capacity())
+            + vb(self.local_id.capacity())
+            + self.sub_pairs.capacity() * 8
+            + self.sub_offsets.capacity() * 8
+            + self.sub_cursor.capacity() * 8
+            + vb(self.sub_arcs.capacity())
+            + self.sub.as_ref().map_or(0, |s| {
+                s.workspace().heap_bytes() + result_heap_bytes(&s.result)
+            })
+    }
+
+    /// Exact Menger `k = 2` test: are there two internally vertex-disjoint
+    /// `u`–`v` paths in `g`? `Some(true)` / `Some(false)` are definitive;
+    /// `None` means the visit budget ran out.
+    fn cert_two_disjoint(&mut self, g: &Graph, u: V, v: V) -> Option<bool> {
+        // Fast path: two common neighbors are two internally vertex-disjoint
+        // u→v paths outright (Menger, k = 2, sufficiency). Adjacency is
+        // sorted, so one merge pass over the two lists decides it — this
+        // settles almost every deletion inside a dense block without
+        // touching the BFS machinery below, and is free of budget charge.
+        {
+            let (mut a, mut b) = (g.neighbors(u), g.neighbors(v));
+            let mut common = 0usize;
+            while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+                match x.cmp(&y) {
+                    std::cmp::Ordering::Less => a = &a[1..],
+                    std::cmp::Ordering::Greater => b = &b[1..],
+                    std::cmp::Ordering::Equal => {
+                        common += 1;
+                        if common >= 2 {
+                            return Some(true);
+                        }
+                        a = &a[1..];
+                        b = &b[1..];
+                    }
+                }
+            }
+        }
+        let r = self.cert_bfs(g, u, v);
+        let spent = self.queue.len() + self.state_queue.len() / 2;
+        self.work_budget = self.work_budget.saturating_sub(spent.max(1));
+        r
+    }
+
+    /// The exact (BFS) part of the certificate; charged against the
+    /// per-batch aggregate visit budget by the wrapper above.
+    fn cert_bfs(&mut self, g: &Graph, u: V, v: V) -> Option<bool> {
+        let cap = self.opts.cert_cap.min(self.work_budget);
+        self.state_queue.clear();
+        if cap == 0 {
+            return None;
+        }
+        self.cert_era = self.cert_era.wrapping_add(1);
+        let era = self.cert_era;
+
+        // BFS1: any u → v path (the flow's first unit). The target test
+        // runs at push time so the search stops without expanding the
+        // whole final frontier.
+        self.queue.clear();
+        self.queue.push(u);
+        self.bfs_mark[u as usize] = era;
+        let mut qi = 0;
+        let mut found = u == v;
+        'bfs1: while qi < self.queue.len() {
+            let x = self.queue[qi];
+            qi += 1;
+            if self.queue.len() > cap {
+                return None;
+            }
+            for &w in g.neighbors(x) {
+                if self.bfs_mark[w as usize] != era {
+                    self.bfs_mark[w as usize] = era;
+                    self.bfs_parent[w as usize] = x;
+                    if w == v {
+                        found = true;
+                        break 'bfs1;
+                    }
+                    self.queue.push(w);
+                }
+            }
+        }
+        if !found {
+            return Some(false);
+        }
+
+        // Record P1 (successor/predecessor along the path, era-stamped).
+        let mut cur = v;
+        while cur != u {
+            let pr = self.bfs_parent[cur as usize];
+            self.p1_era[cur as usize] = era;
+            self.p1_era[pr as usize] = era;
+            self.p1_next[pr as usize] = cur;
+            self.p1_prev[cur as usize] = pr;
+            cur = pr;
+        }
+        let on_p1 = |s: &Self, w: V| s.p1_era[w as usize] == era;
+        let p1_arc = |s: &Self, w: V, x: V| on_p1(s, w) && w != v && s.p1_next[w as usize] == x;
+
+        // Augmenting BFS over the vertex-split residual graph. States are
+        // `2w` (w_in) / `2w + 1` (w_out); internal P1 vertices have their
+        // in→out arc saturated, P1 edge arcs are traversable only backward.
+        self.state_queue.clear();
+        self.state_queue.push(2 * u + 1);
+        self.state_mark[(2 * u + 1) as usize] = era;
+        let mut qi = 0;
+        while qi < self.state_queue.len() {
+            if self.state_queue.len() > 2 * cap {
+                return None;
+            }
+            let s = self.state_queue[qi];
+            qi += 1;
+            let w = s / 2;
+            let internal = on_p1(self, w) && w != u && w != v;
+            if s & 1 == 1 {
+                // w_out: forward edge arcs not used by P1, plus the
+                // residual of the vertex arc when saturated.
+                if internal && self.state_mark[(2 * w) as usize] != era {
+                    self.state_mark[(2 * w) as usize] = era;
+                    self.state_queue.push(2 * w);
+                }
+                for &x in g.neighbors(w) {
+                    if p1_arc(self, w, x) {
+                        continue;
+                    }
+                    if x == v {
+                        return Some(true);
+                    }
+                    if self.state_mark[(2 * x) as usize] != era {
+                        self.state_mark[(2 * x) as usize] = era;
+                        self.state_queue.push(2 * x);
+                    }
+                }
+            } else {
+                // w_in: the vertex arc when unsaturated, or the residual of
+                // the saturated P1 edge arc entering w.
+                if internal {
+                    let pr = self.p1_prev[w as usize];
+                    let t = 2 * pr + 1;
+                    if self.state_mark[t as usize] != era {
+                        self.state_mark[t as usize] = era;
+                        self.state_queue.push(t);
+                    }
+                } else if self.state_mark[(2 * w + 1) as usize] != era {
+                    self.state_mark[(2 * w + 1) as usize] = era;
+                    self.state_queue.push(2 * w + 1);
+                }
+            }
+        }
+        Some(false)
+    }
+}
+
+/// Deterministic circulant ring with `n` vertices and at least
+/// `arcs_target` directed arcs (each vertex adjacent to its `d` nearest
+/// ring neighbors on both sides): the warm-up workload for the region
+/// sub-engine, dense enough to settle every m-scaled table at the region
+/// arc budget.
+fn warm_circulant(n: usize, arcs_target: usize) -> Graph {
+    let d = arcs_target.div_ceil(2 * n).clamp(1, (n - 1) / 2);
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut arcs = Vec::with_capacity(2 * d * n);
+    let mut row: Vec<V> = Vec::with_capacity(2 * d);
+    offsets.push(0);
+    for i in 0..n {
+        row.clear();
+        for k in 1..=d {
+            row.push(((i + k) % n) as V);
+            row.push(((i + n - k) % n) as V);
+        }
+        row.sort_unstable();
+        arcs.extend_from_slice(&row);
+        offsets.push(arcs.len());
+    }
+    Graph::from_raw_parts(offsets, arcs)
+}
+
+impl BccEngine {
+    /// Attach `g` as the engine's maintained graph and solve it fully.
+    /// Subsequent [`apply_batch`](Self::apply_batch) calls evolve this
+    /// graph in place. Sizes and pre-warms every batch-dynamic buffer
+    /// (including the boxed region sub-engine) so warm incremental batches
+    /// report `fresh_alloc_bytes == 0`.
+    pub fn attach(&mut self, g: &Graph) -> &BccResult {
+        let n = g.n();
+        let opts = self.opts();
+        self.dynamic.reset_for(n);
+        // Re-attaching reuses the previous graph's CSR buffers (a serving
+        // rebuilder attaches on every full rebuild; warm re-attaches of a
+        // same-sized graph must not allocate).
+        self.dynamic.graph = Some(match self.dynamic.graph.take() {
+            Some(old) => {
+                let (mut offsets, mut arcs) = old.into_raw_parts();
+                offsets.clear();
+                offsets.extend_from_slice(g.offsets());
+                arcs.clear();
+                arcs.extend_from_slice(g.arcs());
+                Graph::from_raw_parts(offsets, arcs)
+            }
+            None => g.clone(),
+        });
+        if self.dynamic.sub.is_none() && n > 0 {
+            let warm_n = self.dynamic.opts.sub_cap.min(n).max(8);
+            let warm_arcs = self.dynamic.opts.sub_arc_cap.min(g.m()).max(2 * warm_n);
+            let mut sub = Box::new(BccEngine::with_capacity(
+                self.dynamic.opts.sub_cap.min(n) + 1,
+                self.dynamic.opts.sub_arc_cap,
+                opts,
+            ));
+            // Two throwaway solves settle the lazily sized tables at full
+            // region scale: the circulant (one giant block, arc count at
+            // the region budget — deterministic, unlike a sampled
+            // generator, so it never dedupes below the target) covers the
+            // m-scaled edge arrays, and the path (`warm_n - 1` single-edge
+            // blocks) covers everything scaled by block or articulation
+            // counts, which the single-block circulant leaves cold.
+            sub.solve(&warm_circulant(warm_n, warm_arcs));
+            sub.solve(&fastbcc_graph::generators::classic::path(warm_n));
+            self.dynamic.sub = Some(sub);
+        }
+        self.solve(g)
+    }
+
+    /// The graph the engine currently maintains (set by
+    /// [`attach`](Self::attach), evolved by [`apply_batch`](Self::apply_batch)).
+    pub fn graph(&self) -> Option<&Graph> {
+        self.dynamic.graph.as_ref()
+    }
+
+    /// What the most recent [`apply_batch`](Self::apply_batch) did.
+    pub fn last_apply_report(&self) -> Option<ApplyReport> {
+        self.dynamic.report
+    }
+
+    /// The batch-dynamic tuning knobs (mutable; takes effect next batch).
+    pub fn dyn_opts_mut(&mut self) -> &mut DynOpts {
+        &mut self.dynamic.opts
+    }
+
+    /// Apply an undirected edge batch to the attached graph and bring the
+    /// BCC result up to date, incrementally when the batch allows it (see
+    /// the [module docs](crate::dynamic)). Insertions of present edges and
+    /// deletions of absent ones are ignored. Panics if no graph is
+    /// attached. Returns the updated result; query the taken path via
+    /// [`last_apply_report`](Self::last_apply_report).
+    pub fn apply_batch(&mut self, adds: &[(V, V)], dels: &[(V, V)]) -> &BccResult {
+        let old = self
+            .dynamic
+            .graph
+            .take()
+            .expect("apply_batch requires a prior attach()");
+        let n = old.n();
+        let heap_before = self.workspace().heap_bytes()
+            + result_heap_bytes(&self.result)
+            + self.dynamic.heap_bytes()
+            + old.capacity_bytes();
+
+        // Normalize against the current graph: effective deletions are
+        // present edges, effective insertions are absent non-loop pairs —
+        // plus present pairs that this same batch also deletes, so a
+        // delete-then-readd lands back at "edge present" (the
+        // [`GraphDelta`] contract) instead of letting the delete win.
+        let dy = &mut self.dynamic;
+        dy.delta.adds.clear();
+        dy.delta.dels.clear();
+        for &(a, b) in dels {
+            let (u, v) = (a.min(b), a.max(b));
+            if u != v && (v as usize) < n && old.has_edge(u, v) {
+                dy.delta.dels.push((u, v));
+            }
+        }
+        dy.delta.dels.sort_unstable();
+        dy.delta.dels.dedup();
+        for &(a, b) in adds {
+            let (u, v) = (a.min(b), a.max(b));
+            if u != v
+                && (v as usize) < n
+                && (!old.has_edge(u, v) || dy.delta.dels.binary_search(&(u, v)).is_ok())
+            {
+                dy.delta.adds.push((u, v));
+            }
+        }
+        dy.delta.adds.sort_unstable();
+        dy.delta.adds.dedup();
+
+        let mut report = ApplyReport {
+            adds: dy.delta.adds.len(),
+            dels: dy.delta.dels.len(),
+            ..Default::default()
+        };
+
+        if dy.delta.is_empty() {
+            self.dynamic.graph = Some(old);
+            report.incremental = true;
+            self.dynamic.report = Some(report);
+            self.result.fresh_alloc_bytes = 0;
+            return &self.result;
+        }
+
+        let new = {
+            let dy = &mut self.dynamic;
+            apply_delta(&old, &dy.delta, &mut dy.delta_scratch)
+        };
+
+        let budget = ((old.m_undirected() as f64) * self.dynamic.opts.max_churn_frac).max(1.0);
+        if (report.adds + report.dels) as f64 > budget {
+            return self.fallback(old, new, report, FB_CHURN, heap_before);
+        }
+
+        // Aggregate work budget for the whole batch — certificates,
+        // region re-solves, and component re-roots all draw on it. Scaled
+        // to one structural pass over the graph: generous enough that
+        // cheap local repairs never notice it, but a round this machinery
+        // cannot actually win stops paying twice (incremental attempt
+        // plus the fallback solve) long before matching the full solve's
+        // cost.
+        self.dynamic.work_budget = (old.n() + old.m()).max(self.dynamic.opts.cert_cap);
+
+        // ---- Deletions --------------------------------------------------
+        let mut need_rehang = false;
+        for i in 0..self.dynamic.delta.dels.len() {
+            if self.dynamic.work_budget == 0 {
+                return self.fallback(old, new, report, FB_BUDGET, heap_before);
+            }
+            let (u, v) = self.dynamic.delta.dels[i];
+            let res = &mut self.result;
+            let (pu, pv) = (res.tags.parent[u as usize], res.tags.parent[v as usize]);
+            let tree_child = if pv == u {
+                Some(v)
+            } else if pu == v {
+                Some(u)
+            } else {
+                None
+            };
+            if let Some(c) = tree_child {
+                let p = if c == u { v } else { u };
+                if res.labels[c as usize] == c
+                    && res.head[c as usize] == p
+                    && res.label_count[c as usize] == 1
+                {
+                    // Bridge: the child class becomes a root; no other
+                    // label moves. CC/BCC counts are fixed by finalize.
+                    res.head[c as usize] = NONE;
+                    res.tags.parent[c as usize] = NONE;
+                    report.dels_bridge += 1;
+                    continue;
+                }
+                let region = res.labels[c as usize];
+                if self.dynamic.cert_two_disjoint(&new, u, v) == Some(true) {
+                    // Block stays biconnected; only parent[c] went stale.
+                    report.dels_cert_pass += 1;
+                    need_rehang = true;
+                    continue;
+                }
+                if !self.sub_solve(&old, &new, region) {
+                    return self.fallback(old, new, report, FB_REGION, heap_before);
+                }
+                report.dels_sub_solve += 1;
+            } else {
+                let res = &self.result;
+                let (lu, lv) = (res.labels[u as usize], res.labels[v as usize]);
+                let region = if lu == lv || res.head[lu as usize] == v {
+                    lu
+                } else if res.head[lv as usize] == u {
+                    lv
+                } else {
+                    // An earlier region re-solve already separated the
+                    // endpoints; this deletion is structurally done.
+                    report.dels_skipped += 1;
+                    continue;
+                };
+                if self.dynamic.cert_two_disjoint(&new, u, v) == Some(true) {
+                    report.dels_cert_pass += 1;
+                    continue;
+                }
+                if !self.sub_solve(&old, &new, region) {
+                    return self.fallback(old, new, report, FB_REGION, heap_before);
+                }
+                report.dels_sub_solve += 1;
+            }
+        }
+
+        // ---- Insertions -------------------------------------------------
+        for i in 0..self.dynamic.delta.adds.len() {
+            if self.dynamic.work_budget == 0 {
+                return self.fallback(old, new, report, FB_BUDGET, heap_before);
+            }
+            let (u, v) = self.dynamic.delta.adds[i];
+            let lu = self.dynamic.find(self.result.labels[u as usize]);
+            let lv = self.dynamic.find(self.result.labels[v as usize]);
+            if lu == lv || self.result.head[lu as usize] == v || self.result.head[lv as usize] == u
+            {
+                report.adds_noop += 1;
+                continue;
+            }
+            // Forest link: an endpoint that is itself a tree root hangs
+            // directly under the other endpoint in O(1) — the new edge is
+            // then a bridge between two trees (the common shape for
+            // insertions touching isolated vertices). A head-chain root
+            // walk from the other endpoint guards the same-tree case (an
+            // edge up to the own root closes a cycle and must go through
+            // the block-path merge below instead).
+            let (pu, pv) = (
+                self.result.tags.parent[u as usize],
+                self.result.tags.parent[v as usize],
+            );
+            if pu == NONE || pv == NONE {
+                let (root_end, anchor) = if pv == NONE { (v, u) } else { (u, v) };
+                let cross_tree = if self.result.tags.parent[anchor as usize] == NONE {
+                    // Both endpoints are roots; a tree has one root, so
+                    // two distinct roots are two distinct trees.
+                    true
+                } else {
+                    matches!(self.root_of(anchor), Some(r) if r != root_end)
+                };
+                if cross_tree {
+                    let res = &mut self.result;
+                    debug_assert_eq!(
+                        if root_end == v { lv } else { lu },
+                        root_end,
+                        "a tree root keeps its singleton class"
+                    );
+                    res.tags.parent[root_end as usize] = anchor;
+                    res.head[root_end as usize] = anchor;
+                    report.adds_linked += 1;
+                    continue;
+                }
+            }
+            match self.merge_path(u, lu, v, lv) {
+                Ok(()) => report.adds_merged += 1,
+                Err(reason) => {
+                    // A confirmed cross-tree insertion can still be absorbed
+                    // two ways. The cheap one re-roots a tree whose root
+                    // path is all bridges (pure `head`/`parent` flips) — it
+                    // needs `labels`/`label_count` to be exact, which only
+                    // holds while the batch has performed no merges or
+                    // region re-solves and no re-hang is pending. The
+                    // general one re-solves one endpoint's whole component
+                    // locally and hangs it under the other, gated only by
+                    // the sub-solve caps.
+                    if reason == FB_CROSS {
+                        let mut rescued = report.adds_merged == 0
+                            && report.dels_sub_solve == 0
+                            && !need_rehang
+                            && self.try_reroot_link(u, v);
+                        // Escalating caps: probe both sides small first so
+                        // the common shape — a tiny satellite component
+                        // joining a giant one — never pays for flooding
+                        // the giant side to the full region budget. A side
+                        // whose flood *completed* but was structurally
+                        // invalid is dead at every cap level (the member
+                        // set would not change), so only cap-bounded
+                        // failures are retried.
+                        let (vmax, amax) =
+                            (self.dynamic.opts.sub_cap, self.dynamic.opts.sub_arc_cap);
+                        let (mut vcap, mut acap) = (vmax.min(512), amax.min(8192));
+                        let (mut dead_u, mut dead_v) = (false, false);
+                        while !(rescued || dead_u && dead_v) {
+                            for (root_end, anchor, dead) in
+                                [(u, v, &mut dead_u), (v, u, &mut dead_v)]
+                            {
+                                if *dead || rescued {
+                                    continue;
+                                }
+                                match self.try_region_reroot(&new, root_end, anchor, vcap, acap) {
+                                    RegionReroot::Done => rescued = true,
+                                    RegionReroot::TooBig => {}
+                                    RegionReroot::Invalid => *dead = true,
+                                }
+                            }
+                            if vcap == vmax && acap == amax {
+                                break;
+                            }
+                            vcap = (vcap * 8).min(vmax);
+                            acap = (acap * 8).min(amax);
+                        }
+                        if rescued {
+                            report.adds_rerooted += 1;
+                            continue;
+                        }
+                    }
+                    return self.fallback(old, new, report, reason, heap_before);
+                }
+            }
+        }
+
+        // ---- Re-hang ----------------------------------------------------
+        if need_rehang {
+            report.rehang = true;
+            let dy = &mut self.dynamic;
+            let parent = &mut self.result.tags.parent;
+            dy.era = dy.era.wrapping_add(1);
+            let era = dy.era;
+            dy.queue.clear();
+            for r in 0..n {
+                if parent[r] == NONE {
+                    dy.mark[r] = era;
+                    dy.queue.push(r as V);
+                }
+            }
+            let mut qi = 0;
+            while qi < dy.queue.len() {
+                let x = dy.queue[qi];
+                qi += 1;
+                for &w in new.neighbors(x) {
+                    if dy.mark[w as usize] != era {
+                        dy.mark[w as usize] = era;
+                        parent[w as usize] = x;
+                        dy.queue.push(w);
+                    }
+                }
+            }
+            if dy.queue.len() != n {
+                return self.fallback(old, new, report, FB_REHANG, heap_before);
+            }
+        }
+
+        // ---- Finalize ---------------------------------------------------
+        {
+            let dy = &mut self.dynamic;
+            let res = &mut self.result;
+            for x in res.labels.iter_mut() {
+                *x = {
+                    let mut l = *x;
+                    while dy.dsu[l as usize] != l {
+                        let gp = dy.dsu[dy.dsu[l as usize] as usize];
+                        dy.dsu[l as usize] = gp;
+                        l = gp;
+                    }
+                    l
+                };
+            }
+            for l in 0..n {
+                if res.labels[l] != l as u32 {
+                    res.head[l] = NONE;
+                }
+            }
+            res.label_count.clear();
+            res.label_count.resize(n, 0);
+            for v in 0..n {
+                res.label_count[res.labels[v] as usize] += 1;
+            }
+            res.num_bcc = (0..n)
+                .filter(|&l| res.label_count[l] >= 2 || res.head[l] != NONE)
+                .count();
+            res.num_cc = (0..n).filter(|&v| res.tags.parent[v] == NONE).count();
+            for &t in &dy.touched {
+                dy.dsu[t as usize] = t;
+            }
+            dy.touched.clear();
+        }
+
+        self.dynamic.delta_scratch.recycle(old);
+        self.dynamic.graph = Some(new);
+        report.incremental = true;
+        self.dynamic.report = Some(report);
+        let heap_after = self.workspace().heap_bytes()
+            + result_heap_bytes(&self.result)
+            + self.dynamic.heap_bytes();
+        self.result.fresh_alloc_bytes = heap_after.saturating_sub(heap_before);
+        self.result.breakdown = Default::default();
+        &self.result
+    }
+
+    /// Full warm re-solve of the already-updated graph; the exit ramp for
+    /// every condition the incremental paths don't cover.
+    fn fallback(
+        &mut self,
+        old: Graph,
+        new: Graph,
+        mut report: ApplyReport,
+        reason: &'static str,
+        _heap_before: usize,
+    ) -> &BccResult {
+        {
+            let dy = &mut self.dynamic;
+            for i in 0..dy.touched.len() {
+                let t = dy.touched[i];
+                dy.dsu[t as usize] = t;
+            }
+            dy.touched.clear();
+            dy.delta_scratch.recycle(old);
+        }
+        self.solve(&new);
+        self.dynamic.graph = Some(new);
+        report.incremental = false;
+        report.fallback = Some(reason);
+        self.dynamic.report = Some(report);
+        &self.result
+    }
+
+    /// The root vertex of `x`'s tree, found by climbing the block head
+    /// chain (class → head vertex → its class → …; each step jumps a
+    /// whole block, so the walk length is the tree's *block* depth, not
+    /// its vertex depth). `None` when the walk exceeds
+    /// [`DynOpts::chain_cap`]. Relies on the rep-id invariant: the
+    /// terminal class (`head == NONE`) is a root's singleton class, whose
+    /// class id *is* the root vertex.
+    fn root_of(&mut self, x: V) -> Option<V> {
+        let cap = self.dynamic.opts.chain_cap;
+        let mut l = self.dynamic.find(self.result.labels[x as usize]);
+        for _ in 0..=cap {
+            let h = self.result.head[l as usize];
+            if h == NONE {
+                return Some(l);
+            }
+            l = self.dynamic.find(self.result.labels[h as usize]);
+        }
+        None
+    }
+
+    /// Absorb a confirmed cross-tree insertion `(u, v)` by re-rooting the
+    /// endpoint tree whose root path consists solely of bridge blocks,
+    /// then hanging that endpoint under the other. A flipped bridge keeps
+    /// its class id, member, and count — the child vertex of the reversed
+    /// edge already *is* its singleton class — so the whole re-root is
+    /// pure `parent`/`head` updates with zero label surgery. The two root
+    /// paths are climbed in lockstep and the shallower all-bridge side
+    /// wins, bounding the work by twice the smaller endpoint depth.
+    /// Returns false (caller falls back) when neither path qualifies.
+    ///
+    /// Callers must guarantee `labels`/`label_count` are exact (no merges
+    /// or region re-solves this batch, no re-hang pending) and that
+    /// `merge_path` has already proven the endpoints lie in different
+    /// trees.
+    fn try_reroot_link(&mut self, u: V, v: V) -> bool {
+        let mut cur = [u, v];
+        let mut alive = [true, true];
+        let dy = &mut self.dynamic;
+        dy.chain_a.clear();
+        dy.chain_b.clear();
+        let mut steps = 0usize;
+        let winner = 'climb: loop {
+            steps += 1;
+            if steps > dy.opts.chain_cap {
+                // Deep flips stay within the reserved chain buffers; the
+                // component-sized region rescue covers long paths.
+                return false;
+            }
+            let mut progressed = false;
+            for side in 0..2 {
+                if !alive[side] {
+                    continue;
+                }
+                let c = cur[side];
+                let p = self.result.tags.parent[c as usize];
+                if p == NONE {
+                    // Reached this side's root with every climbed edge a
+                    // bridge: re-root this tree.
+                    break 'climb side;
+                }
+                let l = dy.find(self.result.labels[c as usize]);
+                if l != c
+                    || self.result.head[c as usize] != p
+                    || self.result.label_count[c as usize] != 1
+                {
+                    // The parent edge sits inside a non-trivial block;
+                    // re-rooting through it would need label surgery.
+                    alive[side] = false;
+                    continue;
+                }
+                progressed = true;
+                if side == 0 {
+                    dy.chain_a.push((c, p));
+                } else {
+                    dy.chain_b.push((c, p));
+                }
+                cur[side] = p;
+            }
+            if !progressed {
+                return false;
+            }
+        };
+
+        let (root_end, anchor) = if winner == 0 { (u, v) } else { (v, u) };
+        let pairs = if winner == 0 {
+            &dy.chain_a
+        } else {
+            &dy.chain_b
+        };
+        let res = &mut self.result;
+        // Reverse each path edge: its former parent becomes the bridge
+        // child, which is its own (still-singleton) class.
+        for &(c, p) in pairs.iter() {
+            debug_assert_eq!(res.labels[p as usize], p, "flip target keeps its class");
+            res.tags.parent[p as usize] = c;
+            res.head[p as usize] = c;
+        }
+        res.tags.parent[root_end as usize] = anchor;
+        res.head[root_end as usize] = anchor;
+        true
+    }
+
+    /// Absorb a cross-tree insertion by re-solving `root_end`'s *entire*
+    /// component locally, rooted at `root_end`, then hanging it under
+    /// `anchor` as a fresh bridge — the general rescue for insertions that
+    /// [`Self::try_reroot_link`] cannot flip (root paths through
+    /// non-trivial blocks), bounded by the component size instead of any
+    /// label-exactness precondition.
+    ///
+    /// The component is collected by BFS over the *new* adjacency with the
+    /// `anchor` vertex held out, so the region is closed under every
+    /// remaining batch insertion except edges incident to `anchor` itself:
+    /// the local solve computes end-of-batch labels for the region and
+    /// later intra-region insertions degrade to no-ops. The rescue is
+    /// abandoned if the anchor has any new-graph edge into the region
+    /// other than `(root_end, anchor)` itself — a second tie means the
+    /// flood crossed into the anchor's own component (the new edge would
+    /// not even be a bridge), and splicing those vertices would corrupt
+    /// the tree. Splicing overwrites
+    /// `labels`/`parent`/`head` for every member and resets their DSU
+    /// entries (no live label outside the region can resolve to a class id
+    /// inside it — classes never span components), so the rescue composes
+    /// with earlier merges, region re-solves, and a pending re-hang.
+    /// Returns [`RegionReroot::TooBig`] (caller escalates the caps, tries
+    /// the other side, then falls back) when the component exceeds
+    /// `sub_cap`/`arc_cap`, and [`RegionReroot::Invalid`] — terminal for
+    /// this side — when the completed flood failed the single-tie check.
+    /// The caller passes the caps explicitly so it can probe both sides
+    /// cheaply first: the flood cost of the *large* side is bounded by the
+    /// current level, keeping the rescue's total cost proportional to the
+    /// small component rather than to the giant one.
+    fn try_region_reroot(
+        &mut self,
+        new: &Graph,
+        root_end: V,
+        anchor: V,
+        sub_cap: usize,
+        arc_cap: usize,
+    ) -> RegionReroot {
+        let dy = &mut self.dynamic;
+        let res = &mut self.result;
+        dy.era = dy.era.wrapping_add(1);
+        let era = dy.era;
+
+        dy.members.clear();
+        dy.members.push(root_end);
+        dy.mark[root_end as usize] = era;
+        dy.local_id[root_end as usize] = 0;
+        let mut qi = 0;
+        let mut arcs_scanned = 0usize;
+        while qi < dy.members.len() {
+            let x = dy.members[qi];
+            qi += 1;
+            arcs_scanned += new.degree(x);
+            if arcs_scanned > arc_cap {
+                // A failed flood still costs real work; charge it so a
+                // batch of hopeless probes cannot stall indefinitely.
+                dy.work_budget = dy
+                    .work_budget
+                    .saturating_sub(dy.members.len() + arcs_scanned);
+                return RegionReroot::TooBig;
+            }
+            for &w in new.neighbors(x) {
+                if w != anchor && dy.mark[w as usize] != era {
+                    if dy.members.len() >= sub_cap {
+                        dy.work_budget = dy
+                            .work_budget
+                            .saturating_sub(dy.members.len() + arcs_scanned);
+                        return RegionReroot::TooBig;
+                    }
+                    dy.mark[w as usize] = era;
+                    dy.local_id[w as usize] = dy.members.len() as u32;
+                    dy.members.push(w);
+                }
+            }
+        }
+
+        // The splice treats (root_end, anchor) as the region's only tie to
+        // the rest of the graph — that is what makes the new edge a true
+        // bridge and the anchor-excluded local solve exact. A second
+        // new-graph edge from `anchor` into the collected set (e.g. a
+        // later insertion of this same batch reaching around the anchor)
+        // falsifies both: the flood has swallowed vertices of the anchor's
+        // own component, and splicing them under the anchor would corrupt
+        // the tree (the anchor's parent chain runs inside the region).
+        arcs_scanned += new.degree(anchor);
+        if new
+            .neighbors(anchor)
+            .iter()
+            .any(|&w| w != root_end && dy.mark[w as usize] == era)
+        {
+            dy.work_budget = dy
+                .work_budget
+                .saturating_sub(dy.members.len() + arcs_scanned);
+            return RegionReroot::Invalid;
+        }
+
+        // Induced local CSR over the new graph; `anchor` is unmarked, so
+        // its arcs — including the one being absorbed — are filtered out.
+        let k = dy.members.len();
+        dy.work_budget = dy.work_budget.saturating_sub(k + arcs_scanned);
+        dy.sub_pairs.clear();
+        for (j, &gv) in dy.members.iter().enumerate() {
+            for &w in new.neighbors(gv) {
+                if dy.mark[w as usize] == era {
+                    dy.sub_pairs.push((j as u32, dy.local_id[w as usize]));
+                }
+            }
+        }
+        dy.sub_offsets.clear();
+        dy.sub_offsets.resize(k + 1, 0);
+        for &(s, _) in &dy.sub_pairs {
+            dy.sub_offsets[s as usize + 1] += 1;
+        }
+        for j in 0..k {
+            dy.sub_offsets[j + 1] += dy.sub_offsets[j];
+        }
+        let mut arcs = std::mem::take(&mut dy.sub_arcs);
+        arcs.clear();
+        arcs.resize(dy.sub_pairs.len(), 0);
+        dy.sub_cursor.clear();
+        dy.sub_cursor.extend_from_slice(&dy.sub_offsets[..k]);
+        for &(s, t) in &dy.sub_pairs {
+            arcs[dy.sub_cursor[s as usize]] = t;
+            dy.sub_cursor[s as usize] += 1;
+        }
+        let offsets = std::mem::take(&mut dy.sub_offsets);
+        for j in 0..k {
+            arcs[offsets[j]..offsets[j + 1]].sort_unstable();
+        }
+        let lg = Graph::from_raw_parts(offsets, arcs);
+
+        let mut sub = dy.sub.take().expect("sub engine sized at attach");
+        sub.solve_with_root(&lg, 0);
+
+        // Splice every member — unlike the block-anchored sub-solve there
+        // is no preserved boundary vertex; the whole component's state is
+        // replaced and its root re-pointed at the anchor.
+        let sr = &sub.result;
+        for j in 0..k {
+            let gj = dy.members[j] as usize;
+            res.labels[gj] = dy.members[sr.labels[j] as usize];
+            let lp = sr.tags.parent[j];
+            res.tags.parent[gj] = if lp == NONE {
+                NONE
+            } else {
+                dy.members[lp as usize]
+            };
+            dy.dsu[gj] = gj as u32;
+        }
+        for j in 0..k {
+            if sr.labels[j] == j as u32 {
+                let w = dy.members[j] as usize;
+                let lh = sr.head[j];
+                res.head[w] = if lh == NONE {
+                    NONE
+                } else {
+                    dy.members[lh as usize]
+                };
+                res.label_count[w] = sr.label_count[j];
+            }
+        }
+        // The local root's singleton class becomes the new bridge class.
+        res.tags.parent[root_end as usize] = anchor;
+        res.head[root_end as usize] = anchor;
+
+        let (o, a) = lg.into_raw_parts();
+        dy.sub_offsets = o;
+        dy.sub_arcs = a;
+        dy.sub = Some(sub);
+        RegionReroot::Done
+    }
+
+    /// Merge every block strictly between `lu` and `lv`'s first common
+    /// ancestor block on the block-cut path (plus the ancestor itself when
+    /// the two chains enter it through different vertices), driven by the
+    /// insertion `(u, v)`.
+    fn merge_path(&mut self, u: V, lu: u32, v: V, lv: u32) -> Result<(), &'static str> {
+        let dy = &mut self.dynamic;
+        let res = &self.result;
+        dy.chain_era = dy.chain_era.wrapping_add(1);
+        let era = dy.chain_era;
+        dy.chain_a.clear();
+        dy.chain_b.clear();
+
+        // Walk state per side: (current label, entry vertex, done).
+        let mut cur = [(lu, u, false), (lv, v, false)];
+        let mut side = 0usize;
+        let mut steps = 0usize;
+        let collision: (u32, V, usize, usize); // (D, entry_this, pos_other, this_side)
+        loop {
+            if cur[0].2 && cur[1].2 {
+                return Err(FB_CROSS);
+            }
+            if cur[side].2 {
+                side ^= 1;
+            }
+            steps += 1;
+            if steps > dy.opts.chain_cap {
+                return Err(FB_CHAIN);
+            }
+            let (l, entry, _) = cur[side];
+            if dy.seen_era[l as usize] == era && dy.seen_side[l as usize] as usize != side {
+                collision = (l, entry, dy.seen_pos[l as usize] as usize, side);
+                break;
+            }
+            let pos = if side == 0 {
+                dy.chain_a.len()
+            } else {
+                dy.chain_b.len()
+            };
+            dy.seen_era[l as usize] = era;
+            dy.seen_side[l as usize] = side as u8;
+            dy.seen_pos[l as usize] = pos as u32;
+            dy.seen_entry[l as usize] = entry;
+            if side == 0 {
+                dy.chain_a.push((l, entry));
+            } else {
+                dy.chain_b.push((l, entry));
+            }
+            let h = res.head[l as usize];
+            if h == NONE {
+                cur[side].2 = true;
+            } else {
+                // The DSU indirection: head chains follow merged reps.
+                let mut nl = res.labels[h as usize];
+                while dy.dsu[nl as usize] != nl {
+                    nl = dy.dsu[nl as usize];
+                }
+                cur[side] = (nl, h, false);
+            }
+            side ^= 1;
+        }
+
+        let (d, entry_this, pos_other, this_side) = collision;
+        let entry_other = dy.seen_entry[d as usize];
+        let include_d = entry_this != entry_other;
+        let (chain_this, chain_other) = if this_side == 0 {
+            (&dy.chain_a, &dy.chain_b)
+        } else {
+            (&dy.chain_b, &dy.chain_a)
+        };
+        let rep = if include_d {
+            d
+        } else if let Some(&(l, _)) = chain_this.last() {
+            l
+        } else {
+            chain_other[pos_other - 1].0
+        };
+        let new_head = if include_d {
+            res.head[d as usize]
+        } else {
+            entry_this // == entry_other: the shared cut vertex
+        };
+        debug_assert_ne!(new_head, NONE, "merged block must keep a head");
+
+        let res = &mut self.result;
+        for &(l, _) in chain_this.iter() {
+            if l != rep {
+                dy.dsu[l as usize] = rep;
+                dy.touched.push(l);
+            }
+        }
+        for &(l, _) in chain_other[..pos_other].iter() {
+            if l != rep {
+                dy.dsu[l as usize] = rep;
+                dy.touched.push(l);
+            }
+        }
+        if include_d && d != rep {
+            dy.dsu[d as usize] = rep;
+            dy.touched.push(d);
+        }
+        dy.touched.push(rep);
+        res.head[rep as usize] = new_head;
+        Ok(())
+    }
+
+    /// Re-solve the block labelled `region` on the new graph, anchored at
+    /// its head, and splice the local result into the global arrays.
+    /// Returns false when a budget is exceeded (caller falls back).
+    fn sub_solve(&mut self, old: &Graph, new: &Graph, region: u32) -> bool {
+        let anchor = self.result.head[region as usize];
+        if anchor == NONE {
+            return false;
+        }
+        let dy = &mut self.dynamic;
+        let res = &mut self.result;
+        let (sub_cap, arc_cap) = (dy.opts.sub_cap, dy.opts.sub_arc_cap);
+        dy.era = dy.era.wrapping_add(1);
+        let era = dy.era;
+
+        // Collect the block: label-filtered BFS from the anchor over the
+        // union of old and new adjacency (deleted-but-unprocessed edges
+        // are still structural mid-batch, so the old lists are required
+        // for reachability; the new lists cover batch insertions).
+        dy.members.clear();
+        dy.members.push(anchor);
+        dy.mark[anchor as usize] = era;
+        dy.local_id[anchor as usize] = 0;
+        let mut qi = 0;
+        let mut arcs_scanned = 0usize;
+        while qi < dy.members.len() {
+            let x = dy.members[qi];
+            qi += 1;
+            arcs_scanned += old.degree(x) + new.degree(x);
+            if arcs_scanned > arc_cap {
+                return false;
+            }
+            for list in [old.neighbors(x), new.neighbors(x)] {
+                for &w in list {
+                    if dy.mark[w as usize] != era && res.labels[w as usize] == region {
+                        if dy.members.len() >= sub_cap {
+                            return false;
+                        }
+                        dy.mark[w as usize] = era;
+                        dy.local_id[w as usize] = dy.members.len() as u32;
+                        dy.members.push(w);
+                    }
+                }
+            }
+        }
+
+        // Induced local CSR over the *new* graph (two blocks share at most
+        // one vertex, so every new-graph edge between members is a block
+        // edge). Built by counting sort into pooled buffers.
+        let k = dy.members.len();
+        dy.work_budget = dy.work_budget.saturating_sub(k + arcs_scanned);
+        dy.sub_pairs.clear();
+        for (j, &gv) in dy.members.iter().enumerate() {
+            for &w in new.neighbors(gv) {
+                if dy.mark[w as usize] == era {
+                    dy.sub_pairs.push((j as u32, dy.local_id[w as usize]));
+                }
+            }
+        }
+        dy.sub_offsets.clear();
+        dy.sub_offsets.resize(k + 1, 0);
+        for &(s, _) in &dy.sub_pairs {
+            dy.sub_offsets[s as usize + 1] += 1;
+        }
+        for j in 0..k {
+            dy.sub_offsets[j + 1] += dy.sub_offsets[j];
+        }
+        let mut arcs = std::mem::take(&mut dy.sub_arcs);
+        arcs.clear();
+        arcs.resize(dy.sub_pairs.len(), 0);
+        dy.sub_cursor.clear();
+        dy.sub_cursor.extend_from_slice(&dy.sub_offsets[..k]);
+        for &(s, t) in &dy.sub_pairs {
+            arcs[dy.sub_cursor[s as usize]] = t;
+            dy.sub_cursor[s as usize] += 1;
+        }
+        let offsets = std::mem::take(&mut dy.sub_offsets);
+        for j in 0..k {
+            arcs[offsets[j]..offsets[j + 1]].sort_unstable();
+        }
+        let lg = Graph::from_raw_parts(offsets, arcs);
+
+        let mut sub = dy.sub.take().expect("sub engine sized at attach");
+        sub.solve_with_root(&lg, 0);
+
+        // Splice: the old class dies, local classes map through `members`.
+        // The anchor (local root, local id 0) keeps its global label,
+        // parent, and class — exactly why the sub-solve is anchored there.
+        res.label_count[region as usize] = 0;
+        res.head[region as usize] = NONE;
+        let sr = &sub.result;
+        for j in 1..k {
+            let gj = dy.members[j] as usize;
+            res.labels[gj] = dy.members[sr.labels[j] as usize];
+            let lp = sr.tags.parent[j];
+            res.tags.parent[gj] = if lp == NONE {
+                NONE
+            } else {
+                dy.members[lp as usize]
+            };
+        }
+        for j in 1..k {
+            if sr.labels[j] == j as u32 {
+                let w = dy.members[j] as usize;
+                let lh = sr.head[j];
+                res.head[w] = if lh == NONE {
+                    NONE
+                } else {
+                    dy.members[lh as usize]
+                };
+                res.label_count[w] = sr.label_count[j];
+            }
+        }
+
+        let (o, a) = lg.into_raw_parts();
+        dy.sub_offsets = o;
+        dy.sub_arcs = a;
+        dy.sub = Some(sub);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{fast_bcc, BccOpts};
+    use crate::postprocess::{articulation_points, bridges, canonical_bccs};
+    use fastbcc_graph::generators::classic::*;
+    use fastbcc_graph::generators::{grid2d, rmat};
+
+    /// The incremental result must be indistinguishable from a fresh solve
+    /// of the same (evolved) graph across every label-based consumer.
+    fn assert_matches_fresh(engine: &BccEngine, ctx: &str) {
+        let g = engine.graph().expect("attached");
+        let fresh = fast_bcc(g, engine.opts());
+        let r = &engine.result;
+        assert_eq!(r.num_cc, fresh.num_cc, "num_cc {ctx}");
+        assert_eq!(r.num_bcc, fresh.num_bcc, "num_bcc {ctx}");
+        assert_eq!(canonical_bccs(r), canonical_bccs(&fresh), "bccs {ctx}");
+        assert_eq!(
+            articulation_points(r),
+            articulation_points(&fresh),
+            "cuts {ctx}"
+        );
+        // Bridges are reported as (parent, child); the incremental tree
+        // can be oriented differently from a fresh solve's, so compare the
+        // underlying undirected edges.
+        let norm = |mut v: Vec<(V, V)>| {
+            for e in v.iter_mut() {
+                *e = (e.0.min(e.1), e.0.max(e.1));
+            }
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(norm(bridges(r)), norm(bridges(&fresh)), "bridges {ctx}");
+    }
+
+    #[test]
+    fn cycle_delete_and_readd() {
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&cycle(10));
+        let r = e.apply_batch(&[], &[(0, 1)]);
+        assert_eq!(r.num_bcc, 9);
+        assert!(e.last_apply_report().unwrap().incremental);
+        assert_matches_fresh(&e, "after del");
+        let r = e.apply_batch(&[(0, 1)], &[]);
+        assert_eq!(r.num_bcc, 1);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "re-add fell back: {:?}", rep.fallback);
+        assert_eq!(rep.adds_merged, 1);
+        assert_matches_fresh(&e, "after re-add");
+    }
+
+    #[test]
+    fn bridge_cut_disconnects_in_o1() {
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&barbell(5, 1)); // two K5s joined by a path of length 1
+        let before_cc = e.result.num_cc;
+        // Find the bridge and cut it.
+        let b = bridges(&e.result);
+        let (u, v) = b[0];
+        e.apply_batch(&[], &[(u, v)]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental);
+        assert_eq!(rep.dels_bridge, 1);
+        assert_eq!(e.result.num_cc, before_cc + 1);
+        assert_matches_fresh(&e, "after bridge cut");
+    }
+
+    #[test]
+    fn bridge_readd_links_trees_in_o1() {
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&barbell(4, 1));
+        let (u, v) = bridges(&e.result)[0];
+        e.apply_batch(&[], &[(u, v)]);
+        assert_matches_fresh(&e, "split");
+        // The cut made the child a tree root, so the re-add is the O(1)
+        // forest-link case: hang the root back under its old parent.
+        e.apply_batch(&[(u, v)], &[]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        assert_eq!(rep.adds_linked, 1);
+        assert_matches_fresh(&e, "rejoined");
+    }
+
+    #[test]
+    fn isolated_vertices_link_incrementally() {
+        // path(100) plus two isolated vertices 100 and 101 (the path is
+        // long so a 2-edge batch stays under `max_churn_frac`).
+        let edges: Vec<(V, V)> = (0..99).map(|i| (i as V, i as V + 1)).collect();
+        let g = fastbcc_graph::builder::from_edges(102, &edges);
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&g);
+        assert_eq!(e.result.num_cc, 3);
+        // Chain the isolated vertices onto the path in one batch.
+        let r = e.apply_batch(&[(50, 100), (100, 101)], &[]);
+        assert_eq!(r.num_cc, 1);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        assert_eq!(rep.adds_linked, 2);
+        assert_matches_fresh(&e, "linked");
+        // Closing a cycle over the freshly linked bridges merges them.
+        e.apply_batch(&[(60, 101)], &[]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        assert_matches_fresh(&e, "cycled");
+    }
+
+    #[test]
+    fn cross_tree_add_at_path_interiors_reroots() {
+        // Two disjoint 30-vertex paths; join them through interior
+        // vertices. Neither endpoint is a root, but both root paths are
+        // all bridges, so the shallower tree re-roots onto the new edge.
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&disjoint_union(&[&path(30), &path(30)]));
+        assert_eq!(e.result.num_cc, 2);
+        let parent = &e.result.tags.parent;
+        let a = (0..30).find(|&x| parent[x as usize] != NONE).unwrap();
+        let b = (30..60)
+            .rev()
+            .find(|&x| parent[x as usize] != NONE)
+            .unwrap();
+        let r = e.apply_batch(&[(a, b)], &[]);
+        assert_eq!(r.num_cc, 1);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        assert_eq!(rep.adds_rerooted, 1);
+        assert_matches_fresh(&e, "rerooted");
+        // A second chord now lands inside one component and merges blocks
+        // across the re-rooted seam.
+        e.apply_batch(&[(a.saturating_sub(3), b - 3)], &[]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        assert_matches_fresh(&e, "chord over seam");
+    }
+
+    #[test]
+    fn cross_component_add_at_non_roots_region_reroots() {
+        // Two disjoint 5-cycles; join them through non-root vertices. The
+        // root paths run through cycle blocks, so the bridge-flip re-root
+        // cannot apply — the component-sized region re-root absorbs it.
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&disjoint_union(&[&cycle(5), &cycle(5)]));
+        assert_eq!(e.result.num_cc, 2);
+        // Find a non-root vertex in each component (a root has no parent).
+        let parent = &e.result.tags.parent;
+        let a = (0..5).find(|&x| parent[x as usize] != NONE).unwrap();
+        let b = (5..10).find(|&x| parent[x as usize] != NONE).unwrap();
+        e.apply_batch(&[(a, b)], &[]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        assert_eq!(rep.adds_rerooted, 1);
+        assert_eq!(e.result.num_cc, 1);
+        assert_matches_fresh(&e, "joined");
+        // A follow-up chord across the new bridge merges through it.
+        e.apply_batch(&[(a, (b + 1).min(9))], &[]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        assert_matches_fresh(&e, "chord over region seam");
+    }
+
+    #[test]
+    fn cross_component_add_beyond_caps_falls_back() {
+        // Both components exceed `sub_cap`, so neither side's region fits
+        // and the cross-tree insertion has to take the full re-solve.
+        let mut e = BccEngine::new(BccOpts::default());
+        let k = e.dyn_opts_mut().sub_cap + 8;
+        e.attach(&disjoint_union(&[&cycle(k), &cycle(k)]));
+        let parent = &e.result.tags.parent;
+        let a = (0..k as V).find(|&x| parent[x as usize] != NONE).unwrap();
+        let b = (k as V..2 * k as V)
+            .find(|&x| parent[x as usize] != NONE)
+            .unwrap();
+        e.apply_batch(&[(a, b)], &[]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(!rep.incremental);
+        assert_eq!(rep.fallback, Some(super::FB_CROSS));
+        assert_matches_fresh(&e, "joined beyond caps");
+    }
+
+    #[test]
+    fn cert_pass_keeps_labels_without_resolve() {
+        // A 4-clique stays 2-connected after losing one edge.
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&complete(4));
+        e.apply_batch(&[], &[(1, 2)]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental);
+        assert_eq!(rep.dels_cert_pass, 1);
+        assert_eq!(rep.dels_sub_solve, 0);
+        assert_matches_fresh(&e, "clique minus edge");
+    }
+
+    #[test]
+    fn windmill_add_merges_blades() {
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&windmill(4)); // center 0, blades (1,2), (3,4), ...
+        e.apply_batch(&[(1, 3)], &[]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental, "fallback: {:?}", rep.fallback);
+        assert_eq!(rep.adds_merged, 1);
+        assert_eq!(e.result.num_bcc, 3); // two blades fused through the hub
+        assert_matches_fresh(&e, "windmill merge");
+    }
+
+    #[test]
+    fn churn_threshold_falls_back() {
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&cycle(40));
+        let dels: Vec<(V, V)> = (0..10).map(|i| (i as V, (i + 1) as V)).collect();
+        e.apply_batch(&[], &dels);
+        let rep = e.last_apply_report().unwrap();
+        assert!(!rep.incremental);
+        assert_eq!(rep.fallback, Some(super::FB_CHURN));
+        assert_matches_fresh(&e, "after churn fallback");
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut e = BccEngine::new(BccOpts::default());
+        e.attach(&petersen());
+        let before = canonical_bccs(&e.result);
+        e.apply_batch(&[(0, 0)], &[(9, 9)]);
+        let rep = e.last_apply_report().unwrap();
+        assert!(rep.incremental);
+        assert_eq!((rep.adds, rep.dels), (0, 0));
+        assert_eq!(canonical_bccs(&e.result), before);
+    }
+
+    #[test]
+    fn random_batches_match_fresh_solves() {
+        for (gi, g0) in [
+            rmat(8, 700, 3),
+            grid2d(14, 11, false),
+            clique_chain(6, 5),
+            disjoint_union(&[&cycle(12), &barbell(4, 2), &path(6)]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut e = BccEngine::new(BccOpts::default());
+            e.attach(&g0);
+            let mut seed = 0xC0FFEE ^ (gi as u64) << 7;
+            let mut rng = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            for round in 0..12 {
+                let g = e.graph().unwrap();
+                let n = g.n() as u64;
+                let live: Vec<(V, V)> = g.iter_edges().collect();
+                let mut dels = Vec::new();
+                for _ in 0..3 {
+                    dels.push(live[(rng() % live.len() as u64) as usize]);
+                }
+                let mut adds = Vec::new();
+                for _ in 0..3 {
+                    adds.push(((rng() % n) as V, (rng() % n) as V));
+                }
+                e.apply_batch(&adds, &dels);
+                assert_matches_fresh(&e, &format!("graph {gi} round {round}"));
+            }
+        }
+    }
+
+    #[test]
+    fn warm_incremental_batches_allocate_nothing() {
+        fastbcc_primitives::with_threads(1, || {
+            let g = grid2d(40, 25, false);
+            let mut e = BccEngine::new(BccOpts::default());
+            e.attach(&g);
+            let mut seed = 0x5EEDu64;
+            let mut rng = move || {
+                seed ^= seed << 13;
+                seed ^= seed >> 7;
+                seed ^= seed << 17;
+                seed
+            };
+            let mut warm_rounds = 0;
+            for round in 0..14 {
+                let g = e.graph().unwrap();
+                let n = g.n() as u64;
+                let live: Vec<(V, V)> = g.iter_edges().collect();
+                let dels = vec![live[(rng() % live.len() as u64) as usize]];
+                let adds = vec![((rng() % n) as V, (rng() % n) as V)];
+                let fresh = e.apply_batch(&adds, &dels).fresh_alloc_bytes;
+                let rep = e.last_apply_report().unwrap();
+                if rep.incremental && round >= 6 {
+                    assert_eq!(fresh, 0, "warm incremental batch allocated (round {round})");
+                    warm_rounds += 1;
+                }
+            }
+            assert!(warm_rounds > 0, "no warm incremental rounds measured");
+        });
+    }
+}

@@ -127,7 +127,7 @@ impl Workspace {
 }
 
 /// Heap bytes reserved by the recycled result arrays.
-fn result_heap_bytes(r: &BccResult) -> usize {
+pub(crate) fn result_heap_bytes(r: &BccResult) -> usize {
     4 * (r.labels.capacity() + r.head.capacity() + r.label_count.capacity()) + r.tags.heap_bytes()
 }
 
@@ -147,7 +147,11 @@ fn result_heap_bytes(r: &BccResult) -> usize {
 pub struct BccEngine {
     opts: BccOpts,
     ws: Workspace,
-    result: BccResult,
+    pub(crate) result: BccResult,
+    /// Batch-dynamic state (attached graph, DSU, event scratch); empty
+    /// until [`BccEngine::attach`] is called. Boxed so the static solve
+    /// path doesn't pay for its footprint.
+    pub(crate) dynamic: Box<crate::dynamic::DynState>,
 }
 
 fn empty_result() -> BccResult {
@@ -172,6 +176,7 @@ impl BccEngine {
             opts,
             ws: Workspace::new(),
             result: empty_result(),
+            dynamic: Box::default(),
         }
     }
 
@@ -191,6 +196,7 @@ impl BccEngine {
             opts,
             ws: Workspace::with_capacity(n, m),
             result,
+            dynamic: Box::default(),
         }
     }
 
@@ -234,6 +240,29 @@ impl BccEngine {
     /// reference is valid until the next `solve`; clone fields out if you
     /// need them to outlive it.
     pub fn solve(&mut self, g: &Graph) -> &BccResult {
+        self.solve_impl(g, None)
+    }
+
+    /// The engine's current result — whatever the most recent
+    /// [`solve`](Self::solve), [`attach`](Self::attach), or
+    /// [`apply_batch`](Self::apply_batch) produced (empty before the
+    /// first solve). Lets dynamic callers re-read the maintained result
+    /// without holding the mutable borrow those calls take.
+    pub fn result(&self) -> &BccResult {
+        &self.result
+    }
+
+    /// [`solve`](Self::solve) with a forced spanning-tree root: after
+    /// First-CC, `root`'s component labels are remapped so `root` becomes
+    /// its own representative, which [`root_forest_in`] then picks as the
+    /// tree root. Used by the batch-dynamic region re-solver
+    /// ([`Self::apply_batch`]), which must anchor a sub-solve at a block's
+    /// head so the splice keeps the global orientation.
+    pub(crate) fn solve_with_root(&mut self, g: &Graph, root: V) -> &BccResult {
+        self.solve_impl(g, Some(root))
+    }
+
+    fn solve_impl(&mut self, g: &Graph, force_root: Option<V>) -> &BccResult {
         let n = g.n();
         let opts = self.opts;
         let ws = &mut self.ws;
@@ -291,6 +320,19 @@ impl BccEngine {
         };
         let first_cc = t0.elapsed();
         debug_assert_eq!(ws.forest.len(), n - num_cc);
+        if let Some(r) = force_root {
+            // Remap `r`'s component label to `r` itself. No other vertex
+            // can already carry label `r` (labels are component reps), so
+            // this only moves the root choice, never merges components.
+            let rep = ws.first_labels[r as usize];
+            if rep != r {
+                for v in 0..n {
+                    if ws.first_labels[v] == rep {
+                        ws.first_labels[v] = r;
+                    }
+                }
+            }
+        }
         // LDD cluster/parent arrays + UF + labels + forest edges, plus the
         // shared frontier-staging buffers the connectivity phases claim
         // through (edgeMap slots, dense bitmaps, local-search stacks).

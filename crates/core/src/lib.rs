@@ -27,6 +27,7 @@
 
 pub mod algo;
 pub mod block_cut_tree;
+pub mod dynamic;
 pub mod engine;
 pub mod postprocess;
 pub mod query;
@@ -36,6 +37,7 @@ pub mod tags;
 
 pub use algo::{fast_bcc, BccOpts, BccResult, Breakdown, CcScheme};
 pub use block_cut_tree::{block_cut_tree, BcNode, BlockCutTree};
+pub use dynamic::{ApplyReport, DynOpts, FALLBACK_REASONS};
 pub use engine::{BccEngine, Workspace};
 pub use postprocess::{articulation_points, bridges, canonical_bccs, largest_bcc_size};
 pub use query::{random_mixed_batch, BccIndex, Query, QueryAnswer, QueryScratch};

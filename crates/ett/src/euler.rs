@@ -92,7 +92,8 @@ impl EttScratch {
     }
 
     /// Pre-reserve for an `n`-vertex forest (arc arrays hold up to
-    /// `2(n-1)` entries; the sample tables size themselves on first use).
+    /// `2(n-1)` entries; the list-ranking sample tables are pinned to
+    /// their high-probability bound so warm solves never grow them).
     pub fn reserve(&mut self, n: usize) {
         self.pos_of_root.reserve(n);
         self.sizes.reserve(n);
@@ -101,6 +102,7 @@ impl EttScratch {
         self.succ.reserve(2 * n);
         self.start_arcs.reserve(n);
         self.rank.reserve(2 * n);
+        self.listrank.reserve(2 * n, 64);
     }
 
     /// Heap bytes currently reserved (capacity, not length).

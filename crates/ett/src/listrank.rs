@@ -38,6 +38,23 @@ impl ListRankScratch {
         Self::default()
     }
 
+    /// Pre-reserve for lists totalling up to `n` nodes with up to `starts`
+    /// designated start nodes. The random half of the sample set is
+    /// binomial with mean `√n`, so its realized size varies run to run;
+    /// reserving four times the mean (plus slack) pins the per-sample
+    /// tables' capacity, keeping warm repeated solves allocation-free
+    /// rather than growing on an unlucky draw.
+    pub fn reserve(&mut self, n: usize, starts: usize) {
+        let k = (starts + 4 * (n as f64).sqrt().ceil() as usize + 64).min(n + starts);
+        self.sample_of.reserve(n);
+        self.is_start.reserve(n);
+        self.samples.reserve(k);
+        self.randoms.reserve(k);
+        self.seg_len.reserve(k);
+        self.next_sample.reserve(k);
+        self.offset.reserve(k);
+    }
+
     /// Heap bytes currently reserved (capacity, not length).
     pub fn heap_bytes(&self) -> usize {
         4 * (self.sample_of.capacity()

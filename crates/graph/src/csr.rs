@@ -146,6 +146,17 @@ impl Graph {
             + self.edges.len() * std::mem::size_of::<V>()
     }
 
+    /// Heap bytes *reserved* by the CSR arrays (capacity, not length).
+    ///
+    /// Pooled callers ([`crate::delta::DeltaScratch`]) track this instead
+    /// of [`bytes`](Self::bytes): recycled buffers keep slack capacity, and
+    /// accounting by length would make allocation totals oscillate as the
+    /// larger ping-pong buffer moves between the pool and the live graph.
+    pub fn capacity_bytes(&self) -> usize {
+        self.offsets.capacity() * std::mem::size_of::<usize>()
+            + self.edges.capacity() * std::mem::size_of::<V>()
+    }
+
     /// The vertex with maximum degree, or [`NONE`] for an empty graph.
     pub fn max_degree_vertex(&self) -> V {
         if self.n() == 0 {

@@ -17,6 +17,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod generators;
 pub mod io;
 pub mod permute;
@@ -24,4 +25,5 @@ pub mod stats;
 pub mod types;
 
 pub use csr::Graph;
+pub use delta::{apply_delta, DeltaScratch, GraphDelta};
 pub use types::{EdgeList, NONE, V};

@@ -23,11 +23,19 @@
 //!   through the hazard roster and freed when their last reader drops
 //!   them; [`ServeStats`] counts published / retired / dropped snapshots,
 //!   rebuild durations, and per-batch serving totals as one JSON record.
+//! * **Small graph changes rebuild incrementally.** Edge batches queued
+//!   via [`ServiceHandle::submit_delta`] are drained by
+//!   [`Rebuilder::rebuild_pending`], which evolves the attached graph with
+//!   the batch-dynamic solver (`BccEngine::apply_batch`) instead of
+//!   re-solving from scratch; untractable batches fall back to a warm full
+//!   solve, and [`ServeStats`] counts both paths and every fallback
+//!   reason.
 //!
 //! ```
 //! use fastbcc_serve::{start, ServeOpts};
 //! use fastbcc_core::query::Query;
 //! use fastbcc_graph::generators::classic::{cycle, path};
+//! use fastbcc_graph::GraphDelta;
 //!
 //! // Start serving version 1 (a path: interior vertices are cuts).
 //! let (handle, mut rebuilder) = start(&path(8), ServeOpts::default());
@@ -40,6 +48,16 @@
 //! rebuilder.rebuild(&cycle(8));
 //! let batch = reader.answer_batch(&[Query::IsArticulation(3)]);
 //! assert_eq!(batch.version, 2);
+//!
+//! // Version 3 via an incremental delta: cut one cycle edge, making the
+//! // remaining path's interior vertices articulation points again.
+//! handle
+//!     .submit_delta(GraphDelta::from_slices(&[], &[(0, 7)]))
+//!     .unwrap();
+//! let report = rebuilder.rebuild_pending().expect("one queued delta");
+//! assert!(report.incremental);
+//! let batch = reader.answer_batch(&[Query::IsArticulation(3)]);
+//! assert_eq!(batch.version, 3);
 //! ```
 //!
 //! The operator's guide — lifecycle diagrams, guarantees, tuning knobs,

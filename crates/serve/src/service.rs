@@ -33,9 +33,9 @@ use crate::epoch;
 use crate::stats::ServeStats;
 use fastbcc_core::query::{Query, QueryAnswer, QueryScratch};
 use fastbcc_core::{BccEngine, BccIndex, BccOpts};
-use fastbcc_graph::Graph;
+use fastbcc_graph::{Graph, GraphDelta, V};
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Service configuration.
@@ -93,6 +93,7 @@ pub struct ServiceHandle {
     cell: epoch::Handle<Snapshot>,
     stats: Arc<ServeStats>,
     batch_capacity: usize,
+    deltas: mpsc::Sender<GraphDelta>,
 }
 
 impl ServiceHandle {
@@ -136,6 +137,22 @@ impl ServiceHandle {
     /// Readers currently registered / the roster capacity.
     pub fn reader_occupancy(&self) -> (usize, usize) {
         (self.cell.registered_readers(), self.cell.max_readers())
+    }
+
+    /// Queue an edge batch for the rebuilder. The delta is applied (and a
+    /// new snapshot version published) at the rebuilder's next
+    /// [`Rebuilder::rebuild_pending`] call; readers keep answering against
+    /// the current snapshot until then. Returns the delta back if the
+    /// rebuilder has been dropped.
+    pub fn submit_delta(&self, delta: GraphDelta) -> Result<(), GraphDelta> {
+        match self.deltas.send(delta) {
+            Ok(()) => {
+                // Relaxed counter: observability only.
+                self.stats.deltas_submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(mpsc::SendError(delta)) => Err(delta),
+        }
     }
 }
 
@@ -272,6 +289,13 @@ pub struct RebuildReport {
     pub index_bytes: usize,
     /// Retired snapshots whose publisher reference this publish released.
     pub retired_now: usize,
+    /// Did this rebuild take the incremental `apply_batch` path end to
+    /// end? Always `false` for [`Rebuilder::rebuild`]; for delta rebuilds,
+    /// `false` means at least one batch fell back to a full solve.
+    pub incremental: bool,
+    /// Why the incremental path was abandoned (the last
+    /// [`fastbcc_core::ApplyReport::fallback`] reason observed), if it was.
+    pub fallback: Option<&'static str>,
 }
 
 /// The service's single background solver: owns the pooled [`BccEngine`]
@@ -282,26 +306,107 @@ pub struct Rebuilder {
     engine: BccEngine,
     stats: Arc<ServeStats>,
     next_version: u64,
+    delta_rx: mpsc::Receiver<GraphDelta>,
 }
 
 impl Rebuilder {
-    /// Solve `g`, build its index, and atomically publish it as the next
-    /// snapshot version. Warm rebuilds reuse every pooled engine buffer
-    /// (same zero-fresh-allocation discipline as `BccEngine` itself).
+    /// Solve `g` from scratch, build its index, and atomically publish it
+    /// as the next snapshot version. Warm rebuilds reuse every pooled
+    /// engine buffer (same zero-fresh-allocation discipline as `BccEngine`
+    /// itself), and the engine stays attached to `g` so subsequent
+    /// [`rebuild_delta`](Self::rebuild_delta) calls evolve it in place.
     pub fn rebuild(&mut self, g: &Graph) -> RebuildReport {
         // Relaxed flag: advisory "rebuild window" marker for latency
         // classification, not synchronization.
         self.stats.rebuild_in_flight.store(true, Ordering::Relaxed);
         let t0 = Instant::now();
-        let version = self.next_version;
-        self.engine.solve(g);
+        self.engine.attach(g);
         let solve = t0.elapsed();
+        self.finish_rebuild(t0, solve, false, None)
+    }
+
+    /// Apply an edge batch to the attached graph with the incremental
+    /// solver and publish the updated result as the next snapshot version.
+    /// Falls back to a warm full solve inside `apply_batch` when the batch
+    /// is not incrementally tractable (see the returned report's
+    /// [`fallback`](RebuildReport::fallback) and the service's
+    /// `fallback_*` counters); either way the published snapshot is exact.
+    pub fn rebuild_delta(&mut self, adds: &[(V, V)], dels: &[(V, V)]) -> RebuildReport {
+        // Relaxed flag: advisory marker, as in `rebuild`.
+        self.stats.rebuild_in_flight.store(true, Ordering::Relaxed);
+        let t0 = Instant::now();
+        self.engine.apply_batch(adds, dels);
+        let solve = t0.elapsed();
+        let rep = self
+            .engine
+            .last_apply_report()
+            .expect("apply_batch sets a report");
+        if let Some(reason) = rep.fallback {
+            self.stats.note_fallback(reason);
+        }
+        self.finish_rebuild(t0, solve, rep.incremental, rep.fallback)
+    }
+
+    /// Drain every delta queued via [`ServiceHandle::submit_delta`], apply
+    /// them in submission order, and publish one snapshot covering them
+    /// all. Returns `None` (and publishes nothing) when the queue is
+    /// empty — the idle branch of a rebuilder loop.
+    pub fn rebuild_pending(&mut self) -> Option<RebuildReport> {
+        let mut applied = 0u64;
+        let mut incremental = true;
+        let mut fallback = None;
+        let mut t0 = Instant::now();
+        let mut solve = Duration::ZERO;
+        while let Ok(d) = self.delta_rx.try_recv() {
+            if applied == 0 {
+                // Relaxed flag: advisory marker, as in `rebuild`.
+                self.stats.rebuild_in_flight.store(true, Ordering::Relaxed);
+                t0 = Instant::now();
+            }
+            self.engine.apply_batch(&d.adds, &d.dels);
+            solve = t0.elapsed();
+            let rep = self
+                .engine
+                .last_apply_report()
+                .expect("apply_batch sets a report");
+            incremental &= rep.incremental;
+            if let Some(reason) = rep.fallback {
+                fallback = Some(reason);
+                self.stats.note_fallback(reason);
+            }
+            applied += 1;
+        }
+        if applied == 0 {
+            return None;
+        }
+        // Relaxed counter: observability only.
+        self.stats
+            .deltas_applied
+            .fetch_add(applied, Ordering::Relaxed);
+        Some(self.finish_rebuild(t0, solve, incremental, fallback))
+    }
+
+    /// Shared publish tail: index the engine's current result, publish it
+    /// as the next version, and update every counter.
+    fn finish_rebuild(
+        &mut self,
+        t0: Instant,
+        solve: Duration,
+        incremental: bool,
+        fallback: Option<&'static str>,
+    ) -> RebuildReport {
+        let version = self.next_version;
+        let g = self
+            .engine
+            .graph()
+            .expect("rebuild paths leave a graph attached");
+        let (n, m) = (g.n(), g.m_undirected());
         let index = self.engine.build_index_versioned(version);
         let index_bytes = index.bytes();
         let snapshot = Snapshot {
             version,
-            n: g.n(),
-            m: g.m_undirected(),
+            n,
+            m,
             index,
             stats: self.stats.clone(),
         };
@@ -318,6 +423,11 @@ impl Rebuilder {
             .retire_backlog
             .store(self.publisher.retire_backlog() as u64, Ordering::Relaxed);
         stats.rebuilds.fetch_add(1, Ordering::Relaxed);
+        if incremental {
+            stats.rebuilds_incremental.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.rebuilds_full.fetch_add(1, Ordering::Relaxed);
+        }
         stats
             .rebuild_ns_last
             .store(total.as_nanos() as u64, Ordering::Relaxed);
@@ -337,6 +447,8 @@ impl Rebuilder {
             solve,
             index_bytes,
             retired_now,
+            incremental,
+            fallback,
         }
     }
 
@@ -367,7 +479,9 @@ impl Rebuilder {
 pub fn start(g: &Graph, opts: ServeOpts) -> (ServiceHandle, Rebuilder) {
     let stats = Arc::new(ServeStats::default());
     let mut engine = BccEngine::new(opts.bcc);
-    engine.solve(g);
+    // Attach (not just solve) so delta rebuilds can evolve the graph
+    // in place from the very first snapshot.
+    engine.attach(g);
     let index = engine.build_index_versioned(1);
     let snapshot = Snapshot {
         version: 1,
@@ -377,6 +491,7 @@ pub fn start(g: &Graph, opts: ServeOpts) -> (ServiceHandle, Rebuilder) {
         stats: stats.clone(),
     };
     let (publisher, cell) = epoch::new(Arc::new(snapshot), opts.max_readers);
+    let (delta_tx, delta_rx) = mpsc::channel();
     stats.snapshots_published.store(1, Ordering::Relaxed);
     // Release: same published_version protocol as `Rebuilder::rebuild`.
     stats.published_version.store(1, Ordering::Release);
@@ -385,12 +500,14 @@ pub fn start(g: &Graph, opts: ServeOpts) -> (ServiceHandle, Rebuilder) {
             cell,
             stats: stats.clone(),
             batch_capacity: opts.batch_capacity.max(1),
+            deltas: delta_tx,
         },
         Rebuilder {
             publisher,
             engine,
             stats,
             next_version: 2,
+            delta_rx,
         },
     )
 }
@@ -503,6 +620,100 @@ mod tests {
         assert_eq!(rep.batches_served, 4);
         assert_eq!(rep.batch_size_max, 512);
         assert!(rep.rebuild_secs_total >= rep.rebuild_secs_last);
+    }
+
+    #[test]
+    fn delta_rebuilds_publish_incremental_versions() {
+        let (handle, mut rebuilder) = start(&cycle(12), ServeOpts::default());
+        let mut reader = handle.reader();
+        assert!(rebuilder.rebuild_pending().is_none(), "empty queue is idle");
+
+        // Cut one cycle edge: vertices interior to the remaining path
+        // become articulation points.
+        handle
+            .submit_delta(GraphDelta::from_slices(&[], &[(0, 11)]))
+            .unwrap();
+        let rep = rebuilder.rebuild_pending().expect("one queued delta");
+        assert_eq!(rep.version, 2);
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        let b = reader.answer_batch(&[Query::IsArticulation(5), Query::IsBridge(0, 1)]);
+        assert_eq!(b.version, 2);
+        assert_eq!(
+            b.answers,
+            &[QueryAnswer::Bool(true), QueryAnswer::Bool(true)]
+        );
+
+        // Re-close the cycle through the direct API.
+        let rep = rebuilder.rebuild_delta(&[(0, 11)], &[]);
+        assert_eq!(rep.version, 3);
+        assert!(rep.incremental, "fell back: {:?}", rep.fallback);
+        let b = reader.answer_batch(&[Query::IsArticulation(5), Query::SameBcc(0, 6)]);
+        assert_eq!(b.version, 3);
+        assert_eq!(
+            b.answers,
+            &[QueryAnswer::Bool(false), QueryAnswer::Bool(true)]
+        );
+
+        let stats = handle.stats_report();
+        assert_eq!(stats.rebuilds, 2);
+        assert_eq!(stats.rebuilds_incremental, 2);
+        assert_eq!(stats.rebuilds_full, 0);
+        assert_eq!(stats.deltas_submitted, 1);
+        assert_eq!(stats.deltas_applied, 1);
+    }
+
+    #[test]
+    fn queued_deltas_coalesce_into_one_publish() {
+        let (handle, mut rebuilder) = start(&cycle(16), ServeOpts::default());
+        for k in 0..3 {
+            handle
+                .submit_delta(GraphDelta::from_slices(&[(0, 4 + k)], &[]))
+                .unwrap();
+        }
+        let rep = rebuilder.rebuild_pending().expect("queued deltas");
+        // Three deltas, one snapshot.
+        assert_eq!(rep.version, 2);
+        assert_eq!(handle.current_version(), 2);
+        let stats = handle.stats_report();
+        assert_eq!(stats.deltas_submitted, 3);
+        assert_eq!(stats.deltas_applied, 3);
+        assert_eq!(stats.rebuilds, 1);
+    }
+
+    #[test]
+    fn untractable_deltas_fall_back_and_are_counted() {
+        let (handle, mut rebuilder) = start(&cycle(20), ServeOpts::default());
+        // Delete half the cycle in one batch: way past the churn
+        // threshold, so the engine re-solves from scratch — but the
+        // published snapshot is exact either way.
+        let dels: Vec<(V, V)> = (0..10).map(|i| (i, i + 1)).collect();
+        let rep = rebuilder.rebuild_delta(&[], &dels);
+        assert!(!rep.incremental);
+        assert_eq!(rep.fallback, Some(fastbcc_core::dynamic::FB_CHURN));
+        let mut reader = handle.reader();
+        let b = reader.answer_batch(&[Query::IsArticulation(15), Query::SameBcc(0, 1)]);
+        assert_eq!(b.version, 2);
+        assert_eq!(
+            b.answers,
+            &[QueryAnswer::Bool(true), QueryAnswer::Bool(false)]
+        );
+
+        let stats = handle.stats_report();
+        assert_eq!(stats.rebuilds_full, 1);
+        assert_eq!(stats.fallback_churn, 1);
+        let json = stats.to_json();
+        assert!(json.contains("\"rebuilds_incremental\":0"));
+        assert!(json.contains("\"fallback_churn\":1"));
+    }
+
+    #[test]
+    fn submit_delta_after_rebuilder_drop_returns_the_delta() {
+        let (handle, rebuilder) = start(&path(4), ServeOpts::default());
+        drop(rebuilder);
+        let d = GraphDelta::from_slices(&[(0, 3)], &[]);
+        let d = handle.submit_delta(d).expect_err("rebuilder gone");
+        assert_eq!(d.adds, vec![(0, 3)]);
+        assert_eq!(handle.stats_report().deltas_submitted, 0);
     }
 
     #[test]

@@ -26,6 +26,29 @@ pub struct ServeStats {
     pub(crate) retire_backlog: AtomicU64,
     /// Completed rebuilds (solve + index build + publish).
     pub(crate) rebuilds: AtomicU64,
+    /// Rebuilds that took the incremental `apply_batch` path end to end.
+    pub(crate) rebuilds_incremental: AtomicU64,
+    /// Rebuilds that ran a full solve: explicit `rebuild` calls plus every
+    /// delta rebuild that fell back (see the `fallback_*` counters).
+    pub(crate) rebuilds_full: AtomicU64,
+    /// Delta rebuilds that fell back because the batch exceeded the churn
+    /// threshold (`fastbcc_core::dynamic::FB_CHURN`).
+    pub(crate) fallback_churn: AtomicU64,
+    /// Delta rebuilds that fell back on a component-joining insertion.
+    pub(crate) fallback_cross_component: AtomicU64,
+    /// Delta rebuilds that fell back on a block-cut chain-walk cap.
+    pub(crate) fallback_chain_cap: AtomicU64,
+    /// Delta rebuilds that fell back on an affected-region size cap.
+    pub(crate) fallback_region_cap: AtomicU64,
+    /// Delta rebuilds that fell back on an incomplete re-hang BFS.
+    pub(crate) fallback_rehang: AtomicU64,
+    /// Delta rebuilds that fell back after exhausting the per-batch
+    /// incremental work budget (`fastbcc_core::dynamic::FB_BUDGET`).
+    pub(crate) fallback_work_budget: AtomicU64,
+    /// Edge deltas accepted by `ServiceHandle::submit_delta`.
+    pub(crate) deltas_submitted: AtomicU64,
+    /// Edge deltas drained and applied by `Rebuilder::rebuild_pending`.
+    pub(crate) deltas_applied: AtomicU64,
     /// Wall nanoseconds of the most recent rebuild.
     pub(crate) rebuild_ns_last: AtomicU64,
     /// Cumulative wall nanoseconds across all rebuilds.
@@ -58,6 +81,26 @@ impl ServeStats {
         self.rebuild_in_flight.load(Ordering::Relaxed)
     }
 
+    /// Bump the per-reason fallback counter for one delta rebuild that
+    /// fell back to a full solve (`reason` is an
+    /// [`fastbcc_core::ApplyReport::fallback`] string).
+    pub(crate) fn note_fallback(&self, reason: &str) {
+        use fastbcc_core::dynamic::{
+            FB_BUDGET, FB_CHAIN, FB_CHURN, FB_CROSS, FB_REGION, FB_REHANG,
+        };
+        // Relaxed counters: observability only.
+        let counter = match reason {
+            FB_CHURN => &self.fallback_churn,
+            FB_CROSS => &self.fallback_cross_component,
+            FB_CHAIN => &self.fallback_chain_cap,
+            FB_REGION => &self.fallback_region_cap,
+            FB_REHANG => &self.fallback_rehang,
+            FB_BUDGET => &self.fallback_work_budget,
+            _ => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Snapshot every counter.
     pub fn report(&self) -> StatsReport {
         StatsReport {
@@ -67,6 +110,16 @@ impl ServeStats {
             snapshots_dropped: self.snapshots_dropped.load(Ordering::Relaxed),
             retire_backlog: self.retire_backlog.load(Ordering::Relaxed),
             rebuilds: self.rebuilds.load(Ordering::Relaxed),
+            rebuilds_incremental: self.rebuilds_incremental.load(Ordering::Relaxed),
+            rebuilds_full: self.rebuilds_full.load(Ordering::Relaxed),
+            fallback_churn: self.fallback_churn.load(Ordering::Relaxed),
+            fallback_cross_component: self.fallback_cross_component.load(Ordering::Relaxed),
+            fallback_chain_cap: self.fallback_chain_cap.load(Ordering::Relaxed),
+            fallback_region_cap: self.fallback_region_cap.load(Ordering::Relaxed),
+            fallback_rehang: self.fallback_rehang.load(Ordering::Relaxed),
+            fallback_work_budget: self.fallback_work_budget.load(Ordering::Relaxed),
+            deltas_submitted: self.deltas_submitted.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
             rebuild_secs_last: self.rebuild_ns_last.load(Ordering::Relaxed) as f64 * 1e-9,
             rebuild_secs_total: self.rebuild_ns_total.load(Ordering::Relaxed) as f64 * 1e-9,
             queries_served: self.queries_served.load(Ordering::Relaxed),
@@ -86,6 +139,16 @@ pub struct StatsReport {
     pub snapshots_dropped: u64,
     pub retire_backlog: u64,
     pub rebuilds: u64,
+    pub rebuilds_incremental: u64,
+    pub rebuilds_full: u64,
+    pub fallback_churn: u64,
+    pub fallback_cross_component: u64,
+    pub fallback_chain_cap: u64,
+    pub fallback_region_cap: u64,
+    pub fallback_rehang: u64,
+    pub fallback_work_budget: u64,
+    pub deltas_submitted: u64,
+    pub deltas_applied: u64,
     pub rebuild_secs_last: f64,
     pub rebuild_secs_total: f64,
     pub queries_served: u64,
@@ -110,6 +173,11 @@ impl StatsReport {
             "{{\"published_version\":{},\"snapshots_published\":{},\
              \"snapshots_retired\":{},\"snapshots_dropped\":{},\
              \"retire_backlog\":{},\"rebuilds\":{},\
+             \"rebuilds_incremental\":{},\"rebuilds_full\":{},\
+             \"fallback_churn\":{},\"fallback_cross_component\":{},\
+             \"fallback_chain_cap\":{},\"fallback_region_cap\":{},\
+             \"fallback_rehang\":{},\"fallback_work_budget\":{},\
+             \"deltas_submitted\":{},\"deltas_applied\":{},\
              \"rebuild_secs_last\":{:.9},\"rebuild_secs_total\":{:.9},\
              \"queries_served\":{},\"batches_served\":{},\
              \"batch_size_max\":{}}}",
@@ -119,6 +187,16 @@ impl StatsReport {
             self.snapshots_dropped,
             self.retire_backlog,
             self.rebuilds,
+            self.rebuilds_incremental,
+            self.rebuilds_full,
+            self.fallback_churn,
+            self.fallback_cross_component,
+            self.fallback_chain_cap,
+            self.fallback_region_cap,
+            self.fallback_rehang,
+            self.fallback_work_budget,
+            self.deltas_submitted,
+            self.deltas_applied,
             self.rebuild_secs_last,
             self.rebuild_secs_total,
             self.queries_served,

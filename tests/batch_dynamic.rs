@@ -1,0 +1,191 @@
+//! Batch-dynamic equivalence: after every `BccEngine::apply_batch`, the
+//! engine's result must be indistinguishable from a fresh solve of the
+//! evolved graph — same component and block counts, same canonical BCCs,
+//! same articulation vertices and bridges — no matter which internal path
+//! (bridge fast paths, certificates, region re-solves, re-roots, or the
+//! full-solve fallback) the batch took. Deletions are drawn from the live
+//! edge set, so scripts routinely cut bridges and tree edges, disconnect
+//! components, and reconnect them batches later.
+
+use fast_bcc::core::postprocess::{articulation_points, bridges};
+use fast_bcc::core::{canonical_bccs as canon, BccEngine};
+use fast_bcc::graph::{builder, Graph, V};
+use fast_bcc::BccOpts;
+use proptest::prelude::*;
+
+/// The engine's current result vs a from-scratch solve of the same graph.
+fn assert_matches_fresh(engine: &BccEngine, ctx: &str) {
+    let g = engine.graph().expect("engine is attached");
+    let mut fresh = BccEngine::new(BccOpts::default());
+    fresh.solve(g);
+    assert_eq!(
+        engine.result().num_cc,
+        fresh.result().num_cc,
+        "num_cc {ctx}"
+    );
+    assert_eq!(
+        engine.result().num_bcc,
+        fresh.result().num_bcc,
+        "num_bcc {ctx}"
+    );
+    assert_eq!(
+        canon(engine.result()),
+        canon(fresh.result()),
+        "canonical BCCs {ctx}"
+    );
+    let norm = |mut v: Vec<(V, V)>| {
+        for e in v.iter_mut() {
+            *e = (e.0.min(e.1), e.0.max(e.1));
+        }
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(
+        articulation_points(engine.result()),
+        articulation_points(fresh.result()),
+        "articulation points {ctx}"
+    );
+    assert_eq!(
+        norm(bridges(engine.result())),
+        norm(bridges(fresh.result())),
+        "bridges {ctx}"
+    );
+}
+
+/// The canonical undirected edge list of `g` (u < v, sorted).
+fn edge_list(g: &Graph) -> Vec<(V, V)> {
+    let mut edges = Vec::with_capacity(g.m_undirected());
+    for u in 0..g.n() as V {
+        for &w in g.neighbors(u) {
+            if u < w {
+                edges.push((u, w));
+            }
+        }
+    }
+    edges
+}
+
+/// A batch script: per batch, raw insertion pairs plus *indices* into the
+/// live edge list at application time — so deletions always strike present
+/// edges (bridges and tree edges included) instead of being normalized
+/// away.
+type Script = Vec<(Vec<(V, V)>, Vec<usize>)>;
+
+fn arb_scripted_graph(
+    nmax: usize,
+    mmax: usize,
+) -> impl Strategy<Value = (usize, Vec<(V, V)>, Script)> {
+    (5..nmax).prop_flat_map(move |n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n as V, 0..n as V), 0..mmax),
+            proptest::collection::vec(
+                (
+                    proptest::collection::vec((0..n as V, 0..n as V), 0..6),
+                    proptest::collection::vec(0usize..usize::MAX, 0..6),
+                ),
+                1..6,
+            ),
+        )
+    })
+}
+
+/// Run `script` against both the incremental engine and a mirrored edge
+/// set, checking full equivalence after every batch.
+fn run_script(n: usize, init: &[(V, V)], script: &Script, churn_frac: f64) {
+    if std::env::var_os("BD_TEST_DEBUG").is_some() {
+        eprintln!("run_script(n={n}, init={init:?}, script={script:?}, churn={churn_frac})");
+    }
+    let g0 = builder::from_edges(n, init);
+    let mut live = edge_list(&g0);
+    let mut engine = BccEngine::new(BccOpts::default());
+    engine.dyn_opts_mut().max_churn_frac = churn_frac;
+    engine.attach(&g0);
+
+    for (bi, (adds, del_picks)) in script.iter().enumerate() {
+        let mut dels: Vec<(V, V)> = del_picks
+            .iter()
+            .filter(|_| !live.is_empty())
+            .map(|&i| live[i % live.len()])
+            .collect();
+        dels.sort_unstable();
+        dels.dedup();
+
+        engine.apply_batch(adds, &dels);
+
+        live.retain(|e| !dels.contains(e));
+        for &(a, b) in adds {
+            let e = (a.min(b), a.max(b));
+            if e.0 != e.1 && !live.contains(&e) {
+                live.push(e);
+            }
+        }
+        live.sort_unstable();
+        let report = engine.last_apply_report().expect("batch ran");
+        assert_eq!(
+            edge_list(engine.graph().unwrap()),
+            live,
+            "edge mirror diverged at batch {bi}"
+        );
+        assert_matches_fresh(&engine, &format!("batch {bi} ({report:?})"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Arbitrary add/del scripts with the churn threshold disabled, so
+    /// every incremental machinery path gets exercised and must agree
+    /// with a fresh solve after each batch.
+    #[test]
+    fn incremental_batches_match_fresh_solves(
+        (n, init, script) in arb_scripted_graph(40, 90)
+    ) {
+        run_script(n, &init, &script, 1.0);
+    }
+
+    /// The same scripts under the default churn threshold: small graphs
+    /// force the full-solve fallback often, which must be just as exact.
+    #[test]
+    fn default_threshold_batches_match_fresh_solves(
+        (n, init, script) in arb_scripted_graph(30, 40)
+    ) {
+        run_script(n, &init, &script, fast_bcc::core::dynamic::DynOpts::default().max_churn_frac);
+    }
+}
+
+/// Deterministic disconnect/reconnect ride-through: cut a ring into arcs,
+/// sever them into separate components, then stitch everything back —
+/// exercising bridge deletions, component splits, cross-component
+/// insertions (including at non-root vertices), and block re-merges in
+/// one scripted life cycle.
+#[test]
+fn disconnect_then_reconnect_round_trip() {
+    use fast_bcc::graph::generators::classic::cycle;
+    let n: V = 60;
+    let g0 = cycle(n as usize);
+    let mut engine = BccEngine::new(BccOpts::default());
+    engine.attach(&g0);
+
+    // One cycle edge gone: a single path-shaped component, all bridges.
+    engine.apply_batch(&[], &[(0, n - 1)]);
+    assert_matches_fresh(&engine, "cycle minus one edge");
+    assert_eq!(engine.result().num_cc, 1);
+
+    // Two more cuts: three separate path components.
+    engine.apply_batch(&[], &[(19, 20), (39, 40)]);
+    assert_matches_fresh(&engine, "three arcs");
+    assert_eq!(engine.result().num_cc, 3);
+
+    // Reconnect the middle arc to both outer arcs at interior vertices —
+    // cross-component insertions where neither endpoint is a tree root.
+    engine.apply_batch(&[(10, 30), (30, 50)], &[]);
+    assert_matches_fresh(&engine, "stitched back");
+    assert_eq!(engine.result().num_cc, 1);
+
+    // Close a ring over the seams: the chord turns the stitched spine
+    // into one large block again.
+    engine.apply_batch(&[(10, 50)], &[]);
+    assert_matches_fresh(&engine, "ring closed");
+    assert_eq!(engine.result().num_cc, 1);
+}

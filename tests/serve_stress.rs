@@ -19,7 +19,7 @@
 use fast_bcc::core::query::{random_mixed_batch, Query, QueryAnswer, QueryScratch};
 use fast_bcc::core::{BccEngine, BccOpts};
 use fast_bcc::graph::generators::classic::{cycle, path, windmill};
-use fast_bcc::graph::{builder, Graph, V};
+use fast_bcc::graph::{builder, Graph, GraphDelta, V};
 use fast_bcc::serve::{start, ServeOpts};
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -163,6 +163,129 @@ fn pinned_snapshot_is_immutable_under_churn() {
     drop(reader);
     rebuilder.reclaim();
     assert!(stats.report().snapshots_dropped > before);
+}
+
+/// The serve path the batch-dynamic engine feeds: evolve one graph through
+/// a scripted sequence of edge deltas — half pushed through
+/// [`Rebuilder::rebuild_delta`], half queued with
+/// [`ServiceHandle::submit_delta`] and drained by `rebuild_pending` — while
+/// a concurrent reader checks every served batch against the oracle for
+/// exactly the version it is tagged with. Afterwards the stats must
+/// account for every rebuild as either incremental or full, with the
+/// split matching the reports the rebuilder returned, and every queued
+/// delta as submitted and applied.
+#[test]
+fn delta_rebuilds_serve_exact_versions_under_readers() {
+    const N: usize = 160;
+    const ROUNDS: usize = 12;
+    const BATCH: usize = 400;
+
+    // Base graph: a cycle with chords every fourth vertex — 2-edge-connected,
+    // so early deletions split blocks rather than components.
+    let mut live: Vec<(V, V)> = (0..N as V).map(|i| (i, (i + 1) % N as V)).collect();
+    for i in (0..N as V).step_by(4) {
+        live.push((i, (i + 5) % N as V));
+    }
+    let norm = |(a, b): (V, V)| (a.min(b), a.max(b));
+    live = live.into_iter().map(norm).collect();
+    live.sort_unstable();
+    live.dedup();
+
+    // Script the whole evolution up front (deterministic LCG), building the
+    // per-version graph and oracle before any thread starts: version v
+    // serves `graphs[v - 1]`.
+    let mut state = 0x2545F4914F6CDD1Du64;
+    let mut rng = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let mut graphs = vec![builder::from_edges(N, &live)];
+    let mut script: Vec<(Vec<(V, V)>, Vec<(V, V)>)> = Vec::new();
+    for _ in 0..ROUNDS {
+        let mut dels = Vec::new();
+        for _ in 0..2 {
+            let e = live[rng() % live.len()];
+            if !dels.contains(&e) {
+                dels.push(e);
+            }
+        }
+        let mut adds = Vec::new();
+        while adds.len() < 2 {
+            let e = norm(((rng() % N) as V, (rng() % N) as V));
+            if e.0 != e.1 && !live.contains(&e) && !adds.contains(&e) {
+                adds.push(e);
+            }
+        }
+        live.retain(|e| !dels.contains(e));
+        live.extend_from_slice(&adds);
+        live.sort_unstable();
+        graphs.push(builder::from_edges(N, &live));
+        script.push((adds, dels));
+    }
+    let queries = Arc::new(random_mixed_batch(N, BATCH, 0xDE17A));
+    let expected: Arc<Vec<Vec<QueryAnswer>>> =
+        Arc::new(graphs.iter().map(|g| oracle(g, &queries)).collect());
+
+    let (handle, mut rebuilder) = start(&graphs[0], ServeOpts::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let checker = {
+        let handle = handle.clone();
+        let stop = stop.clone();
+        let queries = queries.clone();
+        let expected = expected.clone();
+        std::thread::spawn(move || {
+            let mut reader = handle.reader();
+            let mut batches = 0u64;
+            while !stop.load(Ordering::Acquire) || batches == 0 {
+                let served = reader.answer_batch(&queries);
+                assert_eq!(
+                    served.answers,
+                    expected[(served.version - 1) as usize].as_slice(),
+                    "batch at version {} does not match that version's graph",
+                    served.version
+                );
+                batches += 1;
+            }
+            batches
+        })
+    };
+
+    let (mut submitted, mut incr, mut full) = (0u64, 0u64, 0u64);
+    for (r, (adds, dels)) in script.iter().enumerate() {
+        let rep = if r % 2 == 0 {
+            rebuilder.rebuild_delta(adds, dels)
+        } else {
+            handle
+                .submit_delta(GraphDelta::from_slices(adds, dels))
+                .expect("queue accepts while the rebuilder lives");
+            submitted += 1;
+            rebuilder.rebuild_pending().expect("one queued delta")
+        };
+        assert_eq!(rep.version, r as u64 + 2, "one publish per round");
+        if rep.incremental {
+            incr += 1;
+        } else {
+            full += 1;
+        }
+    }
+    assert!(rebuilder.rebuild_pending().is_none(), "queue fully drained");
+    stop.store(true, Ordering::Release);
+    assert!(checker.join().expect("reader panicked") >= 1);
+
+    assert_eq!(handle.current_version(), ROUNDS as u64 + 1);
+    let rep = handle.stats_report();
+    assert_eq!(rep.rebuilds, ROUNDS as u64, "one rebuild per round");
+    assert_eq!(
+        rep.rebuilds_incremental + rep.rebuilds_full,
+        rep.rebuilds,
+        "every rebuild is classified"
+    );
+    assert_eq!(rep.rebuilds_incremental, incr);
+    assert_eq!(rep.rebuilds_full, full);
+    assert_eq!(rep.deltas_submitted, submitted);
+    assert_eq!(rep.deltas_applied, submitted);
 }
 
 /// Two arbitrary same-`n` graphs (duplicate edges, self-loops, and
