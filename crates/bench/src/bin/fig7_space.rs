@@ -1,14 +1,21 @@
 //! **Figure 7**: auxiliary-space comparison — FAST-BCC vs the GBBS-style
-//! baseline vs Tarjan–Vishkin, normalized per graph (lower is better).
+//! baseline vs Tarjan–Vishkin, normalized per graph (lower is better) —
+//! plus the graph-representation space of each [`fastbcc_graph::GraphView`]
+//! backend (flat CSR vs compressed blocks), reported as bytes per
+//! undirected edge.
 //!
 //! ```text
 //! cargo run --release -p fastbcc-bench --bin fig7_space -- \
 //!     [--scale 0.1] [--graphs ...] [--json out.jsonl]
 //! ```
 //!
-//! `--json` writes one record per (graph, algorithm) with the
-//! `aux_peak_bytes` space metric; for FAST-BCC it also reports a pooled
-//! `BccEngine`'s warm-solve `fresh_alloc_bytes` (0 = full buffer reuse).
+//! `--json` writes one record per (graph, algorithm, backend) with the
+//! `aux_peak_bytes` space metric, the graph's own `graph_bytes` /
+//! `graph_capacity_bytes` (length vs reserved capacity), and for FAST-BCC
+//! a pooled `BccEngine`'s warm-solve `fresh_alloc_bytes` (0 = full buffer
+//! reuse) — on **both** the flat and the compressed backend, so the CI
+//! smoke gate can assert the compression ratio and the warm-solve
+//! zero-allocation discipline from one artifact.
 //!
 //! Expected shape: TV's explicit `O(m)` skeleton blows up with the
 //! edge-to-vertex ratio (up to ~11× in the paper, OOM on the largest
@@ -20,6 +27,7 @@ use fastbcc_baselines::{bfs_bcc, tarjan_vishkin};
 use fastbcc_bench::measure::{write_json_lines, Args, RunRecord};
 use fastbcc_bench::suite::filter_suite;
 use fastbcc_core::{BccEngine, BccOpts};
+use fastbcc_graph::{CompressedGraph, GraphView};
 
 fn main() {
     let args = Args::parse();
@@ -27,8 +35,20 @@ fn main() {
     let mut records: Vec<RunRecord> = Vec::new();
 
     println!(
-        "{:<8} {:>10} {:>6} | {:>12} {:>12} {:>12} | {:>7} {:>7} {:>7} | {:>9}",
-        "graph", "n", "m/n", "ours(B)", "gbbs*(B)", "TV(B)", "ours", "gbbs*", "TV", "warm(B)"
+        "{:<8} {:>10} {:>6} | {:>12} {:>12} {:>12} | {:>7} {:>7} {:>7} | {:>9} {:>9} | {:>7} {:>7}",
+        "graph",
+        "n",
+        "m/n",
+        "ours(B)",
+        "gbbs*(B)",
+        "TV(B)",
+        "ours",
+        "gbbs*",
+        "TV",
+        "warm(B)",
+        "warmC(B)",
+        "flatB/e",
+        "cmprB/e"
     );
     println!(
         "{:>66} (normalized to smallest; warm = engine re-solve fresh bytes)",
@@ -36,8 +56,11 @@ fn main() {
     );
     for spec in filter_suite(args.get("--graphs")) {
         let g = spec.build(scale);
+        let cg = CompressedGraph::from_graph(&g);
         // Cold solve sizes the engine workspace; the warm re-solve measures
-        // what a pooled repeated-query server actually allocates.
+        // what a pooled repeated-query server actually allocates. One
+        // engine per backend: the edgeMap loops monomorphize per view
+        // type, and each engine's warm solve must be allocation-free.
         let mut engine = BccEngine::new(BccOpts::default());
         let cold = engine.solve(&g);
         let (ours, cold_fresh, arena) = (
@@ -46,11 +69,20 @@ fn main() {
             cold.arena_bytes,
         );
         let warm_fresh = engine.solve(&g).fresh_alloc_bytes;
+        let mut cengine = BccEngine::new(BccOpts::default());
+        let ccold = cengine.solve_view(&cg);
+        let (cours, ccold_fresh, carena) = (
+            ccold.aux_peak_bytes,
+            ccold.fresh_alloc_bytes,
+            ccold.arena_bytes,
+        );
+        let cwarm_fresh = cengine.solve_view(&cg).fresh_alloc_bytes;
         let gbbs = bfs_bcc(&g, 7).aux_peak_bytes;
         let tv = tarjan_vishkin(&g, 5).aux_peak_bytes;
         let min = ours.min(gbbs).min(tv).max(1);
+        let edges = g.m_undirected().max(1);
         println!(
-            "{:<8} {:>10} {:>6.1} | {:>12} {:>12} {:>12} | {:>7.2} {:>7.2} {:>7.2} | {:>9}",
+            "{:<8} {:>10} {:>6.1} | {:>12} {:>12} {:>12} | {:>7.2} {:>7.2} {:>7.2} | {:>9} {:>9} | {:>7.2} {:>7.2}",
             spec.name,
             g.n(),
             g.m() as f64 / g.n().max(1) as f64,
@@ -61,9 +93,20 @@ fn main() {
             gbbs as f64 / min as f64,
             tv as f64 / min as f64,
             warm_fresh,
+            cwarm_fresh,
+            GraphView::bytes(&g) as f64 / edges as f64,
+            cg.bytes() as f64 / edges as f64,
         );
         let scratch = engine.workspace().heap_bytes();
-        let rec = |algo: &str, peak: usize, fresh: usize, arena: usize, scratch: usize| RunRecord {
+        let cscratch = cengine.workspace().heap_bytes();
+        let rec = |algo: &str,
+                   backend: &str,
+                   gbytes: usize,
+                   gcap: usize,
+                   peak: usize,
+                   fresh: usize,
+                   arena: usize,
+                   scratch: usize| RunRecord {
             graph: spec.name.to_string(),
             algo: algo.to_string(),
             n: g.n(),
@@ -82,14 +125,57 @@ fn main() {
             },
             steal_count: fastbcc_primitives::steal_count() as u64,
             deque_max_depth: fastbcc_primitives::deque_max_depth(),
+            backend: backend.to_string(),
+            graph_bytes: gbytes,
+            graph_capacity_bytes: gcap,
         };
+        let (fb, fc) = (GraphView::bytes(&g), GraphView::capacity_bytes(&g));
+        let (cb, cc) = (cg.bytes(), cg.capacity_bytes());
         // `scratch_bytes` is a warm-record column (matching table2's
         // convention): it reports what a pooled repeated-query engine
         // holds reserved, which only stabilizes after the cold solve.
-        records.push(rec("fast_bcc/cold", ours, cold_fresh, arena, 0));
-        records.push(rec("fast_bcc/warm", ours, warm_fresh, arena, scratch));
-        records.push(rec("bfs_bcc", gbbs, gbbs, 0, 0));
-        records.push(rec("tarjan_vishkin", tv, tv, 0, 0));
+        records.push(rec(
+            "fast_bcc/cold",
+            "flat",
+            fb,
+            fc,
+            ours,
+            cold_fresh,
+            arena,
+            0,
+        ));
+        records.push(rec(
+            "fast_bcc/warm",
+            "flat",
+            fb,
+            fc,
+            ours,
+            warm_fresh,
+            arena,
+            scratch,
+        ));
+        records.push(rec(
+            "fast_bcc/cold",
+            "compressed",
+            cb,
+            cc,
+            cours,
+            ccold_fresh,
+            carena,
+            0,
+        ));
+        records.push(rec(
+            "fast_bcc/warm",
+            "compressed",
+            cb,
+            cc,
+            cours,
+            cwarm_fresh,
+            carena,
+            cscratch,
+        ));
+        records.push(rec("bfs_bcc", "flat", fb, fc, gbbs, gbbs, 0, 0));
+        records.push(rec("tarjan_vishkin", "flat", fb, fc, tv, tv, 0, 0));
     }
 
     if let Some(path) = args.get("--json") {

@@ -56,7 +56,7 @@ pub fn fmt_secs(d: Duration) -> String {
 /// One benchmark observation, serialized as a JSON object. Space columns
 /// are recorded alongside time so one artifact feeds both the Tab. 2 time
 /// charts and the Fig. 7 space-trajectory charts.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunRecord {
     /// Suite graph name (e.g. `"SQR*"`).
     pub graph: String,
@@ -103,6 +103,19 @@ pub struct RunRecord {
     /// bounded by the pool's fixed deque capacity, so a value near that
     /// cap flags ranges spilling to the shared claim cursor.
     pub deque_max_depth: usize,
+    /// Graph backend the run solved against
+    /// (`fastbcc_graph::GraphView::backend_name`: `"flat"`,
+    /// `"compressed"`, `"flat-mmap"`, `"compressed-mmap"`). Empty for
+    /// records that predate the backend column or don't touch a graph.
+    pub backend: String,
+    /// Bytes the graph representation itself occupies
+    /// ([`fastbcc_graph::GraphView::bytes`]) — the Fig. 7 space charts
+    /// divide this by `m` for the bytes-per-edge column.
+    pub graph_bytes: usize,
+    /// Bytes the graph representation has *reserved*
+    /// ([`fastbcc_graph::GraphView::capacity_bytes`]); slack beyond
+    /// `graph_bytes` is pooled-buffer headroom, not data.
+    pub graph_capacity_bytes: usize,
 }
 
 impl RunRecord {
@@ -114,7 +127,8 @@ impl RunRecord {
              \"pool_workers\":{},\"median_secs\":{:.9},\"aux_peak_bytes\":{},\
              \"fresh_alloc_bytes\":{},\"arena_bytes\":{},\"scratch_bytes\":{},\
              \"scratch_budget_bytes\":{},\"steal_count\":{},\
-             \"deque_max_depth\":{}}}",
+             \"deque_max_depth\":{},\"backend\":{},\"graph_bytes\":{},\
+             \"graph_capacity_bytes\":{}}}",
             json_escape(&self.graph),
             json_escape(&self.algo),
             self.n,
@@ -129,6 +143,9 @@ impl RunRecord {
             self.scratch_budget_bytes,
             self.steal_count,
             self.deque_max_depth,
+            json_escape(&self.backend),
+            self.graph_bytes,
+            self.graph_capacity_bytes,
         )
     }
 }
@@ -249,10 +266,16 @@ mod tests {
             scratch_budget_bytes: 131072,
             steal_count: 17,
             deque_max_depth: 5,
+            backend: "compressed".into(),
+            graph_bytes: 333,
+            graph_capacity_bytes: 444,
         };
         let j = r.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"graph\":\"SQR*\""));
+        assert!(j.contains("\"backend\":\"compressed\""));
+        assert!(j.contains("\"graph_bytes\":333"));
+        assert!(j.contains("\"graph_capacity_bytes\":444"));
         assert!(j.contains("\"pool_workers\":3"));
         assert!(j.contains("\"aux_peak_bytes\":4096"));
         assert!(j.contains("\"fresh_alloc_bytes\":0"));
@@ -281,6 +304,7 @@ mod tests {
             scratch_budget_bytes: 0,
             steal_count: 0,
             deque_max_depth: 0,
+            ..Default::default()
         };
         assert!(r.to_json().contains("a\\\"b\\\\c\\nd"));
     }
@@ -305,6 +329,7 @@ mod tests {
                 scratch_budget_bytes: 0,
                 steal_count: 0,
                 deque_max_depth: 0,
+                ..Default::default()
             },
             RunRecord {
                 graph: "g2".into(),
@@ -321,6 +346,7 @@ mod tests {
                 scratch_budget_bytes: 8192,
                 steal_count: 3,
                 deque_max_depth: 2,
+                ..Default::default()
             },
         ];
         write_json_lines(path.to_str().unwrap(), &recs).unwrap();

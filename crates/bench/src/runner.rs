@@ -91,6 +91,7 @@ impl RowResult {
                 scratch_budget_bytes: 0,
                 steal_count: fastbcc_primitives::steal_count() as u64,
                 deque_max_depth: fastbcc_primitives::deque_max_depth(),
+                ..Default::default()
             }
         };
         let warm_rec = {

@@ -15,7 +15,7 @@
 //! loops) reuse the three `O(n)` output arrays and the frontier staging
 //! instead of reallocating them every call.
 
-use fastbcc_graph::{Graph, NONE, V};
+use fastbcc_graph::{GraphView, NONE, V};
 use fastbcc_primitives::atomics::as_atomic_u32;
 use fastbcc_primitives::edgemap::{edge_map, EdgeMapMode, EdgeMapScratch, FrontierOp};
 use fastbcc_primitives::slice::reserve_to;
@@ -127,7 +127,7 @@ impl FrontierOp for BfsClaim<'_> {
 /// frontier-parallel; components are processed one after another (as in
 /// the BFS-based BCC implementations the paper compares against). One-shot
 /// wrapper over [`bfs_forest_in`].
-pub fn bfs_forest(g: &Graph) -> BfsForest {
+pub fn bfs_forest<G: GraphView>(g: &G) -> BfsForest {
     let mut scratch = BfsScratch::new();
     bfs_forest_in(g, EdgeMapMode::Auto, &mut scratch);
     std::mem::take(&mut scratch.forest)
@@ -136,9 +136,9 @@ pub fn bfs_forest(g: &Graph) -> BfsForest {
 /// [`bfs_forest`] writing into caller-owned scratch (`scratch.forest`
 /// holds the result afterwards). `mode` forces a traversal direction;
 /// [`EdgeMapMode::Auto`] applies the density threshold per round.
-pub fn bfs_forest_in(g: &Graph, mode: EdgeMapMode, scratch: &mut BfsScratch) {
+pub fn bfs_forest_in<G: GraphView>(g: &G, mode: EdgeMapMode, scratch: &mut BfsScratch) {
     let n = g.n();
-    scratch.em.reserve(n, g.m());
+    scratch.em.reserve(n, g.m_arcs());
     scratch.em.reset_stats();
     reserve_to(&mut scratch.frontier, n);
     reserve_to(&mut scratch.next_frontier, n);
@@ -184,16 +184,7 @@ pub fn bfs_forest_in(g: &Graph, mode: EdgeMapMode, scratch: &mut BfsScratch) {
                     src: s,
                     depth,
                 };
-                edge_map(
-                    g.offsets(),
-                    g.arcs(),
-                    frontier,
-                    n - visited,
-                    &op,
-                    mode,
-                    em,
-                    next_frontier,
-                );
+                edge_map(g, frontier, n - visited, &op, mode, em, next_frontier);
                 std::mem::swap(frontier, next_frontier);
                 visited += frontier.len();
             }

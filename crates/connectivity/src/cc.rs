@@ -13,7 +13,7 @@
 use crate::bfs::bfs_forest;
 use crate::ldd::{ldd_filtered_in, LddOpts, LddScratch};
 use crate::unionfind::{ConcurrentUnionFind, SeqUnionFind};
-use fastbcc_graph::{Graph, V};
+use fastbcc_graph::{GraphView, V};
 use fastbcc_primitives::edgemap::for_arcs_balanced;
 use fastbcc_primitives::pack::pack_map;
 use fastbcc_primitives::par::par_for;
@@ -83,14 +83,14 @@ impl CcScratch {
 }
 
 /// The LDD-UF-JTB connectivity algorithm (ConnectIt; paper Thm. 5.1).
-pub fn ldd_uf_jtb(g: &Graph, opts: CcOpts) -> CcOutput {
+pub fn ldd_uf_jtb<G: GraphView>(g: &G, opts: CcOpts) -> CcOutput {
     ldd_uf_jtb_filtered(g, opts, &|_, _| true)
 }
 
 /// LDD-UF-JTB on the implicit subgraph of `g` whose edges satisfy `filter`
 /// (a symmetric predicate). FAST-BCC's *Last-CC* calls this with the
 /// `InSkeleton` predicate of Alg. 1, never materializing the skeleton.
-pub fn ldd_uf_jtb_filtered<F>(g: &Graph, opts: CcOpts, filter: &F) -> CcOutput
+pub fn ldd_uf_jtb_filtered<G: GraphView, F>(g: &G, opts: CcOpts, filter: &F) -> CcOutput
 where
     F: Fn(V, V) -> bool + Sync,
 {
@@ -120,8 +120,8 @@ where
 /// forest into it. Returns the component count. All `O(n)` intermediates
 /// live in `scratch` and are reused across calls — this is the engine's
 /// repeated-solve path.
-pub fn ldd_uf_jtb_filtered_in<F>(
-    g: &Graph,
+pub fn ldd_uf_jtb_filtered_in<G: GraphView, F>(
+    g: &G,
     ldd_opts: LddOpts,
     filter: &F,
     scratch: &mut CcScratch,
@@ -157,7 +157,7 @@ where
             }
         });
     } else {
-        for_arcs_balanced(g.offsets(), g.arcs(), UNION_GRAIN, |u, w| {
+        for_arcs_balanced(g, UNION_GRAIN, |u, w| {
             if u < w && filter(u, w) {
                 let (cu, cw) = (cluster[u as usize], cluster[w as usize]);
                 if cu != cw {
@@ -181,12 +181,12 @@ where
 }
 
 /// Asynchronous union–find CC: throw every edge at the concurrent UF.
-pub fn uf_async(g: &Graph, want_forest: bool) -> CcOutput {
+pub fn uf_async<G: GraphView>(g: &G, want_forest: bool) -> CcOutput {
     uf_async_filtered(g, want_forest, &|_, _| true)
 }
 
 /// [`uf_async`] on the implicit subgraph whose edges satisfy `filter`.
-pub fn uf_async_filtered<F>(g: &Graph, want_forest: bool, filter: &F) -> CcOutput
+pub fn uf_async_filtered<G: GraphView, F>(g: &G, want_forest: bool, filter: &F) -> CcOutput
 where
     F: Fn(V, V) -> bool + Sync,
 {
@@ -205,8 +205,8 @@ where
 /// [`uf_async_filtered`] writing into caller-owned buffers (the engine's
 /// repeated-solve path; only the union–find and the per-worker edge
 /// arenas of the scratch are touched). Returns the component count.
-pub fn uf_async_filtered_in<F>(
-    g: &Graph,
+pub fn uf_async_filtered_in<G: GraphView, F>(
+    g: &G,
     filter: &F,
     scratch: &mut CcScratch,
     labels_out: &mut Vec<u32>,
@@ -225,7 +225,7 @@ where
             u < w && filter(u, w) && uf_ref.unite(u, w)
         });
     } else {
-        for_arcs_balanced(g.offsets(), g.arcs(), UNION_GRAIN, |u, w| {
+        for_arcs_balanced(g, UNION_GRAIN, |u, w| {
             if u < w && filter(u, w) {
                 uf_ref.unite(u, w);
             }
@@ -244,7 +244,7 @@ where
 /// no allocation. Winner order between blocks follows claim order (at a
 /// worker budget of 1 this is ascending arc order, keeping single-thread
 /// solves bit-reproducible).
-fn stage_union_winners<W>(g: &Graph, forest: &mut Vec<(V, V)>, win: W)
+fn stage_union_winners<G: GraphView, W>(g: &G, forest: &mut Vec<(V, V)>, win: W)
 where
     W: Fn(V, V) -> bool + Sync,
 {
@@ -262,7 +262,7 @@ where
     let cursor = AtomicUsize::new(0);
     {
         let view = UnsafeSlice::new(&mut forest[base..]);
-        for_arcs_balanced(g.offsets(), g.arcs(), UNION_GRAIN, |u, w| {
+        for_arcs_balanced(g, UNION_GRAIN, |u, w| {
             if win(u, w) {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 // SAFETY: `i` is uniquely claimed and in bounds (see above).
@@ -274,7 +274,7 @@ where
 }
 
 /// BFS-based CC (diameter-bound span); forest = BFS tree arcs.
-pub fn bfs_cc(g: &Graph, want_forest: bool) -> CcOutput {
+pub fn bfs_cc<G: GraphView>(g: &G, want_forest: bool) -> CcOutput {
     let f = bfs_forest(g);
     let n = g.n();
     let num_components = f.roots.len();
@@ -293,16 +293,16 @@ pub fn bfs_cc(g: &Graph, want_forest: bool) -> CcOutput {
 }
 
 /// Sequential union–find CC (test oracle / baseline building block).
-pub fn cc_seq(g: &Graph, want_forest: bool) -> CcOutput {
+pub fn cc_seq<G: GraphView>(g: &G, want_forest: bool) -> CcOutput {
     let n = g.n();
     let mut uf = SeqUnionFind::new(n);
     let mut forest_edges = Vec::new();
     for u in 0..n as V {
-        for &w in g.neighbors(u) {
+        g.for_neighbors(u, |w| {
             if u < w && uf.unite(u, w) && want_forest {
                 forest_edges.push((u, w));
             }
-        }
+        });
     }
     let labels: Vec<u32> = (0..n as u32).map(|v| uf.find(v)).collect();
     let num_components = uf.set_count();
@@ -348,6 +348,7 @@ mod tests {
     use fastbcc_graph::generators::classic::*;
     use fastbcc_graph::generators::{grid2d, knn, random_geometric, rmat};
     use fastbcc_graph::stats::cc_labels_seq;
+    use fastbcc_graph::Graph;
 
     fn same_partition(a: &[u32], b: &[u32]) -> bool {
         if a.len() != b.len() {

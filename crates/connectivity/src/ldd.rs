@@ -21,7 +21,7 @@
 //! BFS-parent arrays into a caller-owned [`LddScratch`], so repeated solves
 //! (the core engine's `Workspace`) reuse the `O(n)` buffers.
 
-use fastbcc_graph::{Graph, NONE, V};
+use fastbcc_graph::{GraphView, NONE, V};
 use fastbcc_primitives::atomics::as_atomic_u32;
 use fastbcc_primitives::edgemap::{edge_map, EdgeMapMode, EdgeMapScratch, FrontierOp};
 use fastbcc_primitives::hashbag::HashBag;
@@ -183,8 +183,8 @@ fn local_search_threshold() -> usize {
 /// Max vertices a single frontier vertex may claim in one local search.
 const LOCAL_SEARCH_BUDGET: usize = 64;
 
-/// Compute the decomposition of `g`.
-pub fn ldd(g: &Graph, opts: LddOpts) -> LddResult {
+/// Compute the decomposition of `g` (any [`GraphView`] backend).
+pub fn ldd<G: GraphView>(g: &G, opts: LddOpts) -> LddResult {
     ldd_filtered(g, opts, &|_, _| true)
 }
 
@@ -192,8 +192,9 @@ pub fn ldd(g: &Graph, opts: LddOpts) -> LddResult {
 /// `filter` (a symmetric predicate). This is how FAST-BCC's *Last-CC* runs
 /// connectivity on the **implicit** skeleton without materializing it —
 /// the `O(n)`-auxiliary-space property of the paper.
-pub fn ldd_filtered<F>(g: &Graph, opts: LddOpts, filter: &F) -> LddResult
+pub fn ldd_filtered<G, F>(g: &G, opts: LddOpts, filter: &F) -> LddResult
 where
+    G: GraphView,
     F: Fn(V, V) -> bool + Sync,
 {
     let mut scratch = LddScratch::new();
@@ -209,14 +210,15 @@ where
 /// count; `scratch.cluster` / `scratch.parent` hold the decomposition and
 /// `scratch.tree_edges` the cluster-forest arcs (when `collect_tree_edges`;
 /// skipping the extraction saves a pack pass for pure-CC callers).
-pub fn ldd_filtered_in<F>(
-    g: &Graph,
+pub fn ldd_filtered_in<G, F>(
+    g: &G,
     opts: LddOpts,
     filter: &F,
     scratch: &mut LddScratch,
     collect_tree_edges: bool,
 ) -> usize
 where
+    G: GraphView,
     F: Fn(V, V) -> bool + Sync,
 {
     let n = g.n();
@@ -290,7 +292,7 @@ where
         .max()
         .unwrap_or(0);
     reserve_to(&mut scratch.centers, max_group);
-    scratch.em.reserve(n, g.m());
+    scratch.em.reserve(n, g.m_arcs());
     scratch.em.reset_stats();
     scratch.stacks.reserve_each(LOCAL_SEARCH_STACK);
     if collect_tree_edges {
@@ -404,8 +406,7 @@ where
                 filter,
             };
             edge_map(
-                g.offsets(),
-                g.arcs(),
+                g,
                 frontier,
                 n - covered,
                 &op,
@@ -478,8 +479,8 @@ impl<F: Fn(V, V) -> bool + Sync> FrontierOp for LddClaim<'_, F> {
 /// unexplored boundary into `bag`. The DFS `stack` is the calling
 /// worker's arena-owned buffer (entered empty, left empty), so repeated
 /// searches never touch the allocator.
-fn expand_local<F: Fn(V, V) -> bool + Sync>(
-    g: &Graph,
+fn expand_local<G: GraphView, F: Fn(V, V) -> bool + Sync>(
+    g: &G,
     u: V,
     cluster: &[AtomicU32],
     parent: &[AtomicU32],
@@ -493,7 +494,7 @@ fn expand_local<F: Fn(V, V) -> bool + Sync>(
     let mut budget = LOCAL_SEARCH_BUDGET;
     let mut claims = 0;
     while let Some(x) = stack.pop() {
-        for &w in g.neighbors(x) {
+        g.for_neighbors(x, |w| {
             if filter(x, w)
                 && cluster[w as usize].load(Ordering::Relaxed) == NONE
                 && cluster[w as usize]
@@ -509,7 +510,7 @@ fn expand_local<F: Fn(V, V) -> bool + Sync>(
                     bag.insert(w);
                 }
             }
-        }
+        });
     }
     claims
 }
@@ -520,6 +521,7 @@ mod tests {
     use fastbcc_graph::generators::classic::*;
     use fastbcc_graph::generators::{grid2d, rmat};
     use fastbcc_graph::stats::cc_labels_seq;
+    use fastbcc_graph::Graph;
 
     fn check_valid_decomposition(g: &Graph, res: &LddResult) {
         let n = g.n();

@@ -206,6 +206,16 @@ enum RegionReroot {
 }
 
 impl DynState {
+    /// Drop the attached graph (if any), returning it. The engine's
+    /// view-generic solve path calls this: after solving a graph the
+    /// engine does not own, keeping a stale attached CSR around would let
+    /// [`BccEngine::apply_batch`] silently evolve the *wrong* graph —
+    /// detaching instead makes the next `apply_batch` panic with its
+    /// "requires a prior attach()" message.
+    pub(crate) fn detach_graph(&mut self) -> Option<Graph> {
+        self.graph.take()
+    }
+
     fn reset_for(&mut self, n: usize) {
         self.dsu.clear();
         self.dsu.extend(0..n as u32);

@@ -47,7 +47,7 @@ use fastbcc_connectivity::cc::{ldd_uf_jtb_filtered_in, uf_async_filtered_in, CcS
 use fastbcc_connectivity::ldd::LddOpts;
 use fastbcc_connectivity::spanning_forest::forest_adjacency_in;
 use fastbcc_ett::{root_forest_in, EttScratch, RootedForest};
-use fastbcc_graph::{Graph, V};
+use fastbcc_graph::{Graph, GraphView, V};
 use std::time::Instant;
 
 /// Every reusable per-phase buffer of one FAST-BCC solve, sized lazily on
@@ -243,6 +243,23 @@ impl BccEngine {
         self.solve_impl(g, None)
     }
 
+    /// Run FAST-BCC on any [`GraphView`] backend — a flat [`Graph`], a
+    /// [`fastbcc_graph::CompressedGraph`], or an mmap-backed
+    /// [`fastbcc_graph::MappedGraph`] variant — reusing every pooled
+    /// buffer exactly like [`solve`](Self::solve). Compressed and mapped
+    /// backends are decoded per-block inside the traversal hot loops;
+    /// no flat neighbor arrays are ever materialized, so the auxiliary
+    /// footprint stays `O(n)` regardless of backend.
+    ///
+    /// Because the engine does not own or copy the view, any previously
+    /// [`attach`](Self::attach)ed batch-dynamic graph is **detached**:
+    /// a later [`apply_batch`](Self::apply_batch) without a fresh
+    /// `attach` panics instead of silently evolving a stale CSR.
+    pub fn solve_view<G: GraphView>(&mut self, g: &G) -> &BccResult {
+        self.dynamic.detach_graph();
+        self.solve_impl(g, None)
+    }
+
     /// The engine's current result — whatever the most recent
     /// [`solve`](Self::solve), [`attach`](Self::attach), or
     /// [`apply_batch`](Self::apply_batch) produced (empty before the
@@ -262,7 +279,7 @@ impl BccEngine {
         self.solve_impl(g, Some(root))
     }
 
-    fn solve_impl(&mut self, g: &Graph, force_root: Option<V>) -> &BccResult {
+    fn solve_impl<G: GraphView>(&mut self, g: &G, force_root: Option<V>) -> &BccResult {
         let n = g.n();
         let opts = self.opts;
         let ws = &mut self.ws;

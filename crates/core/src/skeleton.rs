@@ -8,7 +8,7 @@
 //! by diagnostics, tests and the benchmark harness.
 
 use crate::tags::Tags;
-use fastbcc_graph::{Graph, V};
+use fastbcc_graph::{GraphView, V};
 use fastbcc_primitives::reduce::reduce_with;
 
 /// The category of an edge under a rooted spanning forest.
@@ -41,7 +41,7 @@ pub fn classify(tags: &Tags, u: V, v: V) -> EdgeClass {
 
 /// Histogram of edge classes over all undirected edges:
 /// `[plain, fence, back, cross]`.
-pub fn class_counts(g: &Graph, tags: &Tags) -> [usize; 4] {
+pub fn class_counts<G: GraphView>(g: &G, tags: &Tags) -> [usize; 4] {
     let n = g.n();
     reduce_with(
         n,
@@ -49,7 +49,7 @@ pub fn class_counts(g: &Graph, tags: &Tags) -> [usize; 4] {
         |ui| {
             let u = ui as V;
             let mut acc = [0usize; 4];
-            for &v in g.neighbors(u) {
+            g.for_neighbors(u, |v| {
                 if u < v {
                     let k = match classify(tags, u, v) {
                         EdgeClass::PlainTree => 0,
@@ -59,7 +59,7 @@ pub fn class_counts(g: &Graph, tags: &Tags) -> [usize; 4] {
                     };
                     acc[k] += 1;
                 }
-            }
+            });
             acc
         },
         |a, b| [a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] + b[3]],
@@ -73,6 +73,7 @@ mod tests {
     use fastbcc_connectivity::spanning_forest::forest_adjacency;
     use fastbcc_ett::root_forest;
     use fastbcc_graph::generators::classic::*;
+    use fastbcc_graph::Graph;
 
     fn tags_of(g: &Graph) -> Tags {
         let cc = cc_seq(g, true);

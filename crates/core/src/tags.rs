@@ -18,7 +18,7 @@
 //! comparable to the paper's implementation).
 
 use fastbcc_ett::RootedForest;
-use fastbcc_graph::{Graph, V};
+use fastbcc_graph::{GraphView, V};
 use fastbcc_primitives::atomics::{as_atomic_u32, write_max_u32, write_min_u32};
 use fastbcc_primitives::par::par_for;
 use fastbcc_primitives::rmq::{BlockRmq, RmqKind};
@@ -129,7 +129,7 @@ impl TagScratch {
 
 /// Compute all tags. Returns the tags and the sparse-table bytes used
 /// (transient — freed before Last-CC), for space accounting.
-pub fn compute_tags(g: &Graph, rf: &RootedForest) -> (Tags, usize) {
+pub fn compute_tags<G: GraphView>(g: &G, rf: &RootedForest) -> (Tags, usize) {
     let mut tags = Tags::default();
     let mut scratch = TagScratch::new();
     let table_bytes = compute_tags_in(g, rf, &mut tags, &mut scratch);
@@ -139,8 +139,8 @@ pub fn compute_tags(g: &Graph, rf: &RootedForest) -> (Tags, usize) {
 /// [`compute_tags`] writing into a caller-owned [`Tags`] (the five tag
 /// arrays of the engine's result slot) with intermediates in `scratch`.
 /// Returns the transient sparse-table bytes for space accounting.
-pub fn compute_tags_in(
-    g: &Graph,
+pub fn compute_tags_in<G: GraphView>(
+    g: &G,
     rf: &RootedForest,
     out: &mut Tags,
     scratch: &mut TagScratch,
@@ -168,14 +168,14 @@ pub fn compute_tags_in(
         let a2 = as_atomic_u32(w2);
         par_for(n, |ui| {
             let u = ui as V;
-            for &v in g.neighbors(u) {
+            g.for_neighbors(u, |v| {
                 // Skip tree edges: their information is already captured by
                 // the subtree intervals themselves.
                 if parent[u as usize] != v && parent[v as usize] != u {
                     write_min_u32(&a1[ui], first[v as usize]);
                     write_max_u32(&a2[ui], first[v as usize]);
                 }
-            }
+            });
         });
     }
     let w1 = &*w1;
@@ -232,7 +232,7 @@ mod tests {
     use fastbcc_ett::root_forest;
     use fastbcc_graph::builder::from_edges;
     use fastbcc_graph::generators::classic::*;
-    use fastbcc_graph::NONE;
+    use fastbcc_graph::{Graph, NONE};
 
     fn tags_of(g: &Graph) -> Tags {
         let cc = cc_seq(g, true);

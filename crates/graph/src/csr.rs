@@ -35,7 +35,12 @@ impl Graph {
             edges.iter().all(|&v| (v as usize) < n),
             "edge endpoint out of range"
         );
-        Self { offsets, edges }
+        let g = Self { offsets, edges };
+        debug_assert!(
+            g.has_sorted_adjacency(),
+            "neighbor lists must be sorted ascending (see has_sorted_adjacency)"
+        );
+        g
     }
 
     /// Dissolve into the raw CSR arrays, handing their allocations back to
@@ -103,9 +108,26 @@ impl Graph {
         self.offsets[v as usize]..self.offsets[v as usize + 1]
     }
 
-    /// Membership test via binary search (neighbor lists are sorted).
+    /// Membership test via binary search (neighbor lists are sorted —
+    /// see [`has_sorted_adjacency`](Self::has_sorted_adjacency)).
     pub fn has_edge(&self, u: V, v: V) -> bool {
         self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// True if every neighbor list is sorted ascending (duplicates
+    /// allowed). This is an **invariant** of every graph the builders,
+    /// delta layer, and loaders produce, and two consumers rely on it
+    /// for correctness: [`has_edge`](Self::has_edge)'s binary search and
+    /// the difference encoder of
+    /// [`CompressedGraph::from_graph`](crate::compressed::CompressedGraph::from_graph)
+    /// (non-negative gaps). [`from_raw_parts`](Self::from_raw_parts)
+    /// debug-asserts it; callers constructing CSRs by hand must sort
+    /// each list.
+    pub fn has_sorted_adjacency(&self) -> bool {
+        use fastbcc_primitives::reduce::all;
+        all(self.n(), |u| {
+            self.neighbors(u as V).windows(2).all(|w| w[0] <= w[1])
+        })
     }
 
     /// Iterate all directed arcs as `(src, dst)` pairs (sequential).

@@ -1,9 +1,12 @@
 //! Regression tests: malformed graph files must come back as
 //! `Err(InvalidData)` — never a panic, never an abort from an
 //! attacker-sized pre-reservation, never a silently corrupt `Graph`.
+//! Covers the adjacency-text and binary CSR formats and the mmap
+//! snapshot format (`FBCCMAP1`, both backends).
 
-use fastbcc_graph::generators::classic::{barbell, windmill};
+use fastbcc_graph::generators::classic::{barbell, cycle, windmill};
 use fastbcc_graph::io::{load_adjacency_text, load_binary, save_adjacency_text, save_binary};
+use fastbcc_graph::{load_snapshot, save_snapshot, save_snapshot_compressed, CompressedGraph};
 use std::io::ErrorKind;
 use std::path::PathBuf;
 
@@ -164,6 +167,223 @@ fn text_garbage_and_missing_tokens_are_rejected() {
     assert_invalid(load_adjacency_text(&f.0), "missing tokens");
     let f = TmpFile::write("huge_n_txt", &text_file(&[&u64::MAX.to_string(), "0"]));
     assert_invalid(load_adjacency_text(&f.0), "huge n");
+}
+
+// --- mmap snapshot format --------------------------------------------------
+
+/// A snapshot file with an arbitrary header and raw section bytes.
+fn snapshot_file(
+    magic: &[u8; 8],
+    backend: u32,
+    reserved: u32,
+    n: u64,
+    m: u64,
+    payload: u64,
+    sections: &[u8],
+) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(magic);
+    b.extend_from_slice(&backend.to_le_bytes());
+    b.extend_from_slice(&reserved.to_le_bytes());
+    b.extend_from_slice(&n.to_le_bytes());
+    b.extend_from_slice(&m.to_le_bytes());
+    b.extend_from_slice(&payload.to_le_bytes());
+    b.extend_from_slice(sections);
+    b
+}
+
+/// A flat-backend snapshot with the given tables.
+fn flat_snapshot(n: u64, m: u64, offsets: &[u64], arcs: &[u32]) -> Vec<u8> {
+    let mut s = Vec::new();
+    for &o in offsets {
+        s.extend_from_slice(&o.to_le_bytes());
+    }
+    for &a in arcs {
+        s.extend_from_slice(&a.to_le_bytes());
+    }
+    snapshot_file(b"FBCCMAP1", 1, 0, n, m, 0, &s)
+}
+
+/// A compressed-backend snapshot with the given tables and byte stream.
+fn comp_snapshot(n: u64, m: u64, arc_offs: &[u64], byte_offs: &[u64], data: &[u8]) -> Vec<u8> {
+    let mut s = Vec::new();
+    for &o in arc_offs {
+        s.extend_from_slice(&o.to_le_bytes());
+    }
+    for &o in byte_offs {
+        s.extend_from_slice(&o.to_le_bytes());
+    }
+    s.extend_from_slice(data);
+    snapshot_file(b"FBCCMAP1", 2, 0, n, m, data.len() as u64, &s)
+}
+
+fn assert_snapshot_invalid(bytes: &[u8], what: &str) {
+    let f = TmpFile::write(&format!("snap_{}", what.replace(' ', "_")), bytes);
+    match load_snapshot(&f.0) {
+        Ok(_) => panic!("{what}: loaded successfully"),
+        Err(e) => assert_eq!(
+            e.kind(),
+            ErrorKind::InvalidData,
+            "{what}: wrong error kind ({e})"
+        ),
+    }
+}
+
+#[test]
+fn snapshot_bad_magic_version_and_backend_are_rejected() {
+    let good = flat_snapshot(2, 2, &[0, 1, 2], &[1, 0]);
+    let mut bad_magic = good.clone();
+    bad_magic[..8].copy_from_slice(b"FBCCMAP2"); // future format version
+    assert_snapshot_invalid(&bad_magic, "wrong version magic");
+    bad_magic[..8].copy_from_slice(b"GARBAGE!");
+    assert_snapshot_invalid(&bad_magic, "bad magic");
+    assert_snapshot_invalid(
+        &snapshot_file(b"FBCCMAP1", 3, 0, 0, 0, 0, &[0u8; 8]),
+        "unknown backend tag",
+    );
+    assert_snapshot_invalid(
+        &snapshot_file(b"FBCCMAP1", 1, 7, 0, 0, 0, &[0u8; 8]),
+        "nonzero reserved field",
+    );
+}
+
+#[test]
+fn snapshot_truncation_and_oversize_are_rejected() {
+    let good = flat_snapshot(2, 2, &[0, 1, 2], &[1, 0]);
+    assert_snapshot_invalid(&good[..good.len() - 1], "truncated by one byte");
+    assert_snapshot_invalid(&good[..20], "truncated inside header");
+    let mut padded = good.clone();
+    padded.extend_from_slice(b"junk");
+    assert_snapshot_invalid(&padded, "trailing garbage");
+    // Header promises more sections than the file holds: offsets past EOF.
+    assert_snapshot_invalid(
+        &snapshot_file(b"FBCCMAP1", 1, 0, 1 << 40, 0, 0, &[]),
+        "offset table past eof",
+    );
+}
+
+#[test]
+fn snapshot_attacker_sized_headers_are_rejected() {
+    // n at the id-space limit and sizes that overflow the length math
+    // must error before any table is touched.
+    assert_snapshot_invalid(
+        &snapshot_file(b"FBCCMAP1", 1, 0, u32::MAX as u64, 0, 0, &[]),
+        "vertex count exceeds id space",
+    );
+    assert_snapshot_invalid(
+        &snapshot_file(b"FBCCMAP1", 1, 0, u64::MAX / 8, u64::MAX / 8, 0, &[]),
+        "section size overflow",
+    );
+    assert_snapshot_invalid(
+        &snapshot_file(b"FBCCMAP1", 2, 0, 2, 2, u64::MAX / 8, &[0u8; 48]),
+        "compressed payload overflow",
+    );
+}
+
+#[test]
+fn snapshot_flat_bad_tables_are_rejected() {
+    assert_snapshot_invalid(
+        &flat_snapshot(2, 2, &[0, 2, 1], &[1, 0]),
+        "decreasing offsets",
+    );
+    assert_snapshot_invalid(
+        &flat_snapshot(2, 2, &[1, 2, 2], &[1, 0]),
+        "first offset nonzero",
+    );
+    assert_snapshot_invalid(
+        &flat_snapshot(2, 2, &[0, 1, 1], &[1, 0]),
+        "last offset below m",
+    );
+    assert_snapshot_invalid(
+        &flat_snapshot(2, 2, &[0, 1, 2], &[1, 9]),
+        "arc out of range",
+    );
+    // A flat snapshot must not claim a compressed payload.
+    let mut s = Vec::new();
+    for &o in &[0u64, 1, 2] {
+        s.extend_from_slice(&o.to_le_bytes());
+    }
+    for &a in &[1u32, 0] {
+        s.extend_from_slice(&a.to_le_bytes());
+    }
+    s.push(0);
+    assert_snapshot_invalid(
+        &snapshot_file(b"FBCCMAP1", 1, 0, 2, 2, 1, &s),
+        "flat with payload",
+    );
+}
+
+#[test]
+fn snapshot_compressed_corrupt_streams_are_rejected() {
+    // Unterminated varint: a lone continuation byte where vertex 0's
+    // single-neighbor stream should be.
+    assert_snapshot_invalid(
+        &comp_snapshot(1, 1, &[0, 1], &[0, 1], &[0x80]),
+        "varint overrun",
+    );
+    // Neighbor id out of range: head decodes to vertex 5 in a 1-vertex
+    // graph (zigzag(5 - 0) = 10).
+    assert_snapshot_invalid(
+        &comp_snapshot(1, 1, &[0, 1], &[0, 1], &[10]),
+        "decoded id out of range",
+    );
+    // Stream longer than the degree needs: exact-consumption check.
+    assert_snapshot_invalid(
+        &comp_snapshot(1, 1, &[0, 2], &[0, 2], &[0, 0]),
+        "stream not fully consumed",
+    );
+    // Truncated block: byte_offsets promise two bytes of stream for two
+    // neighbors but the gap varint after the head is missing.
+    assert_snapshot_invalid(
+        &comp_snapshot(1, 2, &[0, 2], &[0, 1], &[0]),
+        "truncated block",
+    );
+    // Byte offsets that decrease.
+    assert_snapshot_invalid(
+        &comp_snapshot(2, 2, &[0, 1, 2], &[2, 1, 2], &[0, 0]),
+        "decreasing byte offsets",
+    );
+}
+
+#[test]
+fn snapshot_corrupted_real_file_is_rejected_not_panicking() {
+    // Corrupt a genuine compressed snapshot's final stream byte into a
+    // continuation byte: the full-file validation pass must catch it.
+    let cg = CompressedGraph::from_graph(&cycle(50));
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fastbcc_io_malformed_corrupt_{}",
+        std::process::id()
+    ));
+    save_snapshot_compressed(&cg, &p).unwrap();
+    let mut bytes = std::fs::read(&p).unwrap();
+    std::fs::remove_file(&p).ok();
+    *bytes.last_mut().unwrap() = 0x80;
+    assert_snapshot_invalid(&bytes, "corrupted real stream");
+}
+
+#[test]
+fn snapshot_roundtrips_still_work_after_hardening() {
+    let g = barbell(6, 4);
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "fastbcc_io_malformed_snap_rt_{}",
+        std::process::id()
+    ));
+    save_snapshot(&g, &p).unwrap();
+    let mg = load_snapshot(&p).unwrap();
+    match mg {
+        fastbcc_graph::MappedGraph::Flat(f) => assert_eq!(f.to_graph(), g),
+        _ => panic!("flat snapshot loaded as compressed"),
+    }
+    let cg = CompressedGraph::from_graph(&g);
+    save_snapshot_compressed(&cg, &p).unwrap();
+    let mg = load_snapshot(&p).unwrap();
+    match mg {
+        fastbcc_graph::MappedGraph::Compressed(c) => assert_eq!(c.to_compressed(), cg),
+        _ => panic!("compressed snapshot loaded as flat"),
+    }
+    std::fs::remove_file(&p).ok();
 }
 
 #[test]

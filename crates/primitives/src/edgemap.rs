@@ -26,10 +26,14 @@
 //!   optimization, which also removes the CAS storm huge frontiers
 //!   suffer top-down.
 //!
-//! The module is graph-representation-agnostic: callers pass the raw CSR
-//! `offsets`/`arcs` slices (`fastbcc-graph` sits above this crate).
-//! Vertex ids must be `< u32::MAX`; `u32::MAX` is the empty-slot
-//! sentinel.
+//! The module is graph-representation-agnostic: callers hand any
+//! [`CsrView`] — the raw-slice adapter [`RawCsr`] for flat CSR arrays, or
+//! a compressed/memory-mapped backend from the graph crate above this
+//! one. Neighbor access is *streamed* through the view's per-block decode
+//! callbacks (never random-indexed into a flat arc array), so a backend
+//! whose adjacency is varint/delta-encoded serves the hot loops without
+//! materializing a vertex's full neighbor list. Vertex ids must be
+//! `< u32::MAX`; `u32::MAX` is the empty-slot sentinel.
 //!
 //! All buffers live in an [`EdgeMapScratch`] whose capacities are
 //! deterministic in `(n, m)` alone — never in the parallel schedule or
@@ -45,6 +49,104 @@ use crate::slice::{reserve_to, reuse_uninit, UnsafeSlice};
 /// Empty-slot sentinel of the sparse output buffer (also the "unvisited"
 /// convention of every consumer in this workspace).
 pub const EMPTY: u32 = u32::MAX;
+
+/// A read-only CSR-shaped graph, as the frontier layer sees it: vertex
+/// and arc counts, the cumulative arc offset of every vertex (for
+/// arc-balanced block splitting), and *streamed* neighbor decode.
+///
+/// This is the low-level contract the compressed and memory-mapped
+/// backends implement; `fastbcc_graph::GraphView` extends it with
+/// graph-level conveniences. Neighbor lists must be visited in ascending
+/// local-index order, and every implementation must agree with
+/// [`arc_start`](Self::arc_start) on degrees. Methods are generic (the
+/// trait is not object-safe) so the hot loops monomorphize per backend.
+pub trait CsrView: Sync {
+    /// Number of vertices.
+    fn n(&self) -> usize;
+
+    /// Number of directed arcs.
+    fn m_arcs(&self) -> usize;
+
+    /// Cumulative arc offset of vertex `v`, defined for `0..=n` with
+    /// `arc_start(0) == 0` and `arc_start(n) == m_arcs()`. Monotone.
+    fn arc_start(&self, v: usize) -> usize;
+
+    /// Degree of `v`.
+    #[inline]
+    fn degree(&self, v: u32) -> usize {
+        self.arc_start(v as usize + 1) - self.arc_start(v as usize)
+    }
+
+    /// Visit neighbors of `v` at local indices `lo..hi` (ascending),
+    /// calling `f(local_index, neighbor)`. `hi ≤ degree(v)`. Block-coded
+    /// backends decode only the blocks covering the range.
+    fn neighbors_in<F: FnMut(usize, u32)>(&self, v: u32, lo: usize, hi: usize, f: F);
+
+    /// Visit all neighbors of `v` in ascending local-index order until
+    /// `f` returns `false` (the dense bottom-up early break).
+    fn neighbors_while<F: FnMut(u32) -> bool>(&self, v: u32, f: F);
+
+    /// Visit every neighbor of `v` as `f(neighbor)`.
+    #[inline]
+    fn for_neighbors<F: FnMut(u32)>(&self, v: u32, mut f: F) {
+        self.neighbors_in(v, 0, self.degree(v), |_, w| f(w));
+    }
+}
+
+/// The flat raw-slice [`CsrView`]: an `offsets` array of length `n+1`
+/// and a flat `arcs` array. The adapter the in-RAM CSR backend (and the
+/// unit tests of this module) go through; neighbor "decode" is a slice
+/// scan, so the streamed contract costs nothing here.
+#[derive(Clone, Copy)]
+pub struct RawCsr<'a> {
+    offsets: &'a [usize],
+    arcs: &'a [u32],
+}
+
+impl<'a> RawCsr<'a> {
+    /// Wrap raw CSR slices. `offsets` must have length `n+1`, start at 0,
+    /// be monotone, and end at `arcs.len()` (debug-asserted).
+    #[inline]
+    pub fn new(offsets: &'a [usize], arcs: &'a [u32]) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap(), arcs.len());
+        Self { offsets, arcs }
+    }
+}
+
+impl CsrView for RawCsr<'_> {
+    #[inline]
+    fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn m_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    #[inline]
+    fn arc_start(&self, v: usize) -> usize {
+        self.offsets[v]
+    }
+
+    #[inline]
+    fn neighbors_in<F: FnMut(usize, u32)>(&self, v: u32, lo: usize, hi: usize, mut f: F) {
+        let base = self.offsets[v as usize];
+        for (j, &w) in self.arcs[base + lo..base + hi].iter().enumerate() {
+            f(lo + j, w);
+        }
+    }
+
+    #[inline]
+    fn neighbors_while<F: FnMut(u32) -> bool>(&self, v: u32, mut f: F) {
+        for &w in &self.arcs[self.offsets[v as usize]..self.offsets[v as usize + 1]] {
+            if !f(w) {
+                break;
+            }
+        }
+    }
+}
 
 /// Denominator of the sparse→dense switch. A round goes dense when
 /// **both** hold:
@@ -174,18 +276,16 @@ impl EdgeMapScratch {
     }
 }
 
-/// Expand `frontier` one hop over the CSR graph `(offsets, arcs)`: offer
-/// every out-arc to `op`, collect the claimed targets into `next`
-/// (cleared first; order unspecified between blocks), and return whether
-/// the round ran dense. `offsets` has length `n + 1`; `frontier` entries
-/// index it. `remaining` is the caller's count of still-claimable
-/// vertices; an upper bound is fine — it only steers the direction
-/// switch, never correctness, and it is clamped to the vertex count so
-/// the `Auto` slot-capacity envelope holds for any value.
-#[allow(clippy::too_many_arguments)] // a raw-CSR entry point: the graph view alone is two slices
-pub fn edge_map<Op: FrontierOp>(
-    offsets: &[usize],
-    arcs: &[u32],
+/// Expand `frontier` one hop over the graph view `g`: offer every
+/// out-arc to `op`, collect the claimed targets into `next` (cleared
+/// first; order unspecified between blocks), and return whether the
+/// round ran dense. `frontier` entries are vertex ids of `g`.
+/// `remaining` is the caller's count of still-claimable vertices; an
+/// upper bound is fine — it only steers the direction switch, never
+/// correctness, and it is clamped to the vertex count so the `Auto`
+/// slot-capacity envelope holds for any value.
+pub fn edge_map<G: CsrView, Op: FrontierOp>(
+    g: &G,
     frontier: &[u32],
     remaining: usize,
     op: &Op,
@@ -202,7 +302,7 @@ pub fn edge_map<Op: FrontierOp>(
     // envelope (`sparse_slot_capacity`) relies on `remaining ≤ n` in the
     // swallow condition, so an overshooting caller must not be able to
     // pin dense-worthy rounds sparse and grow the shared buffer past it.
-    let remaining = remaining.min(offsets.len() - 1);
+    let remaining = remaining.min(g.n());
     // A round that fits in one block would run sequentially either way,
     // and under a 1-worker budget *every* round does: claim straight
     // into `next` and skip the count–scan–scatter–pack machinery (the
@@ -212,31 +312,28 @@ pub fn edge_map<Op: FrontierOp>(
     // identical to the pre-counted path's.
     let single = num_threads() <= 1;
     if single || k <= SPARSE_GRAIN {
-        let total: usize = frontier
-            .iter()
-            .map(|&v| offsets[v as usize + 1] - offsets[v as usize])
-            .sum();
-        let dense = is_dense(mode, total, k, arcs.len(), remaining);
+        let total: usize = frontier.iter().map(|&v| g.degree(v)).sum();
+        let dense = is_dense(mode, total, k, g.m_arcs(), remaining);
         if dense {
             scratch.dense_rounds += 1;
-            edge_map_dense(offsets, arcs, frontier, op, scratch, next);
+            edge_map_dense(g, frontier, op, scratch, next);
             return true;
         }
         if single || total <= SPARSE_GRAIN {
             for &u in frontier {
-                for &w in &arcs[offsets[u as usize]..offsets[u as usize + 1]] {
+                g.for_neighbors(u, |w| {
                     if op.try_claim(u, w) {
                         next.push(w);
                     }
-                }
+                });
             }
             return false;
         }
-        edge_map_sparse_counted(offsets, arcs, frontier, remaining, op, mode, scratch, next);
+        edge_map_sparse_counted(g, frontier, remaining, op, mode, scratch, next);
         return false;
     }
 
-    edge_map_sparse_counted(offsets, arcs, frontier, remaining, op, mode, scratch, next)
+    edge_map_sparse_counted(g, frontier, remaining, op, mode, scratch, next)
 }
 
 /// The `Auto` density rule (see [`DENSE_DENOM`]); `total > 0` keeps
@@ -254,10 +351,8 @@ fn is_dense(mode: EdgeMapMode, total: usize, k: usize, m_arcs: usize, remaining:
 /// The full pre-counted sparse path: degree scatter, prefix sum, then
 /// either the dense sweep (if the threshold says so) or the slot-buffer
 /// expansion. Returns whether the round ran dense.
-#[allow(clippy::too_many_arguments)] // same surface as `edge_map`
-fn edge_map_sparse_counted<Op: FrontierOp>(
-    offsets: &[usize],
-    arcs: &[u32],
+fn edge_map_sparse_counted<G: CsrView, Op: FrontierOp>(
+    g: &G,
     frontier: &[u32],
     remaining: usize,
     op: &Op,
@@ -272,30 +367,32 @@ fn edge_map_sparse_counted<Op: FrontierOp>(
     {
         let view = UnsafeSlice::new(scratch.deg.as_mut_slice());
         par_for(k, |i| {
-            let v = frontier[i] as usize;
             // SAFETY: disjoint writes.
-            unsafe { view.write(i, offsets[v + 1] - offsets[v]) };
+            unsafe { view.write(i, g.degree(frontier[i])) };
         });
     }
     let total = prefix_sums(&mut scratch.deg);
     // Callers on the small-round fast path have already ruled out dense
     // with the same `(mode, total, k)` inputs, so re-deciding here is
     // equivalent for both entry orders.
-    let dense = is_dense(mode, total, k, arcs.len(), remaining);
+    let dense = is_dense(mode, total, k, g.m_arcs(), remaining);
     if dense {
         scratch.dense_rounds += 1;
-        edge_map_dense(offsets, arcs, frontier, op, scratch, next);
+        edge_map_dense(g, frontier, op, scratch, next);
     } else {
-        edge_map_sparse(offsets, arcs, frontier, total, op, scratch, next);
+        edge_map_sparse(g, frontier, total, op, scratch, next);
     }
     dense
 }
 
 /// Top-down round: claims land in pre-counted slots of the shared
-/// buffer, then a pack compacts the winners.
-fn edge_map_sparse<Op: FrontierOp>(
-    offsets: &[usize],
-    arcs: &[u32],
+/// buffer, then a pack compacts the winners. Each block streams the
+/// covered sub-range of every frontier vertex's neighbor list through
+/// [`CsrView::neighbors_in`] — the degree balancing splits *inside* a
+/// high-degree vertex's list, and block-coded backends decode only the
+/// blocks the sub-range touches.
+fn edge_map_sparse<G: CsrView, Op: FrontierOp>(
+    g: &G,
     frontier: &[u32],
     total: usize,
     op: &Op,
@@ -329,14 +426,14 @@ fn edge_map_sparse<Op: FrontierOp>(
             while slot < hi {
                 let u = frontier[i];
                 let u_hi = if i + 1 < k { slot_off[i + 1] } else { total };
-                let arc = offsets[u as usize] + (slot - slot_off[i]);
                 let stop = hi.min(u_hi);
-                for s in slot..stop {
-                    let w = arcs[arc + (s - slot)];
+                let base = slot_off[i];
+                g.neighbors_in(u, slot - base, stop - base, |j, w| {
+                    let s = base + j;
                     let claimed = op.try_claim(u, w);
                     // SAFETY: slot `s` belongs to this block alone.
                     unsafe { view.write(s, if claimed { w } else { EMPTY }) };
-                }
+                });
                 slot = stop;
                 i += 1;
             }
@@ -348,15 +445,14 @@ fn edge_map_sparse<Op: FrontierOp>(
 /// Bottom-up round: every still-unclaimed vertex scans its own neighbor
 /// list for a frontier member (bitmap test) and claims itself CAS-free,
 /// breaking at the first hit. Blocks are balanced by `degree + 1` weight.
-fn edge_map_dense<Op: FrontierOp>(
-    offsets: &[usize],
-    arcs: &[u32],
+fn edge_map_dense<G: CsrView, Op: FrontierOp>(
+    g: &G,
     frontier: &[u32],
     op: &Op,
     scratch: &mut EdgeMapScratch,
     next: &mut Vec<u32>,
 ) {
-    let n = offsets.len() - 1;
+    let n = g.n();
     let words = n.div_ceil(64);
     scratch.bits.clear();
     scratch.bits.resize(words, 0);
@@ -372,40 +468,41 @@ fn edge_map_dense<Op: FrontierOp>(
     {
         let bits: &[u64] = &scratch.bits;
         let claimed = as_atomic_u64(&mut scratch.claimed);
-        // Weight-balanced vertex blocks: cumulative `offsets[v] + v` is
+        // Weight-balanced vertex blocks: cumulative `arc_start(v) + v` is
         // strictly increasing, so block boundaries come from one binary
         // search each. A vertex is never split (its scan breaks early),
         // but no block carries more than ~1/B of the total weight.
-        let weight = arcs.len() + n;
+        let weight = g.m_arcs() + n;
         let blocks = num_blocks(weight, DENSE_GRAIN);
         par_for_grain(blocks, 1, |b| {
-            let v_lo = vertex_at_weight(offsets, b * weight / blocks);
-            let v_hi = vertex_at_weight(offsets, (b + 1) * weight / blocks);
+            let v_lo = vertex_at_weight(g, b * weight / blocks);
+            let v_hi = vertex_at_weight(g, (b + 1) * weight / blocks);
             for w in v_lo..v_hi {
                 if !op.wants(w as u32) {
                     continue;
                 }
-                for &u in &arcs[offsets[w]..offsets[w + 1]] {
+                g.neighbors_while(w as u32, |u| {
                     let in_frontier = bits[u as usize / 64] >> (u as usize % 64) & 1 == 1;
                     if in_frontier && op.claim_unique(u, w as u32) {
                         claimed[w / 64]
                             .fetch_or(1 << (w % 64), std::sync::atomic::Ordering::Relaxed);
-                        break;
+                        return false;
                     }
-                }
+                    true
+                });
             }
         });
     }
     pack_bits_into(&scratch.claimed, n, next);
 }
 
-/// Smallest `v` with `offsets[v] + v >= t` (the dense block boundary for
-/// weight target `t`).
-fn vertex_at_weight(offsets: &[usize], t: usize) -> usize {
-    let (mut lo, mut hi) = (0usize, offsets.len() - 1);
+/// Smallest `v` with `arc_start(v) + v >= t` (the dense block boundary
+/// for weight target `t`).
+fn vertex_at_weight<G: CsrView>(g: &G, t: usize) -> usize {
+    let (mut lo, mut hi) = (0usize, g.n());
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if offsets[mid] + mid < t {
+        if g.arc_start(mid) + mid < t {
             lo = mid + 1;
         } else {
             hi = mid;
@@ -414,17 +511,35 @@ fn vertex_at_weight(offsets: &[usize], t: usize) -> usize {
     lo
 }
 
-/// Visit every arc `(u, w)` of the CSR graph in parallel, balanced by
+/// Largest `v` with `arc_start(v) <= a` (the vertex whose neighbor list
+/// covers flat arc index `a` — zero-degree vertices may follow it).
+fn vertex_at_arc<G: CsrView>(g: &G, a: usize) -> usize {
+    let (mut lo, mut hi) = (0usize, g.n() + 1);
+    // Invariant: arc_start(lo - 1) <= a < arc_start(hi) conceptually;
+    // find the partition point of `arc_start(v) <= a`, then step back.
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if g.arc_start(mid) <= a {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo - 1
+}
+
+/// Visit every arc `(u, w)` of the graph view in parallel, balanced by
 /// *arc count*: blocks split inside a vertex's neighbor list, so one
 /// high-degree vertex never serializes a block (the skew the old
 /// fixed-vertex-count grains suffered). `grain` is the minimum arcs per
 /// block. Arc order within a block is ascending; block-to-block ordering
 /// is the scheduler's.
-pub fn for_arcs_balanced<F>(offsets: &[usize], arcs: &[u32], grain: usize, f: F)
+pub fn for_arcs_balanced<G, F>(g: &G, grain: usize, f: F)
 where
+    G: CsrView,
     F: Fn(u32, u32) + Sync,
 {
-    let m = arcs.len();
+    let m = g.m_arcs();
     if m == 0 {
         return;
     }
@@ -436,14 +551,22 @@ where
             return;
         }
         // Last vertex whose arc range starts at or before `lo`.
-        let mut u = offsets.partition_point(|&o| o <= lo) - 1;
-        let mut next_off = offsets[u + 1];
-        for a in lo..hi {
-            while a >= next_off {
+        let mut u = vertex_at_arc(g, lo);
+        let mut pos = lo;
+        while pos < hi {
+            let u_start = g.arc_start(u);
+            let u_end = g.arc_start(u + 1);
+            if u_end <= pos {
+                // Zero-degree vertex (or one fully before the block).
                 u += 1;
-                next_off = offsets[u + 1];
+                continue;
             }
-            f(u as u32, arcs[a]);
+            let stop = hi.min(u_end);
+            g.neighbors_in(u as u32, pos - u_start, stop - u_start, |_, w| {
+                f(u as u32, w);
+            });
+            pos = stop;
+            u += 1;
         }
     });
 }
@@ -496,6 +619,7 @@ mod tests {
     /// Full BFS from vertex 0 in the given mode; returns per-level
     /// frontiers (sorted) until exhaustion.
     fn bfs_levels(offsets: &[usize], arcs: &[u32], n: usize, mode: EdgeMapMode) -> Vec<Vec<u32>> {
+        let g = RawCsr::new(offsets, arcs);
         let owner: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(EMPTY)).collect();
         owner[0].store(0, Ordering::Relaxed);
         let op = Visit { owner: &owner };
@@ -511,8 +635,7 @@ mod tests {
                 f
             });
             edge_map(
-                offsets,
-                arcs,
+                &g,
                 &frontier,
                 n - visited,
                 &op,
@@ -564,6 +687,7 @@ mod tests {
     #[test]
     fn zero_degree_frontier_vertices_are_harmless() {
         let (offsets, arcs) = csr(6, &[(4, 5)]);
+        let g = RawCsr::new(&offsets, &arcs);
         let owner: Vec<AtomicU32> = (0..6).map(|_| AtomicU32::new(EMPTY)).collect();
         for v in [0, 1, 2, 3, 4] {
             owner[v].store(9, Ordering::Relaxed); // frontier members settled
@@ -574,16 +698,7 @@ mod tests {
         // Mostly isolated vertices plus one with an edge.
         for mode in [EdgeMapMode::Sparse, EdgeMapMode::Dense] {
             owner[5].store(EMPTY, Ordering::Relaxed);
-            edge_map(
-                &offsets,
-                &arcs,
-                &[0, 1, 2, 3, 4],
-                1,
-                &op,
-                mode,
-                &mut scratch,
-                &mut next,
-            );
+            edge_map(&g, &[0, 1, 2, 3, 4], 1, &op, mode, &mut scratch, &mut next);
             assert_eq!(next, vec![5], "{mode:?}");
         }
     }
@@ -591,26 +706,17 @@ mod tests {
     #[test]
     fn empty_frontier_and_empty_graph() {
         let (offsets, arcs) = csr(4, &[]);
+        let g = RawCsr::new(&offsets, &arcs);
         let owner: Vec<AtomicU32> = (0..4).map(|_| AtomicU32::new(EMPTY)).collect();
         let op = Visit { owner: &owner };
         let mut scratch = EdgeMapScratch::new();
         let mut next = vec![7u32];
-        let dense = edge_map(
-            &offsets,
-            &arcs,
-            &[],
-            4,
-            &op,
-            EdgeMapMode::Auto,
-            &mut scratch,
-            &mut next,
-        );
+        let dense = edge_map(&g, &[], 4, &op, EdgeMapMode::Auto, &mut scratch, &mut next);
         assert!(!dense);
         assert!(next.is_empty(), "next must be cleared");
         // Non-empty frontier over an edgeless graph stays sparse & empty.
         let dense = edge_map(
-            &offsets,
-            &arcs,
+            &g,
             &[0, 1, 2, 3],
             4,
             &op,
@@ -628,14 +734,14 @@ mod tests {
         let n = 40u32;
         let edges: Vec<(u32, u32)> = (1..n).map(|v| (0, v)).collect();
         let (offsets, arcs) = csr(n as usize, &edges);
+        let g = RawCsr::new(&offsets, &arcs);
         let owner: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(EMPTY)).collect();
         owner[0].store(0, Ordering::Relaxed);
         let op = Visit { owner: &owner };
         let mut scratch = EdgeMapScratch::new();
         let mut next = Vec::new();
         let dense = edge_map(
-            &offsets,
-            &arcs,
+            &g,
             &[0],
             n as usize - 1,
             &op,
@@ -661,6 +767,7 @@ mod tests {
             edges.push((1, v));
         }
         let (offsets, arcs) = csr(leaves as usize + 2, &edges);
+        let g = RawCsr::new(&offsets, &arcs);
         let owner: Vec<AtomicU32> = (0..leaves + 2).map(|_| AtomicU32::new(EMPTY)).collect();
         owner[0].store(0, Ordering::Relaxed);
         owner[1].store(1, Ordering::Relaxed);
@@ -668,8 +775,7 @@ mod tests {
         let mut scratch = EdgeMapScratch::new();
         let mut next = Vec::new();
         edge_map(
-            &offsets,
-            &arcs,
+            &g,
             &[0, 1],
             leaves as usize,
             &op,
@@ -689,6 +795,7 @@ mod tests {
         let n = 200usize;
         let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
         let (offsets, arcs) = csr(n, &edges);
+        let g = RawCsr::new(&offsets, &arcs);
         let mut scratch = EdgeMapScratch::new();
         scratch.reserve(n, arcs.len());
         let bytes = scratch.heap_bytes();
@@ -701,8 +808,7 @@ mod tests {
         let mut visited = 1usize;
         while !frontier.is_empty() {
             edge_map(
-                &offsets,
-                &arcs,
+                &g,
                 &frontier,
                 n - visited,
                 &op,
@@ -731,9 +837,10 @@ mod tests {
             edges.push((v, v + 1));
         }
         let (offsets, arcs) = csr(5001, &edges);
+        let g = RawCsr::new(&offsets, &arcs);
         let seen: Vec<AtomicU32> = (0..arcs.len()).map(|_| AtomicU32::new(0)).collect();
         let hits = std::sync::atomic::AtomicUsize::new(0);
-        for_arcs_balanced(&offsets, &arcs, 64, |u, w| {
+        for_arcs_balanced(&g, 64, |u, w| {
             // Identify the arc by position: binary-search u's range.
             let range = &arcs[offsets[u as usize]..offsets[u as usize + 1]];
             let idx = offsets[u as usize] + range.partition_point(|&x| x < w);
@@ -747,21 +854,37 @@ mod tests {
     #[test]
     fn for_arcs_balanced_empty_graph() {
         let (offsets, arcs) = csr(5, &[]);
-        for_arcs_balanced(&offsets, &arcs, 16, |_, _| panic!("no arcs to visit"));
+        let g = RawCsr::new(&offsets, &arcs);
+        for_arcs_balanced(&g, 16, |_, _| panic!("no arcs to visit"));
+    }
+
+    #[test]
+    fn for_arcs_balanced_skips_zero_degree_runs() {
+        // Isolated vertices interleaved with connected ones exercise the
+        // zero-degree skip inside a block.
+        let (offsets, arcs) = csr(9, &[(0, 8), (3, 8), (8, 4)]);
+        let g = RawCsr::new(&offsets, &arcs);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        for_arcs_balanced(&g, 1, |u, w| {
+            assert!(g.degree(u) > 0 && g.degree(w) > 0);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), arcs.len());
     }
 
     #[test]
     fn vertex_at_weight_boundaries_partition() {
-        let (offsets, _) = csr(6, &[(0, 1), (0, 2), (0, 3), (4, 5)]);
+        let (offsets, arcs) = csr(6, &[(0, 1), (0, 2), (0, 3), (4, 5)]);
+        let g = RawCsr::new(&offsets, &arcs);
         let n = 6;
         let weight = offsets[n] + n;
         let mut prev = 0;
         for b in 0..=8usize {
-            let v = vertex_at_weight(&offsets, b * weight / 8);
+            let v = vertex_at_weight(&g, b * weight / 8);
             assert!(v >= prev && v <= n);
             prev = v;
         }
-        assert_eq!(vertex_at_weight(&offsets, weight), n);
-        assert_eq!(vertex_at_weight(&offsets, 0), 0);
+        assert_eq!(vertex_at_weight(&g, weight), n);
+        assert_eq!(vertex_at_weight(&g, 0), 0);
     }
 }

@@ -33,7 +33,7 @@ use crate::epoch;
 use crate::stats::ServeStats;
 use fastbcc_core::query::{Query, QueryAnswer, QueryScratch};
 use fastbcc_core::{BccEngine, BccIndex, BccOpts};
-use fastbcc_graph::{Graph, GraphDelta, V};
+use fastbcc_graph::{Graph, GraphDelta, GraphView, V};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
@@ -322,7 +322,29 @@ impl Rebuilder {
         let t0 = Instant::now();
         self.engine.attach(g);
         let solve = t0.elapsed();
-        self.finish_rebuild(t0, solve, false, None)
+        self.finish_rebuild(t0, solve, false, None, g.n(), g.m_undirected())
+    }
+
+    /// [`rebuild`](Self::rebuild) over any [`GraphView`] backend — a
+    /// [`fastbcc_graph::CompressedGraph`] or an mmap-backed
+    /// [`fastbcc_graph::MappedGraph`] snapshot loaded with
+    /// [`fastbcc_graph::load_snapshot`]. Solves through the engine's
+    /// pooled view path and publishes exactly like `rebuild`.
+    ///
+    /// Because the engine does not own the view, this path is
+    /// **static-snapshot serving**: the engine's batch-dynamic graph is
+    /// detached, so subsequent [`rebuild_delta`](Self::rebuild_delta) /
+    /// [`rebuild_pending`](Self::rebuild_pending) calls panic until a
+    /// flat-`Graph` [`rebuild`](Self::rebuild) re-attaches one. Serve
+    /// deltas from flat rebuilds; serve immutable mmap/compressed
+    /// snapshots from this.
+    pub fn rebuild_view<G: GraphView>(&mut self, g: &G) -> RebuildReport {
+        // Relaxed flag: advisory marker, as in `rebuild`.
+        self.stats.rebuild_in_flight.store(true, Ordering::Relaxed);
+        let t0 = Instant::now();
+        self.engine.solve_view(g);
+        let solve = t0.elapsed();
+        self.finish_rebuild(t0, solve, false, None, g.n(), g.m_undirected())
     }
 
     /// Apply an edge batch to the attached graph with the incremental
@@ -344,7 +366,8 @@ impl Rebuilder {
         if let Some(reason) = rep.fallback {
             self.stats.note_fallback(reason);
         }
-        self.finish_rebuild(t0, solve, rep.incremental, rep.fallback)
+        let (n, m) = self.attached_shape();
+        self.finish_rebuild(t0, solve, rep.incremental, rep.fallback, n, m)
     }
 
     /// Drain every delta queued via [`ServiceHandle::submit_delta`], apply
@@ -383,24 +406,34 @@ impl Rebuilder {
         self.stats
             .deltas_applied
             .fetch_add(applied, Ordering::Relaxed);
-        Some(self.finish_rebuild(t0, solve, incremental, fallback))
+        let (n, m) = self.attached_shape();
+        Some(self.finish_rebuild(t0, solve, incremental, fallback, n, m))
+    }
+
+    /// Shape of the engine's attached batch-dynamic graph — the delta
+    /// rebuild paths read it after `apply_batch` has evolved the CSR.
+    fn attached_shape(&self) -> (usize, usize) {
+        let g = self
+            .engine
+            .graph()
+            .expect("delta rebuild paths leave a graph attached");
+        (g.n(), g.m_undirected())
     }
 
     /// Shared publish tail: index the engine's current result, publish it
-    /// as the next version, and update every counter.
+    /// as the next version, and update every counter. `n`/`m` are the
+    /// solved graph's shape, passed explicitly because view rebuilds
+    /// leave no graph attached to the engine.
     fn finish_rebuild(
         &mut self,
         t0: Instant,
         solve: Duration,
         incremental: bool,
         fallback: Option<&'static str>,
+        n: usize,
+        m: usize,
     ) -> RebuildReport {
         let version = self.next_version;
-        let g = self
-            .engine
-            .graph()
-            .expect("rebuild paths leave a graph attached");
-        let (n, m) = (g.n(), g.m_undirected());
         let index = self.engine.build_index_versioned(version);
         let index_bytes = index.bytes();
         let snapshot = Snapshot {
@@ -714,6 +747,52 @@ mod tests {
         let d = handle.submit_delta(d).expect_err("rebuilder gone");
         assert_eq!(d.adds, vec![(0, 3)]);
         assert_eq!(handle.stats_report().deltas_submitted, 0);
+    }
+
+    #[test]
+    fn rebuild_view_publishes_from_compressed_and_mapped_backends() {
+        let (handle, mut rebuilder) = start(&path(9), ServeOpts::default());
+        let mut reader = handle.reader();
+
+        let cg = fastbcc_graph::CompressedGraph::from_graph(&cycle(9));
+        let rep = rebuilder.rebuild_view(&cg);
+        assert_eq!(rep.version, 2);
+        let b = reader.answer_batch(&[Query::IsArticulation(4), Query::SameBcc(0, 5)]);
+        assert_eq!(b.version, 2);
+        assert_eq!(
+            b.answers,
+            &[QueryAnswer::Bool(false), QueryAnswer::Bool(true)]
+        );
+
+        let dir = std::env::temp_dir().join(format!("fastbcc-serve-view-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("wind.fbcc");
+        fastbcc_graph::save_snapshot(&windmill(4), &file).unwrap();
+        let mg = fastbcc_graph::load_snapshot(&file).unwrap();
+        let rep = rebuilder.rebuild_view(&mg);
+        assert_eq!(rep.version, 3);
+        let b = reader.answer_batch(&[Query::IsArticulation(0), Query::SameBcc(1, 2)]);
+        assert_eq!(
+            b.answers,
+            &[QueryAnswer::Bool(true), QueryAnswer::Bool(true)]
+        );
+        std::fs::remove_dir_all(&dir).ok();
+
+        // A flat rebuild re-attaches; delta serving works again after it.
+        rebuilder.rebuild(&cycle(12));
+        let rep = rebuilder.rebuild_delta(&[], &[(0, 11)]);
+        assert_eq!(rep.version, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "attach")]
+    fn delta_rebuild_after_view_rebuild_panics() {
+        let (_handle, mut rebuilder) = start(&cycle(8), ServeOpts::default());
+        let cg = fastbcc_graph::CompressedGraph::from_graph(&cycle(8));
+        rebuilder.rebuild_view(&cg);
+        // The view solve detached the batch-dynamic graph: evolving a
+        // stale CSR must be a loud error, not a silent wrong answer.
+        rebuilder.rebuild_delta(&[(0, 4)], &[]);
     }
 
     #[test]
