@@ -265,7 +265,10 @@ pub(crate) fn validate_vertex_stream(
         return Err(format!("vertex {v}: stream shorter than its block header"));
     }
     let mut pos = hl;
-    let mut prev = 0i64;
+    // Invariant: `prev` is only ever assigned a value already checked to
+    // lie in `0..n`, so the running state cannot wrap however adversarial
+    // the stream's varints are.
+    let mut prev = 0u64;
     for idx in 0..deg {
         if idx % BLOCK == 0 {
             if idx > 0 {
@@ -283,20 +286,27 @@ pub(crate) fn validate_vertex_stream(
             }
             let raw = try_read_varint(bytes, &mut pos)
                 .ok_or_else(|| format!("vertex {v}: varint overruns the stream"))?;
-            let w = v as i64 + unzigzag(raw);
-            if idx > 0 && w < prev {
+            // Reconstruct in i128: `v + unzigzag(raw)` can exceed i64 for
+            // extreme heads, and the range check must see the true value.
+            let w = v as i128 + unzigzag(raw) as i128;
+            if w < 0 || w >= n as i128 {
+                return Err(format!("vertex {v}: neighbor {w} out of range (n = {n})"));
+            }
+            if idx > 0 && (w as u64) < prev {
                 return Err(format!("vertex {v}: block head {w} breaks sortedness"));
             }
-            prev = w;
+            prev = w as u64;
         } else {
             let gap = try_read_varint(bytes, &mut pos)
                 .ok_or_else(|| format!("vertex {v}: varint overruns the stream"))?;
-            prev += gap as i64;
-        }
-        if prev < 0 || prev >= n as i64 {
-            return Err(format!(
-                "vertex {v}: neighbor {prev} out of range (n = {n})"
-            ));
+            // Gaps stay unsigned: a huge gap must not reinterpret as a
+            // negative delta that lands back inside `0..n`.
+            prev = prev
+                .checked_add(gap)
+                .filter(|&w| w < n as u64)
+                .ok_or_else(|| {
+                    format!("vertex {v}: gap {gap} pushes a neighbor out of range (n = {n})")
+                })?;
         }
     }
     if pos != bytes.len() {

@@ -217,6 +217,22 @@ fn comp_snapshot(n: u64, m: u64, arc_offs: &[u64], byte_offs: &[u64], data: &[u8
     snapshot_file(b"FBCCMAP1", 2, 0, n, m, data.len() as u64, &s)
 }
 
+/// LEB128-encode `x` (mirrors the crate's internal writer).
+fn varint(mut x: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    loop {
+        let b = (x & 0x7f) as u8;
+        x >>= 7;
+        if x != 0 {
+            out.push(b | 0x80);
+        } else {
+            out.push(b);
+            break;
+        }
+    }
+    out
+}
+
 fn assert_snapshot_invalid(bytes: &[u8], what: &str) {
     let f = TmpFile::write(&format!("snap_{}", what.replace(' ', "_")), bytes);
     match load_snapshot(&f.0) {
@@ -342,6 +358,42 @@ fn snapshot_compressed_corrupt_streams_are_rejected() {
     assert_snapshot_invalid(
         &comp_snapshot(2, 2, &[0, 1, 2], &[2, 1, 2], &[0, 0]),
         "decreasing byte offsets",
+    );
+}
+
+#[test]
+fn snapshot_compressed_extreme_varints_are_rejected() {
+    // A gap >= 2^63 must stay unsigned during validation: after head 5,
+    // gap u64::MAX - 1 reinterpreted as i64 is -2, which would land back
+    // in range as neighbor 3 and smuggle the unsorted list [5, 3] past
+    // validation (and panic the overflow-checked decoder).
+    let mut data = varint(10); // zigzag(5 - 0): block head = 5
+    data.extend(varint(u64::MAX - 1));
+    let len = data.len() as u64;
+    assert_snapshot_invalid(
+        &comp_snapshot(
+            6,
+            2,
+            &[0, 2, 2, 2, 2, 2, 2],
+            &[0, len, len, len, len, len, len],
+            &data,
+        ),
+        "wrapping gap",
+    );
+    // A zigzag head decoding to i64::MAX: `v + unzigzag` overflows i64,
+    // so reconstruction must widen rather than panic in checked builds.
+    let data = varint(u64::MAX - 1); // unzigzag = i64::MAX
+    let len = data.len() as u64;
+    assert_snapshot_invalid(
+        &comp_snapshot(1, 1, &[0, 1], &[0, len], &data),
+        "head overflows i64",
+    );
+    // And the i64::MIN side.
+    let data = varint(u64::MAX); // unzigzag = i64::MIN
+    let len = data.len() as u64;
+    assert_snapshot_invalid(
+        &comp_snapshot(1, 1, &[0, 1], &[0, len], &data),
+        "head underflows i64",
     );
 }
 
